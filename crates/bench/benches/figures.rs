@@ -1,0 +1,97 @@
+//! Scaled-down end-to-end runs of each figure experiment under Criterion,
+//! so `cargo bench` exercises every reproduction path and tracks its
+//! simulation throughput. The full-scale series come from the `fig*`
+//! binaries (see `repro_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nautix_bench::throttle::Granularity;
+use nautix_bench::{barrier_removal, fig03, fig04, fig05, fig10, groupsync, missrate, throttle, Scale};
+use nautix_hw::Platform;
+use std::hint::black_box;
+
+fn bench_fig03(c: &mut Criterion) {
+    c.bench_function("fig03_timesync_64cpus", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig03::run(Scale::Quick, seed))
+        })
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    c.bench_function("fig04_scope_200_periods", |b| {
+        b.iter(|| black_box(fig04::run(Scale::Quick, 3)))
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("fig05_overheads_quick", |b| {
+        b.iter(|| black_box(fig05::run(Scale::Quick, 17)))
+    });
+}
+
+fn bench_missrate_point(c: &mut Criterion) {
+    c.bench_function("fig06_missrate_point_100us", |b| {
+        b.iter(|| {
+            black_box(missrate::measure_point(
+                Platform::Phi,
+                100_000,
+                50_000,
+                60,
+                5,
+            ))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_group_admission_n8", |b| {
+        b.iter(|| black_box(fig10::measure(8, 9)))
+    });
+}
+
+fn bench_groupsync(c: &mut Criterion) {
+    c.bench_function("fig11_group_sync_n8_100inv", |b| {
+        b.iter(|| black_box(groupsync::measure(8, 100, false, 21)))
+    });
+}
+
+fn bench_throttle_point(c: &mut Criterion) {
+    c.bench_function("fig13_throttle_point_p4", |b| {
+        b.iter(|| {
+            black_box(throttle::measure(
+                Granularity::Coarse,
+                4,
+                1_000_000,
+                500_000,
+                Scale::Quick,
+                3,
+            ))
+        })
+    });
+}
+
+fn bench_barrier_removal_point(c: &mut Criterion) {
+    c.bench_function("fig16_barrier_removal_point_p4", |b| {
+        b.iter(|| {
+            black_box(barrier_removal::measure(
+                Granularity::Fine,
+                4,
+                500_000,
+                400_000,
+                Scale::Quick,
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig03, bench_fig04, bench_fig05, bench_missrate_point,
+              bench_fig10, bench_groupsync, bench_throttle_point,
+              bench_barrier_removal_point
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the scheduler's actual host-code hot paths: the
+//! fixed-capacity queues, the scheduling pass, admission control, the
+//! buddy allocator, and the group collectives. These measure the *real*
+//! data structures (not modeled cycle costs) — the bounded-time property
+//! §3.3 relies on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nautix_des::{DetRng, Freq};
+use nautix_kernel::{BuddyAllocator, Constraints, FixedHeap, SimBarrier};
+use nautix_rt::{CpuLoad, InvokeReason, LocalScheduler, SchedConfig, SchedThread};
+use std::hint::black_box;
+
+fn bench_fixed_heap(c: &mut Criterion) {
+    c.bench_function("fixed_heap_push_pop_64", |b| {
+        b.iter_batched(
+            || FixedHeap::<u64, usize>::new(64),
+            |mut h| {
+                for i in 0..64usize {
+                    h.push(((i * 2654435761) % 1000) as u64, i).unwrap();
+                }
+                while let Some(x) = h.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scheduler_invoke(c: &mut Criterion) {
+    c.bench_function("local_scheduler_invoke_8_threads", |b| {
+        let cfg = SchedConfig::default();
+        let mut sched = LocalScheduler::new(0, 0, cfg, Freq::phi(), 64);
+        let mut threads: Vec<SchedThread> =
+            (0..16).map(|_| SchedThread::new_aperiodic()).collect();
+        #[allow(clippy::needless_range_loop)]
+        for tid in 1..9 {
+            let cons = Constraints::periodic(100_000 * tid as u64, 5_000 * tid as u64);
+            sched
+                .change_constraints(tid, &mut threads[tid], cons, 0, true)
+                .unwrap();
+            sched.enqueue(tid, &mut threads[tid], 0);
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10_000;
+            black_box(sched.invoke(now, &mut threads, InvokeReason::Timer, true))
+        })
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    c.bench_function("admission_edf_bound", |b| {
+        let cfg = SchedConfig::default();
+        b.iter_batched(
+            CpuLoad::new,
+            |mut load| {
+                for i in 1..8u64 {
+                    let _ = black_box(
+                        load.admit(&cfg, &Constraints::periodic(100_000 * i, 9_000 * i)),
+                    );
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("admission_hyperperiod_sim", |b| {
+        let cfg = SchedConfig {
+            policy: nautix_rt::AdmissionPolicy::HyperperiodSim {
+                overhead_ns: 9_000,
+                window_cap_ns: 10_000_000,
+            },
+            ..SchedConfig::default()
+        };
+        b.iter_batched(
+            CpuLoad::new,
+            |mut load| {
+                let _ = black_box(load.admit(&cfg, &Constraints::periodic(100_000, 50_000)));
+                let _ = black_box(load.admit(&cfg, &Constraints::periodic(250_000, 50_000)));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_16k", |b| {
+        b.iter_batched(
+            || BuddyAllocator::new(0, 12, 24),
+            |mut buddy| {
+                let mut addrs = Vec::with_capacity(64);
+                for _ in 0..64 {
+                    addrs.push(buddy.alloc(16 * 1024).unwrap());
+                }
+                for a in addrs {
+                    buddy.free(a);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("sim_barrier_episode_64", |b| {
+        let mut rng = DetRng::seed_from(1);
+        let stagger = nautix_hw::Cost::new(180, 70);
+        b.iter_batched(
+            || SimBarrier::new(64),
+            |mut bar| {
+                for t in 0..64 {
+                    black_box(bar.arrive(t, &mut rng, stagger));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fixed_heap, bench_scheduler_invoke, bench_admission,
+              bench_buddy, bench_barrier
+}
+criterion_main!(benches);

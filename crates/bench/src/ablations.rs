@@ -1,0 +1,349 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation isolates one mechanism the paper argues for and measures
+//! the system with it toggled:
+//!
+//! * eager vs. lazy EDF under SMI injection (§3.6),
+//! * the utilization-limit knob under SMI injection (§3.6),
+//! * phase correction on/off (§4.4 — see also `groupsync`),
+//! * interrupt steering in/out of the RT partition (§3.5),
+//! * APIC tick quantization vs. TSC-deadline timing (§3.3),
+//! * admission policies: EDF bound vs. RM bound vs. hyperperiod
+//!   simulation (§3.2).
+
+use nautix_des::Nanos;
+use nautix_hw::{Cost, MachineConfig, SmiConfig, SmiPattern, TimerMode};
+use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
+use nautix_rt::{
+    AdmissionPolicy, CpuLoad, Node, NodeConfig, SchedConfig, SchedMode,
+};
+
+/// Miss rate of a periodic thread under the given scheduler mode and SMI
+/// injection intensity.
+pub fn miss_rate_under_smi(
+    mode: SchedMode,
+    smi_mean_interval_us: Option<u64>,
+    util_limit_ppm: u64,
+    seed: u64,
+) -> f64 {
+    let freq = nautix_des::Freq::phi();
+    let mut machine = MachineConfig::phi().with_cpus(2).with_seed(seed);
+    if let Some(us) = smi_mean_interval_us {
+        machine = machine.with_smi(SmiConfig {
+            pattern: SmiPattern::Poisson {
+                mean_interval: freq.us_to_cycles(us),
+            },
+            duration: Cost::new(freq.us_to_cycles(100), freq.us_to_cycles(20)),
+        });
+    }
+    let mut cfg = NodeConfig::for_machine(machine);
+    cfg.sched.mode = mode;
+    cfg.sched.util_limit_ppm = util_limit_ppm;
+    cfg.sched.sporadic_reserve_ppm = 0;
+    cfg.sched.aperiodic_reserve_ppm = 0;
+    let mut node = Node::new(cfg);
+    // The thread requests a slice sized to the admissible limit minus a
+    // small margin: the tighter the limit, the less slack absorbs SMIs.
+    let period: Nanos = 1_000_000;
+    let slice = period * (util_limit_ppm.saturating_sub(40_000)) / 1_000_000;
+    let prog = FnProgram::new(move |_cx, n| {
+        if n == 0 {
+            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                period, slice,
+            )))
+        } else {
+            Action::Compute(200_000)
+        }
+    });
+    let tid = node.spawn_on(1, "probe", Box::new(prog)).unwrap();
+    node.run_for_ns(300_000_000);
+    node.thread_state(tid).stats.miss_rate()
+}
+
+/// Eager-vs-lazy rows: (smi interval µs or None, eager rate, lazy rate).
+pub fn eager_vs_lazy(seed: u64) -> Vec<(Option<u64>, f64, f64)> {
+    [None, Some(50_000), Some(10_000), Some(3_000)]
+        .into_iter()
+        .map(|smi| {
+            (
+                smi,
+                miss_rate_under_smi(SchedMode::Eager, smi, 900_000, seed),
+                miss_rate_under_smi(SchedMode::Lazy, smi, 900_000, seed),
+            )
+        })
+        .collect()
+}
+
+/// Utilization-limit knob rows: (limit %, miss rate) under fixed SMI noise.
+pub fn util_limit_knob(seed: u64) -> Vec<(u64, f64)> {
+    [990_000u64, 950_000, 900_000, 800_000, 700_000]
+        .into_iter()
+        .map(|limit| {
+            (
+                limit / 10_000,
+                miss_rate_under_smi(SchedMode::Eager, Some(5_000), limit, seed),
+            )
+        })
+        .collect()
+}
+
+/// Interrupt steering: jitter of an RT thread's dispatches with device
+/// interrupts steered away (default partition) vs. onto its CPU.
+pub fn steering_effect(steer_to_rt_cpu: bool, seed: u64) -> f64 {
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi().with_cpus(3).with_seed(seed);
+    cfg.dispatch_log_cap = 4096;
+    let mut node = Node::new(cfg);
+    if steer_to_rt_cpu {
+        node.steer_irq(1, 1);
+    } else {
+        node.steer_irq(1, 0);
+    }
+    let prog = FnProgram::new(|_cx, n| {
+        if n == 0 {
+            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                100_000, 30_000,
+            )))
+        } else {
+            Action::Compute(100_000)
+        }
+    });
+    let tid = node.spawn_on(1, "rt", Box::new(prog)).unwrap();
+    // A chatty device: one interrupt every ~20 µs.
+    for _ in 0..2000 {
+        node.raise_device_irq(1);
+        node.run_for_ns(20_000);
+    }
+    // Dispatch interval jitter (cycles) of the RT thread.
+    let times = node.thread_state(tid).dispatch_log.times();
+    let freq = node.freq();
+    let intervals: Vec<u64> = times
+        .windows(2)
+        .map(|w| freq.ns_to_cycles(w[1] - w[0]))
+        .collect();
+    nautix_des::Summary::of(&intervals).std_dev
+}
+
+/// Timer-mode wakeup precision: mean absolute error (cycles) between
+/// consecutive dispatch intervals and the programmed period.
+pub fn timer_mode_precision(mode: TimerMode, seed: u64) -> f64 {
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi()
+        .with_cpus(2)
+        .with_seed(seed)
+        .with_timer_mode(mode);
+    cfg.dispatch_log_cap = 4096;
+    let mut node = Node::new(cfg);
+    let period: Nanos = 50_000;
+    let prog = FnProgram::new(move |_cx, n| {
+        if n == 0 {
+            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                period, 10_000,
+            )))
+        } else {
+            Action::Compute(100_000)
+        }
+    });
+    let tid = node.spawn_on(1, "rt", Box::new(prog)).unwrap();
+    node.run_for_ns(100_000_000);
+    let times = node.thread_state(tid).dispatch_log.times();
+    let freq = node.freq();
+    let period_cycles = freq.ns_to_cycles(period) as f64;
+    let errs: Vec<f64> = times
+        .windows(2)
+        .map(|w| (freq.ns_to_cycles(w[1] - w[0]) as f64 - period_cycles).abs())
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+/// Hard vs. soft real-time under overload (§7 contrasts this work with
+/// the authors' earlier soft model): two threads each want 60% of one CPU.
+/// Hard admission rejects one of them and the admitted one never misses;
+/// the soft configuration admits both and each misses a large fraction.
+/// Returns `(hard_admitted_missrate, hard_admitted_count, soft_missrates)`.
+pub fn hard_vs_soft_overload(seed: u64) -> (f64, usize, Vec<f64>) {
+    use nautix_hw::MachineConfig as MC;
+    let run = |admission: bool| {
+        let mut cfg = NodeConfig::for_machine(MC::phi().with_cpus(2).with_seed(seed));
+        cfg.sched.admission_enabled = admission;
+        cfg.sched.sporadic_reserve_ppm = 0;
+        cfg.sched.aperiodic_reserve_ppm = 0;
+        let mut node = Node::new(cfg);
+        let admitted = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut tids = Vec::new();
+        for t in 0..2usize {
+            let admitted2 = admitted.clone();
+            let prog = FnProgram::new(move |cx, n| {
+                if n == 0 {
+                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                        1_000_000, 600_000,
+                    )))
+                } else {
+                    if n == 1 {
+                        admitted2
+                            .borrow_mut()
+                            .push((t, cx.result == nautix_kernel::SysResult::Admission(Ok(()))));
+                    }
+                    Action::Compute(200_000)
+                }
+            });
+            tids.push(node.spawn_on(1, &format!("t{t}"), Box::new(prog)).unwrap());
+        }
+        node.run_for_ns(200_000_000);
+        let rates: Vec<f64> = tids
+            .iter()
+            .map(|&t| node.thread_state(t).stats.miss_rate())
+            .collect();
+        let flags = admitted.borrow().clone();
+        drop(node);
+        (rates, flags)
+    };
+    let (hard_rates, hard_flags) = run(true);
+    let (soft_rates, _) = run(false);
+    let admitted_count = hard_flags.iter().filter(|&&(_, ok)| ok).count();
+    let admitted_rate = hard_flags
+        .iter()
+        .find(|&&(_, ok)| ok)
+        .map(|&(t, _)| hard_rates[t])
+        .unwrap_or(f64::NAN);
+    (admitted_rate, admitted_count, soft_rates)
+}
+
+/// Admission-policy comparison on a fixed constraint menu. Returns rows of
+/// `(label, edf, rm, hyperperiod)` acceptance.
+pub fn admission_policy_matrix() -> Vec<(&'static str, bool, bool, bool)> {
+    let menu: Vec<(&'static str, Vec<Constraints>)> = vec![
+        (
+            "two_large_tasks_77pct",
+            vec![
+                Constraints::periodic(100_000, 47_000),
+                Constraints::periodic(100_000, 30_000),
+            ],
+        ),
+        (
+            "three_tasks_78pct",
+            vec![
+                Constraints::periodic(100_000, 30_000),
+                Constraints::periodic(100_000, 30_000),
+                Constraints::periodic(100_000, 18_000),
+            ],
+        ),
+        (
+            "fine_grain_50pct_at_10us",
+            vec![Constraints::periodic(10_000, 5_000)],
+        ),
+        (
+            "coarse_50pct_at_1ms",
+            vec![Constraints::periodic(1_000_000, 500_000)],
+        ),
+    ];
+    let policies = [
+        AdmissionPolicy::EdfBound,
+        AdmissionPolicy::RmBound,
+        AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 9_200, // two Phi interrupts
+            window_cap_ns: 1_000_000_000,
+        },
+    ];
+    menu.into_iter()
+        .map(|(label, set)| {
+            let mut accepted = [true; 3];
+            for (i, policy) in policies.iter().enumerate() {
+                let cfg = SchedConfig {
+                    policy: *policy,
+                    ..SchedConfig::default()
+                };
+                let mut load = CpuLoad::new();
+                for c in &set {
+                    if load.admit(&cfg, c).is_err() {
+                        accepted[i] = false;
+                        break;
+                    }
+                }
+            }
+            (label, accepted[0], accepted[1], accepted[2])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_beats_lazy_under_smi() {
+        let rows = eager_vs_lazy(31);
+        // Without SMIs both modes meet everything.
+        let (none, eager0, lazy0) = rows[0];
+        assert_eq!(none, None);
+        assert!(eager0 < 0.02, "eager clean rate {eager0}");
+        assert!(lazy0 < 0.05, "lazy clean rate {lazy0}");
+        // With aggressive SMIs, lazy misses much more.
+        let (_, eager_hot, lazy_hot) = rows[3];
+        assert!(
+            lazy_hot > eager_hot + 0.05,
+            "lazy {lazy_hot} must miss more than eager {eager_hot}"
+        );
+    }
+
+    #[test]
+    fn lower_utilization_limit_absorbs_more_smi_noise() {
+        let rows = util_limit_knob(31);
+        let at99 = rows[0].1;
+        let at70 = rows.last().unwrap().1;
+        assert!(
+            at70 < at99,
+            "a 70% limit ({at70}) should miss less than 99% ({at99})"
+        );
+    }
+
+    #[test]
+    fn steering_interrupts_at_the_rt_cpu_adds_jitter() {
+        let away = steering_effect(false, 13);
+        let onto = steering_effect(true, 13);
+        assert!(
+            onto > away,
+            "device interrupts on the RT CPU must add jitter ({onto} vs {away})"
+        );
+    }
+
+    #[test]
+    fn tsc_deadline_is_more_precise_than_coarse_ticks() {
+        let coarse = timer_mode_precision(TimerMode::OneShot { tick_cycles: 2600 }, 13);
+        let exact = timer_mode_precision(TimerMode::TscDeadline, 13);
+        assert!(
+            exact < coarse,
+            "TSC deadline ({exact}) should beat a 2 µs tick ({coarse})"
+        );
+    }
+
+    #[test]
+    fn hard_admission_protects_but_soft_overload_degrades_everyone() {
+        let (admitted_rate, admitted_count, soft_rates) = hard_vs_soft_overload(47);
+        assert_eq!(admitted_count, 1, "hard admission accepts exactly one");
+        assert_eq!(admitted_rate, 0.0, "the admitted hard-RT thread never misses");
+        assert!(
+            soft_rates.iter().any(|&r| r > 0.25),
+            "soft overload must show heavy misses: {soft_rates:?}"
+        );
+    }
+
+    #[test]
+    fn policies_disagree_exactly_where_expected() {
+        let rows = admission_policy_matrix();
+        let get = |label: &str| rows.iter().find(|r| r.0 == label).copied().unwrap();
+        // 77%: under both EDF budget (79%) and 2-task RM bound (82.8%).
+        assert_eq!(get("two_large_tasks_77pct"), ("two_large_tasks_77pct", true, true, true));
+        // 78% with 3 tasks: over the 3-task RM bound (~78.0%), under EDF.
+        let r = get("three_tasks_78pct");
+        assert!(r.1, "EDF accepts 78%");
+        assert!(!r.2, "RM rejects 78% with 3 tasks");
+        // 50% at 10 µs: bounds accept, the overhead-aware simulation must
+        // reject (overhead eats the period).
+        let r = get("fine_grain_50pct_at_10us");
+        assert!(r.1 && r.2);
+        assert!(!r.3, "hyperperiod simulation must reject 10 µs / 50%");
+        // The same 50% at 1 ms is fine for everyone.
+        assert_eq!(get("coarse_50pct_at_1ms"), ("coarse_50pct_at_1ms", true, true, true));
+    }
+}

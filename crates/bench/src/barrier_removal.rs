@@ -1,0 +1,168 @@
+//! Figures 15 and 16: the benefit of removing barriers under
+//! gang-scheduled hard real-time execution.
+//!
+//! Each point runs the BSP benchmark twice under identical (τ, σ)
+//! constraints — once with `optional_barrier()`, once without — plus a
+//! non-real-time (aperiodic, 100% utilization, barriers-required)
+//! reference. At coarse granularity the benefit is small (Amdahl); at fine
+//! granularity removal wins by 20–300% and the real-time runs *beat* the
+//! aperiodic reference.
+
+use crate::common::Scale;
+use crate::throttle::Granularity;
+use nautix_bsp::{run_bsp, BspMode, BspParams};
+use nautix_des::Nanos;
+use nautix_hw::MachineConfig;
+use nautix_rt::{NodeConfig, SchedConfig};
+
+/// One (τ, σ) comparison point.
+#[derive(Debug, Clone, Copy)]
+pub struct RemovalPoint {
+    /// Period τ, ns.
+    pub period_ns: Nanos,
+    /// Slice σ, ns.
+    pub slice_ns: Nanos,
+    /// Execution time with barriers, ns.
+    pub with_barrier_ns: Nanos,
+    /// Execution time without barriers, ns.
+    pub without_barrier_ns: Nanos,
+    /// Synchronization violations observed without barriers (should stay
+    /// zero when lock-step holds).
+    pub violations: u64,
+}
+
+impl RemovalPoint {
+    /// Speedup of barrier removal (>1 means removal wins).
+    pub fn speedup(&self) -> f64 {
+        self.with_barrier_ns as f64 / self.without_barrier_ns.max(1) as f64
+    }
+}
+
+/// The experiment output.
+#[derive(Debug, Clone)]
+pub struct Removal {
+    /// Scatter points.
+    pub points: Vec<RemovalPoint>,
+    /// The aperiodic (non-RT, with barriers) reference time, ns.
+    pub aperiodic_ns: Nanos,
+}
+
+fn node_cfg(p: usize, seed: u64) -> NodeConfig {
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi().with_cpus(p + 1).with_seed(seed);
+    cfg.sched = SchedConfig::throughput();
+    cfg
+}
+
+fn params(g: Granularity, p: usize, scale: Scale) -> BspParams {
+    let iters = match (g, scale) {
+        (Granularity::Coarse, Scale::Quick) => 6,
+        (Granularity::Coarse, Scale::Paper) => 12,
+        (Granularity::Fine, Scale::Quick) => 60,
+        (Granularity::Fine, Scale::Paper) => 200,
+    };
+    match g {
+        Granularity::Coarse => BspParams::coarse(p, iters),
+        Granularity::Fine => BspParams::fine(p, iters),
+    }
+}
+
+/// Measure one comparison point.
+pub fn measure(
+    g: Granularity,
+    p: usize,
+    period_ns: Nanos,
+    slice_ns: Nanos,
+    scale: Scale,
+    seed: u64,
+) -> RemovalPoint {
+    let base = params(g, p, scale).with_mode(BspMode::RtGroup {
+        period: period_ns,
+        slice: slice_ns,
+    });
+    let with = run_bsp(node_cfg(p, seed), base.with_barrier(true));
+    let without = run_bsp(node_cfg(p, seed), base.with_barrier(false));
+    RemovalPoint {
+        period_ns,
+        slice_ns,
+        with_barrier_ns: with.max_ns,
+        without_barrier_ns: without.max_ns,
+        violations: without.violations(),
+    }
+}
+
+/// Run the full comparison for one granularity.
+pub fn run(g: Granularity, scale: Scale, seed: u64) -> Removal {
+    let p = crate::throttle::worker_count(scale);
+    let (periods, slice_pcts) = match scale {
+        Scale::Quick => (vec![500_000u64, 1_000_000], vec![30u64, 60, 90]),
+        Scale::Paper => (
+            (1..=10).map(|i| 200_000 * i as u64).collect::<Vec<_>>(),
+            (1..=9).map(|i| 10 * i as u64).collect::<Vec<_>>(),
+        ),
+    };
+    let mut points = Vec::new();
+    for &period in &periods {
+        for &pct in &slice_pcts {
+            let slice = (period * pct / 100).max(1000);
+            if slice * 100 >= period * 99 {
+                continue;
+            }
+            points.push(measure(g, p, period, slice, scale, seed));
+        }
+    }
+    let aperiodic = run_bsp(node_cfg(p, seed), params(g, p, scale).with_barrier(true));
+    Removal {
+        points,
+        aperiodic_ns: aperiodic.max_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removal_wins_at_fine_granularity() {
+        let pt = measure(Granularity::Fine, 8, 500_000, 400_000, Scale::Quick, 7);
+        assert!(
+            pt.speedup() > 1.05,
+            "fine-grain barrier removal should win (speedup {})",
+            pt.speedup()
+        );
+        assert_eq!(pt.violations, 0, "lock-step must hold without barriers");
+    }
+
+    #[test]
+    fn removal_benefit_shrinks_at_coarse_granularity() {
+        let fine = measure(Granularity::Fine, 4, 500_000, 400_000, Scale::Quick, 7);
+        let coarse = measure(Granularity::Coarse, 4, 500_000, 400_000, Scale::Quick, 7);
+        assert!(
+            fine.speedup() > coarse.speedup(),
+            "Amdahl: fine {} must beat coarse {}",
+            fine.speedup(),
+            coarse.speedup()
+        );
+        // Coarse still should not lose from removal.
+        assert!(coarse.speedup() > 0.97);
+    }
+
+    #[test]
+    fn fine_rt_without_barriers_can_beat_aperiodic_with_barriers() {
+        // Figure 16: "the hard real-time cases, with barriers removed, can
+        // not just match [the aperiodic] performance, but considerably
+        // exceed it" — at high utilization.
+        let r = run(Granularity::Fine, Scale::Quick, 7);
+        let best = r
+            .points
+            .iter()
+            .map(|p| p.without_barrier_ns)
+            .min()
+            .unwrap();
+        assert!(
+            best < r.aperiodic_ns,
+            "best barrier-free RT time {best} should beat the aperiodic {}",
+            r.aperiodic_ns
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Ablation: admission policies — EDF bound, RM bound, hyperperiod
+//! simulation with overhead accounting (§3.2).
+
+use nautix_bench::{ablations, banner, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: admission policy acceptance matrix");
+    let rows = ablations::admission_policy_matrix();
+    println!("constraint_set,edf_bound,rm_bound,hyperperiod_sim");
+    for (label, edf, rm, hp) in &rows {
+        println!("{},{},{},{}", label, edf, rm, hp);
+    }
+    write_csv(
+        &out_dir().join("abl_admission_policy.csv"),
+        &["constraint_set", "edf_bound", "rm_bound", "hyperperiod_sim"],
+        rows.iter()
+            .map(|(l, e, r, h)| vec![l.to_string(), e.to_string(), r.to_string(), h.to_string()]),
+    );
+    println!("wrote {:?}", out_dir().join("abl_admission_policy.csv"));
+}

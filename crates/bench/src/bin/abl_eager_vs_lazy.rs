@@ -1,0 +1,29 @@
+//! Ablation: eager vs. lazy EDF under SMI "missing time" (§3.6).
+
+use nautix_bench::{ablations, banner, f, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: eager vs lazy EDF under SMI injection");
+    let rows = ablations::eager_vs_lazy(31);
+    println!("smi_mean_interval_us,eager_miss_rate,lazy_miss_rate");
+    for (smi, e, l) in &rows {
+        println!(
+            "{},{},{}",
+            smi.map(|x| x.to_string()).unwrap_or_else(|| "none".into()),
+            f(*e),
+            f(*l)
+        );
+    }
+    write_csv(
+        &out_dir().join("abl_eager_vs_lazy.csv"),
+        &["smi_mean_interval_us", "eager_miss_rate", "lazy_miss_rate"],
+        rows.iter().map(|(smi, e, l)| {
+            vec![
+                smi.map(|x| x.to_string()).unwrap_or_else(|| "none".into()),
+                f(*e),
+                f(*l),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("abl_eager_vs_lazy.csv"));
+}

@@ -1,0 +1,36 @@
+//! Ablation: hard vs. soft real-time under overload (§7's contrast with
+//! the authors' earlier soft-RT systems).
+
+use nautix_bench::{ablations, banner, f, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: hard admission vs soft overload (2 x 60% on one CPU)");
+    let (admitted_rate, admitted_count, soft_rates) = ablations::hard_vs_soft_overload(47);
+    println!("config,outcome");
+    println!("hard,{admitted_count} of 2 admitted; admitted thread miss rate {}", f(admitted_rate));
+    println!(
+        "soft,both admitted; miss rates {}",
+        soft_rates.iter().map(|&r| f(r)).collect::<Vec<_>>().join(" / ")
+    );
+    println!(
+        "\nhard real-time converts overload into an up-front admission failure; \
+         soft real-time converts it into misses for everyone."
+    );
+    write_csv(
+        &out_dir().join("abl_hard_vs_soft.csv"),
+        &["config", "admitted", "miss_rates"],
+        vec![
+            vec![
+                "hard".to_string(),
+                admitted_count.to_string(),
+                f(admitted_rate),
+            ],
+            vec![
+                "soft".to_string(),
+                "2".to_string(),
+                soft_rates.iter().map(|&r| f(r)).collect::<Vec<_>>().join(";"),
+            ],
+        ],
+    );
+    println!("wrote {:?}", out_dir().join("abl_hard_vs_soft.csv"));
+}

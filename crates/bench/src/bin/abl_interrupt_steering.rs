@@ -1,0 +1,22 @@
+//! Ablation: interrupt steering and segregation (§3.5).
+
+use nautix_bench::{ablations, banner, f, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: device interrupts steered away from vs onto the RT CPU");
+    let away = ablations::steering_effect(false, 13);
+    let onto = ablations::steering_effect(true, 13);
+    println!("steering,dispatch_interval_jitter_cycles");
+    println!("away_from_rt_cpu,{}", f(away));
+    println!("onto_rt_cpu,{}", f(onto));
+    println!("jitter amplification: {}x", f(onto / away.max(1.0)));
+    write_csv(
+        &out_dir().join("abl_interrupt_steering.csv"),
+        &["steering", "dispatch_interval_jitter_cycles"],
+        vec![
+            vec!["away_from_rt_cpu".to_string(), f(away)],
+            vec!["onto_rt_cpu".to_string(), f(onto)],
+        ],
+    );
+    println!("wrote {:?}", out_dir().join("abl_interrupt_steering.csv"));
+}

@@ -1,0 +1,35 @@
+//! Ablation: phase correction on/off (§4.4).
+
+use nautix_bench::{banner, f, groupsync, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: phase correction's effect on group dispatch spread");
+    let mut rows = Vec::new();
+    println!("n,phase_correction,mean_spread_cycles,std_cycles,max_cycles");
+    for n in [8usize, 16, 32] {
+        for corrected in [false, true] {
+            let s = groupsync::measure(n, 200, corrected, 21);
+            println!(
+                "{},{},{},{},{}",
+                n,
+                corrected,
+                f(s.summary.mean),
+                f(s.summary.std_dev),
+                s.summary.max
+            );
+            rows.push(vec![
+                n.to_string(),
+                corrected.to_string(),
+                f(s.summary.mean),
+                f(s.summary.std_dev),
+                s.summary.max.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        &out_dir().join("abl_phase_correction.csv"),
+        &["n", "phase_correction", "mean_spread", "std", "max"],
+        rows,
+    );
+    println!("wrote {:?}", out_dir().join("abl_phase_correction.csv"));
+}

@@ -1,0 +1,27 @@
+//! Ablation: APIC tick quantization vs TSC-deadline timing (§3.3).
+
+use nautix_bench::{ablations, banner, f, out_dir, write_csv};
+use nautix_hw::TimerMode;
+
+fn main() {
+    banner("Ablation: timer mode vs dispatch precision (50 µs period)");
+    let modes = [
+        ("tsc_deadline", TimerMode::TscDeadline),
+        ("oneshot_26c", TimerMode::OneShot { tick_cycles: 26 }),
+        ("oneshot_260c", TimerMode::OneShot { tick_cycles: 260 }),
+        ("oneshot_2600c", TimerMode::OneShot { tick_cycles: 2600 }),
+    ];
+    let mut rows = Vec::new();
+    println!("mode,mean_abs_period_error_cycles");
+    for (name, mode) in modes {
+        let err = ablations::timer_mode_precision(mode, 13);
+        println!("{},{}", name, f(err));
+        rows.push(vec![name.to_string(), f(err)]);
+    }
+    write_csv(
+        &out_dir().join("abl_timer_mode.csv"),
+        &["mode", "mean_abs_period_error_cycles"],
+        rows,
+    );
+    println!("wrote {:?}", out_dir().join("abl_timer_mode.csv"));
+}

@@ -1,0 +1,18 @@
+//! Ablation: the utilization-limit knob under SMI injection (§3.6).
+
+use nautix_bench::{ablations, banner, f, out_dir, write_csv};
+
+fn main() {
+    banner("Ablation: utilization limit vs SMI sensitivity");
+    let rows = ablations::util_limit_knob(31);
+    println!("util_limit_pct,miss_rate");
+    for (limit, rate) in &rows {
+        println!("{},{}", limit, f(*rate));
+    }
+    write_csv(
+        &out_dir().join("abl_util_limit.csv"),
+        &["util_limit_pct", "miss_rate"],
+        rows.iter().map(|(l, r)| vec![l.to_string(), f(*r)]),
+    );
+    println!("wrote {:?}", out_dir().join("abl_util_limit.csv"));
+}

@@ -1,0 +1,57 @@
+//! Experiment: time-sharing with performance isolation (§1's claim).
+//!
+//! Two 40%-utilization gangs share the same CPUs. Under hard real-time
+//! scheduling, gang A's execution time is unchanged by gang B's presence;
+//! under best-effort scheduling, co-running reshapes both.
+
+use nautix_bench::{banner, f, isolation, out_dir, write_csv};
+
+fn main() {
+    banner("Experiment: performance isolation under time-sharing");
+    let workers = 8;
+    let iters = 60;
+    let rt = isolation::measure(true, workers, iters, 131);
+    let be = isolation::measure(false, workers, iters, 131);
+    println!("scheduling,alone_ns,shared_ns,interference,misses");
+    println!(
+        "hard_rt,{},{},{},{}",
+        rt.alone_ns,
+        rt.shared_ns,
+        f(rt.interference),
+        rt.misses
+    );
+    println!(
+        "best_effort,{},{},{},{}",
+        be.alone_ns,
+        be.shared_ns,
+        f(be.interference),
+        be.misses
+    );
+    println!(
+        "\na 40% hard real-time gang is slowed {}x by a co-resident 40% gang; \
+         the best-effort version is slowed {}x",
+        f(rt.interference),
+        f(be.interference)
+    );
+    write_csv(
+        &out_dir().join("exp_isolation.csv"),
+        &["scheduling", "alone_ns", "shared_ns", "interference", "misses"],
+        vec![
+            vec![
+                "hard_rt".to_string(),
+                rt.alone_ns.to_string(),
+                rt.shared_ns.to_string(),
+                f(rt.interference),
+                rt.misses.to_string(),
+            ],
+            vec![
+                "best_effort".to_string(),
+                be.alone_ns.to_string(),
+                be.shared_ns.to_string(),
+                f(be.interference),
+                be.misses.to_string(),
+            ],
+        ],
+    );
+    println!("wrote {:?}", out_dir().join("exp_isolation.csv"));
+}

@@ -1,0 +1,22 @@
+//! Figure 3: cross-CPU cycle counter synchronization histogram.
+
+use nautix_bench::{banner, fig03, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 3: TSC synchronization across CPUs (Phi)");
+    let r = fig03::run(scale, 42);
+    println!("CPUs calibrated: {}", r.cpus);
+    println!("residual: {}", r.summary);
+    println!("CPUs beyond 1000 cycles: {}", r.over_1000);
+    println!("offset_cycles,count");
+    for b in r.bins.iter().filter(|b| b.count > 0) {
+        println!("{},{}", b.edge, b.count);
+    }
+    write_csv(
+        &out_dir().join("fig03_timesync.csv"),
+        &["offset_cycles", "count"],
+        r.bins.iter().map(|b| vec![b.edge, b.count]),
+    );
+    println!("wrote {:?}", out_dir().join("fig03_timesync.csv"));
+}

@@ -1,0 +1,52 @@
+//! Figure 4: scope-style external verification of a periodic thread.
+
+use nautix_bench::{banner, f, fig04, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 4: external scope traces (τ=100µs σ=50µs, Phi)");
+    let r = fig04::run(scale, 3);
+    let row = |name: &str, a: &nautix_hw::scope::PinAnalysis| {
+        println!(
+            "{name}: pulses={} width_mean={} width_std={} period_mean={} period_std={} duty={}",
+            a.pulses,
+            f(a.high_widths.mean),
+            f(a.high_widths.std_dev),
+            f(a.periods.mean),
+            f(a.periods.std_dev),
+            f(a.duty_cycle)
+        );
+    };
+    row("thread   ", &r.thread);
+    row("scheduler", &r.scheduler);
+    row("interrupt", &r.interrupt);
+    println!(
+        "thread trace sharpness: period jitter {} of period ({} cycles nominal)",
+        f(r.thread.periods.std_dev / r.period_cycles as f64),
+        r.period_cycles
+    );
+    write_csv(
+        &out_dir().join("fig04_scope.csv"),
+        &[
+            "trace", "pulses", "width_mean", "width_std", "period_mean", "period_std", "duty",
+        ],
+        [
+            ("thread", &r.thread),
+            ("scheduler", &r.scheduler),
+            ("interrupt", &r.interrupt),
+        ]
+        .iter()
+        .map(|(n, a)| {
+            vec![
+                n.to_string(),
+                a.pulses.to_string(),
+                f(a.high_widths.mean),
+                f(a.high_widths.std_dev),
+                f(a.periods.mean),
+                f(a.periods.std_dev),
+                f(a.duty_cycle),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig04_scope.csv"));
+}

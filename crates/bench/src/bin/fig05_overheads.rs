@@ -1,0 +1,41 @@
+//! Figure 5: local scheduler overhead breakdown on Phi and R415.
+
+use nautix_bench::{banner, f, fig05, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 5: scheduler overhead breakdown (cycles)");
+    let r = fig05::run(scale, 17);
+    let mut rows = Vec::new();
+    for p in [&r.phi, &r.r415] {
+        println!("-- {:?} ({} samples), total mean {}", p.platform, p.samples, f(p.mean_total()));
+        for (name, s) in [
+            ("IRQ", &p.breakdown.irq),
+            ("Other", &p.breakdown.other),
+            ("Resched", &p.breakdown.resched),
+            ("Switch", &p.breakdown.switch),
+        ] {
+            println!(
+                "  {name:8} mean={} std={} min={} max={}",
+                f(s.mean),
+                f(s.std_dev),
+                s.min,
+                s.max
+            );
+            rows.push(vec![
+                format!("{:?}", p.platform),
+                name.to_string(),
+                f(s.mean),
+                f(s.std_dev),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        &out_dir().join("fig05_overheads.csv"),
+        &["platform", "component", "mean", "std", "min", "max"],
+        rows,
+    );
+    println!("wrote {:?}", out_dir().join("fig05_overheads.csv"));
+}

@@ -1,0 +1,27 @@
+//! Figure 6: local scheduler deadline miss rate on the Phi.
+
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_hw::Platform;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 6: miss rate vs period/slice (Phi)");
+    let pts = missrate::sweep(Platform::Phi, scale, 5);
+    println!("period_us,slice_pct,miss_rate,jobs");
+    for p in &pts {
+        println!("{},{},{},{}", p.period_us, p.slice_pct, f(p.miss_rate), p.jobs);
+    }
+    write_csv(
+        &out_dir().join("fig06_missrate_phi.csv"),
+        &["period_us", "slice_pct", "miss_rate", "jobs"],
+        pts.iter().map(|p| {
+            vec![
+                p.period_us.to_string(),
+                p.slice_pct.to_string(),
+                f(p.miss_rate),
+                p.jobs.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig06_missrate_phi.csv"));
+}

@@ -1,0 +1,27 @@
+//! Figure 7: local scheduler deadline miss rate on the R415.
+
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_hw::Platform;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 7: miss rate vs period/slice (R415)");
+    let pts = missrate::sweep(Platform::R415, scale, 5);
+    println!("period_us,slice_pct,miss_rate,jobs");
+    for p in &pts {
+        println!("{},{},{},{}", p.period_us, p.slice_pct, f(p.miss_rate), p.jobs);
+    }
+    write_csv(
+        &out_dir().join("fig07_missrate_r415.csv"),
+        &["period_us", "slice_pct", "miss_rate", "jobs"],
+        pts.iter().map(|p| {
+            vec![
+                p.period_us.to_string(),
+                p.slice_pct.to_string(),
+                f(p.miss_rate),
+                p.jobs.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig07_missrate_r415.csv"));
+}

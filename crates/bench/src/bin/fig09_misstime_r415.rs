@@ -1,0 +1,33 @@
+//! Figure 9: average and deviation of deadline miss times on the R415.
+
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_hw::Platform;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 9: miss times vs period/slice (R415, µs)");
+    let pts = missrate::sweep(Platform::R415, scale, 5);
+    println!("period_us,slice_pct,miss_mean_us,miss_std_us");
+    for p in &pts {
+        println!(
+            "{},{},{},{}",
+            p.period_us,
+            p.slice_pct,
+            f(p.miss_mean_ns / 1000.0),
+            f(p.miss_std_ns / 1000.0)
+        );
+    }
+    write_csv(
+        &out_dir().join("fig09_misstime_r415.csv"),
+        &["period_us", "slice_pct", "miss_mean_us", "miss_std_us"],
+        pts.iter().map(|p| {
+            vec![
+                p.period_us.to_string(),
+                p.slice_pct.to_string(),
+                f(p.miss_mean_ns / 1000.0),
+                f(p.miss_std_ns / 1000.0),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig09_misstime_r415.csv"));
+}

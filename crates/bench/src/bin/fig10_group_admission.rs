@@ -1,0 +1,43 @@
+//! Figure 10: group admission control costs vs. group size.
+
+use nautix_bench::{banner, f, fig10, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 10: group admission cost breakdown (cycles)");
+    let results = fig10::run(scale, 9);
+    let mut rows = Vec::new();
+    println!("n,step,min,avg,max");
+    for r in &results {
+        for (step, s) in [
+            ("join", &r.join),
+            ("election", &r.election),
+            ("admission", &r.admission),
+            ("local_admission", &r.local),
+            ("barrier_phase", &r.barrier_phase),
+            ("total", &r.total),
+        ] {
+            println!("{},{},{},{},{}", r.n, step, s.min, f(s.mean), s.max);
+            rows.push(vec![
+                r.n.to_string(),
+                step.to_string(),
+                s.min.to_string(),
+                f(s.mean),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    if let Some(last) = results.last() {
+        println!(
+            "at n={}: total mean {:.2}M cycles (paper: ~8M at 255)",
+            last.n,
+            last.total.mean / 1e6
+        );
+    }
+    write_csv(
+        &out_dir().join("fig10_group_admission.csv"),
+        &["n", "step", "min_cycles", "avg_cycles", "max_cycles"],
+        rows,
+    );
+    println!("wrote {:?}", out_dir().join("fig10_group_admission.csv"));
+}

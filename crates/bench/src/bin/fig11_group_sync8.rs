@@ -1,0 +1,25 @@
+//! Figure 11: cross-CPU scheduler synchronization, 8-thread group.
+
+use nautix_bench::{banner, f, groupsync, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 11: 8-thread group dispatch spread (cycles, phase correction off)");
+    let s = groupsync::fig11(scale, 21);
+    println!("invocations: {}", s.spreads.len());
+    println!("spread: {}", s.summary);
+    write_csv(
+        &out_dir().join("fig11_group_sync8.csv"),
+        &["invocation", "spread_cycles"],
+        s.spreads
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![i as u64, v]),
+    );
+    println!(
+        "paper: differences within a few 1000s of cycles; measured mean {} max {}",
+        f(s.summary.mean),
+        s.summary.max
+    );
+    println!("wrote {:?}", out_dir().join("fig11_group_sync8.csv"));
+}

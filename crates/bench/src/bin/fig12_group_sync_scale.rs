@@ -1,0 +1,29 @@
+//! Figure 12: cross-CPU scheduler synchronization at several group sizes.
+
+use nautix_bench::{banner, f, groupsync, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 12: group dispatch spread by size (cycles, phase correction off)");
+    let series = groupsync::fig12(scale, 21);
+    let mut rows = Vec::new();
+    for s in &series {
+        println!(
+            "n={:3}: mean={} std={} min={} max={} (bias correctable; variation is not)",
+            s.n,
+            f(s.summary.mean),
+            f(s.summary.std_dev),
+            s.summary.min,
+            s.summary.max
+        );
+        for (i, &v) in s.spreads.iter().enumerate() {
+            rows.push(vec![s.n as u64, i as u64, v]);
+        }
+    }
+    write_csv(
+        &out_dir().join("fig12_group_sync_scale.csv"),
+        &["n", "invocation", "spread_cycles"],
+        rows,
+    );
+    println!("wrote {:?}", out_dir().join("fig12_group_sync_scale.csv"));
+}

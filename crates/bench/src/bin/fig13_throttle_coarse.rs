@@ -1,0 +1,41 @@
+//! Figure 13: resource control with commensurate performance (coarse).
+
+use nautix_bench::throttle::{self, Granularity};
+use nautix_bench::{banner, f, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 13: throttling, coarse granularity (255/63-CPU BSP gang)");
+    let pts = throttle::run(Granularity::Coarse, scale, 3);
+    let (mean, cv) = throttle::control_quality(&pts);
+    println!("period_ns,slice_ns,utilization,time_ns,admitted");
+    for p in &pts {
+        println!(
+            "{},{},{},{},{}",
+            p.period_ns,
+            p.slice_ns,
+            f(p.utilization),
+            p.time_ns,
+            p.admitted
+        );
+    }
+    println!(
+        "control quality: time x utilization = {} ns (cv {}); a small cv means clean throttling",
+        f(mean),
+        f(cv)
+    );
+    write_csv(
+        &out_dir().join("fig13_throttle_coarse.csv"),
+        &["period_ns", "slice_ns", "utilization", "time_ns", "admitted"],
+        pts.iter().map(|p| {
+            vec![
+                p.period_ns.to_string(),
+                p.slice_ns.to_string(),
+                f(p.utilization),
+                p.time_ns.to_string(),
+                p.admitted.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig13_throttle_coarse.csv"));
+}

@@ -1,0 +1,41 @@
+//! Figure 14: resource control with commensurate performance (fine).
+
+use nautix_bench::throttle::{self, Granularity};
+use nautix_bench::{banner, f, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 14: throttling, finest granularity (more variation expected)");
+    let pts = throttle::run(Granularity::Fine, scale, 3);
+    let (mean, cv) = throttle::control_quality(&pts);
+    println!("period_ns,slice_ns,utilization,time_ns,admitted");
+    for p in &pts {
+        println!(
+            "{},{},{},{},{}",
+            p.period_ns,
+            p.slice_ns,
+            f(p.utilization),
+            p.time_ns,
+            p.admitted
+        );
+    }
+    println!(
+        "control quality: time x utilization = {} ns (cv {}); fine granularity varies more",
+        f(mean),
+        f(cv)
+    );
+    write_csv(
+        &out_dir().join("fig14_throttle_fine.csv"),
+        &["period_ns", "slice_ns", "utilization", "time_ns", "admitted"],
+        pts.iter().map(|p| {
+            vec![
+                p.period_ns.to_string(),
+                p.slice_ns.to_string(),
+                f(p.utilization),
+                p.time_ns.to_string(),
+                p.admitted.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig14_throttle_fine.csv"));
+}

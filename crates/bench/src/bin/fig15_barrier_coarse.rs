@@ -1,0 +1,48 @@
+//! Figure 15: benefit of barrier removal, coarse granularity.
+
+use nautix_bench::barrier_removal;
+use nautix_bench::throttle::Granularity;
+use nautix_bench::{banner, f, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 15: barrier removal, coarsest granularity");
+    let r = barrier_removal::run(Granularity::Coarse, scale, 7);
+    println!("period_ns,slice_ns,with_barrier_ns,without_barrier_ns,speedup,violations");
+    for p in &r.points {
+        println!(
+            "{},{},{},{},{},{}",
+            p.period_ns,
+            p.slice_ns,
+            p.with_barrier_ns,
+            p.without_barrier_ns,
+            f(p.speedup()),
+            p.violations
+        );
+    }
+    println!("aperiodic (non-RT, with barriers) reference: {} ns", r.aperiodic_ns);
+    let wins = r.points.iter().filter(|p| p.speedup() > 1.0).count();
+    println!("{} of {} points run faster without the barrier", wins, r.points.len());
+    write_csv(
+        &out_dir().join("fig15_barrier_coarse.csv"),
+        &[
+            "period_ns",
+            "slice_ns",
+            "with_barrier_ns",
+            "without_barrier_ns",
+            "speedup",
+            "violations",
+        ],
+        r.points.iter().map(|p| {
+            vec![
+                p.period_ns.to_string(),
+                p.slice_ns.to_string(),
+                p.with_barrier_ns.to_string(),
+                p.without_barrier_ns.to_string(),
+                f(p.speedup()),
+                p.violations.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig15_barrier_coarse.csv"));
+}

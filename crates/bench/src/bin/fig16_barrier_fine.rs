@@ -1,0 +1,62 @@
+//! Figure 16: benefit of barrier removal, finest granularity.
+
+use nautix_bench::barrier_removal;
+use nautix_bench::throttle::Granularity;
+use nautix_bench::{banner, f, out_dir, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 16: barrier removal, finest granularity");
+    let r = barrier_removal::run(Granularity::Fine, scale, 7);
+    println!("period_ns,slice_ns,with_barrier_ns,without_barrier_ns,speedup,violations");
+    for p in &r.points {
+        println!(
+            "{},{},{},{},{},{}",
+            p.period_ns,
+            p.slice_ns,
+            p.with_barrier_ns,
+            p.without_barrier_ns,
+            f(p.speedup()),
+            p.violations
+        );
+    }
+    println!("aperiodic (non-RT, with barriers) reference: {} ns", r.aperiodic_ns);
+    let best = r
+        .points
+        .iter()
+        .map(|p| p.speedup())
+        .fold(0.0f64, f64::max);
+    let beats_aperiodic = r
+        .points
+        .iter()
+        .filter(|p| p.without_barrier_ns < r.aperiodic_ns)
+        .count();
+    println!(
+        "best speedup {}x; {} of {} barrier-free points beat the 100%-utilization aperiodic run",
+        f(best),
+        beats_aperiodic,
+        r.points.len()
+    );
+    write_csv(
+        &out_dir().join("fig16_barrier_fine.csv"),
+        &[
+            "period_ns",
+            "slice_ns",
+            "with_barrier_ns",
+            "without_barrier_ns",
+            "speedup",
+            "violations",
+        ],
+        r.points.iter().map(|p| {
+            vec![
+                p.period_ns.to_string(),
+                p.slice_ns.to_string(),
+                p.with_barrier_ns.to_string(),
+                p.without_barrier_ns.to_string(),
+                f(p.speedup()),
+                p.violations.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("fig16_barrier_fine.csv"));
+}

@@ -1,0 +1,65 @@
+//! Figure 3: cross-CPU cycle counter synchronization on the Phi.
+//!
+//! "We keep cycle counters within 1000 cycles across 256 CPUs." The figure
+//! is a histogram of each CPU's post-calibration offset from CPU 0.
+
+use crate::common::Scale;
+use nautix_des::Summary;
+use nautix_hw::{Machine, MachineConfig};
+use nautix_rt::timesync;
+
+/// One histogram bin.
+#[derive(Debug, Clone, Copy)]
+pub struct Bin {
+    /// Lower edge, cycles.
+    pub edge: u64,
+    /// CPUs in the bin.
+    pub count: u64,
+}
+
+/// The experiment's output.
+#[derive(Debug, Clone)]
+pub struct Fig03 {
+    /// CPUs calibrated (excluding the CPU 0 reference).
+    pub cpus: usize,
+    /// Histogram of residual offsets (50-cycle bins over 0..2000).
+    pub bins: Vec<Bin>,
+    /// Residual summary.
+    pub summary: Summary,
+    /// CPUs beyond the 1000-cycle envelope the paper reports.
+    pub over_1000: u64,
+}
+
+/// Run the calibration experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig03 {
+    let cpus = match scale {
+        Scale::Quick => 64,
+        Scale::Paper => 256,
+    };
+    let mut m = Machine::new(MachineConfig::phi().with_cpus(cpus).with_seed(seed));
+    let sync = timesync::calibrate(&mut m, 16);
+    let h = sync.residual_histogram(50, 40);
+    let bins = h.iter().map(|(edge, count)| Bin { edge, count }).collect();
+    let over_1000 = sync.residual[1..].iter().filter(|&&r| r > 1000).count() as u64;
+    Fig03 {
+        cpus: cpus - 1,
+        bins,
+        summary: sync.residual_summary(),
+        over_1000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_match_the_papers_envelope() {
+        let r = run(Scale::Paper, 42);
+        assert_eq!(r.cpus, 255);
+        assert_eq!(r.over_1000, 0, "paper: within 1000 cycles across 256 CPUs");
+        assert!(r.summary.mean > 0.0 && r.summary.mean < 800.0);
+        let total: u64 = r.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 255);
+    }
+}

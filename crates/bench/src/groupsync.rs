@@ -1,0 +1,165 @@
+//! Figures 11 and 12: cross-CPU scheduler synchronization in a group.
+//!
+//! Once a group is admitted, the local schedulers coordinate only through
+//! wall-clock time. Each context switch *to* a group member is
+//! timestamped on its own CPU; the figure plots, per invocation index, the
+//! maximum difference across members. Phase correction is **disabled**
+//! here, exactly as in the paper, so the plot shows the barrier
+//! release-order bias (growing with group size) plus the uncorrectable
+//! variation (largely independent of group size, ~4000 cycles on the Phi).
+
+use crate::common::Scale;
+use nautix_des::Summary;
+use nautix_hw::MachineConfig;
+use nautix_kernel::{Action, Constraints, FnProgram, GroupId, SysCall};
+use nautix_rt::{dispatch_spreads, DispatchLog, Node, NodeConfig};
+
+/// Spread series for one group size.
+#[derive(Debug, Clone)]
+pub struct SyncSeries {
+    /// Group size.
+    pub n: usize,
+    /// Per-invocation-index max cross-CPU difference, cycles.
+    pub spreads: Vec<u64>,
+    /// Summary over the series.
+    pub summary: Summary,
+}
+
+/// Run one group-sync measurement.
+pub fn measure(n: usize, invocations: usize, phase_correction: bool, seed: u64) -> SyncSeries {
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi().with_cpus(n + 1).with_seed(seed);
+    cfg.dispatch_log_cap = invocations + 64;
+    cfg.record_ga_timing = true;
+    cfg.phase_correction = phase_correction;
+    let mut node = Node::new(cfg);
+    let gid = GroupId(0);
+    let period: u64 = 100_000; // 100 µs
+    let slice: u64 = 50_000;
+    let mut tids = Vec::new();
+    for i in 0..n {
+        let prog = FnProgram::new(move |_cx, step| {
+            let k = if i == 0 { step } else { step + 1 };
+            match k {
+                0 => Action::Call(SysCall::GroupCreate { name: "sync" }),
+                1 => Action::Call(SysCall::GroupJoin(gid)),
+                2 => Action::Call(SysCall::SleepNs(3_000_000)),
+                3 => Action::Call(SysCall::GroupChangeConstraints {
+                    group: gid,
+                    constraints: Constraints::Periodic {
+                        phase: 1_000_000,
+                        period,
+                        slice,
+                    },
+                }),
+                // Compute forever: every period produces one dispatch.
+                _ => Action::Compute(1_000_000),
+            }
+        });
+        tids.push(
+            node.spawn_on(i + 1, &format!("s{i}"), Box::new(prog))
+                .unwrap(),
+        );
+    }
+    // Horizon: settle + admission + the requested invocations.
+    let horizon_ns = 10_000_000 + (invocations as u64 + 8) * period;
+    node.run_for_ns(horizon_ns);
+    let t_admitted = node
+        .ga_timings()
+        .iter()
+        .map(|t| t.t_done)
+        .max()
+        .expect("admission must complete");
+    // Align logs at the first gang-scheduled dispatch.
+    let freq = node.freq();
+    let mut logs = Vec::new();
+    for &t in &tids {
+        let full = node.thread_state(t).dispatch_log.times();
+        let mut l = DispatchLog::with_capacity(invocations + 64);
+        for &x in full.iter().filter(|&&x| x > t_admitted + period) {
+            l.record(x);
+        }
+        logs.push(l);
+    }
+    let refs: Vec<&DispatchLog> = logs.iter().collect();
+    let spreads_ns = dispatch_spreads(&refs);
+    let spreads: Vec<u64> = spreads_ns
+        .iter()
+        .take(invocations)
+        .map(|&ns| freq.ns_to_cycles(ns))
+        .collect();
+    SyncSeries {
+        n,
+        summary: Summary::of(&spreads),
+        spreads,
+    }
+}
+
+/// Figure 11: an 8-thread group followed over many invocations.
+pub fn fig11(scale: Scale, seed: u64) -> SyncSeries {
+    let inv = match scale {
+        Scale::Quick => 1000,
+        Scale::Paper => 10_000,
+    };
+    measure(8, inv, false, seed)
+}
+
+/// Figure 12: spread series at several group sizes.
+pub fn fig12(scale: Scale, seed: u64) -> Vec<SyncSeries> {
+    let (sizes, inv): (Vec<usize>, usize) = match scale {
+        Scale::Quick => (vec![8, 32, 63], 300),
+        Scale::Paper => (vec![8, 64, 128, 255], 1000),
+    };
+    sizes.into_iter().map(|n| measure(n, inv, false, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_thread_group_stays_within_a_few_thousand_cycles() {
+        let s = measure(8, 300, false, 21);
+        assert!(s.spreads.len() >= 200, "got {} spreads", s.spreads.len());
+        // Figure 11: "context switch events on the local schedulers happen
+        // within a few 1000s of cycles"; the band sits below ~8000.
+        assert!(
+            s.summary.max < 10_000,
+            "spread max {} cycles too wide",
+            s.summary.max
+        );
+        assert!(s.summary.mean > 0.0);
+    }
+
+    #[test]
+    fn variation_is_independent_of_group_size_but_bias_grows() {
+        let small = measure(8, 200, false, 21);
+        let big = measure(48, 200, false, 21);
+        // Mean (bias) grows with n without phase correction...
+        assert!(
+            big.summary.mean > small.summary.mean,
+            "bias should grow with group size ({} vs {})",
+            big.summary.mean,
+            small.summary.mean
+        );
+        // ...but the variation does not grow proportionally (paper:
+        // "largely independent of the number of threads").
+        let ratio = big.summary.std_dev / small.summary.std_dev.max(1.0);
+        assert!(
+            ratio < 6.0,
+            "variation grew too much with group size (x{ratio})"
+        );
+    }
+
+    #[test]
+    fn phase_correction_removes_the_bias() {
+        let raw = measure(16, 200, false, 21);
+        let corrected = measure(16, 200, true, 21);
+        assert!(
+            corrected.summary.mean < raw.summary.mean,
+            "phase correction must shrink the spread ({} vs {})",
+            corrected.summary.mean,
+            raw.summary.mean
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure-by-figure reproduction harnesses for the HPDC'18 evaluation.
+//!
+//! Every figure in §5–§6 has a module here exposing its experiment as a
+//! library function (so tests and Criterion benches can run it at reduced
+//! scale) and a binary in `src/bin/` that prints the series and writes a
+//! CSV under `results/` (override with `NAUTIX_RESULTS`). Pass `--paper`
+//! to a binary for the paper-scale configuration; the default is a quick
+//! configuration that finishes in seconds.
+//!
+//! | Figure | Module | Binary |
+//! |--------|--------|--------|
+//! | 3 | [`fig03`] | `fig03_timesync` |
+//! | 4 | [`fig04`] | `fig04_scope` |
+//! | 5 | [`fig05`] | `fig05_overheads` |
+//! | 6, 8 | [`missrate`] | `fig06_missrate_phi`, `fig08_misstime_phi` |
+//! | 7, 9 | [`missrate`] | `fig07_missrate_r415`, `fig09_misstime_r415` |
+//! | 10 | [`fig10`] | `fig10_group_admission` |
+//! | 11, 12 | [`groupsync`] | `fig11_group_sync8`, `fig12_group_sync_scale` |
+//! | 13, 14 | [`throttle`] | `fig13_throttle_coarse`, `fig14_throttle_fine` |
+//! | 15, 16 | [`barrier_removal`] | `fig15_barrier_coarse`, `fig16_barrier_fine` |
+//! | ablations | [`ablations`] | `abl_*` |
+//! | isolation (§1 claim) | [`isolation`] | `exp_isolation` |
+//!
+//! `repro_all` runs everything in sequence.
+
+pub mod ablations;
+pub mod barrier_removal;
+pub mod common;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig10;
+pub mod groupsync;
+pub mod isolation;
+pub mod missrate;
+pub mod throttle;
+
+pub use common::{banner, f, out_dir, write_csv, Scale};

@@ -1,0 +1,24 @@
+//! The bulk-synchronous parallel (BSP) microbenchmark of §6.
+//!
+//! "We developed a bulk-synchronous parallel microbenchmark for shared
+//! memory that allows fine grain control over computation, communication,
+//! and synchronization. The benchmark emulates iterative computation on a
+//! discrete domain, modeled as a vector of doubles."
+//!
+//! Parameters (§6.1): `P` CPUs (one thread each), `NE` elements local to
+//! each CPU, `NC` computations per element per iteration, `NW` remote
+//! writes per iteration (ring pattern: CPU *i* writes into CPU
+//! *(i+1) mod P*'s elements), and `N` iterations. The barrier at the end
+//! of each iteration is *optional*: under gang-scheduled hard real-time
+//! constraints the lock-step execution can replace it (§6.4).
+//!
+//! Beyond timing, the benchmark *checks* the synchronization it relies on:
+//! every remote write carries its iteration number, and every reader
+//! verifies its halo data is neither stale (writer behind) nor overwritten
+//! early (writer ahead). With barriers, violations are zero by
+//! construction; without barriers they measure how well the schedule's
+//! lock-step substitutes for synchronization.
+
+pub mod workload;
+
+pub use workload::{collect_bsp, run_bsp, spawn_bsp, BspHandles, BspMode, BspParams, BspResult};

@@ -1,0 +1,70 @@
+//! BSP integration: co-resident instances, disjoint CPU placement, and
+//! granularity scaling.
+
+use nautix_bsp::{collect_bsp, run_bsp, spawn_bsp, BspMode, BspParams};
+use nautix_hw::MachineConfig;
+use nautix_rt::{Node, NodeConfig, SchedConfig};
+
+fn cfg(cpus: usize, seed: u64) -> NodeConfig {
+    let mut c = NodeConfig::phi();
+    c.machine = MachineConfig::phi().with_cpus(cpus).with_seed(seed);
+    c.sched = SchedConfig::throughput();
+    c
+}
+
+#[test]
+fn two_instances_on_disjoint_cpu_ranges() {
+    // Gang A on CPUs 1..=4, gang B on CPUs 5..=8: both run concurrently
+    // and correctly, each with its own group and halo state.
+    let mut node = Node::new(cfg(9, 21));
+    let p = BspParams::fine(4, 25).with_mode(BspMode::RtGroup {
+        period: 1_000_000,
+        slice: 700_000,
+    });
+    let a = spawn_bsp(&mut node, p, 1);
+    let b = spawn_bsp(&mut node, p, 5);
+    node.run_until_quiescent();
+    let ra = collect_bsp(&node, &a);
+    let rb = collect_bsp(&node, &b);
+    assert!(ra.admitted && rb.admitted);
+    assert_eq!(ra.violations(), 0);
+    assert_eq!(rb.violations(), 0);
+    assert!(ra.max_ns > 0 && rb.max_ns > 0);
+    // Disjoint CPUs at identical constraints: near-identical times.
+    let ratio = ra.max_ns as f64 / rb.max_ns as f64;
+    assert!((0.9..1.1).contains(&ratio), "disjoint gangs should match ({ratio})");
+}
+
+#[test]
+fn more_iterations_take_proportionally_longer() {
+    let base = BspParams::fine(4, 20);
+    let short = run_bsp(cfg(5, 22), base);
+    let long = run_bsp(cfg(5, 22), BspParams::fine(4, 60));
+    let ratio = long.max_ns as f64 / short.max_ns as f64;
+    assert!(
+        (2.3..3.8).contains(&ratio),
+        "3x the iterations should take ~3x the time ({ratio})"
+    );
+}
+
+#[test]
+fn coarse_iterations_dwarf_fine_ones() {
+    let fine = run_bsp(cfg(5, 23), BspParams::fine(4, 10));
+    let coarse = run_bsp(cfg(5, 23), BspParams::coarse(4, 10));
+    assert!(
+        coarse.max_ns > 10 * fine.max_ns,
+        "coarse grain ({}) must dominate fine ({})",
+        coarse.max_ns,
+        fine.max_ns
+    );
+}
+
+#[test]
+fn spawn_bsp_rejects_out_of_range_placement() {
+    let mut node = Node::new(cfg(4, 24));
+    let p = BspParams::fine(4, 5);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        spawn_bsp(&mut node, p, 1) // needs CPUs 1..=4, machine has 0..=3
+    }));
+    assert!(result.is_err(), "placement beyond the machine must panic");
+}

@@ -1,0 +1,557 @@
+//! Admission control (§3.2).
+//!
+//! "Periodic and sporadic threads are admitted based on the classic single
+//! CPU schemes for rate monotonic (RM) and earliest deadline first (EDF)
+//! models. ... At boot time each local scheduler is configured with a
+//! utilization limit as well as reservations for sporadic and aperiodic
+//! threads, all expressed as percentages."
+//!
+//! Three policies are provided:
+//!
+//! * [`AdmissionPolicy::EdfBound`] — the Liu & Layland EDF test
+//!   (ΣUᵢ ≤ limit − reservations); the default, matching the paper's
+//!   default configuration (99% limit, 10% sporadic, 10% aperiodic).
+//! * [`AdmissionPolicy::RmBound`] — the RM bound n(2^{1/n} − 1).
+//! * [`AdmissionPolicy::HyperperiodSim`] — the paper's prototype that
+//!   "did admission for a periodic thread-only model by simulating the
+//!   local scheduler for a hyperperiod", here with per-job scheduler
+//!   overhead included, so it catches constraint sets whose utilization
+//!   passes the closed-form test but whose granularity cannot absorb the
+//!   per-interrupt overhead.
+//!
+//! Admission runs in the context of the requesting thread (its cost is
+//! charged to the caller by the node), so "the cost of admission control
+//! need not be separately accounted for in its effects on the already
+//! admitted threads."
+
+use nautix_des::Nanos;
+use nautix_kernel::{AdmissionError, Constraints};
+
+/// Parts-per-million fixed point for utilizations.
+pub const PPM: u64 = 1_000_000;
+
+/// Which feasibility test admits real-time threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// EDF utilization bound.
+    EdfBound,
+    /// Rate-monotonic bound n(2^{1/n} − 1).
+    RmBound,
+    /// Event-driven EDF simulation over (a bounded prefix of) the
+    /// hyperperiod, charging `overhead_ns` per job.
+    HyperperiodSim {
+        /// Modeled scheduler overhead charged per job (two interrupts).
+        overhead_ns: Nanos,
+        /// Simulation window cap; hyperperiods beyond this are truncated.
+        window_cap_ns: Nanos,
+    },
+}
+
+/// Eager vs. lazy dispatch (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Work-conserving: "we never delay switching to a thread", so SMI
+    /// missing time lands in slack instead of past the deadline.
+    Eager,
+    /// Classic non-work-conserving EDF that delays a newly arrived job
+    /// until its latest feasible start. Ideal on SMI-free hardware;
+    /// catastrophic with missing time. Kept for the ablation.
+    Lazy,
+}
+
+/// Boot-time local-scheduler configuration (§3.2, §5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Total admissible utilization, ppm. Default 99%: the remainder
+    /// absorbs scheduler invocations and SMIs (the "knob" of §3.6).
+    pub util_limit_ppm: u64,
+    /// Reservation for spontaneously arriving sporadic threads, ppm.
+    pub sporadic_reserve_ppm: u64,
+    /// Reservation for aperiodic threads and admission processing, ppm.
+    pub aperiodic_reserve_ppm: u64,
+    /// Round-robin quantum for aperiodic threads. The evaluation uses a
+    /// 10 Hz timer: 100 ms.
+    pub aperiodic_quantum_ns: Nanos,
+    /// Granularity bound on periods and slices (§3.3 limits the possible
+    /// scheduler invocation rate).
+    pub granularity_ns: Nanos,
+    /// Minimum admissible period.
+    pub min_period_ns: Nanos,
+    /// Minimum admissible slice.
+    pub min_slice_ns: Nanos,
+    /// Feasibility test.
+    pub policy: AdmissionPolicy,
+    /// Eager or lazy dispatch.
+    pub mode: SchedMode,
+    /// Lazy mode only: safety margin subtracted from a job's latest
+    /// feasible start so the *known* kernel-path overheads don't push it
+    /// past its deadline. (What lazy mode cannot budget for is precisely
+    /// the unknown missing time of SMIs — the paper's point.)
+    pub lazy_margin_ns: Nanos,
+    /// When false, real-time requests bypass the feasibility test (used by
+    /// Figures 6–9 to map the infeasible region). Structural validation
+    /// still applies.
+    pub admission_enabled: bool,
+    /// Enable the idle-thread work stealer (§3.4).
+    pub work_stealing: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            util_limit_ppm: 990_000,
+            sporadic_reserve_ppm: 100_000,
+            aperiodic_reserve_ppm: 100_000,
+            aperiodic_quantum_ns: 100_000_000,
+            granularity_ns: 100,
+            min_period_ns: 1_000,
+            min_slice_ns: 500,
+            policy: AdmissionPolicy::EdfBound,
+            mode: SchedMode::Eager,
+            lazy_margin_ns: 15_000,
+            admission_enabled: true,
+            work_stealing: true,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// A throughput-study configuration: the full 99% limit is available
+    /// to periodic threads (no sporadic/aperiodic reservations). The BSP
+    /// evaluation of §6 sweeps slice/period up to ~90%, which requires
+    /// this shape; the default reservations would cap periodic admission
+    /// at 79%.
+    pub fn throughput() -> Self {
+        SchedConfig {
+            sporadic_reserve_ppm: 0,
+            aperiodic_reserve_ppm: 0,
+            ..SchedConfig::default()
+        }
+    }
+
+    /// Utilization available to periodic threads, ppm.
+    pub fn periodic_budget_ppm(&self) -> u64 {
+        self.util_limit_ppm
+            .saturating_sub(self.sporadic_reserve_ppm)
+            .saturating_sub(self.aperiodic_reserve_ppm)
+    }
+}
+
+/// The per-CPU admitted-load ledger.
+#[derive(Debug, Clone, Default)]
+pub struct CpuLoad {
+    /// Admitted periodic threads' `(period, slice)` in ns.
+    periodic: Vec<(Nanos, Nanos)>,
+    /// Active sporadic utilization, ppm.
+    sporadic_ppm: u64,
+}
+
+impl CpuLoad {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total admitted periodic utilization, ppm.
+    pub fn periodic_util_ppm(&self) -> u64 {
+        self.periodic
+            .iter()
+            .map(|&(p, s)| (s as u128 * PPM as u128 / p as u128) as u64)
+            .sum()
+    }
+
+    /// Active sporadic utilization, ppm.
+    pub fn sporadic_util_ppm(&self) -> u64 {
+        self.sporadic_ppm
+    }
+
+    /// Number of admitted periodic threads.
+    pub fn periodic_count(&self) -> usize {
+        self.periodic.len()
+    }
+
+    /// Run the admission test; on success the ledger is updated.
+    pub fn admit(
+        &mut self,
+        cfg: &SchedConfig,
+        c: &Constraints,
+    ) -> Result<(), AdmissionError> {
+        c.validate().map_err(AdmissionError::Invalid)?;
+        match *c {
+            Constraints::Aperiodic { .. } => Ok(()),
+            Constraints::Periodic { period, slice, .. } => {
+                if period < cfg.min_period_ns
+                    || slice < cfg.min_slice_ns
+                    || period % cfg.granularity_ns != 0 && cfg.granularity_ns > 1
+                {
+                    return Err(AdmissionError::TooFine);
+                }
+                if cfg.admission_enabled {
+                    self.test_periodic(cfg, period, slice)?;
+                }
+                self.periodic.push((period, slice));
+                Ok(())
+            }
+            Constraints::Sporadic {
+                phase,
+                size,
+                deadline,
+                ..
+            } => {
+                let window = deadline - phase;
+                if size < cfg.min_slice_ns || window < cfg.min_period_ns {
+                    return Err(AdmissionError::TooFine);
+                }
+                let u = (size as u128 * PPM as u128 / window as u128) as u64;
+                if cfg.admission_enabled
+                    && self.sporadic_ppm + u > cfg.sporadic_reserve_ppm {
+                        return Err(AdmissionError::SporadicReservationExceeded);
+                    }
+                self.sporadic_ppm += u;
+                Ok(())
+            }
+        }
+    }
+
+    fn test_periodic(
+        &self,
+        cfg: &SchedConfig,
+        period: Nanos,
+        slice: Nanos,
+    ) -> Result<(), AdmissionError> {
+        let budget = cfg.periodic_budget_ppm();
+        let u_new = (slice as u128 * PPM as u128 / period as u128) as u64;
+        let u_total = self.periodic_util_ppm() + u_new;
+        match cfg.policy {
+            AdmissionPolicy::EdfBound => {
+                if u_total <= budget {
+                    Ok(())
+                } else {
+                    Err(AdmissionError::UtilizationExceeded)
+                }
+            }
+            AdmissionPolicy::RmBound => {
+                let n = (self.periodic.len() + 1) as f64;
+                let rm = n * (2f64.powf(1.0 / n) - 1.0);
+                let rm_ppm = (rm * PPM as f64) as u64;
+                if u_total <= rm_ppm.min(budget) {
+                    Ok(())
+                } else {
+                    Err(AdmissionError::UtilizationExceeded)
+                }
+            }
+            AdmissionPolicy::HyperperiodSim {
+                overhead_ns,
+                window_cap_ns,
+            } => {
+                let mut set: Vec<(Nanos, Nanos)> = self.periodic.clone();
+                set.push((period, slice));
+                // The closed-form bound still gates the reservations.
+                if u_total > budget {
+                    return Err(AdmissionError::UtilizationExceeded);
+                }
+                if simulate_edf_feasible(&set, overhead_ns, window_cap_ns) {
+                    Ok(())
+                } else {
+                    Err(AdmissionError::UtilizationExceeded)
+                }
+            }
+        }
+    }
+
+    /// Release a previously admitted constraint (thread exited or is
+    /// changing constraints).
+    pub fn release(&mut self, c: &Constraints) {
+        match *c {
+            Constraints::Aperiodic { .. } => {}
+            Constraints::Periodic { period, slice, .. } => {
+                if let Some(i) = self
+                    .periodic
+                    .iter()
+                    .position(|&(p, s)| p == period && s == slice)
+                {
+                    self.periodic.remove(i);
+                }
+            }
+            Constraints::Sporadic {
+                phase,
+                size,
+                deadline,
+                ..
+            } => {
+                let window = deadline - phase;
+                let u = (size as u128 * PPM as u128 / window as u128) as u64;
+                self.sporadic_ppm = self.sporadic_ppm.saturating_sub(u);
+            }
+        }
+    }
+}
+
+/// Event-driven EDF feasibility simulation over a window: all jobs are
+/// released synchronously (the critical instant for synchronous periodic
+/// sets under EDF); each job costs `slice + overhead`. Returns whether no
+/// deadline is missed within the window.
+pub fn simulate_edf_feasible(
+    set: &[(Nanos, Nanos)],
+    overhead_ns: Nanos,
+    window_cap_ns: Nanos,
+) -> bool {
+    if set.is_empty() {
+        return true;
+    }
+    let window = hyperperiod(set.iter().map(|&(p, _)| p)).min(window_cap_ns);
+    // (next_deadline, remaining, index) jobs; process in EDF order.
+    #[derive(Clone, Copy)]
+    struct Job {
+        deadline: Nanos,
+        remaining: Nanos,
+        next_arrival: Nanos,
+    }
+    let mut jobs: Vec<Job> = set
+        .iter()
+        .map(|&(p, s)| Job {
+            deadline: p,
+            remaining: s + overhead_ns,
+            next_arrival: p,
+        })
+        .collect();
+    let mut now: Nanos = 0;
+    loop {
+        // Earliest-deadline active job.
+        let Some(idx) = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.remaining > 0)
+            .min_by_key(|(_, j)| j.deadline)
+            .map(|(i, _)| i)
+        else {
+            // Idle until the next arrival.
+            let Some(next) = jobs.iter().map(|j| j.next_arrival).min() else {
+                return true;
+            };
+            if next >= window {
+                return true;
+            }
+            now = now.max(next);
+            for (i, j) in jobs.iter_mut().enumerate() {
+                if j.next_arrival <= now {
+                    j.remaining = set[i].1 + overhead_ns;
+                    j.deadline = j.next_arrival + set[i].0;
+                    j.next_arrival += set[i].0;
+                }
+            }
+            continue;
+        };
+        // Run it until completion or the next arrival.
+        let next_arrival = jobs.iter().map(|j| j.next_arrival).min().unwrap();
+        let j = jobs[idx];
+        let run = j.remaining.min(next_arrival.saturating_sub(now).max(1));
+        now += run;
+        jobs[idx].remaining -= run;
+        if jobs[idx].remaining == 0 && now > jobs[idx].deadline {
+            return false;
+        }
+        if now > window {
+            return true;
+        }
+        // Release arrivals at `now`.
+        for (i, j) in jobs.iter_mut().enumerate() {
+            if j.next_arrival <= now {
+                if j.remaining > 0 {
+                    // Previous job still unfinished at its deadline.
+                    return false;
+                }
+                j.remaining = set[i].1 + overhead_ns;
+                j.deadline = j.next_arrival + set[i].0;
+                j.next_arrival += set[i].0;
+            }
+        }
+    }
+}
+
+fn hyperperiod(periods: impl Iterator<Item = Nanos>) -> Nanos {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    periods.fold(1u64, |acc, p| {
+        let g = gcd(acc, p);
+        (acc / g).saturating_mul(p)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SchedConfig {
+        SchedConfig::default()
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = cfg();
+        assert_eq!(c.util_limit_ppm, 990_000); // 99%
+        assert_eq!(c.sporadic_reserve_ppm, 100_000); // 10%
+        assert_eq!(c.aperiodic_reserve_ppm, 100_000); // 10%
+        assert_eq!(c.aperiodic_quantum_ns, 100_000_000); // 10 Hz
+        assert_eq!(c.periodic_budget_ppm(), 790_000); // 79% for periodic
+    }
+
+    #[test]
+    fn aperiodic_always_admits() {
+        let mut load = CpuLoad::new();
+        for _ in 0..100 {
+            load.admit(&cfg(), &Constraints::default_aperiodic()).unwrap();
+        }
+    }
+
+    #[test]
+    fn edf_bound_admits_up_to_budget() {
+        let mut load = CpuLoad::new();
+        let c = cfg();
+        // 4 x 19% = 76% <= 79%
+        for _ in 0..4 {
+            load.admit(&c, &Constraints::periodic(100_000, 19_000)).unwrap();
+        }
+        // A 5th would reach 95%.
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(100_000, 19_000)),
+            Err(AdmissionError::UtilizationExceeded)
+        );
+        assert_eq!(load.periodic_count(), 4);
+    }
+
+    #[test]
+    fn release_returns_utilization() {
+        let mut load = CpuLoad::new();
+        let c = cfg();
+        let big = Constraints::periodic(100_000, 70_000);
+        load.admit(&c, &big).unwrap();
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(100_000, 20_000)),
+            Err(AdmissionError::UtilizationExceeded)
+        );
+        load.release(&big);
+        load.admit(&c, &Constraints::periodic(100_000, 20_000)).unwrap();
+    }
+
+    #[test]
+    fn rm_bound_is_stricter_than_edf() {
+        let mut c = cfg();
+        c.policy = AdmissionPolicy::RmBound;
+        let mut load = CpuLoad::new();
+        // Two tasks at 39% each: 78% total passes EDF (79% budget) but
+        // exceeds the 2-task RM bound of ~82.8%... 78 < 82.8, so passes.
+        load.admit(&c, &Constraints::periodic(100_000, 39_000)).unwrap();
+        load.admit(&c, &Constraints::periodic(100_000, 39_000)).unwrap();
+        // Third at 39%: total 117% fails everything; try 5%: total 83%
+        // exceeds the 3-task RM bound (~78%) but is under the EDF budget?
+        // 83% > 79% budget too. Use tighter numbers: load 2x30%, third 17%:
+        let mut load = CpuLoad::new();
+        load.admit(&c, &Constraints::periodic(100_000, 30_000)).unwrap();
+        load.admit(&c, &Constraints::periodic(100_000, 30_000)).unwrap();
+        // total would be 77% < 79% budget, but 3-task RM bound is 77.98%:
+        // 77% <= 77.98% admits. 18% instead -> 78% > 77.98% rejects.
+        load.admit(&c, &Constraints::periodic(100_000, 17_000)).unwrap();
+        let mut load2 = CpuLoad::new();
+        load2.admit(&c, &Constraints::periodic(100_000, 30_000)).unwrap();
+        load2.admit(&c, &Constraints::periodic(100_000, 30_000)).unwrap();
+        assert_eq!(
+            load2.admit(&c, &Constraints::periodic(100_000, 18_000)),
+            Err(AdmissionError::UtilizationExceeded)
+        );
+    }
+
+    #[test]
+    fn hyperperiod_sim_rejects_overhead_dominated_sets() {
+        let mut c = cfg();
+        c.policy = AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 9_000, // ~ the Phi's per-period overhead
+            window_cap_ns: 1_000_000_000,
+        };
+        let mut load = CpuLoad::new();
+        // 10 us period with a 5 us slice: 50% utilization passes the bound,
+        // but 5 + 9 us of work per 10 us period cannot fit.
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(10_000, 5_000)),
+            Err(AdmissionError::UtilizationExceeded)
+        );
+        // The same 50% at 1 ms period absorbs the overhead easily.
+        load.admit(&c, &Constraints::periodic(1_000_000, 500_000)).unwrap();
+    }
+
+    #[test]
+    fn sporadic_consumes_reservation() {
+        let mut load = CpuLoad::new();
+        let c = cfg();
+        // 5% of the CPU: fits in the 10% sporadic reservation.
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000)).unwrap();
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000)).unwrap();
+        assert_eq!(
+            load.admit(&c, &Constraints::sporadic(5_000, 100_000)),
+            Err(AdmissionError::SporadicReservationExceeded)
+        );
+        load.release(&Constraints::sporadic(5_000, 100_000));
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000)).unwrap();
+    }
+
+    #[test]
+    fn granularity_bounds_are_enforced() {
+        let mut load = CpuLoad::new();
+        let c = cfg();
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(500, 400)),
+            Err(AdmissionError::TooFine)
+        );
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(10_000, 100)),
+            Err(AdmissionError::TooFine)
+        );
+    }
+
+    #[test]
+    fn disabled_admission_accepts_infeasible_rt() {
+        let mut c = cfg();
+        c.admission_enabled = false;
+        let mut load = CpuLoad::new();
+        // 95% + 95%: hopeless, but Figures 6-9 need it admitted.
+        load.admit(&c, &Constraints::periodic(10_000, 9_500)).unwrap();
+        load.admit(&c, &Constraints::periodic(10_000, 9_500)).unwrap();
+    }
+
+    #[test]
+    fn structural_validation_applies_even_when_disabled() {
+        let mut c = cfg();
+        c.admission_enabled = false;
+        let mut load = CpuLoad::new();
+        assert!(matches!(
+            load.admit(&c, &Constraints::periodic(10_000, 20_000)),
+            Err(AdmissionError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn edf_simulation_agrees_with_bound_when_overhead_is_zero() {
+        // U = 100%: feasible with zero overhead.
+        assert!(simulate_edf_feasible(
+            &[(10_000, 5_000), (20_000, 10_000)],
+            0,
+            1_000_000_000
+        ));
+        // U > 100%: infeasible.
+        assert!(!simulate_edf_feasible(
+            &[(10_000, 6_000), (20_000, 10_000)],
+            0,
+            1_000_000_000
+        ));
+    }
+
+    #[test]
+    fn hyperperiod_of_coprime_periods() {
+        assert!(simulate_edf_feasible(&[(3, 1), (7, 2)], 0, 1_000));
+    }
+}

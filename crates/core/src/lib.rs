@@ -1,0 +1,37 @@
+//! The paper's primary contribution: a hard real-time scheduler for
+//! parallel run-time systems on shared-memory x64 nodes.
+//!
+//! * [`admission`] — utilization-limit/reservation admission control with
+//!   EDF, RM, and hyperperiod-simulation policies (§3.2),
+//! * [`local`] — the eager-EDF local scheduler, one per hardware thread
+//!   (§3.3, §3.6),
+//! * [`timesync`] — boot-time cross-CPU cycle-counter calibration (§3.4),
+//! * [`node`] — the global scheduler: the event loop binding local
+//!   schedulers, the kernel substrate, interrupt steering, work stealing,
+//!   kick IPIs, lightweight tasks, and group admission control
+//!   (Algorithm 1 of §4.3 with the phase correction of §4.4),
+//! * [`stats`] — the measurements the evaluation (§5) reports,
+//! * [`cyclic`] — the §8 future-work direction implemented: compiling
+//!   task sets into statically verified cyclic executives.
+
+pub mod admission;
+pub mod cyclic;
+pub mod local;
+pub mod node;
+pub mod stats;
+pub mod timeline;
+pub mod timesync;
+
+pub use admission::{AdmissionPolicy, CpuLoad, SchedConfig, SchedMode, PPM};
+pub use cyclic::{compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask};
+pub use local::{Decision, InvokeReason, JobOutcome, LocalScheduler, SchedThread};
+pub use node::{GaTiming, Node, NodeConfig};
+pub use stats::{
+    dispatch_spreads, CpuSchedStats, DispatchLog, OverheadBreakdown, OverheadSample,
+    ThreadRtStats,
+};
+pub use timeline::{Span, Timeline};
+pub use timesync::{calibrate, wall_cycles, TimeSync};
+
+// Re-export the scheduling ABI so users can stay within this crate.
+pub use nautix_kernel::{AdmissionError, ConstraintError, Constraints};

@@ -1,0 +1,895 @@
+//! The local (per-CPU) hard real-time scheduler (§3.3).
+//!
+//! "A local scheduler is, at its base, a simple earliest deadline first
+//! (EDF) engine consisting of a pending queue, a real-time run queue, and a
+//! non-real-time run queue. On entry, all newly arrived threads are pumped
+//! from the pending queue into the real-time run queue. Next, the state of
+//! the current thread is evaluated against the most imminent periodic or
+//! sporadic thread in the real-time run queue. ... A context switch
+//! immediately occurs if the selected thread is more important than the
+//! current thread."
+//!
+//! The scheduler is **eager** (work-conserving): a runnable real-time job
+//! is never delayed, which is the §3.6 defense against SMI missing time.
+//! The classic lazy variant is retained behind [`SchedMode::Lazy`] for the
+//! ablation study.
+//!
+//! This type is deliberately free of any reference to the machine model:
+//! it consumes a wall-clock reading and the per-thread scheduling states,
+//! and returns a [`Decision`]. The node charges its cycle costs and
+//! programs the hardware. That separation keeps the scheduler unit-testable
+//! exactly as a kernel's scheduler core would be.
+
+use crate::admission::{CpuLoad, SchedConfig, SchedMode};
+use crate::stats::{CpuSchedStats, DispatchLog, ThreadRtStats};
+use nautix_des::{Cycles, Freq, Nanos};
+use nautix_hw::CpuId;
+use nautix_kernel::{AdmissionError, Constraints, FixedHeap, RrQueue, ThreadId};
+
+/// Why the local scheduler was invoked (diagnostics; the paper's local
+/// scheduler is invoked "only on a timer interrupt, a kick interrupt from
+/// a different local scheduler, or by a small set of actions the current
+/// thread can take").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeReason {
+    /// APIC one-shot timer.
+    Timer,
+    /// Kick IPI from another local scheduler.
+    Kick,
+    /// The current thread yielded.
+    Yield,
+    /// The current thread blocked (sleep, barrier, group op).
+    Block,
+    /// The current thread exited.
+    Exit,
+    /// The current thread changed constraints.
+    ConstraintChange,
+    /// A blocked thread became ready.
+    Wake,
+}
+
+/// Scheduling class and job state of one thread, kept per thread by the
+/// node and indexed by `ThreadId`.
+#[derive(Debug)]
+pub struct SchedThread {
+    /// Current constraints.
+    pub constraints: Constraints,
+    /// Admission anchor Λ (wall-clock ns): arrivals are measured from it.
+    pub admit_ns: Nanos,
+    /// Next arrival, absolute wall-clock ns (valid for RT classes).
+    pub next_arrival_ns: Nanos,
+    /// Current job's absolute deadline (valid while `job_active`).
+    pub deadline_ns: Nanos,
+    /// Remaining guaranteed execution of the current job, in cycles.
+    pub remaining_cycles: Cycles,
+    /// Whether a job is currently active (arrived, not yet completed).
+    pub job_active: bool,
+    /// Whether the current job has begun executing (lazy mode bookkeeping).
+    pub job_started: bool,
+    /// Whether the thread blocked at some point during the current job
+    /// (such jobs are "forfeited", not counted as met or missed).
+    pub job_blocked: bool,
+    /// Leftover round-robin quantum, cycles (aperiodic class).
+    pub quantum_left: Cycles,
+    /// A preempted program action's unfinished cycles.
+    pub pending_compute: Option<Cycles>,
+    /// Per-thread RT statistics.
+    pub stats: ThreadRtStats,
+    /// Dispatch timestamps for the synchronization figures.
+    pub dispatch_log: DispatchLog,
+}
+
+impl SchedThread {
+    /// Fresh state for a newly spawned (aperiodic) thread.
+    pub fn new_aperiodic() -> Self {
+        SchedThread {
+            constraints: Constraints::default_aperiodic(),
+            admit_ns: 0,
+            next_arrival_ns: 0,
+            deadline_ns: 0,
+            remaining_cycles: 0,
+            job_active: false,
+            job_started: false,
+            job_blocked: false,
+            quantum_left: 0,
+            pending_compute: None,
+            stats: ThreadRtStats::default(),
+            dispatch_log: DispatchLog::with_capacity(0),
+        }
+    }
+
+    /// Whether the thread currently holds real-time constraints.
+    pub fn is_rt(&self) -> bool {
+        self.constraints.is_realtime()
+    }
+
+    /// Aperiodic priority (the post-burst priority for sporadic threads).
+    pub fn aperiodic_priority(&self) -> u64 {
+        match self.constraints {
+            Constraints::Aperiodic { priority } => priority,
+            Constraints::Sporadic {
+                aperiodic_priority, ..
+            } => aperiodic_priority,
+            Constraints::Periodic { .. } => u64::MAX,
+        }
+    }
+}
+
+/// Outcome of a completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Completed by the deadline.
+    Met,
+    /// Completed `late_ns` after the deadline.
+    Missed {
+        /// Lateness in nanoseconds.
+        late_ns: Nanos,
+    },
+    /// The thread blocked during the job and forfeited the guarantee.
+    Forfeited,
+}
+
+/// What the node must do after an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The thread to run (the idle thread when nothing else is runnable).
+    pub next: ThreadId,
+    /// Whether this differs from the previously running thread.
+    pub switched: bool,
+    /// Timer request relative to the dispatched thread's *execution*: fire
+    /// once it has run this many more cycles (slice budget, quantum). The
+    /// node adds the kernel-path backlog before the thread resumes.
+    pub timer_exec_cycles: Option<Cycles>,
+    /// Timer request at an absolute wall-clock instant (pending arrivals,
+    /// lazy latest-start points, deadline backstops).
+    pub timer_wall_ns: Option<Nanos>,
+    /// Whether the chosen thread is hard real-time (drives the TPR).
+    pub next_is_rt: bool,
+}
+
+impl Decision {
+    /// Whether any timer was requested.
+    pub fn timer_armed(&self) -> bool {
+        self.timer_exec_cycles.is_some() || self.timer_wall_ns.is_some()
+    }
+}
+
+/// The per-CPU scheduler.
+pub struct LocalScheduler {
+    /// This scheduler's CPU.
+    pub cpu: CpuId,
+    cfg: SchedConfig,
+    freq: Freq,
+    /// Admitted-load ledger for admission control.
+    pub load: CpuLoad,
+    /// Threads whose next arrival is in the future, keyed by arrival time.
+    pending: FixedHeap<Nanos, ThreadId>,
+    /// Arrived real-time jobs, keyed by absolute deadline.
+    rt_run: FixedHeap<Nanos, ThreadId>,
+    /// Aperiodic threads, round-robin within priority.
+    nonrt: RrQueue<ThreadId>,
+    /// The running thread (the idle thread counts).
+    pub current: ThreadId,
+    /// This CPU's idle thread.
+    pub idle: ThreadId,
+    /// Counters and samples.
+    pub stats: CpuSchedStats,
+    /// Jobs completed on this invocation (for harnesses).
+    pub last_outcome: Option<JobOutcome>,
+}
+
+impl LocalScheduler {
+    /// A scheduler for `cpu` whose idle thread is `idle`.
+    pub fn new(cpu: CpuId, idle: ThreadId, cfg: SchedConfig, freq: Freq, capacity: usize) -> Self {
+        LocalScheduler {
+            cpu,
+            cfg,
+            freq,
+            load: CpuLoad::new(),
+            pending: FixedHeap::new(capacity),
+            rt_run: FixedHeap::new(capacity),
+            nonrt: RrQueue::new(capacity),
+            current: idle,
+            idle,
+            stats: CpuSchedStats::default(),
+            last_outcome: None,
+        }
+    }
+
+    /// The boot-time configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Threads resident on this CPU (for the per-thread pass cost).
+    pub fn resident(&self) -> usize {
+        self.pending.len() + self.rt_run.len() + self.nonrt.len() + 1
+    }
+
+    /// Enqueue a ready thread according to its class and job state.
+    pub fn enqueue(&mut self, tid: ThreadId, st: &mut SchedThread, now_ns: Nanos) {
+        debug_assert!(tid != self.idle, "the idle thread is never queued");
+        if st.is_rt() {
+            if st.job_active && st.deadline_ns > now_ns && st.remaining_cycles > 0 {
+                self.rt_run
+                    .push(st.deadline_ns, tid)
+                    .expect("rt_run overflow: capacity misconfigured");
+            } else {
+                // (Re)synchronize to the next arrival strictly after now.
+                if st.job_active {
+                    // The job lapsed while blocked; forfeit it.
+                    st.job_active = false;
+                }
+                self.resync_arrival(st, now_ns);
+                self.pending
+                    .push(st.next_arrival_ns, tid)
+                    .expect("pending overflow: capacity misconfigured");
+            }
+        } else {
+            self.nonrt
+                .push(st.aperiodic_priority(), tid)
+                .expect("nonrt overflow: capacity misconfigured");
+        }
+    }
+
+    /// Advance `next_arrival_ns` to the first arrival at or after `now_ns`.
+    fn resync_arrival(&self, st: &mut SchedThread, now_ns: Nanos) {
+        match st.constraints {
+            Constraints::Periodic { phase, period, .. } => {
+                let first = st.admit_ns + phase;
+                if st.next_arrival_ns < first {
+                    st.next_arrival_ns = first;
+                }
+                if st.next_arrival_ns < now_ns {
+                    let behind = now_ns - st.next_arrival_ns;
+                    let k = behind / period + 1;
+                    st.next_arrival_ns += k * period;
+                }
+            }
+            Constraints::Sporadic { phase, .. } => {
+                let first = st.admit_ns + phase;
+                st.next_arrival_ns = first.max(st.next_arrival_ns);
+            }
+            Constraints::Aperiodic { .. } => {}
+        }
+    }
+
+    /// Enqueue a thread directly on the non-RT queue regardless of its
+    /// constraint class. Used for threads executing inside group admission
+    /// control, which "runs in the context of the thread, and the thread is
+    /// aperiodic (not real-time)" until the phase-corrected anchor (§4.4).
+    pub fn enqueue_nonrt(&mut self, tid: ThreadId, priority: u64) {
+        debug_assert!(tid != self.idle);
+        self.nonrt.push(priority, tid).expect("nonrt overflow");
+    }
+
+    /// Remove a thread from every queue (exit, migration, class change).
+    pub fn dequeue(&mut self, tid: ThreadId) {
+        self.pending.remove(tid);
+        self.rt_run.remove(tid);
+        self.nonrt.remove(tid);
+    }
+
+    /// Whether the thread sits in this scheduler's non-RT queue
+    /// (work-stealing candidates; only aperiodic threads can be stolen).
+    pub fn nonrt_contains(&self, tid: ThreadId) -> bool {
+        self.nonrt.contains(tid)
+    }
+
+    /// Number of queued aperiodic threads (work-steal victim load probe).
+    pub fn nonrt_len(&self) -> usize {
+        self.nonrt.len()
+    }
+
+    /// Pop one queued aperiodic thread (the victim side of §3.4's
+    /// power-of-two-choices stealing, when no bound-ness filter applies).
+    pub fn steal_nonrt(&mut self) -> Option<ThreadId> {
+        self.nonrt.pop().map(|(_, t)| t)
+    }
+
+    /// The queued aperiodic threads, front to back (steal-candidate
+    /// inspection).
+    pub fn nonrt_tids(&self) -> Vec<ThreadId> {
+        self.nonrt.iter().map(|(_, t)| t).collect()
+    }
+
+    /// Individual admission control: `nk_sched_thread_change_constraints`.
+    /// On success the thread's class changes and its job state is reset;
+    /// the *caller* must re-queue it (it is typically the running thread).
+    pub fn change_constraints(
+        &mut self,
+        _tid: ThreadId,
+        st: &mut SchedThread,
+        new: Constraints,
+        now_ns: Nanos,
+        anchor: bool,
+    ) -> Result<(), AdmissionError> {
+        let old = st.constraints;
+        self.load.release(&old);
+        match self.load.admit(&self.cfg, &new) {
+            Ok(()) => {
+                st.constraints = new;
+                st.job_active = false;
+                st.job_started = false;
+                st.job_blocked = false;
+                st.remaining_cycles = 0;
+                if anchor {
+                    self.anchor(st, now_ns);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.load
+                    .admit(&self.cfg, &old)
+                    .expect("re-admitting previously admitted constraints");
+                Err(e)
+            }
+        }
+    }
+
+    /// Anchor the admission time Λ at `now_ns` and compute the first
+    /// arrival. Used immediately for individual admission; group admission
+    /// anchors at phase-correction time instead (§4.4).
+    pub fn anchor(&self, st: &mut SchedThread, now_ns: Nanos) {
+        st.admit_ns = now_ns;
+        st.next_arrival_ns = match st.constraints {
+            Constraints::Periodic { phase, .. } | Constraints::Sporadic { phase, .. } => {
+                now_ns + phase
+            }
+            Constraints::Aperiodic { .. } => 0,
+        };
+    }
+
+    /// Finalize a thread that is leaving the scheduler for good (exit):
+    /// if its current job just completed, record the outcome that the next
+    /// scheduling pass would have recorded.
+    pub fn finalize_exit(&mut self, st: &mut SchedThread, now_ns: Nanos) {
+        if st.is_rt() && st.job_active && st.remaining_cycles == 0 {
+            self.complete_job(st, now_ns);
+        }
+    }
+
+    /// Account `cycles` of execution by `tid` against its current job.
+    pub fn account(&mut self, st: &mut SchedThread, cycles: Cycles) {
+        st.stats.executed_cycles += cycles;
+        if st.is_rt() && st.job_active {
+            st.remaining_cycles = st.remaining_cycles.saturating_sub(cycles);
+        } else if !st.is_rt() {
+            st.quantum_left = st.quantum_left.saturating_sub(cycles);
+        }
+    }
+
+    /// The core scheduling pass. `now_ns` is this CPU's wall-clock
+    /// estimate; `threads` the global per-thread scheduling states; the
+    /// current thread's execution must already be accounted.
+    ///
+    /// `current_runnable` tells the pass whether the current thread can
+    /// keep the CPU (false when it blocked or exited).
+    pub fn invoke(
+        &mut self,
+        now_ns: Nanos,
+        threads: &mut [SchedThread],
+        reason: InvokeReason,
+        current_runnable: bool,
+    ) -> Decision {
+        self.stats.invocations += 1;
+        match reason {
+            InvokeReason::Timer => self.stats.timer_invocations += 1,
+            InvokeReason::Kick => self.stats.kick_invocations += 1,
+            _ => {}
+        }
+        self.last_outcome = None;
+
+        let prev = self.current;
+
+        // 1. Handle the current thread's state.
+        if prev != self.idle {
+            let st = &mut threads[prev];
+            if !current_runnable {
+                // Blocked or exited: the node moved it out already; note a
+                // forfeited job if one was active.
+                if st.is_rt() && st.job_active {
+                    st.job_blocked = true;
+                }
+            } else {
+                if st.is_rt() && st.job_active && st.remaining_cycles == 0 {
+                    // Job complete: classify and schedule the next arrival.
+                    self.complete_job(st, now_ns);
+                }
+                // Re-queue below after pumping (so selection sees it).
+            }
+        }
+
+        // 2. Pump arrivals from pending into the RT run queue.
+        while let Some((arrival, tid)) = self.pending.peek() {
+            if arrival > now_ns {
+                break;
+            }
+            self.pending.pop();
+            let st = &mut threads[tid];
+            self.activate_job(st, arrival);
+            self.rt_run
+                .push(st.deadline_ns, tid)
+                .expect("rt_run overflow");
+        }
+
+        // Re-queue a still-runnable current thread so selection is uniform.
+        if prev != self.idle && current_runnable {
+            let st = &mut threads[prev];
+            self.enqueue_current(prev, st, now_ns);
+        }
+
+        // 3. Select.
+        let next = self.select(now_ns, threads);
+        let switched = next != prev;
+        if switched {
+            self.stats.switches += 1;
+        }
+        // The chosen thread leaves the queues while it runs.
+        if next != self.idle {
+            self.dequeue_running(next);
+            let st = &mut threads[next];
+            if st.is_rt() && st.job_active {
+                st.job_started = true;
+            } else if !st.is_rt() && st.quantum_left == 0 {
+                st.quantum_left = self.freq.ns_to_cycles_ceil(self.cfg.aperiodic_quantum_ns);
+            }
+            if switched {
+                st.stats.dispatches += 1;
+            }
+        }
+        self.current = next;
+
+        // 4. Choose the next timer.
+        let (timer_exec_cycles, timer_wall_ns) = self.next_timer(now_ns, threads, next);
+        let next_is_rt = next != self.idle && threads[next].is_rt();
+        Decision {
+            next,
+            switched,
+            timer_exec_cycles,
+            timer_wall_ns,
+            next_is_rt,
+        }
+    }
+
+    fn activate_job(&self, st: &mut SchedThread, arrival_ns: Nanos) {
+        match st.constraints {
+            Constraints::Periodic { period, slice, .. } => {
+                st.job_active = true;
+                st.job_started = false;
+                st.job_blocked = false;
+                st.deadline_ns = arrival_ns + period;
+                st.next_arrival_ns = arrival_ns + period;
+                st.remaining_cycles = self.freq.ns_to_cycles_ceil(slice);
+                st.stats.arrivals += 1;
+            }
+            Constraints::Sporadic { size, deadline, .. } => {
+                st.job_active = true;
+                st.job_started = false;
+                st.job_blocked = false;
+                st.deadline_ns = st.admit_ns + deadline;
+                st.remaining_cycles = self.freq.ns_to_cycles_ceil(size);
+                st.stats.arrivals += 1;
+            }
+            Constraints::Aperiodic { .. } => unreachable!("aperiodic threads never pend"),
+        }
+    }
+
+    fn complete_job(&mut self, st: &mut SchedThread, now_ns: Nanos) {
+        let outcome = if st.job_blocked {
+            JobOutcome::Forfeited
+        } else if now_ns <= st.deadline_ns {
+            st.stats.met += 1;
+            JobOutcome::Met
+        } else {
+            st.stats.missed += 1;
+            let late = now_ns - st.deadline_ns;
+            st.stats.miss_times.push(late);
+            JobOutcome::Missed { late_ns: late }
+        };
+        self.last_outcome = Some(outcome);
+        st.job_active = false;
+        // A sporadic burst decays to the aperiodic class.
+        if let Constraints::Sporadic {
+            aperiodic_priority, ..
+        } = st.constraints
+        {
+            self.load.release(&st.constraints);
+            st.constraints = Constraints::Aperiodic {
+                priority: aperiodic_priority,
+            };
+        }
+    }
+
+    /// Put the (runnable) outgoing current thread back in a queue.
+    fn enqueue_current(&mut self, tid: ThreadId, st: &mut SchedThread, now_ns: Nanos) {
+        if st.is_rt() {
+            if st.job_active && st.remaining_cycles > 0 {
+                self.rt_run.push(st.deadline_ns, tid).expect("rt_run overflow");
+            } else {
+                // For a completed periodic job next_arrival is already the
+                // deadline of the finished job; if that instant has passed
+                // (a miss), resynchronize to a strictly future arrival.
+                if st.next_arrival_ns <= now_ns {
+                    self.resync_arrival(st, now_ns);
+                    if st.next_arrival_ns <= now_ns {
+                        st.next_arrival_ns = now_ns + 1;
+                    }
+                }
+                self.pending.push(st.next_arrival_ns, tid).expect("pending overflow");
+            }
+        } else {
+            self.nonrt
+                .push(st.aperiodic_priority(), tid)
+                .expect("nonrt overflow");
+        }
+    }
+
+    fn dequeue_running(&mut self, tid: ThreadId) {
+        self.rt_run.remove(tid);
+        self.nonrt.remove(tid);
+    }
+
+    /// EDF selection with eagerness (or the lazy variant).
+    fn select(&mut self, now_ns: Nanos, threads: &[SchedThread]) -> ThreadId {
+        match self.cfg.mode {
+            SchedMode::Eager => {
+                if let Some((_, tid)) = self.rt_run.peek() {
+                    return tid;
+                }
+            }
+            SchedMode::Lazy => {
+                // Run an RT job only if it already started or its latest
+                // feasible start has been reached.
+                let mut best: Option<(Nanos, ThreadId)> = None;
+                for (deadline, tid) in self.rt_run.iter() {
+                    let st = &threads[tid];
+                    let remaining_ns =
+                        self.freq.cycles_to_ns(st.remaining_cycles) + 1 + self.cfg.lazy_margin_ns;
+                    let latest_start = st.deadline_ns.saturating_sub(remaining_ns);
+                    if st.job_started || now_ns >= latest_start {
+                        match best {
+                            Some((d, _)) if d <= deadline => {}
+                            _ => best = Some((deadline, tid)),
+                        }
+                    }
+                }
+                if let Some((_, tid)) = best {
+                    return tid;
+                }
+            }
+        }
+        if let Some((_, tid)) = self.nonrt.peek() {
+            return tid;
+        }
+        self.idle
+    }
+
+    /// Next one-shot request: the earliest of pending arrivals, the
+    /// running RT job's slice end, the aperiodic quantum end, and (lazy)
+    /// the latest-start instants of delayed jobs. Execution-relative and
+    /// wall-clock requests are kept apart: only the former starts counting
+    /// when the dispatched thread actually resumes.
+    fn next_timer(
+        &self,
+        now_ns: Nanos,
+        threads: &[SchedThread],
+        next: ThreadId,
+    ) -> (Option<Cycles>, Option<Nanos>) {
+        let mut wall: Option<Nanos> = None;
+        let mut consider_wall = |at: Nanos| {
+            wall = Some(wall.map_or(at, |b: Nanos| b.min(at)));
+        };
+        let mut exec: Option<Cycles> = None;
+        if let Some((arrival, _)) = self.pending.peek() {
+            consider_wall(arrival);
+        }
+        if next != self.idle {
+            let st = &threads[next];
+            if st.is_rt() && st.job_active {
+                exec = Some(st.remaining_cycles.max(1));
+            } else if !st.is_rt() && !self.nonrt.is_empty() {
+                // Round-robin preemption only matters with competition.
+                exec = Some(st.quantum_left.max(1));
+            }
+        }
+        if self.cfg.mode == SchedMode::Lazy {
+            for (_, tid) in self.rt_run.iter() {
+                let st = &threads[tid];
+                if !st.job_started {
+                    let remaining_ns =
+                        self.freq.cycles_to_ns(st.remaining_cycles) + 1 + self.cfg.lazy_margin_ns;
+                    let latest = st.deadline_ns.saturating_sub(remaining_ns);
+                    consider_wall(latest.max(now_ns + 1));
+                }
+            }
+        }
+        // A preempted-but-queued RT thread whose deadline could pass
+        // unnoticed: wake at the earliest queued deadline as a backstop.
+        if let Some((deadline, _)) = self.rt_run.peek() {
+            if next == self.idle || !threads[next].is_rt() {
+                consider_wall(deadline.max(now_ns + 1));
+            }
+        }
+        (exec, wall)
+    }
+
+    /// Budget (cycles) available for inline size-tagged tasks: the gap
+    /// until the next RT arrival when no RT job is runnable (§3.1). The
+    /// currently dispatched thread counts as runnable RT work.
+    pub fn inline_task_budget(&self, now_ns: Nanos, threads: &[SchedThread]) -> Cycles {
+        if !self.rt_run.is_empty() {
+            return 0;
+        }
+        if self.current != self.idle {
+            let st = &threads[self.current];
+            if st.is_rt() && st.job_active {
+                return 0;
+            }
+        }
+        match self.pending.peek() {
+            Some((arrival, _)) => self.freq.ns_to_cycles(arrival.saturating_sub(now_ns)),
+            None => Cycles::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 64;
+
+    fn mk() -> (LocalScheduler, Vec<SchedThread>) {
+        let cfg = SchedConfig::default();
+        // tid 0 is the idle thread by convention in these tests.
+        let sched = LocalScheduler::new(0, 0, cfg, Freq::phi(), CAP);
+        let threads: Vec<SchedThread> = (0..8).map(|_| SchedThread::new_aperiodic()).collect();
+        (sched, threads)
+    }
+
+    /// Admit a periodic thread at wall time `now` and queue it.
+    fn admit_periodic(
+        s: &mut LocalScheduler,
+        ts: &mut [SchedThread],
+        tid: ThreadId,
+        now: Nanos,
+        phase: Nanos,
+        period: Nanos,
+        slice: Nanos,
+    ) {
+        let c = Constraints::Periodic {
+            phase,
+            period,
+            slice,
+        };
+        s.change_constraints(tid, &mut ts[tid], c, now, true).unwrap();
+        s.enqueue(tid, &mut ts[tid], now);
+    }
+
+    #[test]
+    fn idle_when_nothing_ready() {
+        let (mut s, mut ts) = mk();
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 0);
+        assert!(!d.next_is_rt);
+    }
+
+    #[test]
+    fn periodic_thread_waits_for_phase_then_runs() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        // Before the first arrival (phase 100 us): idle, timer at arrival.
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 0);
+        assert_eq!(d.timer_wall_ns, Some(100_000));
+        assert_eq!(d.timer_exec_cycles, None);
+        // At the arrival: runs, timer at slice end.
+        let d = s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 1);
+        assert!(d.next_is_rt);
+        assert!(d.switched);
+        assert_eq!(
+            d.timer_exec_cycles.unwrap(),
+            Freq::phi().ns_to_cycles_ceil(50_000)
+        );
+    }
+
+    #[test]
+    fn slice_exhaustion_completes_job_and_reschedules() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, false); // dispatch
+        // Burn the whole slice; completion lands before the 200 us deadline.
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        let d = s.invoke(150_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(s.last_outcome, Some(JobOutcome::Met));
+        assert_eq!(d.next, 0, "back to idle after the slice");
+        assert_eq!(ts[1].stats.met, 1);
+        // Next arrival at 200_000.
+        assert_eq!(d.timer_wall_ns, Some(200_000));
+    }
+
+    #[test]
+    fn late_completion_counts_a_miss() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        // Completion observed 5 us after the 200_000 deadline.
+        s.invoke(205_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(s.last_outcome, Some(JobOutcome::Missed { late_ns: 5_000 }));
+        assert_eq!(ts[1].stats.missed, 1);
+        assert!((ts[1].stats.miss_rate() - 1.0).abs() < 1e-12);
+        // The thread resynchronizes to a future arrival.
+        assert!(ts[1].next_arrival_ns > 205_000);
+    }
+
+    #[test]
+    fn edf_order_among_two_rt_threads() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 0, 200_000, 20_000); // deadline 200k
+        admit_periodic(&mut s, &mut ts, 2, 0, 0, 100_000, 20_000); // deadline 100k
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 2, "earlier deadline must win");
+        // Thread 2's job completes; thread 1 takes over.
+        let c = ts[2].remaining_cycles;
+        s.account(&mut ts[2], c);
+        let d = s.invoke(20_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(d.next, 1);
+    }
+
+    #[test]
+    fn rt_preempts_aperiodic() {
+        let (mut s, mut ts) = mk();
+        // Aperiodic thread 3 running.
+        s.enqueue(3, &mut ts[3], 0);
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 3);
+        // Now an RT thread arrives (phase 50 us).
+        admit_periodic(&mut s, &mut ts, 1, 0, 50_000, 100_000, 50_000);
+        let d = s.invoke(50_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(d.next, 1);
+        assert!(d.switched);
+    }
+
+    #[test]
+    fn aperiodic_round_robin_rotates_on_quantum() {
+        let (mut s, mut ts) = mk();
+        for tid in [3, 4] {
+            s.enqueue(tid, &mut ts[tid], 0);
+        }
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 3);
+        // Quantum: 100 ms at 10 Hz.
+        assert_eq!(
+            d.timer_exec_cycles.unwrap(),
+            Freq::phi().ns_to_cycles_ceil(100_000_000)
+        );
+        // Burn the quantum; the other thread takes over.
+        let c = ts[3].quantum_left;
+        s.account(&mut ts[3], c);
+        let d = s.invoke(100_000_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(d.next, 4);
+    }
+
+    #[test]
+    fn sporadic_decays_to_aperiodic_after_burst() {
+        let (mut s, mut ts) = mk();
+        let c = Constraints::sporadic(5_000, 50_000);
+        s.change_constraints(1, &mut ts[1], c, 0, true).unwrap();
+        s.enqueue(1, &mut ts[1], 0);
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 1);
+        assert!(d.next_is_rt);
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        let d = s.invoke(5_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(s.last_outcome, Some(JobOutcome::Met));
+        assert!(!ts[1].is_rt(), "burst done: aperiodic now");
+        assert_eq!(d.next, 1, "still the only runnable thread");
+        assert!(!d.next_is_rt);
+    }
+
+    #[test]
+    fn blocking_forfeits_the_job() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        // The thread blocks mid-job.
+        let d = s.invoke(120_000, &mut ts, InvokeReason::Block, false);
+        assert_eq!(d.next, 0);
+        assert!(ts[1].job_blocked);
+        // It wakes later in the same period and is re-queued.
+        s.enqueue(1, &mut ts[1], 150_000);
+        let d = s.invoke(150_000, &mut ts, InvokeReason::Wake, false);
+        assert_eq!(d.next, 1);
+        // Completing now records a forfeit, not a met/miss.
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        s.invoke(199_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(s.last_outcome, Some(JobOutcome::Forfeited));
+        assert_eq!(ts[1].stats.met, 0);
+        assert_eq!(ts[1].stats.missed, 0);
+    }
+
+    #[test]
+    fn lazy_mode_delays_dispatch_to_latest_start() {
+        let (mut s, mut ts) = mk();
+        s.cfg.mode = SchedMode::Lazy;
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 20_000);
+        // At the arrival, lazy does NOT dispatch: the latest start for a
+        // 20 us slice due at 200 us is ~180 us minus the 15 us margin.
+        let d = s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 0, "lazy must idle until the latest start");
+        let timer_ns = d.timer_wall_ns.unwrap();
+        assert!(
+            (163_000..=165_100).contains(&timer_ns),
+            "timer at {timer_ns}"
+        );
+        // Past the latest start it dispatches.
+        let d = s.invoke(165_200, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 1);
+    }
+
+    #[test]
+    fn eager_mode_dispatches_immediately() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 20_000);
+        let d = s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 1, "eager runs a runnable RT job at once");
+    }
+
+    #[test]
+    fn inline_task_budget_is_gap_to_next_arrival() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 0, 1_000_000, 100_000);
+        s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        // Job active: no inline budget.
+        assert_eq!(s.inline_task_budget(0, &ts), 0);
+        // Complete the job; budget is the gap to the next arrival.
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, true);
+        let budget = s.inline_task_budget(100_000, &ts);
+        assert_eq!(budget, Freq::phi().ns_to_cycles(900_000));
+    }
+
+    #[test]
+    fn dequeue_removes_everywhere() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 0, 100_000, 10_000);
+        assert!(s.resident() > 1);
+        s.dequeue(1);
+        let d = s.invoke(200_000, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 0);
+        assert!(!d.timer_armed());
+    }
+
+    #[test]
+    fn change_constraints_failure_keeps_old_class() {
+        let (mut s, mut ts) = mk();
+        let big = Constraints::periodic(100_000, 70_000);
+        s.change_constraints(1, &mut ts[1], big, 0, true).unwrap();
+        let too_big = Constraints::periodic(100_000, 90_000);
+        let err = s.change_constraints(2, &mut ts[2], too_big, 0, true);
+        assert!(err.is_err());
+        assert!(!ts[2].is_rt());
+        assert_eq!(ts[1].constraints, big);
+        // The ledger still reflects only the first admission.
+        assert_eq!(s.load.periodic_count(), 1);
+    }
+
+    #[test]
+    fn dispatch_counter_increments_on_switch_in() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(ts[1].stats.dispatches, 1);
+        // Staying on the CPU across an invocation is not a new dispatch.
+        s.invoke(110_000, &mut ts, InvokeReason::Kick, true);
+        assert_eq!(ts[1].stats.dispatches, 1);
+    }
+}

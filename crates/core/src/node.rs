@@ -1,0 +1,1635 @@
+//! The global scheduler: a full node running the hard real-time stack.
+//!
+//! "The global scheduler is the distributed system comprising the local
+//! schedulers and their interactions" (§3). [`Node`] owns the machine
+//! model, the kernel substrate (thread table, buddy allocator, task
+//! queues, interrupt steering), the group registry, and one
+//! [`LocalScheduler`] per CPU, and drives them from the machine's event
+//! stream:
+//!
+//! * timer interrupts and kick IPIs invoke the local scheduler,
+//! * operation completions resume thread programs,
+//! * device interrupts run bounded handlers on the interrupt-laden
+//!   partition,
+//! * wakeups deliver sleeps, barrier releases, and collective departures.
+//!
+//! It also implements the two pieces of the paper that tie CPUs together:
+//! boot-time time synchronization (§3.4, via [`crate::timesync`]) and
+//! **group admission control** — Algorithm 1 of §4.3 with the phase
+//! correction of §4.4 — as an explicit per-thread continuation machine, so
+//! the blocking collectives inside the call behave exactly like the
+//! paper's: every coordination cost is paid at admission time, and zero
+//! communication happens afterwards.
+//!
+//! ## Modeling notes (documented substitutions)
+//!
+//! * Threads blocked in barriers/collectives yield the CPU rather than
+//!   spin. Every experiment in the paper binds one thread per CPU, where
+//!   the two are indistinguishable from the measurement's point of view.
+//! * Unsized lightweight tasks are executed from the idle loop (the
+//!   "task-exec helper thread" folded into the idle thread); size-tagged
+//!   tasks run inline in the scheduler when the gap to the next real-time
+//!   arrival allows, exactly as in §3.1.
+//! * The idle-loop work stealer arms a retry poll only while stealable
+//!   work exists somewhere, keeping the simulation event-driven; the steal
+//!   itself uses power-of-two-random-choices victim selection (§3.4).
+
+use crate::admission::SchedConfig;
+use crate::local::{InvokeReason, LocalScheduler, SchedThread};
+use crate::stats::DispatchLog;
+use crate::timesync::{self, TimeSync};
+use nautix_des::{Cycles, Freq, Nanos};
+use nautix_groups::{estimate_delta, CollectiveOutcome, CollectiveRelease, Decision as GDecision, GroupRegistry};
+use nautix_hw::{CpuId, Machine, MachineConfig, MachineEvent};
+use nautix_kernel::{
+    Action, AdmissionError, BarrierOutcome, Constraints, GroupError, GroupId, Program,
+    ResumeCx, Steering, SysCall, SysResult, Thread, ThreadId, ThreadState, ThreadTable,
+    TaskQueues, WaitKind, Zone, ZoneAllocator,
+};
+use std::collections::HashMap;
+
+/// Node-wide configuration.
+pub struct NodeConfig {
+    /// The machine to model.
+    pub machine: MachineConfig,
+    /// Boot-time local-scheduler configuration (identical on every CPU —
+    /// a prerequisite of communication-free gang scheduling, §4.1).
+    pub sched: SchedConfig,
+    /// CPUs receiving external device interrupts (§3.5).
+    pub laden: Vec<CpuId>,
+    /// Rounds of the boot-time TSC calibration (0 skips calibration and
+    /// leaves the raw boot skew in place).
+    pub calib_rounds: u32,
+    /// Per-thread dispatch-log capacity (0 disables logging).
+    pub dispatch_log_cap: usize,
+    /// Record per-invocation overhead samples (Figure 5).
+    pub record_overheads: bool,
+    /// Record group-admission step timings (Figure 10).
+    pub record_ga_timing: bool,
+    /// System-wide thread bound.
+    pub max_threads: usize,
+    /// Idle work-steal poll interval.
+    pub steal_poll_ns: Nanos,
+    /// Apply the §4.4 phase correction during group admission. Figures 11
+    /// and 12 are measured with it disabled to expose the release-order
+    /// bias it exists to remove.
+    pub phase_correction: bool,
+}
+
+impl NodeConfig {
+    /// The paper's primary testbed configuration.
+    pub fn phi() -> Self {
+        Self::for_machine(MachineConfig::phi())
+    }
+
+    /// The secondary testbed.
+    pub fn r415() -> Self {
+        Self::for_machine(MachineConfig::r415())
+    }
+
+    /// Defaults around a machine config.
+    pub fn for_machine(machine: MachineConfig) -> Self {
+        NodeConfig {
+            machine,
+            sched: SchedConfig::default(),
+            laden: vec![0],
+            calib_rounds: 16,
+            dispatch_log_cap: 0,
+            record_overheads: false,
+            record_ga_timing: false,
+            max_threads: nautix_kernel::MAX_THREADS,
+            steal_poll_ns: 1_000_000,
+            phase_correction: true,
+        }
+    }
+}
+
+/// Timing record of one thread's pass through group admission control,
+/// with the step boundaries Figure 10 reports. All wall-clock nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct GaTiming {
+    /// The thread.
+    pub tid: ThreadId,
+    /// Group size at admission.
+    pub n: usize,
+    /// Call entry.
+    pub t_call: Nanos,
+    /// Leader election completed.
+    pub t_elect: Nanos,
+    /// Local admission control duration (the constant "Local Change
+    /// Constraints" line of Figure 10c).
+    pub local_admit_ns: Nanos,
+    /// Error reduction completed (end of distributed admission control).
+    pub t_reduce: Nanos,
+    /// Final barrier + phase correction completed.
+    pub t_done: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GaPhase {
+    /// Arrive at the election (blocking state: no side effects on re-entry).
+    Start,
+    /// Election done: leader locks/attaches (once), then move to Barrier1.
+    AfterElect,
+    /// Arrive at the pre-admission barrier (blocking state).
+    Barrier1,
+    /// Barrier passed: run local admission exactly once, move to Reducing.
+    AfterBarrier1,
+    /// Arrive at the error reduction (blocking state).
+    Reducing,
+    /// Reduction done: commit or roll back exactly once.
+    AfterReduce,
+    /// Arrive at the failure-path barrier (blocking state).
+    FallbackBarrier,
+    /// Arrive at the final barrier (blocking state).
+    FinalBarrier,
+    AfterFallbackBarrier,
+    AfterFinalBarrier,
+}
+
+#[derive(Debug, Clone)]
+struct GaCtx {
+    group: GroupId,
+    constraints: Constraints,
+    phase: GaPhase,
+    leader: ThreadId,
+    my_error: u64,
+    group_error: u64,
+    admitted_here: bool,
+    order: usize,
+    n: usize,
+    delta_ns: Nanos,
+    t_call: Nanos,
+    t_elect: Nanos,
+    local_admit_ns: Nanos,
+    t_reduce: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Sleep,
+    Barrier,
+    Collective,
+    GaCollective,
+    /// Waiting for a device interrupt (interrupt-thread steering, §3.5).
+    Irq,
+}
+
+/// A pending one-shot request produced by a scheduling pass.
+#[derive(Debug, Clone, Copy)]
+struct TimerReq {
+    exec_cycles: Option<Cycles>,
+    wall_ns: Option<Nanos>,
+}
+
+const TK_SLEEP: u64 = 1;
+const TK_RELEASE: u64 = 2;
+const TK_POKE: u64 = 3;
+const TK_STEAL_POLL: u64 = 4;
+
+fn tok(kind: u64, payload: u64) -> u64 {
+    (kind << 56) | payload
+}
+fn tok_kind(t: u64) -> u64 {
+    t >> 56
+}
+fn tok_payload(t: u64) -> u64 {
+    t & ((1u64 << 56) - 1)
+}
+
+fn admission_error_code(e: AdmissionError) -> u64 {
+    match e {
+        AdmissionError::Invalid(_) => 1,
+        AdmissionError::UtilizationExceeded => 2,
+        AdmissionError::TooFine => 3,
+        AdmissionError::SporadicReservationExceeded => 4,
+        AdmissionError::CapacityExceeded => 5,
+        AdmissionError::GroupMemberRejected => 6,
+    }
+}
+
+/// The assembled node.
+pub struct Node {
+    /// The machine model (public for harness-side ground-truth access).
+    pub machine: Machine,
+    cfg_sched: SchedConfig,
+    dispatch_log_cap: usize,
+    record_overheads: bool,
+    record_ga_timing: bool,
+    steal_poll_ns: Nanos,
+    phase_correction: bool,
+    /// GPIO trace hooks: pin assignments are
+    /// pin 0 = the watched thread's activity, pin 1 = scheduler pass,
+    /// pin 2 = interrupt handler (the three traces of Figure 4).
+    gpio_watch: Option<ThreadId>,
+    /// Optional execution-timeline recorder.
+    timeline: Option<crate::timeline::Timeline>,
+    freq: Freq,
+    threads: ThreadTable,
+    ts: Vec<SchedThread>,
+    sched: Vec<LocalScheduler>,
+    sync: TimeSync,
+    groups: GroupRegistry,
+    steering: Steering,
+    alloc: ZoneAllocator,
+    tasks: Vec<TaskQueues>,
+    ga: Vec<Option<GaCtx>>,
+    blocked: Vec<Option<BlockKind>>,
+    pending_result: Vec<SysResult>,
+    cur_op: Vec<Option<(ThreadId, Cycles)>>,
+    /// Per-key serialization horizons modeling contended shared lines
+    /// (group join, collective arrival).
+    serial_until: HashMap<u64, Cycles>,
+    ga_timings: Vec<GaTiming>,
+    join_timings: Vec<(ThreadId, Nanos)>,
+    steal_poll_armed: Vec<bool>,
+    /// Threads blocked in WaitIrq, per irq line (FIFO).
+    irq_waiters: HashMap<u8, std::collections::VecDeque<ThreadId>>,
+    /// Exited threads awaiting reaping, per CPU (thread-pool maintenance,
+    /// §3.4: performed by the idle path under the local scheduler's lock
+    /// for a bounded time).
+    zombies: Vec<Vec<ThreadId>>,
+    live_programs: usize,
+    /// Device interrupts handled, per CPU.
+    pub device_irqs_handled: Vec<u64>,
+}
+
+impl Node {
+    /// Boot a node: build the machine, calibrate time, start the per-CPU
+    /// schedulers and idle threads.
+    pub fn new(cfg: NodeConfig) -> Self {
+        let mut machine = Machine::new(cfg.machine);
+        let n = machine.n_cpus();
+        let freq = machine.freq();
+        let sync = if cfg.calib_rounds > 0 {
+            timesync::calibrate(&mut machine, cfg.calib_rounds)
+        } else {
+            TimeSync::perfect(n)
+        };
+        let mut threads = ThreadTable::new(cfg.max_threads);
+        let mut ts: Vec<SchedThread> =
+            (0..cfg.max_threads).map(|_| SchedThread::new_aperiodic()).collect();
+        let mut sched = Vec::with_capacity(n);
+        let per_cpu_cap = cfg.max_threads;
+        for cpu in 0..n {
+            // The idle thread: a real table entry, never queued.
+            let idle_tid = threads
+                .spawn(Thread {
+                    name: format!("idle{cpu}"),
+                    cpu,
+                    bound: true,
+                    state: ThreadState::Running,
+                    program: Box::new(nautix_kernel::IdleLoop::new(1)),
+                    cycles_used: 0,
+                    is_idle: true,
+                    stack: None,
+                })
+                .unwrap_or_else(|_| panic!("thread table too small for idle threads"));
+            ts[idle_tid] = SchedThread::new_aperiodic();
+            sched.push(LocalScheduler::new(
+                cpu,
+                idle_tid,
+                cfg.sched,
+                freq,
+                per_cpu_cap,
+            ));
+        }
+        let mut node = Node {
+            machine,
+            cfg_sched: cfg.sched,
+            dispatch_log_cap: cfg.dispatch_log_cap,
+            record_overheads: cfg.record_overheads,
+            record_ga_timing: cfg.record_ga_timing,
+            steal_poll_ns: cfg.steal_poll_ns,
+            phase_correction: cfg.phase_correction,
+            gpio_watch: None,
+            timeline: None,
+            freq,
+            threads,
+            ts,
+            sched,
+            sync,
+            groups: GroupRegistry::new(),
+            steering: Steering::new(cfg.laden),
+            alloc: ZoneAllocator::knl_scaled(),
+            tasks: (0..n).map(|_| TaskQueues::new(256)).collect(),
+            ga: (0..cfg.max_threads).map(|_| None).collect(),
+            blocked: (0..cfg.max_threads).map(|_| None).collect(),
+            pending_result: (0..cfg.max_threads).map(|_| SysResult::None).collect(),
+            cur_op: (0..n).map(|_| None).collect(),
+            serial_until: HashMap::new(),
+            ga_timings: Vec::new(),
+            join_timings: Vec::new(),
+            steal_poll_armed: vec![false; n],
+            irq_waiters: HashMap::new(),
+            zombies: (0..n).map(|_| Vec::new()).collect(),
+            live_programs: 0,
+            device_irqs_handled: vec![0; n],
+        };
+        // Kick every CPU once at boot so each local scheduler runs its
+        // first pass (and each idle loop gets a chance to start stealing).
+        for cpu in 0..n {
+            let at = node.machine.now();
+            node.machine
+                .schedule_wakeup(at, tok(TK_POKE, cpu as u64), Some(cpu));
+        }
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Public surface
+    // ------------------------------------------------------------------
+
+    /// Core frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// The boot-time calibration result.
+    pub fn time_sync(&self) -> &TimeSync {
+        &self.sync
+    }
+
+    /// `cpu`'s wall-clock estimate in nanoseconds.
+    pub fn wall_ns(&self, cpu: CpuId) -> Nanos {
+        self.freq
+            .cycles_to_ns(timesync::wall_cycles(&self.machine, &self.sync, cpu))
+    }
+
+    /// `cpu`'s wall-clock estimate at the end of its current kernel-path
+    /// busy window: the instant code running *after* already-charged work
+    /// actually executes and would read its TSC.
+    fn wall_ns_busy(&self, cpu: CpuId) -> Nanos {
+        let backlog = self
+            .machine
+            .busy_until(cpu)
+            .saturating_sub(self.machine.now());
+        self.wall_ns(cpu) + self.freq.cycles_to_ns(backlog)
+    }
+
+    /// Spawn a thread **bound** to `cpu` with the default aperiodic
+    /// constraints (all threads begin life aperiodic, §3.1). Bound threads
+    /// are never migrated by the work stealer. The thread's stack comes
+    /// from the buddy allocator's preferred zone (§2).
+    pub fn spawn_on(
+        &mut self,
+        cpu: CpuId,
+        name: &str,
+        program: Box<dyn Program>,
+    ) -> Result<ThreadId, AdmissionError> {
+        self.spawn_inner(cpu, name, program, true)
+    }
+
+    /// Spawn an **unbound** thread starting on `cpu`: while aperiodic it
+    /// may be migrated by the idle-thread work stealer (§3.4).
+    pub fn spawn_unbound(
+        &mut self,
+        cpu: CpuId,
+        name: &str,
+        program: Box<dyn Program>,
+    ) -> Result<ThreadId, AdmissionError> {
+        self.spawn_inner(cpu, name, program, false)
+    }
+
+    fn spawn_inner(
+        &mut self,
+        cpu: CpuId,
+        name: &str,
+        program: Box<dyn Program>,
+        bound: bool,
+    ) -> Result<ThreadId, AdmissionError> {
+        assert!(cpu < self.sched.len(), "no such cpu {cpu}");
+        // Under table pressure, reap exited threads first (reanimation:
+        // thread creation reuses pooled slots, §3.4).
+        if self.threads.live() >= self.threads.capacity() {
+            for c in 0..self.sched.len() {
+                while self.reap(c) > 0 {}
+            }
+        }
+        let stack = self.alloc.alloc(16 * 1024, Zone::HighBandwidth).map(|(a, _)| a);
+        let tid = self
+            .threads
+            .spawn(Thread {
+                name: name.to_string(),
+                cpu,
+                bound,
+                state: ThreadState::Ready,
+                program,
+                cycles_used: 0,
+                is_idle: false,
+                stack,
+            })
+            .map_err(|_| AdmissionError::CapacityExceeded)?;
+        self.ts[tid] = SchedThread::new_aperiodic();
+        self.ts[tid].dispatch_log = DispatchLog::with_capacity(self.dispatch_log_cap);
+        self.ga[tid] = None;
+        self.blocked[tid] = None;
+        self.pending_result[tid] = SysResult::None;
+        self.live_programs += 1;
+        let now = self.wall_ns(cpu);
+        {
+            let st = &mut self.ts[tid];
+            self.sched[cpu].enqueue(tid, st, now);
+        }
+        // Nudge the target CPU to schedule (a kick in spirit; at boot the
+        // machine is idle and this is the first event).
+        self.machine
+            .schedule_wakeup(self.machine.now(), tok(TK_POKE, cpu as u64), Some(cpu));
+        Ok(tid)
+    }
+
+    /// Number of spawned, unfinished (non-idle) programs.
+    pub fn live_programs(&self) -> usize {
+        self.live_programs
+    }
+
+    /// A thread's scheduling state (stats, dispatch log, constraints).
+    pub fn thread_state(&self, tid: ThreadId) -> &SchedThread {
+        &self.ts[tid]
+    }
+
+    /// A CPU's local scheduler (stats, queues).
+    pub fn scheduler(&self, cpu: CpuId) -> &LocalScheduler {
+        &self.sched[cpu]
+    }
+
+    /// The group-admission timing records (Figure 10).
+    pub fn ga_timings(&self) -> &[GaTiming] {
+        &self.ga_timings
+    }
+
+    /// Group-join durations (Figure 10a).
+    pub fn join_timings(&self) -> &[(ThreadId, Nanos)] {
+        &self.join_timings
+    }
+
+    /// The group registry (inspection).
+    pub fn groups(&self) -> &GroupRegistry {
+        &self.groups
+    }
+
+    /// Create a named group from host context (boot-time setup). Threads
+    /// can also create groups themselves via [`SysCall::GroupCreate`];
+    /// pre-creating avoids creation-order races when several gangs boot
+    /// concurrently.
+    pub fn create_group(&mut self, name: &'static str) -> GroupId {
+        self.groups.create(name).expect("group registry full")
+    }
+
+    /// Per-CPU task queues (inspection).
+    pub fn tasks(&self, cpu: CpuId) -> &TaskQueues {
+        &self.tasks[cpu]
+    }
+
+    /// Pin a device interrupt to a CPU (§3.5).
+    pub fn steer_irq(&mut self, irq: u8, cpu: CpuId) {
+        self.steering.steer(irq, cpu);
+    }
+
+    /// Start recording an execution timeline (at most `cap` spans).
+    pub fn record_timeline(&mut self, cap: usize) {
+        self.timeline = Some(crate::timeline::Timeline::new(
+            self.machine.n_cpus(),
+            cap,
+        ));
+    }
+
+    /// Take the recorded timeline, closing open spans at the current
+    /// true-time instant.
+    pub fn take_timeline(&mut self) -> Option<crate::timeline::Timeline> {
+        let mut t = self.timeline.take()?;
+        t.finish(self.freq.cycles_to_ns(self.machine.now()));
+        Some(t)
+    }
+
+    /// Instrument the scheduler with GPIO writes around `tid`'s activity
+    /// (pin 0), the scheduling pass (pin 1), and interrupt handling
+    /// (pin 2), reproducing the paper's parallel-port scope setup (§5.2).
+    /// Also starts the GPIO capture.
+    pub fn gpio_watch(&mut self, tid: ThreadId) {
+        self.gpio_watch = Some(tid);
+        self.machine.gpio().start_capture();
+    }
+
+    /// Raise device interrupt `irq` now, routed by the steering table.
+    pub fn raise_device_irq(&mut self, irq: u8) {
+        let cpu = self.steering.cpu_for_irq(irq);
+        self.machine.raise_irq(cpu, irq);
+    }
+
+    /// Process one machine event. Returns false when the machine is
+    /// quiescent (no events left).
+    pub fn step(&mut self) -> bool {
+        let Some((_, ev)) = self.machine.advance() else {
+            return false;
+        };
+        match ev {
+            MachineEvent::TimerInterrupt { cpu } => {
+                self.interrupt_path(cpu, InvokeReason::Timer)
+            }
+            MachineEvent::Ipi { cpu, .. } => self.interrupt_path(cpu, InvokeReason::Kick),
+            MachineEvent::DeviceInterrupt { cpu, irq } => self.device_interrupt(cpu, irq),
+            MachineEvent::OpComplete { cpu, token } => self.op_complete(cpu, token),
+            MachineEvent::Wakeup { token } => self.wakeup(token),
+        }
+        true
+    }
+
+    /// Run until the node is quiescent: every spawned program has exited
+    /// and no operations or queued tasks remain. (The machine itself may
+    /// still carry environmental events — an SMI generator never stops —
+    /// so "no events left" alone is not a usable criterion.)
+    pub fn run_until_quiescent(&mut self) {
+        loop {
+            if self.live_programs == 0
+                && self.cur_op.iter().all(|o| o.is_none())
+                && self.tasks.iter().all(|t| t.is_empty())
+            {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Run until true machine time reaches `horizon` cycles (or quiescence).
+    pub fn run_until_cycles(&mut self, horizon: Cycles) {
+        while self.machine.now() < horizon && self.step() {}
+    }
+
+    /// Run until true machine time reaches `ns` nanoseconds.
+    pub fn run_for_ns(&mut self, ns: Nanos) {
+        let horizon = self.machine.now() + self.freq.ns_to_cycles(ns);
+        self.run_until_cycles(horizon);
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupt and event paths
+    // ------------------------------------------------------------------
+
+    /// Preempt the in-flight operation on `cpu` (if any) and account it.
+    fn preempt(&mut self, cpu: CpuId) {
+        if let Some((token, remaining)) = self.machine.cancel_op(cpu) {
+            let tid = token as usize;
+            let (_, total) = self.cur_op[cpu].take().expect("op bookkeeping lost");
+            let executed = total - remaining;
+            self.sched[cpu].account(&mut self.ts[tid], executed);
+            self.threads.expect_mut(tid).cycles_used += executed;
+            if !self.threads.expect(tid).is_idle {
+                self.ts[tid].pending_compute = Some(remaining);
+            }
+        } else {
+            self.cur_op[cpu] = None;
+        }
+    }
+
+    /// The timer/kick interrupt path: preempt, charge, invoke, dispatch.
+    fn interrupt_path(&mut self, cpu: CpuId, reason: InvokeReason) {
+        self.preempt(cpu);
+        let trace = self.gpio_watch.is_some();
+        let t_irq_start = self.machine.now();
+        if trace {
+            self.machine.gpio_write_at(t_irq_start, 0b100, 0b100);
+        }
+        let cm = self.machine.cost_model().clone();
+        let c_entry = self.machine.charge(cpu, cm.irq_entry);
+        let c_other = self.machine.charge(cpu, cm.sched_other);
+        let t_pass_start = self.machine.busy_until(cpu);
+        if trace {
+            self.machine.gpio_write_at(t_pass_start, 0b010, 0b010);
+        }
+        let mut c_pass = self.machine.charge(cpu, cm.sched_pass);
+        let resident = self.sched[cpu].resident() as u64;
+        let per = self.machine.draw(cm.sched_pass_per_thread) * resident;
+        self.machine.charge_raw(cpu, per);
+        c_pass += per;
+        if trace {
+            let t = self.machine.busy_until(cpu);
+            self.machine.gpio_write_at(t, 0b010, 0);
+        }
+        let (c_switch, timer) = self.local_invoke_raw(cpu, reason, true);
+        let c_exit = self.machine.charge(cpu, cm.irq_exit);
+        self.program_timer(cpu, timer);
+        if trace {
+            let t = self.machine.busy_until(cpu);
+            self.machine.gpio_write_at(t, 0b100, 0);
+        }
+        if self.record_overheads {
+            self.sched[cpu].stats.overheads.push(crate::stats::OverheadSample {
+                irq: c_entry + c_exit,
+                other: c_other,
+                resched: c_pass,
+                switch: c_switch,
+            });
+        }
+        self.dispatch(cpu);
+    }
+
+    /// A device interrupt. Two processing modes (§3.5):
+    ///
+    /// * with a registered **interrupt thread** waiting on the line, the
+    ///   handler only acknowledges the device and wakes the thread, which
+    ///   does the real work in schedulable thread context;
+    /// * otherwise a bounded in-handler path runs to completion
+    ///   ("the allowed starting time of an interrupt is controlled,
+    ///   however the ending time is not").
+    fn device_interrupt(&mut self, cpu: CpuId, irq: u8) {
+        self.preempt(cpu);
+        let cm = self.machine.cost_model().clone();
+        self.machine.charge(cpu, cm.irq_entry);
+        let waiter = self
+            .irq_waiters
+            .get_mut(&irq)
+            .and_then(|q| q.pop_front());
+        if let Some(tid) = waiter {
+            // Acknowledge only; the interrupt thread does the processing.
+            self.machine.charge(cpu, cm.atomic_rmw);
+            self.machine.charge(cpu, cm.irq_exit);
+            self.device_irqs_handled[cpu] += 1;
+            let target_cpu = self.threads.expect(tid).cpu;
+            self.make_ready(tid);
+            if target_cpu == cpu {
+                self.local_invoke(cpu, InvokeReason::Wake, true);
+            } else {
+                self.machine.send_kick(cpu, target_cpu);
+            }
+        } else {
+            self.machine.charge(cpu, cm.device_handler);
+            self.machine.charge(cpu, cm.irq_exit);
+            self.device_irqs_handled[cpu] += 1;
+        }
+        self.dispatch(cpu);
+    }
+
+    /// A thread operation ran to completion.
+    fn op_complete(&mut self, cpu: CpuId, token: u64) {
+        let tid = token as usize;
+        let (op_tid, total) = self.cur_op[cpu].take().expect("op bookkeeping lost");
+        debug_assert_eq!(op_tid, tid);
+        self.sched[cpu].account(&mut self.ts[tid], total);
+        self.threads.expect_mut(tid).cycles_used += total;
+        self.dispatch(cpu);
+    }
+
+    /// Node-level wakeups: sleep expiries, collective releases, pokes.
+    fn wakeup(&mut self, token: u64) {
+        match tok_kind(token) {
+            TK_POKE => {
+                let cpu = tok_payload(token) as usize;
+                self.interrupt_path(cpu, InvokeReason::Kick);
+            }
+            TK_STEAL_POLL => {
+                let cpu = tok_payload(token) as usize;
+                self.steal_poll_armed[cpu] = false;
+                self.interrupt_path(cpu, InvokeReason::Kick);
+            }
+            TK_SLEEP | TK_RELEASE => {
+                let tid = tok_payload(token) as usize;
+                let cpu = self.threads.expect(tid).cpu;
+                self.preempt(cpu);
+                // Ready the thread before the scheduling pass.
+                self.make_ready(tid);
+                let cm = self.machine.cost_model().clone();
+                self.machine.charge(cpu, cm.irq_entry);
+                self.machine.charge(cpu, cm.sched_pass);
+                let (_, timer) = self.local_invoke_raw(cpu, InvokeReason::Wake, true);
+                self.machine.charge(cpu, cm.irq_exit);
+                self.program_timer(cpu, timer);
+                self.dispatch(cpu);
+            }
+            other => panic!("unknown wakeup kind {other}"),
+        }
+    }
+
+    /// Transition a blocked thread to ready and queue it.
+    fn make_ready(&mut self, tid: ThreadId) {
+        let cpu = self.threads.expect(tid).cpu;
+        let kind = self.blocked[tid].take();
+        self.threads.expect_mut(tid).state = ThreadState::Ready;
+        let now = self.wall_ns(cpu);
+        match kind {
+            Some(BlockKind::GaCollective) => {
+                // Group-admission continuations run as aperiodic work.
+                self.sched[cpu].enqueue_nonrt(tid, 0);
+            }
+            _ => {
+                let st = &mut self.ts[tid];
+                self.sched[cpu].enqueue(tid, st, now);
+            }
+        }
+    }
+
+    /// Invoke the local scheduler and program its timer in one go (for
+    /// thread-context invocations with no trailing kernel-path charges).
+    fn local_invoke(&mut self, cpu: CpuId, reason: InvokeReason, runnable: bool) -> Cycles {
+        let (c_switch, timer) = self.local_invoke_raw(cpu, reason, runnable);
+        self.program_timer(cpu, timer);
+        c_switch
+    }
+
+    /// Invoke the local scheduler. Returns the drawn context-switch cost
+    /// (0 when not switching) and the timer request, which the caller
+    /// programs via [`Node::program_timer`] *after* its final charges.
+    fn local_invoke_raw(
+        &mut self,
+        cpu: CpuId,
+        reason: InvokeReason,
+        runnable: bool,
+    ) -> (Cycles, TimerReq) {
+        let now = self.wall_ns(cpu);
+        let prev = self.sched[cpu].current;
+        let d = self.sched[cpu].invoke(now, &mut self.ts, reason, runnable);
+        let cm = self.machine.cost_model().clone();
+        let mut c_switch = 0;
+        if d.switched {
+            c_switch = self.machine.charge(cpu, cm.ctx_switch);
+            self.machine
+                .set_tpr(cpu, self.steering.tpr_for(d.next_is_rt));
+            let prev_running = self.threads.expect(d.next).state;
+            if prev_running != ThreadState::Running {
+                self.threads.expect_mut(d.next).state = ThreadState::Running;
+            }
+            // Stamp the dispatch where the paper does: when the switch
+            // actually happens, path costs (and their jitter) included.
+            if d.next != self.sched[cpu].idle {
+                let t = self.wall_ns_busy(cpu);
+                self.ts[d.next].dispatch_log.record(t);
+            }
+            if let Some(tl) = self.timeline.as_mut() {
+                let backlog = self
+                    .machine
+                    .busy_until(cpu)
+                    .saturating_sub(self.machine.now());
+                let t = self.freq.cycles_to_ns(self.machine.now() + backlog);
+                let to = if d.next == self.sched[cpu].idle {
+                    None
+                } else {
+                    Some(d.next)
+                };
+                tl.switch(cpu, to, t);
+            }
+            if let Some(watch) = self.gpio_watch {
+                // "The test thread is marked as active/inactive at the end
+                // of the scheduler pass" (§5.2): stamp at the switch point.
+                let t = self.machine.busy_until(cpu);
+                if watch == prev {
+                    self.machine.gpio_write_at(t, 0b001, 0);
+                }
+                if watch == d.next {
+                    self.machine.gpio_write_at(t, 0b001, 0b001);
+                }
+            }
+        }
+        // Inline size-tagged tasks (§3.1): only when no RT job is runnable.
+        let budget = self.sched[cpu].inline_task_budget(now, &self.ts);
+        if budget > 0 && !self.tasks[cpu].is_empty() {
+            let mut spent = 0;
+            while let Some(task) = self.tasks[cpu].pop_sized_fitting(budget - spent) {
+                self.machine.charge_raw(cpu, task.work);
+                spent += task.size.unwrap_or(task.work);
+                self.tasks[cpu].inline_completed += 1;
+                self.sched[cpu].stats.inline_tasks += 1;
+                if spent >= budget {
+                    break;
+                }
+            }
+        }
+        (
+            c_switch,
+            TimerReq {
+                exec_cycles: d.timer_exec_cycles,
+                wall_ns: d.timer_wall_ns,
+            },
+        )
+    }
+
+    /// Program (or disarm) the one-shot timer from a scheduler request.
+    ///
+    /// Execution-relative requests (slice budgets, quanta) start counting
+    /// when the dispatched thread actually resumes — after the CPU's
+    /// current kernel-path busy window — so the backlog is added, exactly
+    /// as a real kernel programs the countdown on its way out of the
+    /// handler. Wall-clock requests (arrivals, latest-start points) are
+    /// absolute and get no such adjustment. Callers invoke this *after*
+    /// their final charges.
+    fn program_timer(&mut self, cpu: CpuId, req: TimerReq) {
+        if req.exec_cycles.is_none() && req.wall_ns.is_none() {
+            self.machine.cancel_timer(cpu);
+            return;
+        }
+        let cm = self.machine.cost_model().clone();
+        self.machine.charge(cpu, cm.timer_program);
+        let backlog = self
+            .machine
+            .busy_until(cpu)
+            .saturating_sub(self.machine.now());
+        let mut delay: Option<Cycles> = req.exec_cycles.map(|c| c + backlog);
+        if let Some(at) = req.wall_ns {
+            let d = self
+                .freq
+                .ns_to_cycles(at.saturating_sub(self.wall_ns(cpu)))
+                .max(1);
+            delay = Some(delay.map_or(d, |b| b.min(d)));
+        }
+        self.machine.set_timer_cycles(cpu, delay.unwrap());
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch: run the current thread until it computes, blocks, or exits
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, cpu: CpuId) {
+        loop {
+            let tid = self.sched[cpu].current;
+            if tid == self.sched[cpu].idle {
+                self.idle_behavior(cpu);
+                return;
+            }
+            // Group-admission continuation takes precedence over the
+            // program: the thread is still inside the call.
+            if self.ga[tid].is_some() {
+                if self.ga_step(cpu, tid) {
+                    // Blocked inside the algorithm (or left the CPU).
+                    self.local_invoke(cpu, InvokeReason::Block, false);
+                    continue;
+                }
+                // Finished: fall through. The thread may now be RT-pending
+                // (not runnable); let the scheduler decide.
+                if self.sched[cpu].current != tid {
+                    continue;
+                }
+                let st = &self.ts[tid];
+                if st.is_rt() {
+                    // Anchored periodic/sporadic: wait for the arrival.
+                    let st = &mut self.ts[tid];
+                    self.sched[cpu].enqueue(tid, st, 0);
+                    // enqueue used pending queue keyed on next_arrival.
+                    self.threads.expect_mut(tid).state = ThreadState::Ready;
+                    self.local_invoke(cpu, InvokeReason::ConstraintChange, false);
+                    continue;
+                }
+            }
+            if let Some(rem) = self.ts[tid].pending_compute.take() {
+                self.begin_op(cpu, tid, rem);
+                return;
+            }
+            // Resume the program.
+            let result = std::mem::replace(&mut self.pending_result[tid], SysResult::None);
+            let mut cx = ResumeCx {
+                tid,
+                cpu,
+                now_ns: self.wall_ns(cpu),
+                result,
+            };
+            let action = self.threads.expect_mut(tid).program.resume(&mut cx);
+            match action {
+                Action::Compute(c) => {
+                    self.begin_op(cpu, tid, c);
+                    return;
+                }
+                Action::Exit => {
+                    self.thread_exit(tid);
+                    self.local_invoke(cpu, InvokeReason::Exit, false);
+                    continue;
+                }
+                Action::Call(sys) => {
+                    if self.handle_syscall(cpu, tid, sys) {
+                        // Blocked.
+                        self.local_invoke(cpu, InvokeReason::Block, false);
+                        continue;
+                    }
+                    // Not blocked; the scheduler may still have moved the
+                    // thread (yield / constraint change). Loop re-reads
+                    // `current`.
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn begin_op(&mut self, cpu: CpuId, tid: ThreadId, cycles: Cycles) {
+        debug_assert!(self.cur_op[cpu].is_none());
+        self.cur_op[cpu] = Some((tid, cycles));
+        self.machine.begin_op(cpu, cycles, tid as u64);
+    }
+
+    fn idle_behavior(&mut self, cpu: CpuId) {
+        // 0. Thread-pool maintenance: reap this CPU's exited threads.
+        self.reap(cpu);
+        // 1. Work stealing (power-of-two-choices, aperiodic threads only).
+        if self.cfg_sched.work_stealing && self.try_steal(cpu) {
+            self.local_invoke(cpu, InvokeReason::Kick, false);
+            self.dispatch(cpu);
+            return;
+        }
+        // 2. Unsized lightweight tasks (the task-exec role).
+        if let Some(task) = self.tasks[cpu].pop_unsized() {
+            self.tasks[cpu].helper_completed += 1;
+            let idle = self.sched[cpu].idle;
+            self.begin_op(cpu, idle, task.work);
+            return;
+        }
+        // 3. Arm a steal retry poll if stealable work exists elsewhere.
+        if self.cfg_sched.work_stealing && !self.steal_poll_armed[cpu] {
+            let work_somewhere = (0..self.sched.len()).any(|c| {
+                c != cpu
+                    && self.sched[c].nonrt_len() > 1
+                    && self.sched[c]
+                        .nonrt_tids()
+                        .iter()
+                        .any(|&t| !self.threads.expect(t).bound)
+            });
+            if work_somewhere {
+                self.steal_poll_armed[cpu] = true;
+                let at = self.machine.now() + self.freq.ns_to_cycles(self.steal_poll_ns);
+                self.machine
+                    .schedule_wakeup(at, tok(TK_STEAL_POLL, cpu as u64), Some(cpu));
+            }
+        }
+        // 4. Halt until the next interrupt.
+    }
+
+    /// One steal attempt: probe two random victims, steal from the longer
+    /// non-RT queue. "Only aperiodic threads can be stolen" (§3.4).
+    fn try_steal(&mut self, cpu: CpuId) -> bool {
+        let n = self.sched.len();
+        if n < 2 {
+            return false;
+        }
+        let cm = self.machine.cost_model().clone();
+        let pick = |node: &mut Self| {
+            let v = node.machine.rand_uniform(0, (n - 2) as u64) as usize;
+            if v >= cpu {
+                v + 1
+            } else {
+                v
+            }
+        };
+        let v1 = pick(self);
+        let v2 = pick(self);
+        // Probing the victims' queue lengths costs shared-line reads.
+        self.machine.charge(cpu, cm.atomic_rmw);
+        self.machine.charge(cpu, cm.atomic_rmw);
+        let victim = if self.sched[v1].nonrt_len() >= self.sched[v2].nonrt_len() {
+            v1
+        } else {
+            v2
+        };
+        // Steal only from backlogged victims: a single queued thread is
+        // about to run right there; migrating it would hurt, not help.
+        if self.sched[victim].nonrt_len() < 2 {
+            return false;
+        }
+        // Lock the victim's scheduler only once work was ascertained, and
+        // take the first *unbound* queued thread (bound threads never
+        // migrate).
+        self.machine.charge(cpu, cm.atomic_rmw_contended);
+        let candidate = self.sched[victim]
+            .nonrt_tids()
+            .into_iter()
+            .find(|&t| !self.threads.expect(t).bound);
+        let Some(tid) = candidate else {
+            return false;
+        };
+        self.sched[victim].dequeue(tid);
+        self.threads.expect_mut(tid).cpu = cpu;
+        let now = self.wall_ns(cpu);
+        let st = &mut self.ts[tid];
+        self.sched[cpu].enqueue(tid, st, now);
+        self.sched[cpu].stats.steals += 1;
+        true
+    }
+
+    fn thread_exit(&mut self, tid: ThreadId) {
+        let cpu = self.threads.expect(tid).cpu;
+        // A job that completed in the thread's final instants still counts.
+        let now = self.wall_ns(cpu);
+        {
+            let st = &mut self.ts[tid];
+            self.sched[cpu].finalize_exit(st, now);
+        }
+        // Release any admitted constraints.
+        self.sched[cpu].load.release(&self.ts[tid].constraints);
+        self.sched[cpu].dequeue(tid);
+        self.threads.expect_mut(tid).state = ThreadState::Exited;
+        if let Some(stack) = self.threads.expect(tid).stack {
+            self.alloc.free(stack);
+            self.threads.expect_mut(tid).stack = None;
+        }
+        self.zombies[cpu].push(tid);
+        self.live_programs -= 1;
+    }
+
+    /// Reap exited threads bound to `cpu`: return their table slots to the
+    /// pool. Bounded batch per idle pass, so the time under the scheduler
+    /// lock stays bounded (§3.4).
+    fn reap(&mut self, cpu: CpuId) -> usize {
+        let cm = self.machine.cost_model().clone();
+        let mut reaped = 0;
+        while reaped < 8 {
+            let Some(tid) = self.zombies[cpu].pop() else {
+                break;
+            };
+            self.machine.charge(cpu, cm.atomic_rmw);
+            self.threads.reap(tid);
+            reaped += 1;
+        }
+        reaped
+    }
+
+    // ------------------------------------------------------------------
+    // Syscalls
+    // ------------------------------------------------------------------
+
+    /// Model a serialized contended operation (a lock or contended RMW on
+    /// a shared line): the caller queues behind earlier holders. Returns
+    /// the total time charged to the caller.
+    fn serialize_on(&mut self, key: u64, hold: Cycles) -> Cycles {
+        let now = self.machine.now();
+        let until = self.serial_until.entry(key).or_insert(0);
+        let start = (*until).max(now);
+        let wait = start - now;
+        *until = start + hold;
+        wait + hold
+    }
+
+    /// Handle a syscall; returns true if the thread blocked.
+    fn handle_syscall(&mut self, cpu: CpuId, tid: ThreadId, sys: SysCall) -> bool {
+        let cm = self.machine.cost_model().clone();
+        match sys {
+            SysCall::Yield => {
+                self.pending_result[tid] = SysResult::None;
+                self.local_invoke(cpu, InvokeReason::Yield, true);
+                false
+            }
+            SysCall::WaitNextPeriod => {
+                self.pending_result[tid] = SysResult::None;
+                {
+                    let st = &mut self.ts[tid];
+                    if st.is_rt() && st.job_active {
+                        // The job is done for this period; the scheduling
+                        // pass below records it complete and re-pends the
+                        // thread at its next arrival.
+                        st.remaining_cycles = 0;
+                    }
+                }
+                self.local_invoke(cpu, InvokeReason::Yield, true);
+                false
+            }
+            SysCall::SleepNs(ns) => {
+                self.block(tid, BlockKind::Sleep, WaitKind::Sleep);
+                let at = self.machine.now() + self.freq.ns_to_cycles(ns);
+                self.machine
+                    .schedule_wakeup(at, tok(TK_SLEEP, tid as u64), Some(cpu));
+                true
+            }
+            SysCall::ReadClock => {
+                self.machine.charge(cpu, cm.spin_check);
+                self.pending_result[tid] = SysResult::Clock(self.wall_ns(cpu));
+                false
+            }
+            SysCall::ChangeConstraints(c) => {
+                self.machine.charge(cpu, cm.admission_local);
+                let now = self.wall_ns(cpu);
+                let res = {
+                    let st = &mut self.ts[tid];
+                    self.sched[cpu].change_constraints(tid, st, c, now, true)
+                };
+                self.pending_result[tid] = SysResult::Admission(res);
+                self.local_invoke(cpu, InvokeReason::ConstraintChange, true);
+                false
+            }
+            SysCall::GroupCreate { name } => {
+                self.machine.charge(cpu, cm.atomic_rmw);
+                let res = self.groups.create(name);
+                self.pending_result[tid] = SysResult::Group(res);
+                false
+            }
+            SysCall::GroupJoin(gid) => {
+                let t0 = self.wall_ns(cpu);
+                let hold = self.machine.draw(cm.atomic_rmw_contended);
+                let dur = self.serialize_on(0x10_0000 + gid.0 as u64, hold);
+                self.machine.charge_raw(cpu, dur);
+                let res = self.groups.join(gid, tid).map(|_| gid);
+                let t1 = self.wall_ns(cpu) + self.freq.cycles_to_ns(dur);
+                self.join_timings.push((tid, t1 - t0));
+                self.pending_result[tid] = SysResult::Group(res);
+                false
+            }
+            SysCall::GroupLeave(gid) => {
+                let hold = self.machine.draw(cm.atomic_rmw_contended);
+                let dur = self.serialize_on(0x10_0000 + gid.0 as u64, hold);
+                self.machine.charge_raw(cpu, dur);
+                let res = self.groups.leave(gid, tid).map(|_| gid);
+                self.pending_result[tid] = SysResult::Group(res);
+                false
+            }
+            SysCall::GroupSize(gid) => {
+                self.machine.charge(cpu, cm.atomic_rmw);
+                let len = self.groups.get(gid).map(|g| g.len() as u64).unwrap_or(0);
+                self.pending_result[tid] = SysResult::Value(len);
+                false
+            }
+            SysCall::GroupBarrier(gid) => self.group_barrier(cpu, tid, gid, BlockKind::Barrier),
+            SysCall::GroupElect(gid) => {
+                self.group_collective(cpu, tid, gid, CollKind::Elect, tid as u64)
+            }
+            SysCall::GroupReduceMax { group, value } => {
+                self.group_collective(cpu, tid, group, CollKind::Reduce, value)
+            }
+            SysCall::GroupBroadcast { group, value } => {
+                self.group_collective(cpu, tid, group, CollKind::Broadcast, value)
+            }
+            SysCall::GroupChangeConstraints { group, constraints } => {
+                let now = self.wall_ns_busy(cpu);
+                self.ga[tid] = Some(GaCtx {
+                    group,
+                    constraints,
+                    phase: GaPhase::Start,
+                    leader: usize::MAX,
+                    my_error: 0,
+                    group_error: 0,
+                    admitted_here: false,
+                    order: 0,
+                    n: 0,
+                    delta_ns: 0,
+                    t_call: now,
+                    t_elect: 0,
+                    local_admit_ns: 0,
+                    t_reduce: 0,
+                });
+                if self.ga_step(cpu, tid) {
+                    self.local_invoke(cpu, InvokeReason::Block, false);
+                }
+                false
+            }
+            SysCall::WaitIrq(irq) => {
+                self.machine.charge(cpu, cm.atomic_rmw);
+                self.block(tid, BlockKind::Irq, WaitKind::Idle);
+                self.irq_waiters.entry(irq).or_default().push_back(tid);
+                true
+            }
+            SysCall::TaskSpawn { size, work } => {
+                self.machine.charge(cpu, cm.atomic_rmw);
+                let id = self.tasks[cpu].spawn(size, work).map(|t| t.0).unwrap_or(u64::MAX);
+                self.pending_result[tid] = SysResult::Value(id);
+                false
+            }
+            SysCall::GpioSet { pin, high } => {
+                self.machine
+                    .gpio_write(1 << pin, if high { 1 << pin } else { 0 });
+                false
+            }
+        }
+    }
+
+    fn block(&mut self, tid: ThreadId, kind: BlockKind, wait: WaitKind) {
+        self.blocked[tid] = Some(kind);
+        self.threads.expect_mut(tid).state = ThreadState::Waiting(wait);
+    }
+
+    /// Plain group barrier syscall: arrive; completer proceeds, the rest
+    /// wake at their staggered departures.
+    fn group_barrier(&mut self, cpu: CpuId, tid: ThreadId, gid: GroupId, kind: BlockKind) -> bool {
+        let cm = self.machine.cost_model().clone();
+        let hold = self.machine.draw(cm.atomic_rmw_contended);
+        let dur = self.serialize_on(0x20_0000 + gid.0 as u64, hold);
+        self.machine.charge_raw(cpu, dur);
+        let Ok(group) = self.groups.get_mut(gid) else {
+            self.pending_result[tid] = SysResult::Group(Err(GroupError::NotFound));
+            return false;
+        };
+        let mut rng = nautix_des::DetRng::seed_from(
+            0x5EED ^ self.machine.now() ^ (gid.0 as u64) << 32,
+        );
+        match group.barrier.arrive(tid, &mut rng, cm.barrier_release_stagger) {
+            BarrierOutcome::Wait => {
+                self.block(tid, kind, WaitKind::Barrier);
+                true
+            }
+            BarrierOutcome::Release(rs) => {
+                self.schedule_barrier_releases(tid, &rs);
+                self.pending_result[tid] = SysResult::None;
+                false
+            }
+        }
+    }
+
+    /// Releases depart from the *end* of the completer's (serialized)
+    /// arrival — the instant its RMW actually lands on the shared line —
+    /// not from the event timestamp at which the charge was issued.
+    fn release_base(&self, completer_cpu: CpuId) -> Cycles {
+        self.machine.busy_until(completer_cpu).max(self.machine.now())
+    }
+
+    fn schedule_barrier_releases(&mut self, completer: ThreadId, rs: &[nautix_kernel::Release]) {
+        let base = self.release_base(self.threads.expect(completer).cpu);
+        for r in rs {
+            if r.tid == completer {
+                continue;
+            }
+            let cpu = self.threads.expect(r.tid).cpu;
+            self.pending_result[r.tid] = SysResult::None;
+            self.machine
+                .schedule_wakeup(base + r.delay, tok(TK_RELEASE, r.tid as u64), Some(cpu));
+        }
+    }
+
+    fn group_collective(
+        &mut self,
+        cpu: CpuId,
+        tid: ThreadId,
+        gid: GroupId,
+        kind: CollKind,
+        value: u64,
+    ) -> bool {
+        let cm = self.machine.cost_model().clone();
+        let hold = self.machine.draw(cm.atomic_rmw_contended);
+        let dur = self.serialize_on(0x30_0000 + ((kind as u64) << 32) + gid.0 as u64, hold);
+        self.machine.charge_raw(cpu, dur);
+        let leader = self
+            .groups
+            .get(gid)
+            .ok()
+            .and_then(|g| g.members().first().copied())
+            .unwrap_or(tid);
+        let Ok(group) = self.groups.get_mut(gid) else {
+            self.pending_result[tid] = SysResult::Group(Err(GroupError::NotFound));
+            return false;
+        };
+        let coll = match kind {
+            CollKind::Elect => &mut group.election,
+            CollKind::Reduce => &mut group.reduction,
+            CollKind::Broadcast => &mut group.broadcast,
+        };
+        let decision = match kind {
+            CollKind::Elect => GDecision::Min,
+            CollKind::Reduce => GDecision::Max,
+            CollKind::Broadcast => GDecision::Of(leader),
+        };
+        let mut rng = nautix_des::DetRng::seed_from(
+            0xC0_11EC ^ self.machine.now() ^ (gid.0 as u64) << 32,
+        );
+        match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
+            CollectiveOutcome::Wait => {
+                self.block(tid, BlockKind::Collective, WaitKind::Group);
+                true
+            }
+            CollectiveOutcome::Complete(rs) => {
+                self.schedule_collective_releases(tid, &rs, BlockKind::Collective);
+                self.pending_result[tid] = SysResult::Value(rs[0].result);
+                false
+            }
+        }
+    }
+
+    fn schedule_collective_releases(
+        &mut self,
+        completer: ThreadId,
+        rs: &[CollectiveRelease],
+        _kind: BlockKind,
+    ) {
+        let base = self.release_base(self.threads.expect(completer).cpu);
+        for r in rs {
+            if r.tid == completer {
+                continue;
+            }
+            let cpu = self.threads.expect(r.tid).cpu;
+            self.pending_result[r.tid] = SysResult::Value(r.result);
+            self.machine
+                .schedule_wakeup(base + r.delay, tok(TK_RELEASE, r.tid as u64), Some(cpu));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Group admission control: Algorithm 1 (§4.3) + phase correction (§4.4)
+    // ------------------------------------------------------------------
+
+    /// Advance `tid`'s group-admission continuation. Returns true if the
+    /// thread blocked.
+    fn ga_step(&mut self, cpu: CpuId, tid: ThreadId) -> bool {
+        loop {
+            let phase = self.ga[tid].as_ref().expect("ga context").phase;
+            match phase {
+                GaPhase::Start => {
+                    // conduct leader election
+                    match self.ga_collective(cpu, tid, GaColl::Elect, tid as u64) {
+                        None => return true,
+                        Some(leader) => {
+                            let now = self.wall_ns_busy(cpu);
+                            let ctx = self.ga[tid].as_mut().unwrap();
+                            ctx.leader = leader as usize;
+                            ctx.t_elect = now;
+                            ctx.phase = GaPhase::AfterElect;
+                        }
+                    }
+                }
+                GaPhase::AfterElect => {
+                    // One-shot side effects: the leader locks the group and
+                    // attaches the constraints; then everyone proceeds to
+                    // the (re-entrant) barrier state.
+                    let ctx = self.ga[tid].as_ref().unwrap().clone();
+                    if ctx.leader == tid {
+                        // lock group; attach constraints to group
+                        let cm = self.machine.cost_model().clone();
+                        self.machine.charge(cpu, cm.atomic_rmw);
+                        self.machine.charge(cpu, cm.atomic_rmw);
+                        let g = self.groups.get_mut(ctx.group).expect("group vanished");
+                        g.lock(tid).expect("leader lock contention");
+                        g.attached = Some(ctx.constraints);
+                    }
+                    self.ga[tid].as_mut().unwrap().phase = GaPhase::Barrier1;
+                }
+                GaPhase::Barrier1 => {
+                    // execute group barrier
+                    match self.ga_barrier(cpu, tid) {
+                        None => return true,
+                        Some(_) => {
+                            self.ga[tid].as_mut().unwrap().phase = GaPhase::AfterBarrier1;
+                        }
+                    }
+                }
+                GaPhase::AfterBarrier1 => {
+                    // One-shot: conduct local admission control (in thread
+                    // context, with the leader-attached constraints). The
+                    // ledger is touched exactly once per call — re-entry
+                    // happens only in the Reducing state below.
+                    let cm = self.machine.cost_model().clone();
+                    let t0 = self.machine.now();
+                    self.machine.charge(cpu, cm.admission_local);
+                    let dur = self.machine.busy_until(cpu).saturating_sub(t0);
+                    let gid = self.ga[tid].as_ref().unwrap().group;
+                    let attached = self
+                        .groups
+                        .get(gid)
+                        .ok()
+                        .and_then(|g| g.attached)
+                        .expect("leader attached constraints");
+                    let old = self.ts[tid].constraints;
+                    let cfg = *self.sched[cpu].config();
+                    self.sched[cpu].load.release(&old);
+                    let err = match self.sched[cpu].load.admit(&cfg, &attached) {
+                        Ok(()) => {
+                            let ctx = self.ga[tid].as_mut().unwrap();
+                            ctx.admitted_here = true;
+                            ctx.constraints = attached;
+                            0
+                        }
+                        Err(e) => {
+                            if std::env::var_os("NAUTIX_GA_DEBUG").is_some() {
+                                eprintln!("GA: tid {tid} cpu {cpu} admission failed: {e:?} (attached {attached:?})");
+                            }
+                            self.sched[cpu]
+                                .load
+                                .admit(&cfg, &old)
+                                .expect("re-admit old constraints");
+                            admission_error_code(e)
+                        }
+                    };
+                    {
+                        let ctx = self.ga[tid].as_mut().unwrap();
+                        ctx.my_error = err;
+                        ctx.local_admit_ns = self.freq.cycles_to_ns(dur);
+                        ctx.phase = GaPhase::Reducing;
+                    }
+                }
+                GaPhase::Reducing => {
+                    // execute group reduction over errors
+                    let err = self.ga[tid].as_ref().unwrap().my_error;
+                    match self.ga_collective(cpu, tid, GaColl::Reduce, err) {
+                        None => return true,
+                        Some(group_err) => {
+                            let now = self.wall_ns_busy(cpu);
+                            let ctx = self.ga[tid].as_mut().unwrap();
+                            ctx.group_error = group_err;
+                            ctx.t_reduce = now;
+                            ctx.phase = GaPhase::AfterReduce;
+                        }
+                    }
+                }
+                GaPhase::AfterReduce => {
+                    // One-shot: commit to the final barrier, or roll the
+                    // ledger back and fall back to aperiodic constraints.
+                    let ctx = self.ga[tid].as_ref().unwrap().clone();
+                    if ctx.group_error != 0 {
+                        // if any local admission control failed then
+                        // readmit myself using default constraints
+                        let cm = self.machine.cost_model().clone();
+                        self.machine.charge(cpu, cm.admission_local);
+                        if ctx.admitted_here {
+                            self.sched[cpu].load.release(&ctx.constraints);
+                        } else {
+                            self.sched[cpu].load.release(&self.ts[tid].constraints);
+                        }
+                        let fallback = Constraints::default_aperiodic();
+                        let cfg = *self.sched[cpu].config();
+                        self.sched[cpu]
+                            .load
+                            .admit(&cfg, &fallback)
+                            .expect("aperiodic admission cannot fail");
+                        self.ts[tid].constraints = fallback;
+                        self.ts[tid].job_active = false;
+                        self.ga[tid].as_mut().unwrap().phase = GaPhase::FallbackBarrier;
+                    } else {
+                        self.ga[tid].as_mut().unwrap().phase = GaPhase::FinalBarrier;
+                    }
+                }
+                GaPhase::FallbackBarrier => {
+                    // execute group barrier
+                    match self.ga_barrier(cpu, tid) {
+                        None => return true,
+                        Some(_) => {
+                            self.ga[tid].as_mut().unwrap().phase =
+                                GaPhase::AfterFallbackBarrier;
+                        }
+                    }
+                }
+                GaPhase::FinalBarrier => {
+                    // execute group barrier and get my release order
+                    match self.ga_barrier(cpu, tid) {
+                        None => return true,
+                        Some(_) => {
+                            self.ga[tid].as_mut().unwrap().phase =
+                                GaPhase::AfterFinalBarrier;
+                        }
+                    }
+                }
+                GaPhase::AfterFallbackBarrier => {
+                    let ctx = self.ga[tid].as_ref().unwrap().clone();
+                    if ctx.leader == tid {
+                        let g = self.groups.get_mut(ctx.group).expect("group vanished");
+                        g.attached = None;
+                        g.unlock(tid).expect("leader unlock");
+                    }
+                    self.pending_result[tid] =
+                        SysResult::Admission(Err(AdmissionError::GroupMemberRejected));
+                    self.finish_ga(tid, false);
+                    return false;
+                }
+                GaPhase::AfterFinalBarrier => {
+                    // phase correct my schedule based on my release order
+                    let ctx = self.ga[tid].as_ref().unwrap().clone();
+                    let now = self.wall_ns_busy(cpu);
+                    let corrected = nautix_groups::correct_constraints(
+                        ctx.constraints,
+                        ctx.order,
+                        ctx.n.max(1),
+                        ctx.delta_ns,
+                    );
+                    {
+                        let st = &mut self.ts[tid];
+                        st.constraints = corrected;
+                        st.job_active = false;
+                        st.job_started = false;
+                        st.job_blocked = false;
+                        self.sched[cpu].anchor(st, now);
+                    }
+                    if ctx.leader == tid {
+                        let g = self.groups.get_mut(ctx.group).expect("group vanished");
+                        g.unlock(tid).expect("leader unlock");
+                    }
+                    self.pending_result[tid] = SysResult::Admission(Ok(()));
+                    if self.record_ga_timing {
+                        let c = self.ga[tid].as_ref().unwrap();
+                        self.ga_timings.push(GaTiming {
+                            tid,
+                            n: c.n,
+                            t_call: c.t_call,
+                            t_elect: c.t_elect,
+                            local_admit_ns: c.local_admit_ns,
+                            t_reduce: c.t_reduce,
+                            t_done: now,
+                        });
+                    }
+                    self.finish_ga(tid, true);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn finish_ga(&mut self, tid: ThreadId, success: bool) {
+        if !success
+            && self.record_ga_timing {
+                let c = self.ga[tid].as_ref().unwrap();
+                let cpu = self.threads.expect(tid).cpu;
+                let now = self.wall_ns_busy(cpu);
+                self.ga_timings.push(GaTiming {
+                    tid,
+                    n: c.n,
+                    t_call: c.t_call,
+                    t_elect: c.t_elect,
+                    local_admit_ns: c.local_admit_ns,
+                    t_reduce: c.t_reduce,
+                    t_done: now,
+                });
+            }
+        self.ga[tid] = None;
+    }
+
+    /// A collective arrival inside group admission. Returns the result if
+    /// the thread proceeded, or None if it blocked.
+    fn ga_collective(&mut self, cpu: CpuId, tid: ThreadId, which: GaColl, value: u64) -> Option<u64> {
+        // If a previous release delivered the result, consume it.
+        if let SysResult::Value(v) =
+            std::mem::replace(&mut self.pending_result[tid], SysResult::None)
+        {
+            return Some(v);
+        }
+        let gid = self.ga[tid].as_ref().unwrap().group;
+        let cm = self.machine.cost_model().clone();
+        let hold = self.machine.draw(cm.atomic_rmw_contended);
+        let dur = self.serialize_on(0x40_0000 + ((which as u64) << 32) + gid.0 as u64, hold);
+        self.machine.charge_raw(cpu, dur);
+        let group = self.groups.get_mut(gid).expect("group vanished");
+        let coll = match which {
+            GaColl::Elect => &mut group.election,
+            GaColl::Reduce => &mut group.reduction,
+        };
+        let decision = match which {
+            GaColl::Elect => GDecision::Min,
+            GaColl::Reduce => GDecision::Max,
+        };
+        let mut rng = nautix_des::DetRng::seed_from(
+            0x6A ^ self.machine.now() ^ (gid.0 as u64) << 32,
+        );
+        match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
+            CollectiveOutcome::Wait => {
+                self.block(tid, BlockKind::GaCollective, WaitKind::Group);
+                None
+            }
+            CollectiveOutcome::Complete(rs) => {
+                self.schedule_collective_releases(tid, &rs, BlockKind::GaCollective);
+                Some(rs[0].result)
+            }
+        }
+    }
+
+    /// A barrier arrival inside group admission. Returns Some(()) when the
+    /// thread proceeded (release order and δ recorded in its context).
+    fn ga_barrier(&mut self, cpu: CpuId, tid: ThreadId) -> Option<()> {
+        if let SysResult::Value(_) =
+            std::mem::replace(&mut self.pending_result[tid], SysResult::None)
+        {
+            return Some(());
+        }
+        let gid = self.ga[tid].as_ref().unwrap().group;
+        let cm = self.machine.cost_model().clone();
+        let hold = self.machine.draw(cm.atomic_rmw_contended);
+        let dur = self.serialize_on(0x50_0000 + gid.0 as u64, hold);
+        self.machine.charge_raw(cpu, dur);
+        let group = self.groups.get_mut(gid).expect("group vanished");
+        let mut rng = nautix_des::DetRng::seed_from(
+            0xBA44 ^ self.machine.now() ^ (gid.0 as u64) << 32,
+        );
+        match group.barrier.arrive(tid, &mut rng, cm.barrier_release_stagger) {
+            BarrierOutcome::Wait => {
+                self.block(tid, BlockKind::GaCollective, WaitKind::Barrier);
+                None
+            }
+            BarrierOutcome::Release(rs) => {
+                // Record release order and measured δ for every member.
+                let delays_ns: Vec<Nanos> =
+                    rs.iter().map(|r| self.freq.cycles_to_ns(r.delay)).collect();
+                let delta = if self.phase_correction {
+                    estimate_delta(&delays_ns)
+                } else {
+                    0
+                };
+                let n = rs.len();
+                let base = self.release_base(cpu);
+                for r in &rs {
+                    if let Some(ctx) = self.ga[r.tid].as_mut() {
+                        ctx.order = r.order;
+                        ctx.n = n;
+                        ctx.delta_ns = delta;
+                    }
+                    if r.tid != tid {
+                        let cpu_r = self.threads.expect(r.tid).cpu;
+                        self.pending_result[r.tid] = SysResult::Value(1);
+                        self.machine.schedule_wakeup(
+                            base + r.delay,
+                            tok(TK_RELEASE, r.tid as u64),
+                            Some(cpu_r),
+                        );
+                    }
+                }
+                Some(())
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollKind {
+    Elect = 0,
+    Reduce = 1,
+    Broadcast = 2,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GaColl {
+    Elect = 0,
+    Reduce = 1,
+}

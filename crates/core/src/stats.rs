@@ -1,0 +1,256 @@
+//! Scheduler statistics: what the evaluation measures.
+//!
+//! Every figure in §5 is computed from one of these records: per-thread
+//! deadline outcomes (Figures 6–9), per-CPU overhead breakdowns
+//! (Figure 5), and per-thread dispatch timestamps (Figures 11–12).
+
+use nautix_des::{Cycles, Nanos, OnlineStats, Summary};
+
+/// Per-thread real-time accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadRtStats {
+    /// Jobs that arrived (periodic arrivals or the sporadic burst).
+    pub arrivals: u64,
+    /// Jobs whose slice completed by the deadline.
+    pub met: u64,
+    /// Jobs that completed late.
+    pub missed: u64,
+    /// How late the late jobs were, in nanoseconds.
+    pub miss_times: OnlineStats,
+    /// Total execution received, in cycles.
+    pub executed_cycles: Cycles,
+    /// Context switches *to* this thread.
+    pub dispatches: u64,
+}
+
+impl ThreadRtStats {
+    /// Deadline miss rate in [0, 1] over completed jobs.
+    pub fn miss_rate(&self) -> f64 {
+        let done = self.met + self.missed;
+        if done == 0 {
+            0.0
+        } else {
+            self.missed as f64 / done as f64
+        }
+    }
+
+    /// Summary of miss times (ns).
+    pub fn miss_time_summary(&self) -> Summary {
+        self.miss_times.summary()
+    }
+}
+
+/// One local-scheduler invocation's overhead breakdown (Figure 5):
+/// interrupt entry/exit, everything-else bookkeeping, the scheduling pass,
+/// and the context switch, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadSample {
+    /// Interrupt entry + exit.
+    pub irq: Cycles,
+    /// Bookkeeping around the pass ("Other").
+    pub other: Cycles,
+    /// The scheduling pass ("Resched").
+    pub resched: Cycles,
+    /// The context switch ("Switch"); zero when the same thread continues.
+    pub switch: Cycles,
+}
+
+impl OverheadSample {
+    /// Total software overhead of the invocation.
+    pub fn total(&self) -> Cycles {
+        self.irq + self.other + self.resched + self.switch
+    }
+}
+
+/// Per-CPU scheduler counters and samples.
+#[derive(Debug, Default)]
+pub struct CpuSchedStats {
+    /// Local scheduler invocations.
+    pub invocations: u64,
+    /// Timer-interrupt invocations specifically.
+    pub timer_invocations: u64,
+    /// Kick-IPI invocations.
+    pub kick_invocations: u64,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Threads stolen *by* this CPU's work stealer.
+    pub steals: u64,
+    /// Overhead samples, recorded when sampling is enabled.
+    pub overheads: Vec<OverheadSample>,
+    /// Size-tagged tasks executed inline by the scheduler.
+    pub inline_tasks: u64,
+}
+
+impl CpuSchedStats {
+    /// Summaries of each overhead component across samples.
+    pub fn overhead_summaries(&self) -> OverheadBreakdown {
+        let mut irq = OnlineStats::new();
+        let mut other = OnlineStats::new();
+        let mut resched = OnlineStats::new();
+        let mut switch = OnlineStats::new();
+        for s in &self.overheads {
+            irq.push(s.irq);
+            other.push(s.other);
+            resched.push(s.resched);
+            if s.switch > 0 {
+                switch.push(s.switch);
+            }
+        }
+        OverheadBreakdown {
+            irq: irq.summary(),
+            other: other.summary(),
+            resched: resched.summary(),
+            switch: switch.summary(),
+        }
+    }
+}
+
+/// Summaries of the four Figure-5 overhead components.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadBreakdown {
+    /// Interrupt entry + exit.
+    pub irq: Summary,
+    /// Bookkeeping ("Other").
+    pub other: Summary,
+    /// Scheduling pass ("Resched").
+    pub resched: Summary,
+    /// Context switch ("Switch"), over invocations that switched.
+    pub switch: Summary,
+}
+
+/// A bounded log of dispatch timestamps for one thread, used by the
+/// group-synchronization figures: entry k is the wall-clock time (ns) at
+/// which the thread was switched in for the k-th time.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchLog {
+    times: Vec<Nanos>,
+    cap: usize,
+}
+
+impl DispatchLog {
+    /// A log holding at most `cap` entries (0 disables logging).
+    pub fn with_capacity(cap: usize) -> Self {
+        DispatchLog {
+            times: Vec::with_capacity(cap.min(1 << 20)),
+            cap,
+        }
+    }
+
+    /// Record a dispatch, dropping entries past the cap.
+    pub fn record(&mut self, at: Nanos) {
+        if self.times.len() < self.cap {
+            self.times.push(at);
+        }
+    }
+
+    /// The recorded timestamps.
+    pub fn times(&self) -> &[Nanos] {
+        &self.times
+    }
+
+    /// Number recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Given one dispatch log per group member, the per-index spread:
+/// `max_i(t[k][i]) - min_i(t[k][i])` for each invocation index k present in
+/// all logs. This is exactly what Figures 11 and 12 plot.
+pub fn dispatch_spreads(logs: &[&DispatchLog]) -> Vec<u64> {
+    let Some(min_len) = logs.iter().map(|l| l.len()).min() else {
+        return Vec::new();
+    };
+    (0..min_len)
+        .map(|k| {
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            for l in logs {
+                let t = l.times()[k];
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            hi - lo
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_arithmetic() {
+        let mut s = ThreadRtStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.met = 3;
+        s.missed = 1;
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_sample_total() {
+        let s = OverheadSample {
+            irq: 1000,
+            other: 500,
+            resched: 3000,
+            switch: 900,
+        };
+        assert_eq!(s.total(), 5400);
+    }
+
+    #[test]
+    fn switch_summary_skips_non_switching_invocations() {
+        let mut c = CpuSchedStats::default();
+        c.overheads.push(OverheadSample {
+            irq: 1,
+            other: 1,
+            resched: 1,
+            switch: 0,
+        });
+        c.overheads.push(OverheadSample {
+            irq: 1,
+            other: 1,
+            resched: 1,
+            switch: 10,
+        });
+        let b = c.overhead_summaries();
+        assert_eq!(b.irq.n, 2);
+        assert_eq!(b.switch.n, 1);
+        assert_eq!(b.switch.mean, 10.0);
+    }
+
+    #[test]
+    fn dispatch_log_respects_cap() {
+        let mut l = DispatchLog::with_capacity(2);
+        l.record(1);
+        l.record(2);
+        l.record(3);
+        assert_eq!(l.times(), &[1, 2]);
+    }
+
+    #[test]
+    fn spreads_are_max_minus_min_per_index() {
+        let mut a = DispatchLog::with_capacity(10);
+        let mut b = DispatchLog::with_capacity(10);
+        let mut c = DispatchLog::with_capacity(10);
+        for k in 0..3u64 {
+            a.record(1000 * k + 5);
+            b.record(1000 * k);
+            c.record(1000 * k + 17);
+        }
+        b.record(9999); // extra entry in one log is ignored
+        let spreads = dispatch_spreads(&[&a, &b, &c]);
+        assert_eq!(spreads, vec![17, 17, 17]);
+    }
+
+    #[test]
+    fn spreads_of_empty_input() {
+        assert!(dispatch_spreads(&[]).is_empty());
+    }
+}

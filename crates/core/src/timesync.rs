@@ -1,0 +1,203 @@
+//! Boot-time cross-CPU time synchronization (§3.4).
+//!
+//! "At boot time, the local schedulers interact via a barrier-like
+//! mechanism to estimate the phase of each CPU's cycle counter relative to
+//! the first CPU's cycle counter, which is defined as being synchronized to
+//! wall clock time. ... In machines that support it, we write the cycle
+//! counter with predicted values to account for the phase difference. ...
+//! As both the phase measurement and cycle counter updates happen using
+//! instruction sequences whose own granularity is larger than a cycle, the
+//! calibration does necessarily have an error, which we then estimate and
+//! account for."
+//!
+//! The estimator below is the classic one-way-timestamp exchange with
+//! min-filtering: CPU 0 publishes its counter through a shared cache line;
+//! the peer timestamps the observation; the offset estimate is the
+//! difference minus the nominal propagation delay. The minimum over many
+//! rounds suppresses most of the (one-sided) propagation jitter; what
+//! remains — and the slop of the TSC write itself — is the residual error
+//! Figure 3 histograms at under ~1000 cycles across 256 CPUs.
+
+use nautix_des::{Cycles, Histogram, Summary};
+use nautix_hw::{CpuId, Machine};
+
+/// Outcome of calibrating one node.
+#[derive(Debug, Clone)]
+pub struct TimeSync {
+    /// Per-CPU wall-clock correction, in cycles: subtract this from the
+    /// CPU's TSC to get wall-clock cycles. Zero where the TSC was written
+    /// directly.
+    pub correction: Vec<i64>,
+    /// Residual error vs. ground truth, per CPU (cycles, absolute).
+    /// Available only because the simulator knows the true offsets —
+    /// exactly the external view Figure 3 needs.
+    pub residual: Vec<u64>,
+}
+
+impl TimeSync {
+    /// Identity sync for a machine treated as perfectly synchronized.
+    pub fn perfect(n_cpus: usize) -> Self {
+        TimeSync {
+            correction: vec![0; n_cpus],
+            residual: vec![0; n_cpus],
+        }
+    }
+
+    /// Residual summary across CPUs (excluding CPU 0, the reference).
+    pub fn residual_summary(&self) -> Summary {
+        Summary::of(&self.residual[1..self.residual.len().max(1)])
+    }
+
+    /// Residual histogram, Figure-3 style: bins of `width` cycles from 0.
+    pub fn residual_histogram(&self, width: u64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(0, width, bins);
+        for &r in &self.residual[1..] {
+            h.record(r);
+        }
+        h
+    }
+}
+
+/// Estimate CPU `peer`'s TSC offset relative to CPU 0 with `rounds`
+/// one-way exchanges, min-filtered.
+fn estimate_offset(m: &mut Machine, peer: CpuId, rounds: u32) -> i64 {
+    let transfer = m.cost_model().barrier_release_stagger;
+    let gran = m.cost_model().tsc_read_granularity;
+    let nominal = (transfer.base + transfer.jitter / 2 + gran.base) as i64;
+    let mut best: Option<i64> = None;
+    for _ in 0..rounds {
+        let t0 = m.read_tsc(0) as i64;
+        // The peer observes the publication one propagation delay later and
+        // timestamps it with read-granularity slop.
+        let delay = (m.draw(transfer) + m.draw(gran)) as i64;
+        let t_peer = m.read_tsc(peer) as i64 + delay;
+        let est = t_peer - t0 - nominal;
+        best = Some(match best {
+            None => est,
+            // The smallest |estimate| corresponds to the round with the
+            // least propagation jitter.
+            Some(b) => {
+                if est.abs() < b.abs() {
+                    est
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.unwrap_or(0)
+}
+
+/// Run the boot-time calibration on every CPU. Where the hardware supports
+/// TSC writes the counters themselves are corrected (correction 0);
+/// otherwise the estimated offset is kept as a software correction.
+pub fn calibrate(m: &mut Machine, rounds: u32) -> TimeSync {
+    let n = m.n_cpus();
+    let mut correction = vec![0i64; n];
+    let mut residual = vec![0u64; n];
+    for cpu in 1..n {
+        let est = estimate_offset(m, cpu, rounds);
+        if m.adjust_tsc(cpu, -est) {
+            // Hardware write: the counter now carries the (slop-bearing)
+            // corrected phase; no software correction needed.
+            correction[cpu] = 0;
+            residual[cpu] = m.tsc_true_offset(cpu).unsigned_abs();
+        } else {
+            correction[cpu] = est;
+            residual[cpu] = (m.tsc_true_offset(cpu) - est).unsigned_abs();
+        }
+    }
+    TimeSync {
+        correction,
+        residual,
+    }
+}
+
+/// A CPU's wall-clock reading in cycles: its TSC minus its correction.
+/// Clamped at zero: within the first residual-sized window after boot a
+/// software-corrected clock can read "before boot".
+pub fn wall_cycles(m: &Machine, sync: &TimeSync, cpu: CpuId) -> Cycles {
+    let t = m.read_tsc(cpu) as i64 - sync.correction[cpu];
+    t.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautix_hw::MachineConfig;
+
+    #[test]
+    fn calibration_brings_256_cpus_within_1000_cycles() {
+        // The Figure 3 claim: "we keep cycle counters within 1000 cycles
+        // across 256 CPUs."
+        let mut m = Machine::new(MachineConfig::phi().with_seed(11));
+        let sync = calibrate(&mut m, 16);
+        let s = sync.residual_summary();
+        assert_eq!(s.n, 255);
+        assert!(
+            s.max <= 1000,
+            "worst residual {} exceeds the paper's 1000-cycle envelope",
+            s.max
+        );
+        assert!(s.mean > 0.0, "a zero-mean residual would be unrealistically good");
+    }
+
+    #[test]
+    fn calibration_improves_on_boot_skew() {
+        let mut m = Machine::new(MachineConfig::phi().with_cpus(16).with_seed(3));
+        let raw: Vec<u64> = (0..16).map(|c| m.tsc_true_offset(c).unsigned_abs()).collect();
+        let sync = calibrate(&mut m, 16);
+        let raw_max = raw.iter().max().copied().unwrap();
+        assert!(
+            sync.residual_summary().max < raw_max / 10,
+            "calibration should shrink skew by over an order of magnitude"
+        );
+    }
+
+    #[test]
+    fn unwritable_tsc_uses_software_correction() {
+        let mut cfg = MachineConfig::phi().with_cpus(8).with_seed(5);
+        cfg.tsc_writable = false;
+        let mut m = Machine::new(cfg);
+        let sync = calibrate(&mut m, 16);
+        assert!(
+            (1..8).any(|c| sync.correction[c] != 0),
+            "software corrections expected without TSC writes"
+        );
+        // Wall-clock readings still agree across CPUs to the residual.
+        let w0 = wall_cycles(&m, &sync, 0);
+        for c in 1..8 {
+            let wc = wall_cycles(&m, &sync, c);
+            let diff = wc.abs_diff(w0);
+            assert!(diff <= 1_500, "cpu {c} wall clock off by {diff}");
+        }
+    }
+
+    #[test]
+    fn histogram_covers_all_cpus() {
+        let mut m = Machine::new(MachineConfig::phi().with_seed(7));
+        let sync = calibrate(&mut m, 16);
+        let h = sync.residual_histogram(50, 40); // 0..2000 in 50-cycle bins
+        assert_eq!(h.count() + h.overflow(), 255 + h.overflow());
+        assert_eq!(h.count(), 255);
+        // The bulk must sit well below 1000 cycles.
+        assert!(h.fraction_below(1000) > 0.95);
+    }
+
+    #[test]
+    fn perfect_sync_is_identity() {
+        let s = TimeSync::perfect(4);
+        assert_eq!(s.correction, vec![0; 4]);
+        assert_eq!(s.residual_summary().max, 0);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig::phi().with_cpus(32).with_seed(seed));
+            calibrate(&mut m, 8).residual
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the scheduler's core invariants: admission
+//! soundness, ledger conservation, phase-correction alignment, EDF
+//! simulation consistency, and calibration bounds.
+
+use nautix_kernel::Constraints;
+use nautix_rt::admission::simulate_edf_feasible;
+use nautix_rt::{compile_cyclic, CpuLoad, CyclicTask, SchedConfig, PPM};
+use proptest::prelude::*;
+
+fn arb_periodic() -> impl Strategy<Value = Constraints> {
+    // Periods 10 µs .. 10 ms (multiples of the 100 ns granularity),
+    // slices 5..90% of the period.
+    (100u64..100_000, 5u64..90).prop_map(|(p100, pct)| {
+        let period = p100 * 100;
+        let slice = (period * pct / 100).max(500);
+        Constraints::periodic(period, slice)
+    })
+}
+
+proptest! {
+    /// The EDF-bound ledger never admits past its budget, and the admitted
+    /// utilization it reports is exactly the sum of the admitted tasks'.
+    #[test]
+    fn ledger_conserves_utilization(cs in prop::collection::vec(arb_periodic(), 1..20)) {
+        let cfg = SchedConfig::default();
+        let mut load = CpuLoad::new();
+        let mut admitted: Vec<Constraints> = Vec::new();
+        for c in &cs {
+            if load.admit(&cfg, c).is_ok() {
+                admitted.push(*c);
+            }
+        }
+        let expect: u64 = admitted.iter().map(|c| c.utilization_ppm()).sum();
+        prop_assert_eq!(load.periodic_util_ppm(), expect);
+        prop_assert!(load.periodic_util_ppm() <= cfg.periodic_budget_ppm());
+        // Releasing everything drains the ledger completely.
+        for c in &admitted {
+            load.release(c);
+        }
+        prop_assert_eq!(load.periodic_util_ppm(), 0);
+        prop_assert_eq!(load.periodic_count(), 0);
+    }
+
+    /// A rejected admission leaves the ledger exactly as it was.
+    #[test]
+    fn rejection_is_side_effect_free(
+        cs in prop::collection::vec(arb_periodic(), 1..12),
+        greedy_pct in 85u64..99,
+    ) {
+        let cfg = SchedConfig::default();
+        let mut load = CpuLoad::new();
+        for c in &cs {
+            let _ = load.admit(&cfg, c);
+        }
+        let before_util = load.periodic_util_ppm();
+        let before_count = load.periodic_count();
+        // An oversized request that must fail.
+        let hog = Constraints::periodic(1_000_000, greedy_pct * 10_000);
+        if load.admit(&cfg, &hog).is_err() {
+            prop_assert_eq!(load.periodic_util_ppm(), before_util);
+            prop_assert_eq!(load.periodic_count(), before_count);
+        } else {
+            // It fit; release to restore.
+            load.release(&hog);
+            prop_assert_eq!(load.periodic_util_ppm(), before_util);
+        }
+    }
+
+    /// Any set the EDF bound admits at <=100% is feasible in the
+    /// zero-overhead EDF simulation (Liu & Layland optimality), and adding
+    /// overhead can only ever make a feasible set infeasible, not the
+    /// reverse.
+    #[test]
+    fn edf_bound_agrees_with_simulation(cs in prop::collection::vec(arb_periodic(), 1..6)) {
+        let util: u64 = cs.iter().map(|c| c.utilization_ppm()).sum();
+        let set: Vec<(u64, u64)> = cs
+            .iter()
+            .map(|c| match *c {
+                Constraints::Periodic { period, slice, .. } => (period, slice),
+                _ => unreachable!(),
+            })
+            .collect();
+        let window = 50_000_000; // cap the hyperperiod for test speed
+        if util <= PPM {
+            prop_assert!(
+                simulate_edf_feasible(&set, 0, window),
+                "EDF-optimal: any set within 100% utilization is schedulable"
+            );
+        }
+        if !simulate_edf_feasible(&set, 0, window) {
+            prop_assert!(
+                !simulate_edf_feasible(&set, 5_000, window),
+                "overhead can never rescue an infeasible set"
+            );
+        }
+    }
+
+    /// Phase correction aligns all first arrivals to the same instant,
+    /// regardless of release order, group size, or measured delta.
+    #[test]
+    fn phase_correction_aligns_arrivals(
+        n in 2usize..256,
+        delta in 0u64..10_000,
+        phase in 0u64..1_000_000,
+    ) {
+        let arrivals: Vec<u64> = (0..n)
+            .map(|i| {
+                let departure = i as u64 * delta;
+                departure + nautix_groups::corrected_phase(phase, i, n, delta)
+            })
+            .collect();
+        prop_assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Calibration keeps residuals within the paper's envelope for any
+    /// seed, and wall clocks agree across CPUs afterwards.
+    #[test]
+    fn calibration_envelope_holds_for_any_seed(seed in 0u64..5_000) {
+        let mut m = nautix_hw::Machine::new(
+            nautix_hw::MachineConfig::phi().with_cpus(16).with_seed(seed),
+        );
+        let sync = nautix_rt::calibrate(&mut m, 16);
+        let s = sync.residual_summary();
+        prop_assert!(s.max <= 1_200, "residual {} beyond envelope (seed {})", s.max, seed);
+    }
+
+    /// Sporadic admissions and releases keep the reservation accounting
+    /// balanced.
+    #[test]
+    fn sporadic_reservation_balances(
+        bursts in prop::collection::vec((500u64..50_000, 100_000u64..1_000_000), 1..12),
+    ) {
+        let cfg = SchedConfig::default();
+        let mut load = CpuLoad::new();
+        let mut admitted = Vec::new();
+        for &(size, deadline) in &bursts {
+            let c = Constraints::sporadic(size, deadline);
+            if load.admit(&cfg, &c).is_ok() {
+                admitted.push(c);
+            }
+            prop_assert!(load.sporadic_util_ppm() <= cfg.sporadic_reserve_ppm);
+        }
+        for c in &admitted {
+            load.release(c);
+        }
+        prop_assert_eq!(load.sporadic_util_ppm(), 0);
+    }
+}
+
+fn arb_cyclic_set() -> impl Strategy<Value = Vec<CyclicTask>> {
+    // Periods drawn from a harmonic-friendly menu keep hyperperiods small.
+    let menu = prop::sample::select(vec![
+        50_000u64, 100_000, 200_000, 250_000, 400_000, 500_000, 1_000_000,
+    ]);
+    prop::collection::vec((menu, 2u64..40), 1..5).prop_map(|v| {
+        v.into_iter()
+            .map(|(period, pct)| CyclicTask {
+                period,
+                wcet: (period * pct / 100).max(1_000),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whatever table the cyclic compiler emits must pass its own
+    /// verifier: every instance placed fully inside its window, frames
+    /// never overfull.
+    #[test]
+    fn cyclic_tables_always_verify(set in arb_cyclic_set()) {
+        if let Ok(s) = compile_cyclic(&set) {
+            prop_assert!(s.verify().is_ok(), "emitted table failed verification");
+            prop_assert_eq!(s.hyperperiod % s.frame, 0);
+            prop_assert!(s.peak_frame_load() <= s.frame);
+        }
+    }
+
+    /// The compiler never accepts an over-utilized set and never rejects
+    /// a single-task set with utilization <= 100% whose period admits a
+    /// valid frame (the task's own period always does).
+    #[test]
+    fn cyclic_compiler_boundaries(period in 10_000u64..1_000_000, pct in 1u64..101) {
+        let wcet = (period * pct / 100).max(1);
+        let res = compile_cyclic(&[CyclicTask { period, wcet }]);
+        if pct <= 100 {
+            prop_assert!(res.is_ok(), "single feasible task must compile: {res:?}");
+        } else {
+            prop_assert!(res.is_err());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Cancellable, deterministically ordered event queue.
+//!
+//! The queue is a binary heap keyed on `(time, sequence)` where the sequence
+//! number is assigned at insertion. Two events scheduled for the same
+//! instant therefore fire in insertion order, which keeps whole-machine
+//! simulations reproducible regardless of hash-map iteration order or other
+//! environmental noise.
+//!
+//! Cancellation is *lazy*: `cancel` records the event id, and cancelled
+//! entries are discarded as they surface. This makes re-programming a
+//! one-shot APIC timer (the dominant use) O(log n) without heap surgery.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Cycles;
+
+/// Identifier of a scheduled event, usable to cancel it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number. Exposed for trace output only.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycles,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.id).cmp(&(other.time, other.id))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the event payload type chosen by the simulation layer (the
+/// hardware model uses a fixed enum of machine events).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    now: Cycles,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            now: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of events popped so far (cancelled events excluded).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past: the simulation layers above never
+    /// schedule retroactive events, so this is always a logic error worth
+    /// failing loudly on.
+    pub fn schedule(&mut self, at: Cycles, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={} now={}",
+            at,
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            id,
+            payload,
+        }));
+        id
+    }
+
+    /// Schedule `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Cycles, payload: E) -> EventId {
+        let at = self.now.checked_add(delay).expect("simulation time overflow");
+        self.schedule(at, payload)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op; the return value
+    /// says whether the cancellation might still take effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.id, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        // Drop cancelled heads so the answer reflects a live event.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries currently in the heap, including not-yet-collected
+    /// cancelled entries. Intended for tests and capacity diagnostics.
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        q.schedule(9, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, "a");
+        q.schedule(2, "b");
+        assert!(q.cancel(a));
+        let (_, _, p) = q.pop().unwrap();
+        assert_eq!(p, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, "first");
+        q.pop();
+        // The id was consumed; cancelling it again must not poison a future id.
+        q.cancel(a);
+        let b = q.schedule(2, "live");
+        assert_ne!(a, b);
+        assert_eq!(q.pop().unwrap().2, "live");
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, ());
+        q.schedule(5, ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "first");
+        q.pop();
+        q.schedule_in(50, "second");
+        let (t, _, _) = q.pop().unwrap();
+        assert_eq!(t, 150);
+    }
+
+    #[test]
+    fn events_processed_counts_live_only() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, ());
+        q.schedule(2, ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 1);
+    }
+}

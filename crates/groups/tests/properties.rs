@@ -1,0 +1,103 @@
+//! Property-based tests of the group coordination primitives.
+
+use nautix_des::DetRng;
+use nautix_groups::{Collective, CollectiveOutcome, Decision, GroupRegistry};
+use nautix_hw::Cost;
+use proptest::prelude::*;
+
+proptest! {
+    /// A completed collective delivers the correct decision to every
+    /// member, and the release schedule covers exactly the participants
+    /// with strictly increasing delays after order 0.
+    #[test]
+    fn collective_decisions_are_correct(
+        values in prop::collection::vec(0u64..1_000_000, 1..64),
+        which in 0usize..3,
+    ) {
+        let n = values.len();
+        let mut c = Collective::new(n);
+        let mut rng = DetRng::seed_from(9);
+        let leader = 0usize;
+        let decision = match which {
+            0 => Decision::Min,
+            1 => Decision::Max,
+            _ => Decision::Of(leader),
+        };
+        let mut outcome = None;
+        for (tid, &v) in values.iter().enumerate() {
+            match c.arrive(tid, v, decision, &mut rng, Cost::new(100, 50)) {
+                CollectiveOutcome::Wait => prop_assert!(tid + 1 < n),
+                CollectiveOutcome::Complete(rs) => {
+                    prop_assert_eq!(tid + 1, n, "only the last arrival completes");
+                    outcome = Some(rs);
+                }
+            }
+        }
+        let rs = outcome.expect("collective completed");
+        let expect = match which {
+            0 => *values.iter().min().unwrap(),
+            1 => *values.iter().max().unwrap(),
+            _ => values[leader],
+        };
+        prop_assert!(rs.iter().all(|r| r.result == expect));
+        // Exactly the participants, each once.
+        let mut tids: Vec<usize> = rs.iter().map(|r| r.tid).collect();
+        tids.sort_unstable();
+        prop_assert_eq!(tids, (0..n).collect::<Vec<_>>());
+        // Orders 0..n with monotone delays.
+        let mut by_order = rs.clone();
+        by_order.sort_by_key(|r| r.order);
+        prop_assert!(by_order.windows(2).all(|w| w[0].delay <= w[1].delay));
+        prop_assert_eq!(by_order[0].delay, 0);
+    }
+
+    /// Join/leave sequences keep the registry's membership equal to a
+    /// reference set model, and collective parties track it.
+    #[test]
+    fn membership_matches_model(
+        ops in prop::collection::vec((0usize..24, prop::bool::ANY), 1..100),
+    ) {
+        let mut reg = GroupRegistry::new();
+        let gid = reg.create("model").unwrap();
+        let mut model: Vec<usize> = Vec::new();
+        for &(tid, join) in &ops {
+            if join {
+                reg.join(gid, tid).unwrap();
+                if !model.contains(&tid) {
+                    model.push(tid);
+                }
+            } else {
+                let res = reg.leave(gid, tid);
+                if model.contains(&tid) {
+                    prop_assert!(res.is_ok());
+                    model.retain(|&m| m != tid);
+                } else {
+                    prop_assert!(res.is_err());
+                }
+            }
+            let g = reg.get(gid).unwrap();
+            prop_assert_eq!(g.members(), &model[..]);
+            prop_assert_eq!(g.barrier.parties(), model.len().max(1));
+            prop_assert_eq!(g.election.parties(), model.len().max(1));
+        }
+    }
+
+    /// Phase-corrected schedules are invariant under permutations of who
+    /// departs in which order: the aligned arrival instant depends only on
+    /// (n, delta, phase).
+    #[test]
+    fn phase_correction_is_order_invariant(
+        n in 2usize..64,
+        delta in 1u64..5_000,
+        phase in 0u64..100_000,
+    ) {
+        let arrival_of = |order: usize| {
+            order as u64 * delta + nautix_groups::corrected_phase(phase, order, n, delta)
+        };
+        let first = arrival_of(0);
+        for order in 1..n {
+            prop_assert_eq!(arrival_of(order), first);
+        }
+        prop_assert_eq!(first, phase + n as u64 * delta);
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-CPU advanced programmable interrupt controller (APIC) model.
+//!
+//! The scheduler relies on exactly three APIC facilities (§3.3, §3.5):
+//!
+//! 1. the **one-shot timer**, programmed on every scheduler exit ("tickless"
+//!    operation). In classic mode the countdown is quantized to APIC timer
+//!    ticks; the boot-time calibration must round *conservatively* so a
+//!    resolution mismatch fires early, never late. Processors with **TSC
+//!    deadline mode** take an absolute cycle count and avoid the conversion.
+//! 2. the **processor priority** (TPR): interrupts with vector priority at
+//!    or below the TPR are held pending, which is how the scheduler steers
+//!    device interrupts away from hard real-time threads.
+//! 3. **IPIs** for cross-CPU kicks.
+//!
+//! Vector priority follows x86: `priority = vector >> 4`.
+
+use nautix_des::{Cycles, EventId, Freq, Nanos};
+
+/// Scheduling-related interrupt vectors (priority class 14, like a high
+/// vector on real hardware).
+pub const VEC_TIMER: u8 = 0xEC;
+/// The cross-CPU scheduler "kick" IPI (§3.4).
+pub const VEC_KICK: u8 = 0xEA;
+/// Base vector for external device interrupts (priority classes 4..8).
+pub const VEC_DEVICE_BASE: u8 = 0x40;
+
+/// x86 interrupt priority class of a vector.
+pub fn vector_priority(vector: u8) -> u8 {
+    vector >> 4
+}
+
+/// How the one-shot timer deadline is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerMode {
+    /// Classic APIC one-shot countdown with tick quantization.
+    OneShot {
+        /// Duration of one APIC timer tick in bus-clock terms, expressed in
+        /// core cycles. The KNL's APIC timer runs much slower than the core
+        /// clock, making quantization visible at 10 µs constraints.
+        tick_cycles: Cycles,
+    },
+    /// TSC deadline mode: exact target cycle count ("some Intel
+    /// processors", §3.3).
+    TscDeadline,
+}
+
+impl TimerMode {
+    /// Convert a desired relative delay to the *actual* hardware delay in
+    /// cycles, rounding conservatively (never later than requested, except
+    /// that a delay shorter than one tick still takes one tick — hardware
+    /// cannot fire in the past).
+    pub fn quantize(&self, delay_cycles: Cycles) -> Cycles {
+        match *self {
+            TimerMode::OneShot { tick_cycles } => {
+                let ticks = delay_cycles / tick_cycles;
+                if ticks == 0 {
+                    tick_cycles
+                } else {
+                    ticks * tick_cycles
+                }
+            }
+            TimerMode::TscDeadline => delay_cycles.max(1),
+        }
+    }
+}
+
+/// One CPU's APIC state.
+#[derive(Debug)]
+pub struct Apic {
+    mode: TimerMode,
+    /// Task priority register: vectors with class <= tpr are blocked.
+    tpr: u8,
+    /// Pending (raised but masked) vectors, one bit each.
+    pending: [u64; 4],
+    /// The scheduled DES event for the current one-shot programming, if any.
+    timer_event: Option<EventId>,
+    /// Generation stamp of the current programming; stale firings are
+    /// ignored by comparing generations.
+    timer_gen: u64,
+    /// Absolute cycle time the current programming will fire.
+    timer_deadline: Option<Cycles>,
+    /// Count of timer programmings, for diagnostics.
+    programmings: u64,
+}
+
+impl Apic {
+    /// A fresh APIC in the given timer mode, TPR 0 (nothing masked).
+    pub fn new(mode: TimerMode) -> Self {
+        Apic {
+            mode,
+            tpr: 0,
+            pending: [0; 4],
+            timer_event: None,
+            timer_gen: 0,
+            timer_deadline: None,
+            programmings: 0,
+        }
+    }
+
+    /// The timer mode.
+    pub fn mode(&self) -> TimerMode {
+        self.mode
+    }
+
+    /// Current task priority register value (0..=15).
+    pub fn tpr(&self) -> u8 {
+        self.tpr
+    }
+
+    /// Set the task priority register. Returns the vectors that become
+    /// deliverable as a result (and removes them from the pending set).
+    pub fn set_tpr(&mut self, tpr: u8) -> Vec<u8> {
+        assert!(tpr < 16);
+        self.tpr = tpr;
+        let mut released = Vec::new();
+        for v in 0..=255u16 {
+            let v = v as u8;
+            if self.is_pending(v) && !self.blocks(v) {
+                self.clear_pending(v);
+                released.push(v);
+            }
+        }
+        // Higher-priority vectors first, matching hardware delivery order.
+        released.sort_by_key(|&v| std::cmp::Reverse(vector_priority(v)));
+        released
+    }
+
+    /// Whether the TPR blocks delivery of `vector`.
+    pub fn blocks(&self, vector: u8) -> bool {
+        vector_priority(vector) <= self.tpr
+    }
+
+    /// Record a blocked vector as pending.
+    pub fn set_pending(&mut self, vector: u8) {
+        self.pending[(vector >> 6) as usize] |= 1u64 << (vector & 63);
+    }
+
+    /// Whether `vector` is pending.
+    pub fn is_pending(&self, vector: u8) -> bool {
+        self.pending[(vector >> 6) as usize] & (1u64 << (vector & 63)) != 0
+    }
+
+    fn clear_pending(&mut self, vector: u8) {
+        self.pending[(vector >> 6) as usize] &= !(1u64 << (vector & 63));
+    }
+
+    /// Begin a new one-shot programming: returns `(generation,
+    /// actual_delay_cycles, previous_event_to_cancel)`. The caller schedules
+    /// the DES event and reports it back via [`Apic::commit_timer`].
+    pub fn program_oneshot(
+        &mut self,
+        now: Cycles,
+        delay_cycles: Cycles,
+    ) -> (u64, Cycles, Option<EventId>) {
+        let actual = self.mode.quantize(delay_cycles);
+        self.timer_gen += 1;
+        self.programmings += 1;
+        self.timer_deadline = Some(now + actual);
+        (self.timer_gen, actual, self.timer_event.take())
+    }
+
+    /// Record the DES event backing the programming made with `gen`.
+    pub fn commit_timer(&mut self, gen: u64, ev: EventId) {
+        if gen == self.timer_gen {
+            self.timer_event = Some(ev);
+        }
+    }
+
+    /// Called when a timer DES event fires; returns true if it matches the
+    /// live generation (stale events are ignored).
+    pub fn timer_fired(&mut self, gen: u64) -> bool {
+        if gen == self.timer_gen {
+            self.timer_event = None;
+            self.timer_deadline = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Absolute cycle time the timer is set to fire, if programmed.
+    pub fn timer_deadline(&self) -> Option<Cycles> {
+        self.timer_deadline
+    }
+
+    /// Number of one-shot programmings performed.
+    pub fn programmings(&self) -> u64 {
+        self.programmings
+    }
+}
+
+/// Boot-time timer calibration: derive the tick length from nominal APIC
+/// and core frequencies, as Nautilus does when it cross-calibrates the APIC
+/// timer, the cycle counter, and the nanosecond granularity (§3.3).
+pub fn calibrate_tick_cycles(core: Freq, apic_timer: Freq, divider: u32) -> Cycles {
+    assert!(divider.is_power_of_two() && divider <= 128);
+    // cycles per APIC tick = core_khz * divider / apic_khz, rounded down so
+    // the modeled countdown is conservative.
+    (core.khz() as u128 * divider as u128 / apic_timer.khz() as u128) as u64
+}
+
+/// Convenience: nanoseconds to a conservative cycle delay at `freq`, then
+/// quantized by `mode`. This is the path the scheduler uses when it exits.
+pub fn ns_to_hw_delay(freq: Freq, mode: TimerMode, delay_ns: Nanos) -> Cycles {
+    mode.quantize(freq.ns_to_cycles(delay_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_priorities() {
+        assert_eq!(vector_priority(VEC_TIMER), 14);
+        assert_eq!(vector_priority(VEC_KICK), 14);
+        assert_eq!(vector_priority(VEC_DEVICE_BASE), 4);
+    }
+
+    #[test]
+    fn oneshot_quantizes_conservatively() {
+        let mode = TimerMode::OneShot { tick_cycles: 100 };
+        assert_eq!(mode.quantize(250), 200); // early, never late
+        assert_eq!(mode.quantize(200), 200); // exact passes through
+        assert_eq!(mode.quantize(99), 100); // sub-tick takes one tick
+        assert_eq!(mode.quantize(0), 100);
+    }
+
+    #[test]
+    fn tsc_deadline_is_exact() {
+        assert_eq!(TimerMode::TscDeadline.quantize(12345), 12345);
+        assert_eq!(TimerMode::TscDeadline.quantize(0), 1);
+    }
+
+    #[test]
+    fn tpr_masks_and_releases() {
+        let mut a = Apic::new(TimerMode::TscDeadline);
+        a.set_tpr(13); // hard-RT setting: only classes 14/15 get through
+        assert!(a.blocks(VEC_DEVICE_BASE));
+        assert!(!a.blocks(VEC_TIMER));
+        a.set_pending(VEC_DEVICE_BASE);
+        a.set_pending(VEC_DEVICE_BASE + 0x10);
+        assert!(a.is_pending(VEC_DEVICE_BASE));
+        let released = a.set_tpr(0);
+        // Higher priority class first.
+        assert_eq!(released, vec![VEC_DEVICE_BASE + 0x10, VEC_DEVICE_BASE]);
+        assert!(!a.is_pending(VEC_DEVICE_BASE));
+    }
+
+    #[test]
+    fn stale_timer_generations_are_ignored() {
+        let mut a = Apic::new(TimerMode::TscDeadline);
+        let (g1, _, _) = a.program_oneshot(0, 500);
+        let (g2, _, _) = a.program_oneshot(0, 900);
+        assert!(!a.timer_fired(g1), "stale generation must be ignored");
+        assert!(a.timer_fired(g2));
+        assert!(a.timer_deadline().is_none());
+    }
+
+    #[test]
+    fn reprogramming_returns_previous_event_for_cancellation() {
+        let mut a = Apic::new(TimerMode::TscDeadline);
+        let (g1, _, prev) = a.program_oneshot(0, 500);
+        assert!(prev.is_none());
+        // Simulate the machine committing a DES event.
+        let mut q = nautix_des::EventQueue::new();
+        let ev = q.schedule(500, ());
+        a.commit_timer(g1, ev);
+        let (_, _, prev) = a.program_oneshot(10, 300);
+        assert_eq!(prev, Some(ev));
+    }
+
+    #[test]
+    fn calibration_divides_clocks() {
+        let core = Freq::from_mhz(1300);
+        let bus = Freq::from_mhz(100);
+        assert_eq!(calibrate_tick_cycles(core, bus, 1), 13);
+        assert_eq!(calibrate_tick_cycles(core, bus, 16), 208);
+    }
+
+    #[test]
+    fn ns_to_hw_delay_composes_conversion_and_quantization() {
+        let f = Freq::phi();
+        let mode = TimerMode::OneShot { tick_cycles: 13 };
+        // 10 µs = 13_000 cycles = exactly 1000 ticks.
+        assert_eq!(ns_to_hw_delay(f, mode, 10_000), 13_000);
+        // 10.005 µs rounds down to the same 1000-tick countdown.
+        assert_eq!(ns_to_hw_delay(f, mode, 10_005), 13_000);
+    }
+
+    #[test]
+    fn pending_bitmap_covers_all_vectors() {
+        let mut a = Apic::new(TimerMode::TscDeadline);
+        for v in [0u8, 63, 64, 127, 128, 191, 192, 255] {
+            a.set_pending(v);
+            assert!(a.is_pending(v));
+        }
+    }
+}

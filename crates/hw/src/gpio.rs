@@ -1,0 +1,280 @@
+//! GPIO (parallel port) output and "oscilloscope" capture.
+//!
+//! §5.2: "A hard real-time scheduler, because it operates in sync with wall
+//! clock time, must be verified by timing methods external to the machine."
+//! The paper's authors soldered a parallel-port interface and watched it
+//! with a Rigol DSO; a single `outb` toggles all 8 pins.
+//!
+//! Here the external observer is the simulator itself: every write is
+//! recorded against *true machine time* (not any CPU's TSC), so the capture
+//! is exactly as external as the scope was. [`scope`] turns a capture into
+//! the statistics Figure 4 shows visually: per-pin edges, pulse widths,
+//! periods, and the "fuzz" (jitter) of each trace.
+
+use nautix_des::{Cycles, Summary};
+
+/// One recorded GPIO sample: the port state immediately after a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpioSample {
+    /// True machine time of the write.
+    pub time: Cycles,
+    /// All 8 pins after the write.
+    pub pins: u8,
+}
+
+/// The 8-pin output port plus its capture buffer.
+#[derive(Debug)]
+pub struct Gpio {
+    pins: u8,
+    trace: Vec<GpioSample>,
+    capturing: bool,
+}
+
+impl Default for Gpio {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gpio {
+    /// A port with all pins low and capture disabled.
+    pub fn new() -> Self {
+        Gpio {
+            pins: 0,
+            trace: Vec::new(),
+            capturing: false,
+        }
+    }
+
+    /// Start recording writes.
+    pub fn start_capture(&mut self) {
+        self.capturing = true;
+    }
+
+    /// Stop recording writes.
+    pub fn stop_capture(&mut self) {
+        self.capturing = false;
+    }
+
+    /// Write the pins selected by `mask` to the corresponding bits of
+    /// `value`, like an `outb` through a mask register.
+    pub fn write(&mut self, now: Cycles, mask: u8, value: u8) {
+        self.pins = (self.pins & !mask) | (value & mask);
+        if self.capturing {
+            self.trace.push(GpioSample {
+                time: now,
+                pins: self.pins,
+            });
+        }
+    }
+
+    /// Set or clear a single pin.
+    pub fn set_pin(&mut self, now: Cycles, pin: u8, high: bool) {
+        assert!(pin < 8);
+        self.write(now, 1 << pin, if high { 1 << pin } else { 0 });
+    }
+
+    /// Current port state.
+    pub fn pins(&self) -> u8 {
+        self.pins
+    }
+
+    /// Take the capture buffer, leaving it empty.
+    pub fn take_trace(&mut self) -> Vec<GpioSample> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of captured samples.
+    pub fn captured(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Scope-style analysis of a captured GPIO trace.
+pub mod scope {
+    use super::*;
+
+    /// One logic edge on a pin.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Edge {
+        /// Time of the transition.
+        pub time: Cycles,
+        /// True for a rising edge.
+        pub rising: bool,
+    }
+
+    /// Extract the edges of one pin from a trace.
+    pub fn edges(trace: &[GpioSample], pin: u8) -> Vec<Edge> {
+        assert!(pin < 8);
+        let bit = 1u8 << pin;
+        let mut out = Vec::new();
+        let mut last = false;
+        let mut first = true;
+        for s in trace {
+            let level = s.pins & bit != 0;
+            if first {
+                first = false;
+                last = level;
+                continue;
+            }
+            if level != last {
+                out.push(Edge {
+                    time: s.time,
+                    rising: level,
+                });
+                last = level;
+            }
+        }
+        out
+    }
+
+    /// What the scope shows for one trace: where Figure 4 shows a sharp
+    /// line, the jitter summary is tight; where it shows fuzz, it is wide.
+    #[derive(Debug, Clone)]
+    pub struct PinAnalysis {
+        /// Durations of high pulses, in cycles.
+        pub high_widths: Summary,
+        /// Rising-edge-to-rising-edge periods, in cycles.
+        pub periods: Summary,
+        /// Duty cycle over the analyzed window, in `[0, 1]`.
+        pub duty_cycle: f64,
+        /// Number of complete pulses observed.
+        pub pulses: u64,
+    }
+
+    /// Analyze one pin of a capture.
+    pub fn analyze(trace: &[GpioSample], pin: u8) -> PinAnalysis {
+        let es = edges(trace, pin);
+        let mut highs = Vec::new();
+        let mut periods = Vec::new();
+        let mut last_rise: Option<Cycles> = None;
+        let mut high_total: u64 = 0;
+        let mut span_start: Option<Cycles> = None;
+        let mut span_end: Option<Cycles> = None;
+        let mut i = 0;
+        while i < es.len() {
+            let e = es[i];
+            span_start.get_or_insert(e.time);
+            span_end = Some(e.time);
+            if e.rising {
+                if let Some(prev) = last_rise {
+                    periods.push(e.time - prev);
+                }
+                last_rise = Some(e.time);
+                // Find the matching falling edge.
+                if let Some(fall) = es[i + 1..].iter().find(|x| !x.rising) {
+                    let w = fall.time - e.time;
+                    highs.push(w);
+                    high_total += w;
+                }
+            }
+            i += 1;
+        }
+        let window = match (span_start, span_end) {
+            (Some(a), Some(b)) if b > a => (b - a) as f64,
+            _ => 0.0,
+        };
+        PinAnalysis {
+            high_widths: Summary::of(&highs),
+            periods: Summary::of(&periods),
+            duty_cycle: if window > 0.0 {
+                high_total as f64 / window
+            } else {
+                0.0
+            },
+            pulses: highs.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope::*;
+    use super::*;
+
+    fn square_wave(gpio: &mut Gpio, pin: u8, period: u64, high: u64, cycles: u64) {
+        // Establish the initial low level so the first rise is a real edge.
+        gpio.set_pin(0, pin, false);
+        let mut t = period;
+        for _ in 0..cycles {
+            gpio.set_pin(t, pin, true);
+            gpio.set_pin(t + high, pin, false);
+            t += period;
+        }
+    }
+
+    #[test]
+    fn writes_respect_mask() {
+        let mut g = Gpio::new();
+        g.write(0, 0b0000_1111, 0b1010_1010);
+        assert_eq!(g.pins(), 0b0000_1010);
+        g.write(1, 0b1111_0000, 0b0101_0101);
+        assert_eq!(g.pins(), 0b0101_1010);
+    }
+
+    #[test]
+    fn capture_only_when_enabled() {
+        let mut g = Gpio::new();
+        g.set_pin(0, 0, true);
+        assert_eq!(g.captured(), 0);
+        g.start_capture();
+        g.set_pin(1, 0, false);
+        g.set_pin(2, 0, true);
+        assert_eq!(g.captured(), 2);
+        g.stop_capture();
+        g.set_pin(3, 0, false);
+        assert_eq!(g.captured(), 2);
+    }
+
+    #[test]
+    fn edge_extraction_ignores_redundant_writes() {
+        let mut g = Gpio::new();
+        g.start_capture();
+        g.set_pin(0, 3, false); // establishes initial level
+        g.set_pin(10, 3, true);
+        g.set_pin(11, 3, true); // redundant, no edge
+        g.set_pin(20, 3, false);
+        let t = g.take_trace();
+        let es = edges(&t, 3);
+        assert_eq!(es.len(), 2);
+        assert!(es[0].rising && es[0].time == 10);
+        assert!(!es[1].rising && es[1].time == 20);
+    }
+
+    #[test]
+    fn perfect_square_wave_has_zero_jitter_and_right_duty() {
+        let mut g = Gpio::new();
+        g.start_capture();
+        // 100 µs period, 50 µs high at 1.3 GHz, like Figure 4's thread.
+        square_wave(&mut g, 0, 130_000, 65_000, 50);
+        let t = g.take_trace();
+        let a = analyze(&t, 0);
+        assert_eq!(a.pulses, 50);
+        assert_eq!(a.periods.std_dev, 0.0);
+        assert_eq!(a.high_widths.mean, 65_000.0);
+        assert!((a.duty_cycle - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn jittery_wave_shows_fuzz() {
+        let mut g = Gpio::new();
+        g.start_capture();
+        let mut t = 0u64;
+        for i in 0..50u64 {
+            let j = (i * 37) % 1000; // deterministic pseudo-jitter
+            g.set_pin(t + j, 1, true);
+            g.set_pin(t + j + 65_000, 1, false);
+            t += 130_000;
+        }
+        let trace = g.take_trace();
+        let a = analyze(&trace, 1);
+        assert!(a.periods.std_dev > 0.0, "expected fuzz on the trace");
+    }
+
+    #[test]
+    fn analysis_of_empty_trace_is_benign() {
+        let a = analyze(&[], 0);
+        assert_eq!(a.pulses, 0);
+        assert_eq!(a.duty_cycle, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic model of an x64 shared-memory node.
+//!
+//! This crate supplies the hardware the paper's scheduler runs on — the
+//! parts of a Xeon Phi / Opteron box a kernel can see and touch:
+//!
+//! * per-CPU **TSCs** with boot-time phase skew and optional write support
+//!   ([`tsc`]),
+//! * per-CPU **APICs** with one-shot timers (tick quantization or TSC
+//!   deadline) and processor-priority interrupt filtering ([`apic`]),
+//! * **IPIs** and steerable external device interrupts,
+//! * **SMIs** that stall every CPU while clocks keep running — the "missing
+//!   time" of §3.6 ([`smi`]),
+//! * a **GPIO port** with scope-style capture for external verification
+//!   ([`gpio`]),
+//! * a calibrated **cycle-cost model** for kernel paths ([`cost`]),
+//!
+//! all glued together by the event-driven [`Machine`].
+
+pub mod apic;
+pub mod cost;
+pub mod gpio;
+pub mod machine;
+pub mod smi;
+pub mod tsc;
+
+pub use apic::{vector_priority, Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
+pub use cost::{Cost, CostModel};
+pub use gpio::{scope, Gpio, GpioSample};
+pub use machine::{CpuId, Machine, MachineConfig, MachineEvent, Platform};
+pub use smi::{SmiConfig, SmiPattern, SmiStats};
+pub use tsc::Tsc;

@@ -1,0 +1,676 @@
+//! The shared-memory x64 node: CPUs, clocks, interrupts, and missing time.
+//!
+//! [`Machine`] is a deterministic discrete-event model of the paper's
+//! testbeds. The kernel layers above drive it through a small "hardware
+//! interface": read/write TSCs, program one-shot timers, set the processor
+//! priority, send kick IPIs, start computations, and charge the cycle cost
+//! of kernel paths. [`Machine::advance`] plays events back in timestamp
+//! order; the kernel reacts to each one exactly as an interrupt handler
+//! would.
+//!
+//! # Execution model
+//!
+//! Each CPU does one thing at a time:
+//!
+//! * an **operation** (`begin_op`) models the current thread computing for
+//!   a known number of cycles; it is preemptible (`cancel_op` returns the
+//!   remaining cycles);
+//! * a **charge** models non-preemptible kernel path time (interrupt
+//!   handling, scheduler pass, context switch) and advances the CPU's
+//!   `busy_until` horizon; interrupt deliveries that land inside a busy
+//!   window are deferred to its end, exactly like interrupts held off by
+//!   a critical section;
+//! * an **SMI** stalls *every* CPU: in-flight operations stretch, busy
+//!   windows extend, deliveries defer — but TSCs and timer deadlines keep
+//!   advancing, so software observes missing time (§3.6).
+
+use crate::apic::{Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
+use crate::cost::{Cost, CostModel};
+use crate::gpio::Gpio;
+use crate::smi::{SmiConfig, SmiStats};
+use crate::tsc::Tsc;
+use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos};
+
+/// Index of a hardware thread ("CPU" in the paper's terminology).
+pub type CpuId = usize;
+
+/// The two evaluation platforms of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Colfax KNL Ninja: Xeon Phi 7210, 64 cores x 4 hardware threads,
+    /// 1.3 GHz.
+    Phi,
+    /// Dell R415: dual AMD Opteron 4122, 8 cores, 2.2 GHz.
+    R415,
+}
+
+impl Platform {
+    /// Hardware thread count of the stock machine.
+    pub fn default_cpus(&self) -> usize {
+        match self {
+            Platform::Phi => 256,
+            Platform::R415 => 8,
+        }
+    }
+
+    /// Core clock.
+    pub fn freq(&self) -> Freq {
+        match self {
+            Platform::Phi => Freq::phi(),
+            Platform::R415 => Freq::r415(),
+        }
+    }
+
+    /// Calibrated cost model.
+    pub fn cost_model(&self) -> CostModel {
+        match self {
+            Platform::Phi => CostModel::phi(),
+            Platform::R415 => CostModel::r415(),
+        }
+    }
+
+    /// Default timer mode: classic one-shot APIC countdown with the
+    /// platform's tick quantum (neither testbed used TSC-deadline mode in
+    /// the paper's configuration).
+    pub fn timer_mode(&self) -> TimerMode {
+        match self {
+            // ~20 ns APIC tick at 1.3 GHz.
+            Platform::Phi => TimerMode::OneShot { tick_cycles: 26 },
+            // ~10 ns APIC tick at 2.2 GHz.
+            Platform::R415 => TimerMode::OneShot { tick_cycles: 22 },
+        }
+    }
+}
+
+/// Configuration for building a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Which testbed's frequency/cost calibration to use.
+    pub platform: Platform,
+    /// Number of hardware threads to model.
+    pub n_cpus: usize,
+    /// Timer hardware mode (override for the `abl_timer_mode` ablation).
+    pub timer_mode: TimerMode,
+    /// Whether TSCs can be written (§3.4).
+    pub tsc_writable: bool,
+    /// Maximum boot-time TSC phase skew, uniform per CPU. CPU 0 defines
+    /// wall-clock and has zero offset.
+    pub boot_skew_max: Cycles,
+    /// SMI injection configuration.
+    pub smi: SmiConfig,
+    /// Seed for all modeled jitter.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's primary testbed: a 256-CPU Phi.
+    pub fn phi() -> Self {
+        Self::for_platform(Platform::Phi)
+    }
+
+    /// The secondary testbed: an 8-CPU R415.
+    pub fn r415() -> Self {
+        Self::for_platform(Platform::R415)
+    }
+
+    /// Defaults for a platform.
+    pub fn for_platform(platform: Platform) -> Self {
+        MachineConfig {
+            platform,
+            n_cpus: platform.default_cpus(),
+            timer_mode: platform.timer_mode(),
+            tsc_writable: true,
+            // Firmware brings APs up one after another; phases land within
+            // a few milliseconds of each other before calibration.
+            boot_skew_max: platform.freq().us_to_cycles(1500),
+            smi: SmiConfig::disabled(),
+            seed: 0xAA71,
+        }
+    }
+
+    /// Override the CPU count.
+    pub fn with_cpus(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.n_cpus = n;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable SMI injection.
+    pub fn with_smi(mut self, smi: SmiConfig) -> Self {
+        self.smi = smi;
+        self
+    }
+
+    /// Override the timer mode.
+    pub fn with_timer_mode(mut self, mode: TimerMode) -> Self {
+        self.timer_mode = mode;
+        self
+    }
+}
+
+/// Events surfaced to the kernel layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// The one-shot timer fired on `cpu`.
+    TimerInterrupt { cpu: CpuId },
+    /// A kick (or other) IPI arrived on `cpu`.
+    Ipi { cpu: CpuId, vector: u8 },
+    /// An external device interrupt was delivered to `cpu`.
+    DeviceInterrupt { cpu: CpuId, irq: u8 },
+    /// The operation started with `begin_op` ran to completion.
+    OpComplete { cpu: CpuId, token: u64 },
+    /// A node-level wakeup scheduled with `schedule_wakeup`.
+    Wakeup { token: u64 },
+}
+
+#[derive(Debug)]
+enum Ev {
+    TimerFired { cpu: CpuId, gen: u64 },
+    Arrive { cpu: CpuId, vector: u8, irq: Option<u8> },
+    OpComplete { cpu: CpuId, seq: u64 },
+    SmiEnter,
+    Wakeup { token: u64, cpu: Option<CpuId> },
+}
+
+#[derive(Debug)]
+struct InFlightOp {
+    token: u64,
+    seq: u64,
+    start: Cycles,
+    cycles: Cycles,
+    stalled_add: Cycles,
+    event: EventId,
+}
+
+#[derive(Debug)]
+struct CpuState {
+    tsc: Tsc,
+    apic: Apic,
+    busy_until: Cycles,
+    op: Option<InFlightOp>,
+}
+
+/// The node model. See the module docs for the execution model.
+pub struct Machine {
+    cfg: MachineConfig,
+    freq: Freq,
+    cost: CostModel,
+    q: EventQueue<Ev>,
+    cpus: Vec<CpuState>,
+    rng: DetRng,
+    gpio: Gpio,
+    op_seq: u64,
+    stall_until: Cycles,
+    smi_stats: SmiStats,
+    ipis_sent: u64,
+    device_irqs: u64,
+}
+
+impl Machine {
+    /// Build and "power on" a machine: TSCs get their boot skew, the SMI
+    /// injector is armed, and the clock sits at zero.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mut rng = DetRng::seed_from(cfg.seed);
+        let freq = cfg.platform.freq();
+        let cost = cfg.platform.cost_model();
+        let mut cpus = Vec::with_capacity(cfg.n_cpus);
+        for i in 0..cfg.n_cpus {
+            let offset = if i == 0 || cfg.boot_skew_max == 0 {
+                0
+            } else {
+                rng.uniform(0, cfg.boot_skew_max) as i64
+            };
+            cpus.push(CpuState {
+                tsc: Tsc::new(offset, cfg.tsc_writable),
+                apic: Apic::new(cfg.timer_mode),
+                busy_until: 0,
+                op: None,
+            });
+        }
+        let mut q = EventQueue::new();
+        if let Some(gap) = cfg.smi.next_gap(&mut rng) {
+            q.schedule(gap, Ev::SmiEnter);
+        }
+        Machine {
+            cfg,
+            freq,
+            cost,
+            q,
+            cpus,
+            rng,
+            gpio: Gpio::new(),
+            op_seq: 0,
+            stall_until: 0,
+            smi_stats: SmiStats::default(),
+            ipis_sent: 0,
+            device_irqs: 0,
+        }
+    }
+
+    /// True machine time. Kernel code must treat this as unobservable and
+    /// go through [`Machine::read_tsc`]; harnesses use it as the external
+    /// ground-truth clock (the "oscilloscope view").
+    pub fn now(&self) -> Cycles {
+        self.q.now()
+    }
+
+    /// Core frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// The calibrated cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of CPUs.
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Clocks
+    // ------------------------------------------------------------------
+
+    /// `rdtsc` on `cpu`.
+    pub fn read_tsc(&self, cpu: CpuId) -> Cycles {
+        self.cpus[cpu].tsc.read(self.q.now())
+    }
+
+    /// Write `cpu`'s TSC so it reads `value` now; the write lands with the
+    /// platform's write-granularity slop. Returns false if unsupported.
+    pub fn write_tsc(&mut self, cpu: CpuId, value: Cycles) -> bool {
+        let slop = self.cost.tsc_write_granularity.draw(&mut self.rng);
+        let now = self.q.now();
+        self.cpus[cpu].tsc.write(now, value + slop)
+    }
+
+    /// Adjust `cpu`'s TSC by a delta; same slop as a write.
+    pub fn adjust_tsc(&mut self, cpu: CpuId, delta: i64) -> bool {
+        let slop = self.cost.tsc_write_granularity.draw(&mut self.rng) as i64;
+        self.cpus[cpu].tsc.adjust(delta + slop)
+    }
+
+    /// Ground-truth TSC phase of `cpu` (experiment reporting only).
+    pub fn tsc_true_offset(&self, cpu: CpuId) -> i64 {
+        self.cpus[cpu].tsc.true_offset()
+    }
+
+    // ------------------------------------------------------------------
+    // Timers, IPIs, interrupts
+    // ------------------------------------------------------------------
+
+    /// Program `cpu`'s one-shot timer to fire after `delay_ns`. Re-arms
+    /// (cancels) any previous programming. Returns the actual hardware
+    /// delay in cycles after quantization.
+    pub fn set_timer_ns(&mut self, cpu: CpuId, delay_ns: Nanos) -> Cycles {
+        let delay = self.freq.ns_to_cycles(delay_ns);
+        self.set_timer_cycles(cpu, delay)
+    }
+
+    /// Program `cpu`'s one-shot timer in raw cycles.
+    pub fn set_timer_cycles(&mut self, cpu: CpuId, delay: Cycles) -> Cycles {
+        let now = self.q.now();
+        let (gen, actual, prev) = self.cpus[cpu].apic.program_oneshot(now, delay);
+        if let Some(prev) = prev {
+            self.q.cancel(prev);
+        }
+        let ev = self.q.schedule(now + actual, Ev::TimerFired { cpu, gen });
+        self.cpus[cpu].apic.commit_timer(gen, ev);
+        actual
+    }
+
+    /// Disarm `cpu`'s one-shot timer.
+    pub fn cancel_timer(&mut self, cpu: CpuId) {
+        let now = self.q.now();
+        // Program a dummy far-future deadline then drop the event: the
+        // generation bump invalidates any in-flight firing.
+        let (_, _, prev) = self.cpus[cpu].apic.program_oneshot(now, Cycles::MAX / 4);
+        if let Some(prev) = prev {
+            self.q.cancel(prev);
+        }
+    }
+
+    /// The programmed timer deadline (true time), if armed.
+    pub fn timer_deadline(&self, cpu: CpuId) -> Option<Cycles> {
+        self.cpus[cpu].apic.timer_deadline()
+    }
+
+    /// Set `cpu`'s processor priority (TPR). Newly unblocked pending
+    /// vectors are re-delivered.
+    pub fn set_tpr(&mut self, cpu: CpuId, tpr: u8) {
+        let released = self.cpus[cpu].apic.set_tpr(tpr);
+        let now = self.q.now();
+        for v in released {
+            let irq = if (VEC_DEVICE_BASE..VEC_TIMER).contains(&v) {
+                Some(v - VEC_DEVICE_BASE)
+            } else {
+                None
+            };
+            self.q.schedule(
+                now,
+                Ev::Arrive {
+                    cpu,
+                    vector: v,
+                    irq,
+                },
+            );
+        }
+    }
+
+    /// Current TPR of `cpu`.
+    pub fn tpr(&self, cpu: CpuId) -> u8 {
+        self.cpus[cpu].apic.tpr()
+    }
+
+    /// Send an IPI from `from` to `to`. The send itself costs the sender a
+    /// shared-line access; delivery happens after the modeled latency.
+    pub fn send_ipi(&mut self, from: CpuId, to: CpuId, vector: u8) {
+        debug_assert!(from < self.cpus.len() && to < self.cpus.len());
+        self.ipis_sent += 1;
+        let latency = self.cost.ipi_latency.draw(&mut self.rng);
+        self.q.schedule_in(
+            latency,
+            Ev::Arrive {
+                cpu: to,
+                vector,
+                irq: None,
+            },
+        );
+    }
+
+    /// Send the scheduler kick IPI (§3.4).
+    pub fn send_kick(&mut self, from: CpuId, to: CpuId) {
+        self.send_ipi(from, to, VEC_KICK);
+    }
+
+    /// Raise external device interrupt `irq` (0..=0x3F), steered to `cpu`.
+    pub fn raise_irq(&mut self, cpu: CpuId, irq: u8) {
+        assert!(irq < 0x40, "irq {irq} out of the device vector window");
+        self.device_irqs += 1;
+        let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
+        self.q.schedule_in(
+            latency,
+            Ev::Arrive {
+                cpu,
+                vector: VEC_DEVICE_BASE + irq,
+                irq: Some(irq),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Begin an operation of `cycles` on `cpu` for the current thread. The
+    /// operation starts when the CPU's busy window ends and completes as a
+    /// [`MachineEvent::OpComplete`] carrying `token`.
+    ///
+    /// Panics if an operation is already in flight on `cpu` — the kernel
+    /// must preempt (`cancel_op`) before starting another.
+    pub fn begin_op(&mut self, cpu: CpuId, cycles: Cycles, token: u64) {
+        assert!(
+            self.cpus[cpu].op.is_none(),
+            "cpu {cpu} already has an operation in flight"
+        );
+        let now = self.q.now();
+        let start = now.max(self.cpus[cpu].busy_until).max(self.stall_until);
+        self.op_seq += 1;
+        let seq = self.op_seq;
+        let completion = start + cycles;
+        let ev = self.q.schedule(completion, Ev::OpComplete { cpu, seq });
+        self.cpus[cpu].op = Some(InFlightOp {
+            token,
+            seq,
+            start,
+            cycles,
+            stalled_add: 0,
+            event: ev,
+        });
+    }
+
+    /// Preempt the in-flight operation on `cpu`, if any, returning its
+    /// token and remaining cycles.
+    pub fn cancel_op(&mut self, cpu: CpuId) -> Option<(u64, Cycles)> {
+        let now = self.q.now();
+        let op = self.cpus[cpu].op.take()?;
+        self.q.cancel(op.event);
+        let executed = now
+            .saturating_sub(op.start)
+            .saturating_sub(op.stalled_add)
+            .min(op.cycles);
+        Some((op.token, op.cycles - executed))
+    }
+
+    /// Whether `cpu` has an operation in flight.
+    pub fn op_in_flight(&self, cpu: CpuId) -> bool {
+        self.cpus[cpu].op.is_some()
+    }
+
+    /// Charge non-preemptible kernel path time on `cpu`: draws the cost and
+    /// extends the CPU's busy window. Returns the drawn duration.
+    ///
+    /// Must not be called while an operation is in flight on `cpu` (the
+    /// kernel preempts first); this is asserted.
+    pub fn charge(&mut self, cpu: CpuId, cost: Cost) -> Cycles {
+        debug_assert!(
+            self.cpus[cpu].op.is_none(),
+            "charging kernel time on cpu {cpu} while a thread op is in flight"
+        );
+        let d = cost.draw(&mut self.rng);
+        self.charge_raw(cpu, d);
+        d
+    }
+
+    /// Charge an exact, pre-drawn duration.
+    pub fn charge_raw(&mut self, cpu: CpuId, cycles: Cycles) {
+        let now = self.q.now();
+        let c = &mut self.cpus[cpu];
+        c.busy_until = c.busy_until.max(now).max(self.stall_until) + cycles;
+    }
+
+    /// End of `cpu`'s current busy window.
+    pub fn busy_until(&self, cpu: CpuId) -> Cycles {
+        self.cpus[cpu].busy_until
+    }
+
+    /// Draw a cost without charging it anywhere (for modeled delays the
+    /// caller applies itself).
+    pub fn draw(&mut self, cost: Cost) -> Cycles {
+        cost.draw(&mut self.rng)
+    }
+
+    /// Deterministic uniform draw in `[lo, hi]` from the machine stream.
+    pub fn rand_uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// Schedule a node-level wakeup at absolute true time `at`. If `cpu` is
+    /// given, delivery defers like an interrupt (busy window + SMI);
+    /// otherwise only SMIs defer it.
+    pub fn schedule_wakeup(&mut self, at: Cycles, token: u64, cpu: Option<CpuId>) -> EventId {
+        let at = at.max(self.q.now());
+        self.q.schedule(at, Ev::Wakeup { token, cpu })
+    }
+
+    /// Cancel a wakeup scheduled earlier.
+    pub fn cancel_wakeup(&mut self, ev: EventId) {
+        self.q.cancel(ev);
+    }
+
+    /// The GPIO port.
+    pub fn gpio(&mut self) -> &mut Gpio {
+        &mut self.gpio
+    }
+
+    /// Write GPIO pins at the current instant (helper that avoids borrow
+    /// juggling in scheduler hooks).
+    pub fn gpio_write(&mut self, mask: u8, value: u8) {
+        let now = self.q.now();
+        self.gpio.write(now, mask, value);
+    }
+
+    /// Write GPIO pins stamped at an explicit instant. Kernel paths run as
+    /// instantaneous host code whose cycle cost extends the CPU's busy
+    /// window; an `outb` placed mid-path therefore lands at a point inside
+    /// that window, which the caller knows and supplies here.
+    pub fn gpio_write_at(&mut self, at: Cycles, mask: u8, value: u8) {
+        self.gpio.write(at, mask, value);
+    }
+
+    /// SMI ground truth so far.
+    pub fn smi_stats(&self) -> SmiStats {
+        self.smi_stats
+    }
+
+    /// IPIs sent so far.
+    pub fn ipis_sent(&self) -> u64 {
+        self.ipis_sent
+    }
+
+    /// Device interrupts raised so far.
+    pub fn device_irqs(&self) -> u64 {
+        self.device_irqs
+    }
+
+    /// Events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.q.events_processed()
+    }
+
+    // ------------------------------------------------------------------
+    // The event pump
+    // ------------------------------------------------------------------
+
+    /// Advance to the next kernel-visible event, or `None` when the event
+    /// queue drains (machine is quiescent).
+    pub fn advance(&mut self) -> Option<(Cycles, MachineEvent)> {
+        loop {
+            let (t, _, ev) = self.q.pop()?;
+            match ev {
+                Ev::SmiEnter => {
+                    self.handle_smi_enter(t);
+                }
+                Ev::TimerFired { cpu, gen } => {
+                    if self.cpus[cpu].apic.timer_fired(gen) {
+                        let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
+                        self.q.schedule(
+                            t + latency,
+                            Ev::Arrive {
+                                cpu,
+                                vector: VEC_TIMER,
+                                irq: None,
+                            },
+                        );
+                    }
+                }
+                Ev::Arrive { cpu, vector, irq } => {
+                    if let Some(deliver_at) = self.delivery_deferral(cpu, t) {
+                        self.q.schedule(deliver_at, Ev::Arrive { cpu, vector, irq });
+                        continue;
+                    }
+                    if self.cpus[cpu].apic.blocks(vector) {
+                        self.cpus[cpu].apic.set_pending(vector);
+                        continue;
+                    }
+                    let event = match (vector, irq) {
+                        (VEC_TIMER, _) => MachineEvent::TimerInterrupt { cpu },
+                        (_, Some(irq)) => MachineEvent::DeviceInterrupt { cpu, irq },
+                        (v, None) => MachineEvent::Ipi { cpu, vector: v },
+                    };
+                    return Some((t, event));
+                }
+                Ev::OpComplete { cpu, seq } => {
+                    let matches = self.cpus[cpu]
+                        .op
+                        .as_ref()
+                        .map(|o| o.seq == seq)
+                        .unwrap_or(false);
+                    if matches {
+                        let op = self.cpus[cpu].op.take().unwrap();
+                        return Some((t, MachineEvent::OpComplete { cpu, token: op.token }));
+                    }
+                }
+                Ev::Wakeup { token, cpu } => {
+                    if let Some(c) = cpu {
+                        if let Some(deliver_at) = self.delivery_deferral(c, t) {
+                            self.q.schedule(deliver_at, Ev::Wakeup { token, cpu });
+                            continue;
+                        }
+                    } else if t < self.stall_until {
+                        self.q.schedule(self.stall_until, Ev::Wakeup { token, cpu });
+                        continue;
+                    }
+                    return Some((t, MachineEvent::Wakeup { token }));
+                }
+            }
+        }
+    }
+
+    /// If delivery on `cpu` at time `t` must wait, returns when to retry.
+    fn delivery_deferral(&self, cpu: CpuId, t: Cycles) -> Option<Cycles> {
+        let horizon = self.cpus[cpu].busy_until.max(self.stall_until);
+        if t < horizon {
+            Some(horizon)
+        } else {
+            None
+        }
+    }
+
+    fn handle_smi_enter(&mut self, t: Cycles) {
+        let d = self.cfg.smi.draw_duration(&mut self.rng).max(1);
+        self.stall_until = t + d;
+        self.smi_stats.count += 1;
+        self.smi_stats.stalled_cycles += d;
+        // Freeze all CPUs: stretch in-flight ops, extend busy windows.
+        for cpu in 0..self.cpus.len() {
+            if let Some(op) = self.cpus[cpu].op.take() {
+                self.q.cancel(op.event);
+                let completion = op.start + op.cycles + op.stalled_add + d;
+                let ev = self.q.schedule(
+                    completion,
+                    Ev::OpComplete {
+                        cpu,
+                        seq: op.seq,
+                    },
+                );
+                self.cpus[cpu].op = Some(InFlightOp {
+                    stalled_add: op.stalled_add + d,
+                    event: ev,
+                    ..op
+                });
+            }
+            let c = &mut self.cpus[cpu];
+            if c.busy_until > t {
+                c.busy_until += d;
+            }
+        }
+        // Arm the next SMI.
+        if let Some(gap) = self.cfg.smi.next_gap(&mut self.rng) {
+            self.q.schedule(self.stall_until + gap, Ev::SmiEnter);
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.q.now())
+            .field("n_cpus", &self.cpus.len())
+            .field("platform", &self.cfg.platform)
+            .finish()
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-CPU time stamp counter (TSC) model.
+//!
+//! The paper's requirements (§3.3–3.4): constant-rate cycle counters
+//! ("constant TSC"), per-CPU *phase differences* introduced by staggered
+//! boot, optional support for *writing* the counter to bring phases
+//! together, and firmware that never stops or manipulates the counter. SMIs
+//! do not stop the TSC — that is precisely why they appear as "missing
+//! time" to software.
+//!
+//! The model keeps a signed offset from the machine's true time; reads are
+//! exact (measurement noise is charged where measurements happen, in the
+//! calibration code), and writes land with the granularity slop of the
+//! write instruction sequence, modeled at the call site.
+
+use nautix_des::Cycles;
+
+/// One hardware thread's TSC.
+#[derive(Debug, Clone)]
+pub struct Tsc {
+    /// `tsc_value - true_time`. Positive means this CPU's counter runs
+    /// ahead of machine time.
+    offset: i64,
+    /// Whether the platform supports writing the TSC (§3.4: "In machines
+    /// that support it, we write the cycle counter with predicted values").
+    writable: bool,
+    writes: u64,
+}
+
+impl Tsc {
+    /// A TSC with the given boot-time phase offset.
+    pub fn new(offset: i64, writable: bool) -> Self {
+        Tsc {
+            offset,
+            writable,
+            writes: 0,
+        }
+    }
+
+    /// `rdtsc`: the counter value at machine time `now`.
+    pub fn read(&self, now: Cycles) -> Cycles {
+        let v = now as i64 + self.offset;
+        debug_assert!(v >= 0, "TSC underflow: now={now} offset={}", self.offset);
+        v as u64
+    }
+
+    /// Attempt to write the counter so it reads `value` at machine time
+    /// `now`. Returns false (and does nothing) on platforms without TSC
+    /// write support.
+    pub fn write(&mut self, now: Cycles, value: Cycles) -> bool {
+        if !self.writable {
+            return false;
+        }
+        self.offset = value as i64 - now as i64;
+        self.writes += 1;
+        true
+    }
+
+    /// Adjust the counter by a signed delta (the common calibration
+    /// operation: subtract the estimated phase). Returns false if the
+    /// platform cannot write the TSC.
+    pub fn adjust(&mut self, delta: i64) -> bool {
+        if !self.writable {
+            return false;
+        }
+        self.offset += delta;
+        self.writes += 1;
+        true
+    }
+
+    /// The true phase offset relative to machine time. The calibration code
+    /// must *not* use this — it exists so experiments can report residual
+    /// error against ground truth (Figure 3).
+    pub fn true_offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Whether this TSC supports writes.
+    pub fn writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Number of writes/adjustments performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_applies_offset() {
+        let t = Tsc::new(1000, true);
+        assert_eq!(t.read(0), 1000);
+        assert_eq!(t.read(500), 1500);
+    }
+
+    #[test]
+    fn write_rebases_offset() {
+        let mut t = Tsc::new(12345, true);
+        assert!(t.write(1000, 1000));
+        assert_eq!(t.true_offset(), 0);
+        assert_eq!(t.read(2000), 2000);
+        assert_eq!(t.writes(), 1);
+    }
+
+    #[test]
+    fn adjust_shifts_phase() {
+        let mut t = Tsc::new(700, true);
+        assert!(t.adjust(-700));
+        assert_eq!(t.true_offset(), 0);
+        assert!(t.adjust(25));
+        assert_eq!(t.read(100), 125);
+    }
+
+    #[test]
+    fn unwritable_tsc_rejects_writes() {
+        let mut t = Tsc::new(42, false);
+        assert!(!t.write(0, 0));
+        assert!(!t.adjust(-42));
+        assert_eq!(t.true_offset(), 42);
+        assert_eq!(t.writes(), 0);
+    }
+
+    #[test]
+    fn negative_offsets_work() {
+        let t = Tsc::new(-300, true);
+        assert_eq!(t.read(1000), 700);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests of the machine model: execution accounting, timer
+//! quantization, and whole-machine determinism under random stimuli.
+
+use nautix_hw::{Machine, MachineConfig, MachineEvent, TimerMode};
+use proptest::prelude::*;
+
+proptest! {
+    /// Preempting an operation at an arbitrary point conserves cycles:
+    /// executed + remaining == scheduled, and re-running the remainder
+    /// completes exactly on time.
+    #[test]
+    fn op_preemption_conserves_cycles(
+        total in 1_000u64..1_000_000,
+        cut_frac in 1u64..99,
+    ) {
+        let cfg = MachineConfig::phi().with_cpus(1).with_seed(9);
+        let mut m = Machine::new(cfg);
+        let cut = total * cut_frac / 100;
+        m.set_timer_cycles(0, cut.max(1));
+        m.begin_op(0, total, 7);
+        let (t, ev) = m.advance().unwrap();
+        match ev {
+            MachineEvent::TimerInterrupt { cpu: 0 } => {
+                let (token, remaining) = m.cancel_op(0).expect("op in flight");
+                prop_assert_eq!(token, 7);
+                // The timer may fire with quantization + raise latency, so
+                // the executed share is t (the delivery instant).
+                prop_assert_eq!(remaining, total.saturating_sub(t));
+                // Resume the remainder: it completes after exactly that.
+                let resume_at = m.now();
+                m.begin_op(0, remaining, 7);
+                let (t2, ev2) = m.advance().unwrap();
+                prop_assert_eq!(ev2, MachineEvent::OpComplete { cpu: 0, token: 7 });
+                prop_assert_eq!(t2 - resume_at, remaining);
+            }
+            MachineEvent::OpComplete { cpu: 0, token: 7 } => {
+                // The op finished before the (quantized) timer: legal when
+                // the cut lands within a tick of the total.
+                prop_assert_eq!(t, total);
+            }
+            other => prop_assert!(false, "unexpected event {other:?}"),
+        }
+    }
+
+    /// One-shot quantization never fires late and never more than one tick
+    /// early (for multi-tick delays).
+    #[test]
+    fn quantization_is_conservative(tick in 1u64..10_000, delay in 1u64..10_000_000) {
+        let mode = TimerMode::OneShot { tick_cycles: tick };
+        let actual = mode.quantize(delay);
+        prop_assert_eq!(actual % tick, 0);
+        if delay >= tick {
+            prop_assert!(actual <= delay, "fired late: {actual} > {delay}");
+            prop_assert!(delay - actual < tick, "more than one tick early");
+        } else {
+            prop_assert_eq!(actual, tick, "sub-tick delays take one tick");
+        }
+    }
+
+    /// The machine is a deterministic function of its seed under a
+    /// randomized stimulus schedule (timers + IPIs + ops).
+    #[test]
+    fn machine_trace_is_seed_deterministic(
+        seed in 0u64..1_000,
+        stimuli in prop::collection::vec((0usize..4, 1u64..100_000), 1..24),
+    ) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::phi().with_cpus(4).with_seed(seed));
+            for &(cpu, delay) in &stimuli {
+                m.set_timer_cycles(cpu, delay);
+                m.send_kick(cpu, (cpu + 1) % 4);
+            }
+            let mut log = Vec::new();
+            while let Some((t, ev)) = m.advance() {
+                log.push((t, format!("{ev:?}")));
+                if log.len() > 200 {
+                    break;
+                }
+            }
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// TSC write granularity: after an adjust, the residual slop stays
+    /// within the modeled worst case.
+    #[test]
+    fn tsc_adjust_slop_is_bounded(seed in 0u64..2_000, cpu_idx in 1usize..8) {
+        let mut m = Machine::new(MachineConfig::phi().with_cpus(8).with_seed(seed));
+        let before = m.tsc_true_offset(cpu_idx);
+        prop_assert!(m.adjust_tsc(cpu_idx, -before));
+        let resid = m.tsc_true_offset(cpu_idx);
+        let worst = m.cost_model().tsc_write_granularity.worst() as i64;
+        prop_assert!((0..=worst).contains(&resid), "residual {resid}");
+    }
+}

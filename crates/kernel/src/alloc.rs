@@ -1,0 +1,300 @@
+//! Buddy-system physical memory allocation with NUMA zones.
+//!
+//! §2: "All memory management, including for NUMA, is explicit and
+//! allocations are done with buddy system allocators that are selected
+//! based on the target zone. For threads that are bound to specific CPUs,
+//! essential thread (e.g., context, stack) and scheduler state is
+//! guaranteed to always be in the most desirable zone."
+//!
+//! The node uses this allocator for thread stacks and scheduler state; the
+//! KNL preset models the Phi's 16 GB MCDRAM + 96 GB DRAM split.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// One buddy allocator over a contiguous address range.
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    base: usize,
+    min_order: u32,
+    max_order: u32,
+    /// Free blocks per order, sorted by address for deterministic choice.
+    free: Vec<BTreeSet<usize>>,
+    /// Outstanding allocations: address -> order.
+    allocated: HashMap<usize, u32>,
+    bytes_allocated: usize,
+}
+
+impl BuddyAllocator {
+    /// An allocator over `[base, base + 2^max_order)` handing out blocks
+    /// no smaller than `2^min_order` bytes.
+    pub fn new(base: usize, min_order: u32, max_order: u32) -> Self {
+        assert!(min_order <= max_order && max_order < usize::BITS);
+        assert!(
+            base.is_multiple_of(1usize << max_order),
+            "base must be aligned to the arena size"
+        );
+        let mut free: Vec<BTreeSet<usize>> =
+            (0..=max_order).map(|_| BTreeSet::new()).collect();
+        free[max_order as usize].insert(base);
+        BuddyAllocator {
+            base,
+            min_order,
+            max_order,
+            free,
+            allocated: HashMap::new(),
+            bytes_allocated: 0,
+        }
+    }
+
+    /// Total bytes managed.
+    pub fn capacity(&self) -> usize {
+        1usize << self.max_order
+    }
+
+    /// Bytes currently handed out (rounded to block sizes).
+    pub fn used(&self) -> usize {
+        self.bytes_allocated
+    }
+
+    /// Number of outstanding allocations.
+    pub fn outstanding(&self) -> usize {
+        self.allocated.len()
+    }
+
+    fn order_for(&self, size: usize) -> Option<u32> {
+        if size == 0 {
+            return None;
+        }
+        let order = size.next_power_of_two().trailing_zeros().max(self.min_order);
+        if order > self.max_order {
+            None
+        } else {
+            Some(order)
+        }
+    }
+
+    /// Allocate a block of at least `size` bytes. Returns its address.
+    pub fn alloc(&mut self, size: usize) -> Option<usize> {
+        let want = self.order_for(size)?;
+        // Find the smallest order with a free block.
+        let mut have = want;
+        while (have as usize) < self.free.len() && self.free[have as usize].is_empty() {
+            have += 1;
+        }
+        if have > self.max_order {
+            return None;
+        }
+        let addr = *self.free[have as usize].iter().next()?;
+        self.free[have as usize].remove(&addr);
+        // Split down to the wanted order.
+        while have > want {
+            have -= 1;
+            let buddy = addr + (1usize << have);
+            self.free[have as usize].insert(buddy);
+        }
+        debug_assert!(addr >= self.base);
+        self.allocated.insert(addr, want);
+        self.bytes_allocated += 1usize << want;
+        Some(addr)
+    }
+
+    /// Free a previously allocated block, coalescing buddies upward.
+    ///
+    /// Panics on double free or an address that was never allocated: both
+    /// are kernel bugs worth failing loudly on.
+    pub fn free(&mut self, addr: usize) {
+        let order = self
+            .allocated
+            .remove(&addr)
+            .expect("free of unallocated address");
+        self.bytes_allocated -= 1usize << order;
+        let mut addr = addr;
+        let mut order = order;
+        while order < self.max_order {
+            let buddy = self.base + ((addr - self.base) ^ (1usize << order));
+            if self.free[order as usize].remove(&buddy) {
+                addr = addr.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].insert(addr);
+    }
+
+    /// True when no allocations are outstanding and the arena has fully
+    /// coalesced back to one block.
+    pub fn is_pristine(&self) -> bool {
+        self.allocated.is_empty()
+            && self.free[self.max_order as usize].len() == 1
+            && self.free[..self.max_order as usize]
+                .iter()
+                .all(|s| s.is_empty())
+    }
+}
+
+/// A NUMA memory zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zone {
+    /// On-package high-bandwidth memory (the Phi's 16 GB MCDRAM).
+    HighBandwidth,
+    /// Conventional DRAM.
+    Dram,
+}
+
+/// Per-zone buddy allocators with preferred-zone fallback.
+#[derive(Debug)]
+pub struct ZoneAllocator {
+    hbm: BuddyAllocator,
+    dram: BuddyAllocator,
+    hbm_end: usize,
+}
+
+impl ZoneAllocator {
+    /// A layout like the KNL testbed, scaled down so tests stay cheap:
+    /// a "16 MB MCDRAM" at 0 and a "96 MB DRAM" above it, standing in for
+    /// the testbed's 16 GB + 96 GB at a 1:4096 scale.
+    pub fn knl_scaled() -> Self {
+        // 16 MB HBM arena, 128 MB DRAM arena (nearest power of two >= 96).
+        Self::new(24, 27)
+    }
+
+    /// Arenas of `2^hbm_order` and `2^dram_order` bytes.
+    pub fn new(hbm_order: u32, dram_order: u32) -> Self {
+        let hbm = BuddyAllocator::new(0, 12, hbm_order);
+        let hbm_end = 1usize << hbm_order;
+        // DRAM base must be aligned to its own arena size.
+        let dram_base = (1usize << dram_order).max(hbm_end);
+        let dram = BuddyAllocator::new(dram_base, 12, dram_order);
+        ZoneAllocator { hbm, dram, hbm_end }
+    }
+
+    /// Allocate in the preferred zone, falling back to the other.
+    pub fn alloc(&mut self, size: usize, prefer: Zone) -> Option<(usize, Zone)> {
+        let (first, second, fz, sz) = match prefer {
+            Zone::HighBandwidth => {
+                (&mut self.hbm, &mut self.dram, Zone::HighBandwidth, Zone::Dram)
+            }
+            Zone::Dram => (&mut self.dram, &mut self.hbm, Zone::Dram, Zone::HighBandwidth),
+        };
+        if let Some(a) = first.alloc(size) {
+            return Some((a, fz));
+        }
+        second.alloc(size).map(|a| (a, sz))
+    }
+
+    /// Free an address; the owning zone is recovered from the layout.
+    pub fn free(&mut self, addr: usize) {
+        if addr < self.hbm_end {
+            self.hbm.free(addr);
+        } else {
+            self.dram.free(addr);
+        }
+    }
+
+    /// Per-zone usage in bytes.
+    pub fn used(&self, zone: Zone) -> usize {
+        match zone {
+            Zone::HighBandwidth => self.hbm.used(),
+            Zone::Dram => self.dram.used(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_frees_round_trip() {
+        let mut b = BuddyAllocator::new(0, 4, 10); // 1 KiB arena, 16 B min
+        let a = b.alloc(100).unwrap();
+        assert_eq!(b.used(), 128);
+        b.free(a);
+        assert!(b.is_pristine());
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut b = BuddyAllocator::new(0, 4, 12);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for size in [16, 100, 64, 300, 17, 512] {
+            let addr = b.alloc(size).unwrap();
+            let len = size.next_power_of_two().max(16);
+            for &(a, l) in &spans {
+                assert!(
+                    addr + len <= a || a + l <= addr,
+                    "overlap: [{addr},{}) vs [{a},{})",
+                    addr + len,
+                    a + l
+                );
+            }
+            spans.push((addr, len));
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none_not_panic() {
+        let mut b = BuddyAllocator::new(0, 4, 6); // 64 B arena
+        assert!(b.alloc(64).is_some());
+        assert!(b.alloc(16).is_none());
+    }
+
+    #[test]
+    fn coalescing_restores_big_blocks() {
+        let mut b = BuddyAllocator::new(0, 4, 8); // 256 B
+        let xs: Vec<_> = (0..16).map(|_| b.alloc(16).unwrap()).collect();
+        assert!(b.alloc(16).is_none());
+        for x in xs {
+            b.free(x);
+        }
+        assert!(b.is_pristine());
+        assert!(b.alloc(256).is_some(), "full arena should be available again");
+    }
+
+    #[test]
+    fn oversized_requests_fail_cleanly() {
+        let mut b = BuddyAllocator::new(0, 4, 8);
+        assert!(b.alloc(257).is_none());
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(0, 4, 8);
+        let a = b.alloc(16).unwrap();
+        b.free(a);
+        b.free(a);
+    }
+
+    #[test]
+    fn zone_fallback_when_preferred_full() {
+        let mut z = ZoneAllocator::new(13, 14); // 8 KiB HBM, 16 KiB DRAM
+        let (_, zone) = z.alloc(8192, Zone::HighBandwidth).unwrap();
+        assert_eq!(zone, Zone::HighBandwidth);
+        let (_, zone) = z.alloc(8192, Zone::HighBandwidth).unwrap();
+        assert_eq!(zone, Zone::Dram, "must fall back when HBM is full");
+    }
+
+    #[test]
+    fn zone_free_routes_by_address() {
+        let mut z = ZoneAllocator::new(13, 14);
+        let (a, _) = z.alloc(4096, Zone::HighBandwidth).unwrap();
+        let (d, _) = z.alloc(4096, Zone::Dram).unwrap();
+        assert!(z.used(Zone::HighBandwidth) > 0);
+        assert!(z.used(Zone::Dram) > 0);
+        z.free(a);
+        z.free(d);
+        assert_eq!(z.used(Zone::HighBandwidth), 0);
+        assert_eq!(z.used(Zone::Dram), 0);
+    }
+
+    #[test]
+    fn knl_scaled_layout_has_disjoint_zones() {
+        let mut z = ZoneAllocator::knl_scaled();
+        let (h, _) = z.alloc(4096, Zone::HighBandwidth).unwrap();
+        let (d, _) = z.alloc(4096, Zone::Dram).unwrap();
+        assert!(h < d);
+    }
+}

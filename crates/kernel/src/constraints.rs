@@ -1,0 +1,276 @@
+//! Timing-constraint descriptors: the scheduling ABI of §3.1.
+//!
+//! The scheduler adopts the classic model of Liu for its *interface* (not
+//! its implementation). Threads present one of three constraint classes at
+//! admission time; the scheduler either guarantees them until changed, or
+//! rejects the request. These descriptor types live in the kernel crate —
+//! they are the equivalent of Nautilus's public scheduler header — while
+//! their semantics are implemented by `nautix-rt`.
+
+use nautix_des::Nanos;
+
+/// Priority of an aperiodic (non-real-time) thread. Lower is more
+/// important, like a nice value.
+pub type Priority = u64;
+
+/// A thread's requested timing constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraints {
+    /// No real-time constraints; scheduled round-robin (or by priority)
+    /// in the background. Newly created threads begin life in this class.
+    Aperiodic {
+        /// Scheduling priority µ among aperiodic threads.
+        priority: Priority,
+    },
+    /// `(φ, τ, σ)`: first eligible at admission time + `phase`, then every
+    /// `period`; guaranteed `slice` of execution before each next arrival
+    /// (which is the deadline of the current one).
+    Periodic {
+        /// Phase φ: offset of the first arrival from the admission time.
+        phase: Nanos,
+        /// Period τ between arrivals; also the relative deadline.
+        period: Nanos,
+        /// Slice σ of guaranteed execution per period.
+        slice: Nanos,
+    },
+    /// `(φ, ω, δ, µ)`: arrives once at admission time + `phase`, must
+    /// receive `size` of execution by `deadline` (an absolute offset from
+    /// admission), then continues as an aperiodic thread with priority
+    /// `aperiodic_priority`.
+    Sporadic {
+        /// Phase φ: offset of the arrival from the admission time.
+        phase: Nanos,
+        /// Total execution ω guaranteed before the deadline.
+        size: Nanos,
+        /// Deadline δ, measured from the admission time.
+        deadline: Nanos,
+        /// Priority the thread drops to after its sporadic burst.
+        aperiodic_priority: Priority,
+    },
+}
+
+impl Constraints {
+    /// The default constraints every thread starts with, and the fallback
+    /// the group-admission algorithm re-admits with on failure (§4.3 —
+    /// "admission control for aperiodic threads cannot fail").
+    pub fn default_aperiodic() -> Self {
+        Constraints::Aperiodic { priority: 1 }
+    }
+
+    /// Convenience constructor for a periodic constraint with zero phase.
+    pub fn periodic(period: Nanos, slice: Nanos) -> Self {
+        Constraints::Periodic {
+            phase: 0,
+            period,
+            slice,
+        }
+    }
+
+    /// Convenience constructor for a sporadic constraint with zero phase.
+    pub fn sporadic(size: Nanos, deadline: Nanos) -> Self {
+        Constraints::Sporadic {
+            phase: 0,
+            size,
+            deadline,
+            aperiodic_priority: 1,
+        }
+    }
+
+    /// True for periodic or sporadic constraints.
+    pub fn is_realtime(&self) -> bool {
+        !matches!(self, Constraints::Aperiodic { .. })
+    }
+
+    /// Requested utilization in parts-per-million: σ/τ for periodic
+    /// threads, ω/δ for sporadic ones, 0 for aperiodic.
+    pub fn utilization_ppm(&self) -> u64 {
+        match *self {
+            Constraints::Aperiodic { .. } => 0,
+            Constraints::Periodic { period, slice, .. } => {
+                if period == 0 {
+                    u64::MAX
+                } else {
+                    ((slice as u128 * 1_000_000) / period as u128) as u64
+                }
+            }
+            Constraints::Sporadic { size, deadline, .. } => {
+                if deadline == 0 {
+                    u64::MAX
+                } else {
+                    ((size as u128 * 1_000_000) / deadline as u128) as u64
+                }
+            }
+        }
+    }
+
+    /// Replace the phase φ (used by the phase-correction step of group
+    /// admission, §4.4). No effect on aperiodic constraints.
+    pub fn with_phase(self, new_phase: Nanos) -> Self {
+        match self {
+            Constraints::Aperiodic { .. } => self,
+            Constraints::Periodic { period, slice, .. } => Constraints::Periodic {
+                phase: new_phase,
+                period,
+                slice,
+            },
+            Constraints::Sporadic {
+                size,
+                deadline,
+                aperiodic_priority,
+                ..
+            } => Constraints::Sporadic {
+                phase: new_phase,
+                size,
+                deadline,
+                aperiodic_priority,
+            },
+        }
+    }
+
+    /// The phase φ, if the class has one.
+    pub fn phase(&self) -> Option<Nanos> {
+        match *self {
+            Constraints::Aperiodic { .. } => None,
+            Constraints::Periodic { phase, .. } | Constraints::Sporadic { phase, .. } => {
+                Some(phase)
+            }
+        }
+    }
+
+    /// Structural validity: nonzero periods/slices, slice ≤ period,
+    /// size ≤ deadline. (Feasibility against overheads is admission
+    /// control's job, not the descriptor's.)
+    pub fn validate(&self) -> Result<(), ConstraintError> {
+        match *self {
+            Constraints::Aperiodic { .. } => Ok(()),
+            Constraints::Periodic { period, slice, .. } => {
+                if period == 0 || slice == 0 {
+                    Err(ConstraintError::ZeroDuration)
+                } else if slice > period {
+                    Err(ConstraintError::SliceExceedsPeriod)
+                } else {
+                    Ok(())
+                }
+            }
+            Constraints::Sporadic { size, deadline, phase, .. } => {
+                if size == 0 || deadline == 0 {
+                    Err(ConstraintError::ZeroDuration)
+                } else if phase.saturating_add(size) > deadline {
+                    Err(ConstraintError::SizeExceedsDeadline)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Structural errors in a constraint descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// A zero period, slice, size, or deadline.
+    ZeroDuration,
+    /// σ > τ can never be satisfied.
+    SliceExceedsPeriod,
+    /// φ + ω > δ can never be satisfied.
+    SizeExceedsDeadline,
+}
+
+/// Why an admission request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The descriptor itself is malformed.
+    Invalid(ConstraintError),
+    /// The utilization test failed: admitting would exceed the CPU's
+    /// limit minus reservations.
+    UtilizationExceeded,
+    /// Period/slice finer than the configured granularity bounds (§3.3:
+    /// "bounds are placed on the granularity and minimum size of the
+    /// timing constraints").
+    TooFine,
+    /// The sporadic reservation cannot cover this burst.
+    SporadicReservationExceeded,
+    /// The per-CPU thread table or queue capacity is full.
+    CapacityExceeded,
+    /// Group admission: some member CPU rejected its thread.
+    GroupMemberRejected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_slice_over_period() {
+        let c = Constraints::periodic(100_000, 25_000);
+        assert_eq!(c.utilization_ppm(), 250_000); // 25%
+    }
+
+    #[test]
+    fn sporadic_utilization_is_size_over_deadline() {
+        let c = Constraints::sporadic(10_000, 40_000);
+        assert_eq!(c.utilization_ppm(), 250_000);
+    }
+
+    #[test]
+    fn aperiodic_has_zero_utilization_and_no_phase() {
+        let c = Constraints::default_aperiodic();
+        assert_eq!(c.utilization_ppm(), 0);
+        assert_eq!(c.phase(), None);
+        assert!(!c.is_realtime());
+    }
+
+    #[test]
+    fn with_phase_only_touches_phase() {
+        let c = Constraints::periodic(100, 50).with_phase(7);
+        assert_eq!(
+            c,
+            Constraints::Periodic {
+                phase: 7,
+                period: 100,
+                slice: 50
+            }
+        );
+        let a = Constraints::default_aperiodic().with_phase(9);
+        assert_eq!(a.phase(), None);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_descriptors() {
+        assert_eq!(
+            Constraints::periodic(0, 0).validate(),
+            Err(ConstraintError::ZeroDuration)
+        );
+        assert_eq!(
+            Constraints::periodic(100, 101).validate(),
+            Err(ConstraintError::SliceExceedsPeriod)
+        );
+        assert_eq!(
+            Constraints::sporadic(50, 40).validate(),
+            Err(ConstraintError::SizeExceedsDeadline)
+        );
+        assert!(Constraints::periodic(100, 100).validate().is_ok());
+        assert!(Constraints::default_aperiodic().validate().is_ok());
+    }
+
+    #[test]
+    fn sporadic_phase_counts_against_deadline() {
+        let c = Constraints::Sporadic {
+            phase: 30,
+            size: 20,
+            deadline: 45,
+            aperiodic_priority: 0,
+        };
+        assert_eq!(c.validate(), Err(ConstraintError::SizeExceedsDeadline));
+    }
+
+    #[test]
+    fn zero_period_utilization_saturates() {
+        let c = Constraints::Periodic {
+            phase: 0,
+            period: 0,
+            slice: 1,
+        };
+        assert_eq!(c.utilization_ppm(), u64::MAX);
+    }
+}

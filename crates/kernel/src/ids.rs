@@ -1,0 +1,9 @@
+//! Shared identifier types for kernel objects.
+
+/// Handle to a thread group (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Handle to a lightweight task (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);

@@ -1,0 +1,41 @@
+//! Nautilus-like kernel substrate.
+//!
+//! The paper's scheduler is embedded in Nautilus, "a kernel framework
+//! designed to support HRT construction": streamlined threads, fixed-size
+//! scheduler state, explicit buddy-system NUMA memory management, bounded
+//! interrupt handlers, and fully steerable interrupts (§2). This crate is
+//! that substrate, rebuilt for the simulated node:
+//!
+//! * [`thread`] — the fixed-capacity thread table with reaping/reanimation,
+//! * [`program`] — resumable thread bodies and the kernel service ABI,
+//! * [`constraints`] — the Liu-model timing-constraint descriptors (§3.1),
+//! * [`queue`] — fixed-size priority and round-robin queues (§3.3),
+//! * [`alloc`] — buddy allocators with NUMA zones (§2),
+//! * [`sync`] — the spin barrier with modeled release staggering (§4.4),
+//! * [`task`] — lightweight size-tagged tasks (§3.1),
+//! * [`steering`] — interrupt steering and segregation (§3.5).
+//!
+//! The hard real-time scheduler itself lives in `nautix-rt`.
+
+pub mod alloc;
+pub mod constraints;
+pub mod ids;
+pub mod program;
+pub mod queue;
+pub mod steering;
+pub mod sync;
+pub mod task;
+pub mod thread;
+
+pub use alloc::{BuddyAllocator, Zone, ZoneAllocator};
+pub use constraints::{AdmissionError, ConstraintError, Constraints, Priority};
+pub use ids::{GroupId, TaskId};
+pub use program::{
+    Action, FnProgram, GroupError, IdleLoop, Program, ResumeCx, Script, SysCall, SysResult,
+    ThreadId,
+};
+pub use queue::{FixedHeap, RrQueue};
+pub use steering::{Steering, TPR_HARD_RT, TPR_OPEN};
+pub use sync::{BarrierOutcome, Release, SimBarrier};
+pub use task::{Task, TaskQueueFull, TaskQueues};
+pub use thread::{Thread, ThreadState, ThreadTable, WaitKind, MAX_THREADS};

@@ -1,0 +1,131 @@
+//! Interrupt steering and segregation (§3.5).
+//!
+//! External interrupts can be steered to any CPU, so the CPUs are
+//! partitioned into an **interrupt-laden** partition (receives device
+//! interrupts; the first CPU by default) and an **interrupt-free**
+//! partition (sees only scheduling interrupts). On top of the partition,
+//! the local scheduler sets the APIC processor priority when switching to
+//! a hard real-time thread so that only scheduling vectors (timer, kick)
+//! get through — steering interrupts *away* from RT threads even inside
+//! the laden partition.
+
+use nautix_hw::CpuId;
+use std::collections::HashMap;
+
+/// Processor priority that admits only the scheduling vectors (priority
+/// class 14) — what the scheduler programs when dispatching an RT thread.
+pub const TPR_HARD_RT: u8 = 13;
+/// Processor priority that admits everything.
+pub const TPR_OPEN: u8 = 0;
+
+/// The interrupt-routing policy for a node.
+#[derive(Debug, Clone)]
+pub struct Steering {
+    laden: Vec<CpuId>,
+    assignments: HashMap<u8, CpuId>,
+    rr_next: usize,
+}
+
+impl Steering {
+    /// The default configuration: CPU 0 alone takes external interrupts.
+    pub fn default_partition() -> Self {
+        Self::new(vec![0])
+    }
+
+    /// A custom interrupt-laden partition ("can be changed according to
+    /// how interrupt rich the workload is").
+    pub fn new(laden: Vec<CpuId>) -> Self {
+        assert!(!laden.is_empty(), "someone must take device interrupts");
+        Steering {
+            laden,
+            assignments: HashMap::new(),
+            rr_next: 0,
+        }
+    }
+
+    /// The interrupt-laden partition.
+    pub fn laden(&self) -> &[CpuId] {
+        &self.laden
+    }
+
+    /// Whether `cpu` is in the interrupt-free partition.
+    pub fn is_interrupt_free(&self, cpu: CpuId) -> bool {
+        !self.laden.contains(&cpu)
+    }
+
+    /// The CPU that services `irq`: sticky per-irq assignment, initially
+    /// distributed round-robin over the laden partition.
+    pub fn cpu_for_irq(&mut self, irq: u8) -> CpuId {
+        if let Some(&c) = self.assignments.get(&irq) {
+            return c;
+        }
+        let c = self.laden[self.rr_next % self.laden.len()];
+        self.rr_next += 1;
+        self.assignments.insert(irq, c);
+        c
+    }
+
+    /// Pin `irq` to a specific CPU.
+    pub fn steer(&mut self, irq: u8, cpu: CpuId) {
+        if !self.laden.contains(&cpu) {
+            self.laden.push(cpu);
+        }
+        self.assignments.insert(irq, cpu);
+    }
+
+    /// The TPR the scheduler should program when dispatching a thread:
+    /// hard real-time threads see only scheduling interrupts.
+    pub fn tpr_for(&self, is_hard_rt: bool) -> u8 {
+        if is_hard_rt {
+            TPR_HARD_RT
+        } else {
+            TPR_OPEN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_partition_is_cpu0() {
+        let mut s = Steering::default_partition();
+        assert_eq!(s.laden(), &[0]);
+        assert!(!s.is_interrupt_free(0));
+        assert!(s.is_interrupt_free(1));
+        assert_eq!(s.cpu_for_irq(3), 0);
+    }
+
+    #[test]
+    fn irq_assignment_is_sticky() {
+        let mut s = Steering::new(vec![0, 1]);
+        let first = s.cpu_for_irq(7);
+        for _ in 0..5 {
+            assert_eq!(s.cpu_for_irq(7), first);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_new_irqs() {
+        let mut s = Steering::new(vec![0, 1]);
+        let a = s.cpu_for_irq(1);
+        let b = s.cpu_for_irq(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn steer_pins_and_extends_partition() {
+        let mut s = Steering::default_partition();
+        s.steer(9, 5);
+        assert_eq!(s.cpu_for_irq(9), 5);
+        assert!(!s.is_interrupt_free(5));
+    }
+
+    #[test]
+    fn tpr_policy() {
+        let s = Steering::default_partition();
+        assert_eq!(s.tpr_for(true), TPR_HARD_RT);
+        assert_eq!(s.tpr_for(false), TPR_OPEN);
+    }
+}

@@ -1,0 +1,211 @@
+//! Synchronization primitives as discrete-event state machines.
+//!
+//! The barrier here models the centralized sense-reversing spin barrier
+//! Nautilus provides: arrivals serialize on a contended counter (the caller
+//! charges that cost), the last arriver flips the sense flag, and the
+//! invalidation of the flag's cache line reaches spinners one transfer at
+//! a time — so departures are *staggered*. That stagger is precisely the
+//! per-thread barrier-departure delay δ that group admission's phase
+//! correction measures and cancels (§4.4).
+
+use crate::program::ThreadId;
+use nautix_des::{Cycles, DetRng};
+use nautix_hw::Cost;
+
+/// One thread's release from a barrier episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Release {
+    /// The released thread.
+    pub tid: ThreadId,
+    /// Release order `i` within this episode: 0 leaves first.
+    pub order: usize,
+    /// Delay after the episode's release instant before this thread
+    /// actually departs (cache-line propagation).
+    pub delay: Cycles,
+}
+
+/// Result of an arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// Not everyone is here; the caller blocks (spins).
+    Wait,
+    /// The caller completed the episode; everyone departs per the
+    /// schedule. Entries are ordered by release order.
+    Release(Vec<Release>),
+}
+
+/// A reusable sense-reversing barrier over `parties` threads.
+#[derive(Debug)]
+pub struct SimBarrier {
+    parties: usize,
+    waiting: Vec<ThreadId>,
+    episodes: u64,
+}
+
+impl SimBarrier {
+    /// A barrier for `parties` threads.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1);
+        SimBarrier {
+            parties,
+            waiting: Vec::with_capacity(parties),
+            episodes: 0,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Change the party count (group membership changed). Only legal while
+    /// no one waits.
+    pub fn set_parties(&mut self, parties: usize) {
+        assert!(parties >= 1);
+        assert!(
+            self.waiting.is_empty(),
+            "cannot resize a barrier with waiters"
+        );
+        self.parties = parties;
+    }
+
+    /// How many threads are currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Completed episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Thread `tid` arrives. The *last* arriver gets the release schedule:
+    /// itself at order 0 (it flipped the flag and proceeds immediately),
+    /// then earlier arrivals in arrival order, each a cache-line transfer
+    /// (`stagger`) after the previous.
+    pub fn arrive(
+        &mut self,
+        tid: ThreadId,
+        rng: &mut DetRng,
+        stagger: Cost,
+    ) -> BarrierOutcome {
+        debug_assert!(
+            !self.waiting.contains(&tid),
+            "thread {tid} arrived twice in one episode"
+        );
+        if self.waiting.len() + 1 < self.parties {
+            self.waiting.push(tid);
+            return BarrierOutcome::Wait;
+        }
+        // Episode complete.
+        self.episodes += 1;
+        let mut releases = Vec::with_capacity(self.parties);
+        releases.push(Release {
+            tid,
+            order: 0,
+            delay: 0,
+        });
+        let mut delay = 0;
+        for (i, &w) in self.waiting.iter().enumerate() {
+            delay += stagger.draw(rng);
+            releases.push(Release {
+                tid: w,
+                order: i + 1,
+                delay,
+            });
+        }
+        self.waiting.clear();
+        BarrierOutcome::Release(releases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from(17)
+    }
+
+    #[test]
+    fn single_party_releases_immediately() {
+        let mut b = SimBarrier::new(1);
+        let out = b.arrive(5, &mut rng(), Cost::fixed(10));
+        match out {
+            BarrierOutcome::Release(rs) => {
+                assert_eq!(rs.len(), 1);
+                assert_eq!(rs[0].tid, 5);
+                assert_eq!(rs[0].delay, 0);
+            }
+            _ => panic!("expected release"),
+        }
+    }
+
+    #[test]
+    fn waits_until_all_arrive() {
+        let mut b = SimBarrier::new(3);
+        let mut r = rng();
+        assert_eq!(b.arrive(0, &mut r, Cost::fixed(10)), BarrierOutcome::Wait);
+        assert_eq!(b.arrive(1, &mut r, Cost::fixed(10)), BarrierOutcome::Wait);
+        let out = b.arrive(2, &mut r, Cost::fixed(10));
+        let BarrierOutcome::Release(rs) = out else {
+            panic!("expected release");
+        };
+        assert_eq!(rs.len(), 3);
+        // Last arriver departs first; earlier arrivals are staggered.
+        assert_eq!(rs[0], Release { tid: 2, order: 0, delay: 0 });
+        assert_eq!(rs[1], Release { tid: 0, order: 1, delay: 10 });
+        assert_eq!(rs[2], Release { tid: 1, order: 2, delay: 20 });
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_episodes() {
+        let mut b = SimBarrier::new(2);
+        let mut r = rng();
+        for ep in 1..=5u64 {
+            assert_eq!(b.arrive(0, &mut r, Cost::fixed(1)), BarrierOutcome::Wait);
+            assert!(matches!(
+                b.arrive(1, &mut r, Cost::fixed(1)),
+                BarrierOutcome::Release(_)
+            ));
+            assert_eq!(b.episodes(), ep);
+            assert_eq!(b.waiting(), 0);
+        }
+    }
+
+    #[test]
+    fn stagger_accumulates_monotonically() {
+        let mut b = SimBarrier::new(8);
+        let mut r = rng();
+        for t in 0..7 {
+            b.arrive(t, &mut r, Cost::new(100, 50));
+        }
+        let BarrierOutcome::Release(rs) = b.arrive(7, &mut r, Cost::new(100, 50)) else {
+            panic!();
+        };
+        for w in rs.windows(2) {
+            assert!(w[1].delay > w[0].delay);
+            assert_eq!(w[1].order, w[0].order + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn resize_with_waiters_panics() {
+        let mut b = SimBarrier::new(3);
+        b.arrive(0, &mut rng(), Cost::fixed(1));
+        b.set_parties(2);
+    }
+
+    #[test]
+    fn resize_when_empty_works() {
+        let mut b = SimBarrier::new(3);
+        b.set_parties(2);
+        let mut r = rng();
+        b.arrive(0, &mut r, Cost::fixed(1));
+        assert!(matches!(
+            b.arrive(1, &mut r, Cost::fixed(1)),
+            BarrierOutcome::Release(_)
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! A fork-join data-parallel run-time on the hard real-time substrate.
+//!
+//! §8 of the paper: "We are currently working on adding real-time and
+//! barrier removal support to Nautilus-internal implementations of OpenMP
+//! and NESL run-times." This crate is that layer in miniature — the shapes
+//! an OpenMP program compiles into, executed by a persistent worker team:
+//!
+//! * [`plan`] — parallel loops (static and dynamic schedules, uniform and
+//!   imbalanced cost profiles), sum reductions, serial sections;
+//! * [`team`] — worker teams, either best-effort or admitted as a hard
+//!   real-time gang through group admission control.
+//!
+//! See `examples/parallel_runtime.rs` for the tour.
+
+pub mod plan;
+pub mod team;
+
+pub use plan::{CostProfile, LoopSchedule, Plan, Region};
+pub use team::{run_plan, PlanResult, TeamConfig, TeamMode};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautix_hw::MachineConfig;
+    use nautix_rt::{NodeConfig, SchedConfig};
+
+    fn cfg(cpus: usize) -> NodeConfig {
+        let mut c = NodeConfig::phi();
+        c.machine = MachineConfig::phi().with_cpus(cpus).with_seed(61);
+        c.sched = SchedConfig::throughput();
+        c
+    }
+
+    fn team(workers: usize) -> TeamConfig {
+        TeamConfig {
+            workers,
+            mode: TeamMode::BestEffort,
+        }
+    }
+
+    #[test]
+    fn static_uniform_loop_scales() {
+        let plan = Plan::new().parallel_for(
+            1024,
+            CostProfile::Uniform(10_000),
+            LoopSchedule::Static,
+        );
+        let r1 = run_plan(cfg(2), team(1), plan.clone());
+        let r4 = run_plan(cfg(5), team(4), plan);
+        let speedup = r1.total_ns as f64 / r4.total_ns as f64;
+        assert!(
+            (3.0..4.5).contains(&speedup),
+            "4 workers should give ~4x ({speedup})"
+        );
+        assert!(r4.efficiency() > 0.8, "efficiency {}", r4.efficiency());
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_triangular_load() {
+        // Linear cost growth: the static schedule hands the expensive tail
+        // to the last worker; dynamic chunking spreads it.
+        let profile = CostProfile::Linear {
+            base: 1_000,
+            step: 60,
+        };
+        let static_plan = Plan::new().parallel_for(512, profile, LoopSchedule::Static);
+        let dynamic_plan =
+            Plan::new().parallel_for(512, profile, LoopSchedule::Dynamic { chunk: 8 });
+        let rs = run_plan(cfg(5), team(4), static_plan);
+        let rd = run_plan(cfg(5), team(4), dynamic_plan);
+        assert!(
+            rd.total_ns < rs.total_ns,
+            "dynamic ({}) must beat static ({}) under imbalance",
+            rd.total_ns,
+            rs.total_ns
+        );
+        // Note: `imbalance()` over executed cycles can't see this —
+        // stragglers' peers burn the same cycles *spinning* at the barrier.
+        // The honest signal is parallel efficiency.
+        assert!(
+            rd.efficiency() > rs.efficiency(),
+            "dynamic should be more efficient ({} vs {})",
+            rd.efficiency(),
+            rs.efficiency()
+        );
+    }
+
+    #[test]
+    fn reduction_result_is_exact() {
+        let items = 1000u64;
+        let plan = Plan::new().reduce_sum(items, 1_000);
+        let r = run_plan(cfg(5), team(4), plan);
+        assert_eq!(r.reductions, vec![items * (items - 1) / 2]);
+    }
+
+    #[test]
+    fn serial_sections_limit_speedup() {
+        // Equal serial and parallel compute: Amdahl caps speedup below 2.
+        let par = 4_000_000u64;
+        let plan = Plan::new()
+            .serial(par)
+            .parallel_for(256, CostProfile::Uniform(par / 256), LoopSchedule::Static);
+        let r = run_plan(cfg(9), team(8), plan);
+        assert!(
+            r.speedup() < 2.0,
+            "Amdahl: speedup {} must stay under 2",
+            r.speedup()
+        );
+        assert!(r.speedup() > 1.2, "but parallelism still helps");
+    }
+
+    #[test]
+    fn real_time_team_is_admitted_and_completes() {
+        let plan = Plan::new()
+            .parallel_for(256, CostProfile::Uniform(20_000), LoopSchedule::Static)
+            .reduce_sum(256, 5_000);
+        let r = run_plan(
+            cfg(5),
+            TeamConfig {
+                workers: 4,
+                mode: TeamMode::RealTime {
+                    period: 1_000_000,
+                    slice: 800_000,
+                },
+            },
+            plan,
+        );
+        assert!(r.admitted);
+        assert_eq!(r.reductions, vec![256 * 255 / 2]);
+        assert!(r.total_ns > 0);
+    }
+
+    #[test]
+    fn throttled_team_runs_proportionally_slower() {
+        let plan = Plan::new().parallel_for(
+            2048,
+            CostProfile::Uniform(10_000),
+            LoopSchedule::Static,
+        );
+        let fast = run_plan(
+            cfg(5),
+            TeamConfig {
+                workers: 4,
+                mode: TeamMode::RealTime {
+                    period: 1_000_000,
+                    slice: 800_000,
+                },
+            },
+            plan.clone(),
+        );
+        let slow = run_plan(
+            cfg(5),
+            TeamConfig {
+                workers: 4,
+                mode: TeamMode::RealTime {
+                    period: 1_000_000,
+                    slice: 200_000,
+                },
+            },
+            plan,
+        );
+        let ratio = slow.total_ns as f64 / fast.total_ns as f64;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "4x less CPU should be ~4x slower ({ratio})"
+        );
+    }
+
+    #[test]
+    fn infeasible_team_constraints_fail() {
+        let plan = Plan::new().serial(1000);
+        let r = run_plan(
+            cfg(3),
+            TeamConfig {
+                workers: 2,
+                mode: TeamMode::RealTime {
+                    period: 100_000,
+                    slice: 99_900,
+                },
+            },
+            plan,
+        );
+        assert!(!r.admitted);
+    }
+}

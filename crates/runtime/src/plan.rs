@@ -1,0 +1,231 @@
+//! Parallel execution plans: what a team runs.
+//!
+//! A [`Plan`] is a sequence of regions — parallel loops, reductions, and
+//! serial sections — the analogue of an OpenMP program's structure after
+//! the compiler has outlined its regions. Loop iterations carry a cost
+//! profile so load imbalance (and the scheduling policies that fight it)
+//! can be expressed.
+
+use nautix_des::Cycles;
+
+/// How a parallel loop's iterations are distributed over workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopSchedule {
+    /// Contiguous equal blocks, decided up front (OpenMP `schedule(static)`).
+    Static,
+    /// Workers grab fixed-size chunks from a shared counter
+    /// (`schedule(dynamic, chunk)`), paying one contended RMW per grab.
+    Dynamic {
+        /// Iterations per grab.
+        chunk: u64,
+    },
+}
+
+/// Per-iteration cost profile of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostProfile {
+    /// Every iteration costs the same.
+    Uniform(Cycles),
+    /// Iteration `i` costs `base + i * step` — a triangular imbalance.
+    Linear {
+        /// Cost of iteration 0.
+        base: Cycles,
+        /// Increment per iteration.
+        step: Cycles,
+    },
+    /// Mostly `base`, but every `every`-th iteration costs `spike`.
+    Spiky {
+        /// Cost of ordinary iterations.
+        base: Cycles,
+        /// Distance between spikes (>= 1).
+        every: u64,
+        /// Cost of a spike iteration.
+        spike: Cycles,
+    },
+}
+
+impl CostProfile {
+    /// Cost of iteration `i`, cycles.
+    pub fn cost(&self, i: u64) -> Cycles {
+        match *self {
+            CostProfile::Uniform(c) => c,
+            CostProfile::Linear { base, step } => base + i * step,
+            CostProfile::Spiky { base, every, spike } => {
+                if every > 0 && i.is_multiple_of(every) {
+                    spike
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Total cost of iterations `[lo, hi)`.
+    pub fn range_cost(&self, lo: u64, hi: u64) -> Cycles {
+        match *self {
+            CostProfile::Uniform(c) => (hi - lo) * c,
+            CostProfile::Linear { base, step } => {
+                let n = hi - lo;
+                // sum_{i=lo}^{hi-1} (base + i*step)
+                n * base + step * (lo + hi - 1) * n / 2
+            }
+            CostProfile::Spiky { base, every, spike } => {
+                if every == 0 {
+                    return (hi - lo) * base;
+                }
+                let spikes = (lo..hi).filter(|i| i % every == 0).count() as u64;
+                (hi - lo - spikes) * base + spikes * spike
+            }
+        }
+    }
+
+    /// Total cost of the whole loop `[0, items)`.
+    pub fn total_cost(&self, items: u64) -> Cycles {
+        self.range_cost(0, items)
+    }
+}
+
+/// One region of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// `#pragma omp parallel for`: `items` iterations with the given cost
+    /// profile, distributed per `schedule`, closed by a team barrier.
+    ParallelFor {
+        /// Iteration count.
+        items: u64,
+        /// Per-iteration cost.
+        profile: CostProfile,
+        /// Distribution policy.
+        schedule: LoopSchedule,
+    },
+    /// A parallel sum-reduction: like a uniform loop, but each worker also
+    /// folds its partial into a shared accumulator (one contended RMW),
+    /// closed by a barrier; the result is checked by the harness.
+    ReduceSum {
+        /// Iteration count; iteration `i` contributes `i`.
+        items: u64,
+        /// Per-iteration compute cost.
+        cost: Cycles,
+    },
+    /// A serial section: worker 0 computes while the rest wait at the
+    /// closing barrier (Amdahl's overhead made explicit).
+    Serial {
+        /// The serial computation's cost.
+        cost: Cycles,
+    },
+}
+
+impl Region {
+    /// Ideal (perfectly balanced, zero-overhead) parallel cost on
+    /// `workers` CPUs, in cycles.
+    pub fn ideal_cost(&self, workers: u64) -> Cycles {
+        match *self {
+            Region::ParallelFor { items, profile, .. } => {
+                profile.total_cost(items).div_ceil(workers)
+            }
+            Region::ReduceSum { items, cost } => (items * cost).div_ceil(workers),
+            Region::Serial { cost } => cost,
+        }
+    }
+}
+
+/// A sequence of regions.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// The regions, in program order.
+    pub regions: Vec<Region>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Append a parallel loop.
+    pub fn parallel_for(mut self, items: u64, profile: CostProfile, schedule: LoopSchedule) -> Self {
+        self.regions.push(Region::ParallelFor {
+            items,
+            profile,
+            schedule,
+        });
+        self
+    }
+
+    /// Append a sum reduction.
+    pub fn reduce_sum(mut self, items: u64, cost: Cycles) -> Self {
+        self.regions.push(Region::ReduceSum { items, cost });
+        self
+    }
+
+    /// Append a serial section.
+    pub fn serial(mut self, cost: Cycles) -> Self {
+        self.regions.push(Region::Serial { cost });
+        self
+    }
+
+    /// Ideal parallel cost of the whole plan on `workers` CPUs.
+    pub fn ideal_cost(&self, workers: u64) -> Cycles {
+        self.regions.iter().map(|r| r.ideal_cost(workers)).sum()
+    }
+
+    /// Total serial cost of the plan (one CPU, zero overhead).
+    pub fn serial_cost(&self) -> Cycles {
+        self.regions.iter().map(|r| r.ideal_cost(1)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs() {
+        let p = CostProfile::Uniform(10);
+        assert_eq!(p.cost(0), 10);
+        assert_eq!(p.cost(99), 10);
+        assert_eq!(p.range_cost(5, 15), 100);
+        assert_eq!(p.total_cost(100), 1000);
+    }
+
+    #[test]
+    fn linear_costs_match_direct_sum() {
+        let p = CostProfile::Linear { base: 7, step: 3 };
+        for (lo, hi) in [(0u64, 10u64), (5, 6), (13, 29), (0, 1)] {
+            let direct: u64 = (lo..hi).map(|i| p.cost(i)).sum();
+            assert_eq!(p.range_cost(lo, hi), direct, "range [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn spiky_costs_match_direct_sum() {
+        let p = CostProfile::Spiky {
+            base: 5,
+            every: 7,
+            spike: 100,
+        };
+        for (lo, hi) in [(0u64, 30u64), (6, 8), (7, 7), (1, 50)] {
+            let direct: u64 = (lo..hi).map(|i| p.cost(i)).sum();
+            assert_eq!(p.range_cost(lo, hi), direct, "range [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn plan_builder_and_ideal_costs() {
+        let plan = Plan::new()
+            .parallel_for(100, CostProfile::Uniform(10), LoopSchedule::Static)
+            .serial(500)
+            .reduce_sum(40, 5);
+        assert_eq!(plan.regions.len(), 3);
+        // 1000/4 + 500 + 200/4
+        assert_eq!(plan.ideal_cost(4), 250 + 500 + 50);
+        assert_eq!(plan.serial_cost(), 1000 + 500 + 200);
+    }
+
+    #[test]
+    fn serial_region_cost_is_worker_independent() {
+        let r = Region::Serial { cost: 777 };
+        assert_eq!(r.ideal_cost(1), 777);
+        assert_eq!(r.ideal_cost(64), 777);
+    }
+}

@@ -1,0 +1,371 @@
+//! Teams: persistent workers executing a plan under a chosen scheduling
+//! regime.
+//!
+//! A team is the §8 vision in miniature: "adding real-time and barrier
+//! removal support to Nautilus-internal implementations of OpenMP and NESL
+//! run-times". Workers are spawned one per CPU, optionally admitted as a
+//! hard real-time gang (through group admission control with phase
+//! correction), and then run the plan region by region with an
+//! application-level spin barrier between regions.
+
+use crate::plan::{LoopSchedule, Plan, Region};
+use nautix_des::{Cycles, Nanos};
+use nautix_hw::CpuId;
+use nautix_kernel::{Action, Constraints, GroupId, Program, ResumeCx, SysCall, SysResult};
+use nautix_rt::{Node, NodeConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How the team is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeamMode {
+    /// Non-real-time round-robin workers.
+    BestEffort,
+    /// A gang-scheduled hard real-time group.
+    RealTime {
+        /// Period τ, ns.
+        period: Nanos,
+        /// Slice σ, ns.
+        slice: Nanos,
+    },
+}
+
+/// Team configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TeamConfig {
+    /// Worker count; worker *i* is bound to CPU *i + 1*.
+    pub workers: usize,
+    /// Scheduling regime.
+    pub mode: TeamMode,
+}
+
+/// Result of running a plan.
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// Wall time from the first region's start to the last region's end,
+    /// slowest worker, ns.
+    pub total_ns: Nanos,
+    /// Ideal parallel time (perfect balance, zero overhead), ns.
+    pub ideal_ns: Nanos,
+    /// The serial execution time of the plan's pure compute, ns.
+    pub serial_ns: Nanos,
+    /// Per-worker total busy cycles.
+    pub worker_cycles: Vec<Cycles>,
+    /// Sum-reduction results, one per `ReduceSum` region in plan order.
+    pub reductions: Vec<u64>,
+    /// Whether real-time admission succeeded (true for best-effort).
+    pub admitted: bool,
+}
+
+impl PlanResult {
+    /// Achieved speedup over the serial compute time.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.total_ns.max(1) as f64
+    }
+
+    /// Parallel efficiency vs. the ideal time.
+    pub fn efficiency(&self) -> f64 {
+        self.ideal_ns as f64 / self.total_ns.max(1) as f64
+    }
+
+    /// Load imbalance: max/mean of per-worker busy cycles.
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.worker_cycles.iter().max().unwrap_or(&0) as f64;
+        let mean = self.worker_cycles.iter().sum::<u64>() as f64
+            / self.worker_cycles.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+struct TeamShared {
+    /// Dynamic-loop grab counters, one per region index.
+    counters: Vec<u64>,
+    /// Reduction accumulators, one per region index (0 where unused).
+    accumulators: Vec<u64>,
+    /// Spin-barrier state.
+    barrier_count: usize,
+    barrier_sense: bool,
+    /// Per-worker (start, end) wall times.
+    spans: Vec<Option<(Nanos, Nanos)>>,
+    admit_failed: bool,
+}
+
+enum WStep {
+    Create,
+    Join,
+    Settle,
+    CheckSettle,
+    Admit,
+    AwaitAdmit,
+    StartClock,
+    Region(usize),
+    DynLoop(usize),
+    BarrierArrive(usize),
+    BarrierSpin(usize, bool),
+    EndClock,
+    Done,
+}
+
+struct Worker {
+    idx: usize,
+    cfg: TeamConfig,
+    plan: Rc<Plan>,
+    shared: Rc<RefCell<TeamShared>>,
+    gid: GroupId,
+    step: WStep,
+    rmw_cycles: Cycles,
+    spin_cycles: Cycles,
+    start_ns: Nanos,
+}
+
+impl Worker {
+    /// Compute this worker's static share `[lo, hi)` of `items`.
+    fn static_share(&self, items: u64) -> (u64, u64) {
+        let w = self.cfg.workers as u64;
+        let i = self.idx as u64;
+        let base = items / w;
+        let rem = items % w;
+        let lo = i * base + i.min(rem);
+        let hi = lo + base + u64::from(i < rem);
+        (lo, hi)
+    }
+}
+
+impl Program for Worker {
+    fn resume(&mut self, cx: &mut ResumeCx) -> Action {
+        loop {
+            match self.step {
+                WStep::Create => {
+                    self.step = WStep::Join;
+                    if self.idx == 0 {
+                        return Action::Call(SysCall::GroupCreate { name: "team" });
+                    }
+                }
+                WStep::Join => {
+                    self.step = WStep::Settle;
+                    return Action::Call(SysCall::GroupJoin(self.gid));
+                }
+                WStep::Settle => {
+                    self.step = WStep::CheckSettle;
+                    return Action::Call(SysCall::GroupSize(self.gid));
+                }
+                WStep::CheckSettle => {
+                    if cx.result == SysResult::Value(self.cfg.workers as u64) {
+                        self.step = WStep::Admit;
+                    } else {
+                        self.step = WStep::Settle;
+                        return Action::Call(SysCall::SleepNs(50_000));
+                    }
+                }
+                WStep::Admit => match self.cfg.mode {
+                    TeamMode::BestEffort => self.step = WStep::StartClock,
+                    TeamMode::RealTime { period, slice } => {
+                        self.step = WStep::AwaitAdmit;
+                        return Action::Call(SysCall::GroupChangeConstraints {
+                            group: self.gid,
+                            constraints: Constraints::Periodic {
+                                phase: period / 2,
+                                period,
+                                slice,
+                            },
+                        });
+                    }
+                },
+                WStep::AwaitAdmit => {
+                    if cx.result == SysResult::Admission(Ok(())) {
+                        self.step = WStep::StartClock;
+                    } else {
+                        self.shared.borrow_mut().admit_failed = true;
+                        self.step = WStep::Done;
+                    }
+                }
+                WStep::StartClock => {
+                    self.start_ns = cx.now_ns;
+                    self.step = WStep::Region(0);
+                }
+                WStep::Region(r) => {
+                    let Some(region) = self.plan.regions.get(r).copied() else {
+                        self.step = WStep::EndClock;
+                        continue;
+                    };
+                    match region {
+                        Region::ParallelFor {
+                            items,
+                            profile,
+                            schedule: LoopSchedule::Static,
+                        } => {
+                            let (lo, hi) = self.static_share(items);
+                            let cost = profile.range_cost(lo, hi);
+                            self.step = WStep::BarrierArrive(r);
+                            if cost > 0 {
+                                return Action::Compute(cost);
+                            }
+                        }
+                        Region::ParallelFor {
+                            schedule: LoopSchedule::Dynamic { .. },
+                            ..
+                        } => {
+                            self.step = WStep::DynLoop(r);
+                        }
+                        Region::ReduceSum { items, cost } => {
+                            let (lo, hi) = self.static_share(items);
+                            // Partial sum of the integers in [lo, hi).
+                            let partial = (lo + hi).saturating_sub(1) * (hi - lo) / 2;
+                            self.shared.borrow_mut().accumulators_add(r, partial);
+                            self.step = WStep::BarrierArrive(r);
+                            let c = (hi - lo) * cost + self.rmw_cycles;
+                            if c > 0 {
+                                return Action::Compute(c);
+                            }
+                        }
+                        Region::Serial { cost } => {
+                            self.step = WStep::BarrierArrive(r);
+                            if self.idx == 0 && cost > 0 {
+                                return Action::Compute(cost);
+                            }
+                        }
+                    }
+                }
+                WStep::DynLoop(r) => {
+                    let Region::ParallelFor {
+                        items,
+                        profile,
+                        schedule: LoopSchedule::Dynamic { chunk },
+                    } = self.plan.regions[r]
+                    else {
+                        unreachable!()
+                    };
+                    let chunk = chunk.max(1);
+                    let lo = {
+                        let mut sh = self.shared.borrow_mut();
+                        let c = &mut sh.counters[r];
+                        let lo = *c;
+                        *c = (*c + chunk).min(items);
+                        lo
+                    };
+                    if lo >= items {
+                        self.step = WStep::BarrierArrive(r);
+                        continue;
+                    }
+                    let hi = (lo + chunk).min(items);
+                    // Pay the grab (contended counter) plus the chunk work.
+                    return Action::Compute(self.rmw_cycles + profile.range_cost(lo, hi));
+                }
+                WStep::BarrierArrive(r) => {
+                    let mut sh = self.shared.borrow_mut();
+                    let my_sense = sh.barrier_sense;
+                    sh.barrier_count += 1;
+                    if sh.barrier_count == self.cfg.workers {
+                        sh.barrier_count = 0;
+                        sh.barrier_sense = !sh.barrier_sense;
+                        drop(sh);
+                        self.step = WStep::Region(r + 1);
+                        return Action::Compute(self.rmw_cycles);
+                    }
+                    drop(sh);
+                    self.step = WStep::BarrierSpin(r, my_sense);
+                    return Action::Compute(self.rmw_cycles);
+                }
+                WStep::BarrierSpin(r, my_sense) => {
+                    if self.shared.borrow().barrier_sense != my_sense {
+                        self.step = WStep::Region(r + 1);
+                    } else {
+                        return Action::Compute(self.spin_cycles);
+                    }
+                }
+                WStep::EndClock => {
+                    self.shared.borrow_mut().spans[self.idx] = Some((self.start_ns, cx.now_ns));
+                    self.step = WStep::Done;
+                }
+                WStep::Done => return Action::Exit,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "team-worker"
+    }
+}
+
+impl TeamShared {
+    fn accumulators_add(&mut self, region: usize, v: u64) {
+        self.accumulators[region] += v;
+    }
+}
+
+/// Run `plan` on a freshly booted node under `team`.
+pub fn run_plan(mut node_cfg: NodeConfig, team: TeamConfig, plan: Plan) -> PlanResult {
+    assert!(team.workers >= 1);
+    assert!(
+        team.workers < node_cfg.machine.n_cpus,
+        "need {} CPUs for {} workers plus CPU 0",
+        team.workers + 1,
+        team.workers
+    );
+    node_cfg.max_threads = node_cfg
+        .max_threads
+        .max(node_cfg.machine.n_cpus + team.workers + 1);
+    let mut node = Node::new(node_cfg);
+    let cm = node.machine.cost_model().clone();
+    let n_regions = plan.regions.len();
+    let plan = Rc::new(plan);
+    let shared = Rc::new(RefCell::new(TeamShared {
+        counters: vec![0; n_regions],
+        accumulators: vec![0; n_regions],
+        barrier_count: 0,
+        barrier_sense: false,
+        spans: vec![None; team.workers],
+        admit_failed: false,
+    }));
+    let mut tids = Vec::new();
+    for i in 0..team.workers {
+        let w = Worker {
+            idx: i,
+            cfg: team,
+            plan: plan.clone(),
+            shared: shared.clone(),
+            gid: GroupId(0),
+            step: if i == 0 { WStep::Create } else { WStep::Join },
+            rmw_cycles: cm.atomic_rmw_contended.base,
+            spin_cycles: (cm.spin_check.base * 8).max(500),
+            start_ns: 0,
+        };
+        let cpu: CpuId = i + 1;
+        tids.push(
+            node.spawn_on(cpu, &format!("w{i}"), Box::new(w))
+                .expect("spawn worker"),
+        );
+    }
+    node.run_until_quiescent();
+    let sh = shared.borrow();
+    let total_ns = sh
+        .spans
+        .iter()
+        .map(|s| s.map(|(a, b)| b.saturating_sub(a)).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let freq = node.freq();
+    let worker_cycles = tids
+        .iter()
+        .map(|&t| node.thread_state(t).stats.executed_cycles)
+        .collect();
+    let reductions = plan
+        .regions
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, Region::ReduceSum { .. }))
+        .map(|(i, _)| sh.accumulators[i])
+        .collect();
+    PlanResult {
+        total_ns,
+        ideal_ns: freq.cycles_to_ns(plan.ideal_cost(team.workers as u64)),
+        serial_ns: freq.cycles_to_ns(plan.serial_cost()),
+        worker_cycles,
+        reductions,
+        admitted: !sh.admit_failed,
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the fork-join run-time's arithmetic: loop-cost
+//! profiles and plan accounting.
+
+use nautix_runtime::{CostProfile, LoopSchedule, Plan, Region};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = CostProfile> {
+    prop_oneof![
+        (1u64..10_000).prop_map(CostProfile::Uniform),
+        (1u64..5_000, 0u64..100)
+            .prop_map(|(base, step)| CostProfile::Linear { base, step }),
+        (1u64..2_000, 1u64..50, 1u64..100_000)
+            .prop_map(|(base, every, spike)| CostProfile::Spiky { base, every, spike }),
+    ]
+}
+
+proptest! {
+    /// `range_cost` agrees with summing `cost(i)` for every profile shape.
+    #[test]
+    fn range_cost_matches_pointwise_sum(
+        profile in arb_profile(),
+        lo in 0u64..500,
+        len in 0u64..300,
+    ) {
+        let hi = lo + len;
+        let direct: u64 = (lo..hi).map(|i| profile.cost(i)).sum();
+        prop_assert_eq!(profile.range_cost(lo, hi), direct);
+    }
+
+    /// Splitting a range at any point conserves total cost.
+    #[test]
+    fn range_cost_is_additive(
+        profile in arb_profile(),
+        lo in 0u64..500,
+        a in 0u64..200,
+        b in 0u64..200,
+    ) {
+        let mid = lo + a;
+        let hi = mid + b;
+        prop_assert_eq!(
+            profile.range_cost(lo, hi),
+            profile.range_cost(lo, mid) + profile.range_cost(mid, hi)
+        );
+    }
+
+    /// A static partition over any worker count covers every iteration
+    /// exactly once with balanced block sizes (the contract the team's
+    /// `static_share` relies on; replicated here as the spec).
+    #[test]
+    fn static_partition_covers_exactly(items in 0u64..10_000, workers in 1u64..64) {
+        let share = |i: u64| {
+            let base = items / workers;
+            let rem = items % workers;
+            let lo = i * base + i.min(rem);
+            let hi = lo + base + u64::from(i < rem);
+            (lo, hi)
+        };
+        let mut covered = 0u64;
+        let mut prev_hi = 0u64;
+        for i in 0..workers {
+            let (lo, hi) = share(i);
+            prop_assert_eq!(lo, prev_hi, "blocks must be contiguous");
+            prop_assert!(hi >= lo);
+            // Balanced to within one iteration.
+            prop_assert!(hi - lo <= items / workers + 1);
+            covered += hi - lo;
+            prev_hi = hi;
+        }
+        prop_assert_eq!(covered, items);
+        prop_assert_eq!(prev_hi, items);
+    }
+
+    /// Plan accounting: ideal cost on one worker equals the serial cost,
+    /// and more workers never increase the ideal cost.
+    #[test]
+    fn ideal_cost_is_monotone_in_workers(
+        items in 1u64..2_000,
+        unit in 1u64..1_000,
+        serial in 0u64..100_000,
+    ) {
+        let plan = Plan::new()
+            .parallel_for(items, CostProfile::Uniform(unit), LoopSchedule::Static)
+            .serial(serial)
+            .reduce_sum(items, unit);
+        prop_assert_eq!(plan.ideal_cost(1), plan.serial_cost());
+        let mut last = plan.ideal_cost(1);
+        for w in [2u64, 4, 8, 16, 64] {
+            let c = plan.ideal_cost(w);
+            prop_assert!(c <= last, "ideal cost must not grow with workers");
+            // Amdahl floor: never below the serial region.
+            prop_assert!(c >= serial);
+            last = c;
+        }
+    }
+
+    /// Region ideal costs at w workers are within ceil of perfect division.
+    #[test]
+    fn region_ideal_cost_is_ceiling_division(items in 1u64..5_000, unit in 1u64..500, w in 1u64..64) {
+        let r = Region::ParallelFor {
+            items,
+            profile: CostProfile::Uniform(unit),
+            schedule: LoopSchedule::Static,
+        };
+        let total = items * unit;
+        prop_assert_eq!(r.ideal_cost(w), total.div_ceil(w));
+    }
+}

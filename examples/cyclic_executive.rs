@@ -1,0 +1,78 @@
+//! Real-time behavior by static construction (§8): compile a periodic
+//! task set into a cyclic executive table offline, verify it, and run it
+//! on the node under a single hosting constraint — no run-time scheduling
+//! decisions remain.
+//!
+//! ```sh
+//! cargo run --release --example cyclic_executive
+//! ```
+
+use nautix::kernel::{FnProgram, Program, SysCall, SysResult};
+use nautix::prelude::*;
+use nautix::rt::{compile_cyclic, CyclicExecutive, CyclicTask};
+
+fn main() {
+    // A control-loop flavored task set.
+    let set = [
+        CyclicTask {
+            period: 100_000, // 100 µs sensor poll
+            wcet: 15_000,
+        },
+        CyclicTask {
+            period: 200_000, // 200 µs control law
+            wcet: 40_000,
+        },
+        CyclicTask {
+            period: 400_000, // 400 µs telemetry
+            wcet: 30_000,
+        },
+    ];
+    let schedule = compile_cyclic(&set).expect("compilable set");
+    schedule.verify().expect("table verifies offline");
+    println!(
+        "compiled: hyperperiod {} µs, minor frame {} µs, {} frames, peak frame load {} µs, U = {}%",
+        schedule.hyperperiod / 1000,
+        schedule.frame / 1000,
+        schedule.frames.len(),
+        schedule.peak_frame_load() / 1000,
+        schedule.utilization_ppm() / 10_000
+    );
+    for (i, f) in schedule.frames.iter().enumerate() {
+        let desc: Vec<String> = f
+            .placements
+            .iter()
+            .map(|p| format!("T{}#{}({}µs)", p.task, p.instance, p.duration / 1000))
+            .collect();
+        println!("  frame {i}: {}", desc.join(" "));
+    }
+
+    // Host it on a node.
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi().with_cpus(2).with_seed(71);
+    cfg.sched = nautix::rt::SchedConfig::throughput();
+    let mut node = Node::new(cfg);
+    let hosting = schedule.hosting_constraints(10_000);
+    println!("\nhosting constraint: {hosting:?}");
+    let major_cycles = 50;
+    let mut exec = Some(CyclicExecutive::new(schedule, node.freq(), major_cycles));
+    let mut inner: Option<CyclicExecutive> = None;
+    let prog = FnProgram::new(move |cx, n| {
+        if n == 0 {
+            return Action::Call(SysCall::ChangeConstraints(hosting));
+        }
+        if n == 1 {
+            assert_eq!(cx.result, SysResult::Admission(Ok(())));
+            inner = exec.take();
+        }
+        inner.as_mut().unwrap().resume(cx)
+    });
+    let tid = node.spawn_on(1, "cyclic", Box::new(prog)).unwrap();
+    node.run_until_quiescent();
+    let st = node.thread_state(tid);
+    println!(
+        "ran {major_cycles} major cycles: {} frame arrivals, {} met, {} missed",
+        st.stats.arrivals, st.stats.met, st.stats.missed
+    );
+    assert_eq!(st.stats.missed, 0);
+    println!("every placement executed in its frame — the schedule was decided at compile time.");
+}

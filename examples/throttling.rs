@@ -1,0 +1,49 @@
+//! Administrative resource control (§6.3): throttle a parallel job up and
+//! down by changing its gang's slice, and watch performance follow
+//! proportionally — the "resource control with commensurate performance"
+//! property of Figures 13 and 14.
+//!
+//! ```sh
+//! cargo run --release --example throttling
+//! ```
+
+use nautix::bsp::{run_bsp, BspMode, BspParams};
+use nautix::prelude::*;
+use nautix::rt::SchedConfig;
+
+fn main() {
+    let workers = 8;
+    let base = BspParams::coarse(workers, 10);
+    println!("coarse BSP job on {workers} CPUs, throttled via slice/period:\n");
+    println!("{:>12} {:>14} {:>12}", "utilization", "exec time (ms)", "norm rate");
+
+    let mut reference: Option<f64> = None;
+    for pct in [90u64, 70, 50, 30, 10] {
+        let mut cfg = NodeConfig::phi();
+        cfg.machine = MachineConfig::phi().with_cpus(workers + 1).with_seed(31);
+        cfg.sched = SchedConfig::throughput();
+        let r = run_bsp(
+            cfg,
+            base.with_mode(BspMode::RtGroup {
+                period: 1_000_000,
+                slice: pct * 10_000,
+            }),
+        );
+        assert!(r.admitted);
+        let t_ms = r.max_ns as f64 / 1e6;
+        // Rate normalized so that perfect proportional control gives 1.0.
+        let rate = 100.0 / (pct as f64 * t_ms);
+        let norm = match reference {
+            None => {
+                reference = Some(rate);
+                1.0
+            }
+            Some(r0) => rate / r0,
+        };
+        println!("{:>11}% {:>14.2} {:>12.3}", pct, t_ms, norm);
+    }
+    println!(
+        "\na flat 'norm rate' column means the application's execution rate \
+         tracks its CPU allocation — the administrator's throttle works."
+    );
+}

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Plot the reproduction's CSV series in the style of the paper's figures.
+
+Usage:
+    cargo run --release -p nautix-bench --bin repro_all -- --paper
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Requires matplotlib. Each plot mirrors one figure of the paper; missing
+CSVs are skipped with a note.
+"""
+
+import csv
+import os
+import sys
+
+
+def rows(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def main():
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out = sys.argv[2] if len(sys.argv) > 2 else "results/plots"
+    os.makedirs(out, exist_ok=True)
+
+    def save(fig, name):
+        path = os.path.join(out, name)
+        fig.tight_layout()
+        fig.savefig(path, dpi=150)
+        plt.close(fig)
+        print(f"wrote {path}")
+
+    def have(name):
+        p = os.path.join(results, name)
+        if not os.path.exists(p):
+            print(f"skip: {name} not found (run repro_all first)")
+            return None
+        return p
+
+    # Figure 3: TSC offset histogram.
+    if p := have("fig03_timesync.csv"):
+        r = rows(p)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.bar(
+            [int(x["offset_cycles"]) for x in r],
+            [int(x["count"]) for x in r],
+            width=45,
+        )
+        ax.set_xlabel("offset from CPU 0 (cycles)")
+        ax.set_ylabel("CPUs")
+        ax.set_title("Fig 3: cross-CPU TSC synchronization")
+        save(fig, "fig03.png")
+
+    # Figures 6/7: miss-rate curves per period.
+    for name, title in [
+        ("fig06_missrate_phi.csv", "Fig 6: miss rate (Phi)"),
+        ("fig07_missrate_r415.csv", "Fig 7: miss rate (R415)"),
+    ]:
+        if p := have(name):
+            r = rows(p)
+            fig, ax = plt.subplots(figsize=(6, 4))
+            periods = sorted({int(x["period_us"]) for x in r}, reverse=True)
+            for per in periods:
+                pts = [(int(x["slice_pct"]), float(x["miss_rate"])) for x in r if int(x["period_us"]) == per]
+                pts.sort()
+                ax.plot([a for a, _ in pts], [100 * b for _, b in pts], marker=".", label=f"{per} µs")
+            ax.set_xlabel("slice (% of period)")
+            ax.set_ylabel("miss rate (%)")
+            ax.set_title(title)
+            ax.legend(fontsize=7)
+            save(fig, name.replace(".csv", ".png"))
+
+    # Figure 10: group admission cost growth.
+    if p := have("fig10_group_admission.csv"):
+        r = rows(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for step in ["join", "election", "admission", "local_admission", "barrier_phase", "total"]:
+            pts = [(int(x["n"]), float(x["avg_cycles"])) for x in r if x["step"] == step]
+            pts.sort()
+            ax.plot([a for a, _ in pts], [b for _, b in pts], marker="o", label=step)
+        ax.set_xlabel("group size (threads)")
+        ax.set_ylabel("cycles (avg)")
+        ax.set_yscale("log")
+        ax.set_title("Fig 10: group admission control costs")
+        ax.legend(fontsize=7)
+        save(fig, "fig10.png")
+
+    # Figures 11/12: dispatch spread.
+    if p := have("fig11_group_sync8.csv"):
+        r = rows(p)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.plot(
+            [int(x["invocation"]) for x in r],
+            [int(x["spread_cycles"]) for x in r],
+            ",",
+        )
+        ax.set_xlabel("scheduler invocation index")
+        ax.set_ylabel("max difference (cycles)")
+        ax.set_title("Fig 11: 8-thread group synchronization")
+        save(fig, "fig11.png")
+    if p := have("fig12_group_sync_scale.csv"):
+        r = rows(p)
+        fig, ax = plt.subplots(figsize=(6, 3))
+        for n in sorted({int(x["n"]) for x in r}):
+            pts = [(int(x["invocation"]), int(x["spread_cycles"])) for x in r if int(x["n"]) == n]
+            ax.plot([a for a, _ in pts], [b for _, b in pts], ",", label=f"{n} threads")
+        ax.set_xlabel("scheduler invocation index")
+        ax.set_ylabel("max difference (cycles)")
+        ax.set_title("Fig 12: synchronization vs group size")
+        ax.legend(fontsize=7, markerscale=20)
+        save(fig, "fig12.png")
+
+    # Figures 13/14: throttling scatter.
+    for name, title in [
+        ("fig13_throttle_coarse.csv", "Fig 13: throttling (coarse)"),
+        ("fig14_throttle_fine.csv", "Fig 14: throttling (fine)"),
+    ]:
+        if p := have(name):
+            r = [x for x in rows(p) if x["admitted"] == "true"]
+            fig, ax = plt.subplots(figsize=(6, 4))
+            ax.plot(
+                [float(x["utilization"]) for x in r],
+                [int(x["time_ns"]) / 1e9 for x in r],
+                ".",
+                markersize=3,
+            )
+            ax.set_xlabel("utilization (slice/period)")
+            ax.set_ylabel("execution time (s)")
+            ax.set_title(title)
+            save(fig, name.replace(".csv", ".png"))
+
+    # Figures 15/16: barrier removal scatter.
+    for name, title in [
+        ("fig15_barrier_coarse.csv", "Fig 15: barrier removal (coarse)"),
+        ("fig16_barrier_fine.csv", "Fig 16: barrier removal (fine)"),
+    ]:
+        if p := have(name):
+            r = rows(p)
+            xs = [int(x["without_barrier_ns"]) for x in r]
+            ys = [int(x["with_barrier_ns"]) for x in r]
+            fig, ax = plt.subplots(figsize=(4.5, 4.5))
+            ax.plot(xs, ys, ".", markersize=4)
+            lim = [0, max(xs + ys) * 1.05]
+            ax.plot(lim, lim, "k-", linewidth=0.8)
+            ax.set_xlabel("time with barrier removal (ns)")
+            ax.set_ylabel("time without barrier removal (ns)")
+            ax.set_title(title + "\n(points above the line: removal wins)")
+            save(fig, name.replace(".csv", ".png"))
+
+
+if __name__ == "__main__":
+    main()
