@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nautix_bench::throttle::Granularity;
-use nautix_bench::{barrier_removal, fig03, fig04, fig05, fig10, groupsync, missrate, throttle, Scale};
+use nautix_bench::{
+    barrier_removal, fig03, fig04, fig05, fig10, groupsync, missrate, throttle, Scale,
+};
 use nautix_hw::Platform;
 use std::hint::black_box;
 

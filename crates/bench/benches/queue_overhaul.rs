@@ -1,0 +1,164 @@
+//! Before/after microbenchmarks for the DES hot-path overhaul.
+//!
+//! The "before" contenders reconstruct the seed's data structures inline:
+//! a `BinaryHeap` event queue whose `cancel` leaves a tombstone that `pop`
+//! must skip, with the per-CPU one-shot timer living *in* that heap so
+//! every scheduler re-arm is a push + tombstone. The "after" contenders
+//! are the real [`nautix_des::EventQueue`] (index-tracked true removal)
+//! and [`nautix_hw::TimerSlots`] (flat per-CPU slots, O(1) re-arm).
+//!
+//! Run with `cargo bench -p nautix-bench --bench queue_overhaul`; the
+//! README's Performance section quotes these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nautix_des::EventQueue;
+use nautix_hw::TimerSlots;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// The seed's queue: tombstone cancellation over `std` binary heap.
+struct TombstoneQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    cancelled: Vec<bool>,
+    next_id: u64,
+}
+
+impl TombstoneQueue {
+    fn new() -> Self {
+        TombstoneQueue {
+            heap: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cancelled.push(false);
+        self.heap.push(Reverse((time, id, id)));
+        id
+    }
+
+    fn cancel(&mut self, id: u64) {
+        self.cancelled[id as usize] = true;
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        while let Some(Reverse((t, _, id))) = self.heap.pop() {
+            if !self.cancelled[id as usize] {
+                return Some(black_box(t));
+            }
+        }
+        None
+    }
+}
+
+const CPUS: usize = 64;
+const REARMS_PER_CPU: u64 = 64;
+
+/// Before: every timer re-arm is a heap push plus a tombstone, and the
+/// eventual drain wades through all the corpses.
+fn bench_rearm_tombstone(c: &mut Criterion) {
+    c.bench_function("timer_rearm_before_tombstone_heap", |b| {
+        b.iter(|| {
+            let mut q = TombstoneQueue::new();
+            let mut pending = vec![None; CPUS];
+            for round in 0..REARMS_PER_CPU {
+                for (cpu, slot) in pending.iter_mut().enumerate() {
+                    if let Some(old) = slot.take() {
+                        q.cancel(old);
+                    }
+                    *slot = Some(q.schedule(1_000 + round * 10 + cpu as u64));
+                }
+            }
+            let mut fired = 0u64;
+            while q.pop().is_some() {
+                fired += 1;
+            }
+            black_box(fired)
+        })
+    });
+}
+
+/// After: a re-arm is a slot store (plus an occasional earliest rescan).
+fn bench_rearm_slots(c: &mut Criterion) {
+    c.bench_function("timer_rearm_after_per_cpu_slots", |b| {
+        b.iter(|| {
+            let mut t = TimerSlots::new(CPUS);
+            for round in 0..REARMS_PER_CPU {
+                for cpu in 0..CPUS {
+                    t.arm(cpu, 1_000 + round * 10 + cpu as u64);
+                }
+            }
+            let mut fired = 0u64;
+            while let Some((cpu, _)) = t.earliest() {
+                t.disarm(cpu);
+                fired += 1;
+            }
+            black_box(fired)
+        })
+    });
+}
+
+const CHURN_STEPS: u64 = 8192;
+const CHURN_LIVE: usize = 256;
+
+/// The rolling-horizon workload a long simulation produces: a bounded set
+/// of live events, but each step cancels one and schedules a replacement
+/// further out (a wakeup superseded, an op preempted). In the tombstone
+/// design the heap never sheds the corpses until their timestamps surface,
+/// so it keeps growing for the whole run.
+fn bench_churn_tombstone(c: &mut Criterion) {
+    c.bench_function("event_churn_before_tombstone_heap", |b| {
+        b.iter(|| {
+            let mut q = TombstoneQueue::new();
+            let mut live: Vec<u64> = (0..CHURN_LIVE as u64).map(|i| q.schedule(i * 97)).collect();
+            let mut now_hint = CHURN_LIVE as u64 * 97;
+            for step in 0..CHURN_STEPS {
+                let victim = (step.wrapping_mul(2_654_435_761) % CHURN_LIVE as u64) as usize;
+                q.cancel(live[victim]);
+                now_hint += 61;
+                live[victim] = q.schedule(now_hint + (step % 53) * 17);
+                if step % 4 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            black_box(q.heap.len())
+        })
+    });
+}
+
+/// After: a cancel removes the entry and recycles its slot, so the heap
+/// stays at the live-event count no matter how long the run is.
+fn bench_churn_true_removal(c: &mut Criterion) {
+    c.bench_function("event_churn_after_true_removal", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut live: Vec<_> = (0..CHURN_LIVE as u64)
+                .map(|i| q.schedule(i * 97, i))
+                .collect();
+            let mut now_hint = CHURN_LIVE as u64 * 97;
+            for step in 0..CHURN_STEPS {
+                let victim = (step.wrapping_mul(2_654_435_761) % CHURN_LIVE as u64) as usize;
+                q.cancel(live[victim]);
+                now_hint += 61;
+                live[victim] = q.schedule(now_hint + (step % 53) * 17, step);
+                if step % 4 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            black_box(q.backlog())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rearm_tombstone,
+    bench_rearm_slots,
+    bench_churn_tombstone,
+    bench_churn_true_removal
+);
+criterion_main!(benches);

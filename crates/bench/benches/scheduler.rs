@@ -31,8 +31,7 @@ fn bench_scheduler_invoke(c: &mut Criterion) {
     c.bench_function("local_scheduler_invoke_8_threads", |b| {
         let cfg = SchedConfig::default();
         let mut sched = LocalScheduler::new(0, 0, cfg, Freq::phi(), 64);
-        let mut threads: Vec<SchedThread> =
-            (0..16).map(|_| SchedThread::new_aperiodic()).collect();
+        let mut threads: Vec<SchedThread> = (0..16).map(|_| SchedThread::new_aperiodic()).collect();
         #[allow(clippy::needless_range_loop)]
         for tid in 1..9 {
             let cons = Constraints::periodic(100_000 * tid as u64, 5_000 * tid as u64);
@@ -56,9 +55,8 @@ fn bench_admission(c: &mut Criterion) {
             CpuLoad::new,
             |mut load| {
                 for i in 1..8u64 {
-                    let _ = black_box(
-                        load.admit(&cfg, &Constraints::periodic(100_000 * i, 9_000 * i)),
-                    );
+                    let _ =
+                        black_box(load.admit(&cfg, &Constraints::periodic(100_000 * i, 9_000 * i)));
                 }
             },
             BatchSize::SmallInput,

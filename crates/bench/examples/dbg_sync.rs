@@ -21,12 +21,19 @@ fn main() {
                 2 => Action::Call(SysCall::SleepNs(3_000_000)),
                 3 => Action::Call(SysCall::GroupChangeConstraints {
                     group: gid,
-                    constraints: Constraints::Periodic { phase: 1_000_000, period: 100_000, slice: 50_000 },
+                    constraints: Constraints::Periodic {
+                        phase: 1_000_000,
+                        period: 100_000,
+                        slice: 50_000,
+                    },
                 }),
                 _ => Action::Compute(1_000_000),
             }
         });
-        tids.push(node.spawn_on(i + 1, &format!("s{i}"), Box::new(prog)).unwrap());
+        tids.push(
+            node.spawn_on(i + 1, &format!("s{i}"), Box::new(prog))
+                .unwrap(),
+        );
     }
     node.run_for_ns(12_000_000);
     for t in node.ga_timings() {

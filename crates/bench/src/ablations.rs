@@ -11,12 +11,11 @@
 //! * admission policies: EDF bound vs. RM bound vs. hyperperiod
 //!   simulation (§3.2).
 
+use crate::harness::{run_trials, HarnessStats};
 use nautix_des::Nanos;
 use nautix_hw::{Cost, MachineConfig, SmiConfig, SmiPattern, TimerMode};
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::{
-    AdmissionPolicy, CpuLoad, Node, NodeConfig, SchedConfig, SchedMode,
-};
+use nautix_rt::{AdmissionPolicy, CpuLoad, Node, NodeConfig, SchedConfig, SchedMode};
 
 /// Miss rate of a periodic thread under the given scheduler mode and SMI
 /// injection intensity.
@@ -26,6 +25,16 @@ pub fn miss_rate_under_smi(
     util_limit_ppm: u64,
     seed: u64,
 ) -> f64 {
+    miss_rate_under_smi_instrumented(mode, smi_mean_interval_us, util_limit_ppm, seed).0
+}
+
+/// [`miss_rate_under_smi`] plus the trial's simulated-event count.
+pub fn miss_rate_under_smi_instrumented(
+    mode: SchedMode,
+    smi_mean_interval_us: Option<u64>,
+    util_limit_ppm: u64,
+    seed: u64,
+) -> (f64, u64) {
     let freq = nautix_des::Freq::phi();
     let mut machine = MachineConfig::phi().with_cpus(2).with_seed(seed);
     if let Some(us) = smi_mean_interval_us {
@@ -57,34 +66,53 @@ pub fn miss_rate_under_smi(
     });
     let tid = node.spawn_on(1, "probe", Box::new(prog)).unwrap();
     node.run_for_ns(300_000_000);
-    node.thread_state(tid).stats.miss_rate()
+    let rate = node.thread_state(tid).stats.miss_rate();
+    (rate, node.machine.events_processed())
 }
 
 /// Eager-vs-lazy rows: (smi interval µs or None, eager rate, lazy rate).
-pub fn eager_vs_lazy(seed: u64) -> Vec<(Option<u64>, f64, f64)> {
-    [None, Some(50_000), Some(10_000), Some(3_000)]
-        .into_iter()
-        .map(|smi| {
-            (
-                smi,
-                miss_rate_under_smi(SchedMode::Eager, smi, 900_000, seed),
-                miss_rate_under_smi(SchedMode::Lazy, smi, 900_000, seed),
-            )
-        })
-        .collect()
+/// The eight underlying simulations are independent trials fanned across
+/// worker threads.
+pub fn eager_vs_lazy_with_stats(seed: u64) -> (Vec<(Option<u64>, f64, f64)>, HarnessStats) {
+    let intervals = [None, Some(50_000u64), Some(10_000), Some(3_000)];
+    let trials: Vec<(Option<u64>, SchedMode)> = intervals
+        .iter()
+        .flat_map(|&smi| [(smi, SchedMode::Eager), (smi, SchedMode::Lazy)])
+        .collect();
+    let set = run_trials(trials, |&(smi, mode)| {
+        miss_rate_under_smi_instrumented(mode, smi, 900_000, seed)
+    });
+    let rows = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, &smi)| (smi, set.results[2 * i], set.results[2 * i + 1]))
+        .collect();
+    (rows, set.stats)
 }
 
-/// Utilization-limit knob rows: (limit %, miss rate) under fixed SMI noise.
+/// [`eager_vs_lazy_with_stats`] without the instrumentation.
+pub fn eager_vs_lazy(seed: u64) -> Vec<(Option<u64>, f64, f64)> {
+    eager_vs_lazy_with_stats(seed).0
+}
+
+/// Utilization-limit knob rows: (limit %, miss rate) under fixed SMI noise,
+/// one independent trial per limit.
+pub fn util_limit_knob_with_stats(seed: u64) -> (Vec<(u64, f64)>, HarnessStats) {
+    let limits = vec![990_000u64, 950_000, 900_000, 800_000, 700_000];
+    let set = run_trials(limits.clone(), |&limit| {
+        miss_rate_under_smi_instrumented(SchedMode::Eager, Some(5_000), limit, seed)
+    });
+    let rows = limits
+        .iter()
+        .zip(&set.results)
+        .map(|(&limit, &rate)| (limit / 10_000, rate))
+        .collect();
+    (rows, set.stats)
+}
+
+/// [`util_limit_knob_with_stats`] without the instrumentation.
 pub fn util_limit_knob(seed: u64) -> Vec<(u64, f64)> {
-    [990_000u64, 950_000, 900_000, 800_000, 700_000]
-        .into_iter()
-        .map(|limit| {
-            (
-                limit / 10_000,
-                miss_rate_under_smi(SchedMode::Eager, Some(5_000), limit, seed),
-            )
-        })
-        .collect()
+    util_limit_knob_with_stats(seed).0
 }
 
 /// Interrupt steering: jitter of an RT thread's dispatches with device
@@ -321,7 +349,10 @@ mod tests {
     fn hard_admission_protects_but_soft_overload_degrades_everyone() {
         let (admitted_rate, admitted_count, soft_rates) = hard_vs_soft_overload(47);
         assert_eq!(admitted_count, 1, "hard admission accepts exactly one");
-        assert_eq!(admitted_rate, 0.0, "the admitted hard-RT thread never misses");
+        assert_eq!(
+            admitted_rate, 0.0,
+            "the admitted hard-RT thread never misses"
+        );
         assert!(
             soft_rates.iter().any(|&r| r > 0.25),
             "soft overload must show heavy misses: {soft_rates:?}"
@@ -333,7 +364,10 @@ mod tests {
         let rows = admission_policy_matrix();
         let get = |label: &str| rows.iter().find(|r| r.0 == label).copied().unwrap();
         // 77%: under both EDF budget (79%) and 2-task RM bound (82.8%).
-        assert_eq!(get("two_large_tasks_77pct"), ("two_large_tasks_77pct", true, true, true));
+        assert_eq!(
+            get("two_large_tasks_77pct"),
+            ("two_large_tasks_77pct", true, true, true)
+        );
         // 78% with 3 tasks: over the 3-task RM bound (~78.0%), under EDF.
         let r = get("three_tasks_78pct");
         assert!(r.1, "EDF accepts 78%");
@@ -344,6 +378,9 @@ mod tests {
         assert!(r.1 && r.2);
         assert!(!r.3, "hyperperiod simulation must reject 10 µs / 50%");
         // The same 50% at 1 ms is fine for everyone.
-        assert_eq!(get("coarse_50pct_at_1ms"), ("coarse_50pct_at_1ms", true, true, true));
+        assert_eq!(
+            get("coarse_50pct_at_1ms"),
+            ("coarse_50pct_at_1ms", true, true, true)
+        );
     }
 }

@@ -153,12 +153,7 @@ mod tests {
         // not just match [the aperiodic] performance, but considerably
         // exceed it" — at high utilization.
         let r = run(Granularity::Fine, Scale::Quick, 7);
-        let best = r
-            .points
-            .iter()
-            .map(|p| p.without_barrier_ns)
-            .min()
-            .unwrap();
+        let best = r.points.iter().map(|p| p.without_barrier_ns).min().unwrap();
         assert!(
             best < r.aperiodic_ns,
             "best barrier-free RT time {best} should beat the aperiodic {}",

@@ -52,7 +52,10 @@ fn run_edf(horizon_ns: u64) -> (u64, u64, u64, u64) {
     }
     node.run_for_ns(horizon_ns);
     let met = tids.iter().map(|&t| node.thread_state(t).stats.met).sum();
-    let missed = tids.iter().map(|&t| node.thread_state(t).stats.missed).sum();
+    let missed = tids
+        .iter()
+        .map(|&t| node.thread_state(t).stats.missed)
+        .sum();
     let st = &node.scheduler(1).stats;
     (met, missed, st.timer_invocations, st.switches)
 }
@@ -86,7 +89,12 @@ fn run_cyclic(horizon_ns: u64) -> (u64, u64, u64, u64) {
     let st = node.thread_state(tid);
     let sched = &node.scheduler(1).stats;
     let _ = placements_per_major;
-    (st.stats.met, st.stats.missed, sched.timer_invocations, sched.switches)
+    (
+        st.stats.met,
+        st.stats.missed,
+        sched.timer_invocations,
+        sched.switches,
+    )
 }
 
 fn main() {

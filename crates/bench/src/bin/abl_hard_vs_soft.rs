@@ -7,10 +7,17 @@ fn main() {
     banner("Ablation: hard admission vs soft overload (2 x 60% on one CPU)");
     let (admitted_rate, admitted_count, soft_rates) = ablations::hard_vs_soft_overload(47);
     println!("config,outcome");
-    println!("hard,{admitted_count} of 2 admitted; admitted thread miss rate {}", f(admitted_rate));
+    println!(
+        "hard,{admitted_count} of 2 admitted; admitted thread miss rate {}",
+        f(admitted_rate)
+    );
     println!(
         "soft,both admitted; miss rates {}",
-        soft_rates.iter().map(|&r| f(r)).collect::<Vec<_>>().join(" / ")
+        soft_rates
+            .iter()
+            .map(|&r| f(r))
+            .collect::<Vec<_>>()
+            .join(" / ")
     );
     println!(
         "\nhard real-time converts overload into an up-front admission failure; \
@@ -28,7 +35,11 @@ fn main() {
             vec![
                 "soft".to_string(),
                 "2".to_string(),
-                soft_rates.iter().map(|&r| f(r)).collect::<Vec<_>>().join(";"),
+                soft_rates
+                    .iter()
+                    .map(|&r| f(r))
+                    .collect::<Vec<_>>()
+                    .join(";"),
             ],
         ],
     );

@@ -35,7 +35,13 @@ fn main() {
     );
     write_csv(
         &out_dir().join("exp_isolation.csv"),
-        &["scheduling", "alone_ns", "shared_ns", "interference", "misses"],
+        &[
+            "scheduling",
+            "alone_ns",
+            "shared_ns",
+            "interference",
+            "misses",
+        ],
         vec![
             vec![
                 "hard_rt".to_string(),

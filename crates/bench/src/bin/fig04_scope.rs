@@ -28,7 +28,13 @@ fn main() {
     write_csv(
         &out_dir().join("fig04_scope.csv"),
         &[
-            "trace", "pulses", "width_mean", "width_std", "period_mean", "period_std", "duty",
+            "trace",
+            "pulses",
+            "width_mean",
+            "width_std",
+            "period_mean",
+            "period_std",
+            "duty",
         ],
         [
             ("thread", &r.thread),

@@ -8,7 +8,12 @@ fn main() {
     let r = fig05::run(scale, 17);
     let mut rows = Vec::new();
     for p in [&r.phi, &r.r415] {
-        println!("-- {:?} ({} samples), total mean {}", p.platform, p.samples, f(p.mean_total()));
+        println!(
+            "-- {:?} ({} samples), total mean {}",
+            p.platform,
+            p.samples,
+            f(p.mean_total())
+        );
         for (name, s) in [
             ("IRQ", &p.breakdown.irq),
             ("Other", &p.breakdown.other),

@@ -1,15 +1,21 @@
 //! Figure 6: local scheduler deadline miss rate on the Phi.
 
-use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 6: miss rate vs period/slice (Phi)");
-    let pts = missrate::sweep(Platform::Phi, scale, 5);
+    let (pts, stats) = missrate::sweep_with_stats(Platform::Phi, scale, 5);
     println!("period_us,slice_pct,miss_rate,jobs");
     for p in &pts {
-        println!("{},{},{},{}", p.period_us, p.slice_pct, f(p.miss_rate), p.jobs);
+        println!(
+            "{},{},{},{}",
+            p.period_us,
+            p.slice_pct,
+            f(p.miss_rate),
+            p.jobs
+        );
     }
     write_csv(
         &out_dir().join("fig06_missrate_phi.csv"),
@@ -24,4 +30,15 @@ fn main() {
         }),
     );
     println!("wrote {:?}", out_dir().join("fig06_missrate_phi.csv"));
+    println!(
+        "{} trials on {} threads: {:.2}s wall, {:.2}s cpu, {:.0} events/s",
+        stats.trials,
+        stats.threads,
+        stats.wall_secs,
+        stats.cpu_secs,
+        stats.events_per_sec()
+    );
+    let mut report = BenchReport::new();
+    report.add("fig06_missrate_phi", stats);
+    report.write(&out_dir().join("BENCH_fig06_missrate_phi.json"));
 }

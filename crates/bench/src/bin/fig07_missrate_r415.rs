@@ -1,15 +1,21 @@
 //! Figure 7: local scheduler deadline miss rate on the R415.
 
-use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 7: miss rate vs period/slice (R415)");
-    let pts = missrate::sweep(Platform::R415, scale, 5);
+    let (pts, stats) = missrate::sweep_with_stats(Platform::R415, scale, 5);
     println!("period_us,slice_pct,miss_rate,jobs");
     for p in &pts {
-        println!("{},{},{},{}", p.period_us, p.slice_pct, f(p.miss_rate), p.jobs);
+        println!(
+            "{},{},{},{}",
+            p.period_us,
+            p.slice_pct,
+            f(p.miss_rate),
+            p.jobs
+        );
     }
     write_csv(
         &out_dir().join("fig07_missrate_r415.csv"),
@@ -24,4 +30,15 @@ fn main() {
         }),
     );
     println!("wrote {:?}", out_dir().join("fig07_missrate_r415.csv"));
+    println!(
+        "{} trials on {} threads: {:.2}s wall, {:.2}s cpu, {:.0} events/s",
+        stats.trials,
+        stats.threads,
+        stats.wall_secs,
+        stats.cpu_secs,
+        stats.events_per_sec()
+    );
+    let mut report = BenchReport::new();
+    report.add("fig07_missrate_r415", stats);
+    report.write(&out_dir().join("BENCH_fig07_missrate_r415.json"));
 }

@@ -1,12 +1,12 @@
 //! Figure 8: average and deviation of deadline miss times on the Phi.
 
-use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 8: miss times vs period/slice (Phi, µs)");
-    let pts = missrate::sweep(Platform::Phi, scale, 5);
+    let (pts, stats) = missrate::sweep_with_stats(Platform::Phi, scale, 5);
     println!("period_us,slice_pct,miss_mean_us,miss_std_us");
     for p in &pts {
         println!(
@@ -30,4 +30,15 @@ fn main() {
         }),
     );
     println!("wrote {:?}", out_dir().join("fig08_misstime_phi.csv"));
+    println!(
+        "{} trials on {} threads: {:.2}s wall, {:.2}s cpu, {:.0} events/s",
+        stats.trials,
+        stats.threads,
+        stats.wall_secs,
+        stats.cpu_secs,
+        stats.events_per_sec()
+    );
+    let mut report = BenchReport::new();
+    report.add("fig08_misstime_phi", stats);
+    report.write(&out_dir().join("BENCH_fig08_misstime_phi.json"));
 }

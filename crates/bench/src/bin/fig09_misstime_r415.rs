@@ -1,12 +1,12 @@
 //! Figure 9: average and deviation of deadline miss times on the R415.
 
-use nautix_bench::{banner, f, missrate, out_dir, write_csv, Scale};
+use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 9: miss times vs period/slice (R415, µs)");
-    let pts = missrate::sweep(Platform::R415, scale, 5);
+    let (pts, stats) = missrate::sweep_with_stats(Platform::R415, scale, 5);
     println!("period_us,slice_pct,miss_mean_us,miss_std_us");
     for p in &pts {
         println!(
@@ -30,4 +30,15 @@ fn main() {
         }),
     );
     println!("wrote {:?}", out_dir().join("fig09_misstime_r415.csv"));
+    println!(
+        "{} trials on {} threads: {:.2}s wall, {:.2}s cpu, {:.0} events/s",
+        stats.trials,
+        stats.threads,
+        stats.wall_secs,
+        stats.cpu_secs,
+        stats.events_per_sec()
+    );
+    let mut report = BenchReport::new();
+    report.add("fig09_misstime_r415", stats);
+    report.write(&out_dir().join("BENCH_fig09_misstime_r415.json"));
 }

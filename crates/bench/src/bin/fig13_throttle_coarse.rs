@@ -26,7 +26,13 @@ fn main() {
     );
     write_csv(
         &out_dir().join("fig13_throttle_coarse.csv"),
-        &["period_ns", "slice_ns", "utilization", "time_ns", "admitted"],
+        &[
+            "period_ns",
+            "slice_ns",
+            "utilization",
+            "time_ns",
+            "admitted",
+        ],
         pts.iter().map(|p| {
             vec![
                 p.period_ns.to_string(),

@@ -20,9 +20,16 @@ fn main() {
             p.violations
         );
     }
-    println!("aperiodic (non-RT, with barriers) reference: {} ns", r.aperiodic_ns);
+    println!(
+        "aperiodic (non-RT, with barriers) reference: {} ns",
+        r.aperiodic_ns
+    );
     let wins = r.points.iter().filter(|p| p.speedup() > 1.0).count();
-    println!("{} of {} points run faster without the barrier", wins, r.points.len());
+    println!(
+        "{} of {} points run faster without the barrier",
+        wins,
+        r.points.len()
+    );
     write_csv(
         &out_dir().join("fig15_barrier_coarse.csv"),
         &[

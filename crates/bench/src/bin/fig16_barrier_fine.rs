@@ -20,12 +20,11 @@ fn main() {
             p.violations
         );
     }
-    println!("aperiodic (non-RT, with barriers) reference: {} ns", r.aperiodic_ns);
-    let best = r
-        .points
-        .iter()
-        .map(|p| p.speedup())
-        .fold(0.0f64, f64::max);
+    println!(
+        "aperiodic (non-RT, with barriers) reference: {} ns",
+        r.aperiodic_ns
+    );
+    let best = r.points.iter().map(|p| p.speedup()).fold(0.0f64, f64::max);
     let beats_aperiodic = r
         .points
         .iter()

@@ -5,15 +5,20 @@
 
 use nautix_bench::throttle::Granularity;
 use nautix_bench::{
-    ablations, banner, barrier_removal, f, fig03, fig04, fig05, fig10, groupsync, missrate,
-    out_dir, throttle, write_csv, Scale,
+    ablations, banner, barrier_removal, f, fig03, fig04, fig05, fig10, groupsync, harness,
+    missrate, out_dir, throttle, write_csv, BenchReport, Scale,
 };
 use nautix_hw::Platform;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("scale: {scale:?} (pass --paper for the full configuration)\n");
+    println!(
+        "scale: {scale:?} (pass --paper for the full configuration); \
+         {} worker threads (set NAUTIX_THREADS to override)\n",
+        harness::threads()
+    );
     let mut summary: Vec<(String, String, String)> = Vec::new();
+    let mut report = BenchReport::new();
     let t0 = std::time::Instant::now();
 
     banner("Figure 3");
@@ -33,20 +38,32 @@ fn main() {
     let r4 = fig04::run(scale, 3);
     write_csv(
         &out_dir().join("fig04_scope.csv"),
-        &["trace", "pulses", "width_mean", "width_std", "period_mean", "period_std", "duty"],
-        [("thread", &r4.thread), ("scheduler", &r4.scheduler), ("interrupt", &r4.interrupt)]
-            .iter()
-            .map(|(n, a)| {
-                vec![
-                    n.to_string(),
-                    a.pulses.to_string(),
-                    f(a.high_widths.mean),
-                    f(a.high_widths.std_dev),
-                    f(a.periods.mean),
-                    f(a.periods.std_dev),
-                    f(a.duty_cycle),
-                ]
-            }),
+        &[
+            "trace",
+            "pulses",
+            "width_mean",
+            "width_std",
+            "period_mean",
+            "period_std",
+            "duty",
+        ],
+        [
+            ("thread", &r4.thread),
+            ("scheduler", &r4.scheduler),
+            ("interrupt", &r4.interrupt),
+        ]
+        .iter()
+        .map(|(n, a)| {
+            vec![
+                n.to_string(),
+                a.pulses.to_string(),
+                f(a.high_widths.mean),
+                f(a.high_widths.std_dev),
+                f(a.periods.mean),
+                f(a.periods.std_dev),
+                f(a.duty_cycle),
+            ]
+        }),
     );
     summary.push((
         "Fig 4: thread trace sharpness".into(),
@@ -98,15 +115,37 @@ fn main() {
         ("Fig 7", "Fig 9", Platform::R415, "4 µs"),
     ] {
         banner(&format!("{figa} / {figb}"));
-        let pts = missrate::sweep(platform, scale, 5);
+        let (pts, stats) = missrate::sweep_with_stats(platform, scale, 5);
+        report.add(
+            if platform == Platform::Phi {
+                "fig06_08_missrate_phi"
+            } else {
+                "fig07_09_missrate_r415"
+            },
+            stats,
+        );
         let name = format!(
             "fig{}_missrate_{}.csv",
-            if platform == Platform::Phi { "06" } else { "07" },
-            if platform == Platform::Phi { "phi" } else { "r415" }
+            if platform == Platform::Phi {
+                "06"
+            } else {
+                "07"
+            },
+            if platform == Platform::Phi {
+                "phi"
+            } else {
+                "r415"
+            }
         );
         write_csv(
             &out_dir().join(&name),
-            &["period_us", "slice_pct", "miss_rate", "miss_mean_ns", "miss_std_ns"],
+            &[
+                "period_us",
+                "slice_pct",
+                "miss_rate",
+                "miss_mean_ns",
+                "miss_std_ns",
+            ],
             pts.iter().map(|p| {
                 vec![
                     p.period_us.to_string(),
@@ -135,10 +174,7 @@ fn main() {
                  {edge_period}µs fat slices missy: {edge_missy}"
             ),
         ));
-        let worst_miss_time = pts
-            .iter()
-            .map(|p| p.miss_mean_ns)
-            .fold(0.0f64, f64::max);
+        let worst_miss_time = pts.iter().map(|p| p.miss_mean_ns).fold(0.0f64, f64::max);
         summary.push((
             format!("{figb}: miss magnitudes ({platform:?})"),
             "small (µs-scale) even when infeasible".into(),
@@ -175,7 +211,11 @@ fn main() {
     summary.push((
         "Fig 10: group admission growth".into(),
         "linear in n; ~8M cycles at 255".into(),
-        format!("total mean {:.2}M cycles at n={}", last.total.mean / 1e6, last.n),
+        format!(
+            "total mean {:.2}M cycles at n={}",
+            last.total.mean / 1e6,
+            last.n
+        ),
     ));
 
     banner("Figure 11");
@@ -183,7 +223,10 @@ fn main() {
     write_csv(
         &out_dir().join("fig11_group_sync8.csv"),
         &["invocation", "spread_cycles"],
-        r11.spreads.iter().enumerate().map(|(i, &v)| vec![i as u64, v]),
+        r11.spreads
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![i as u64, v]),
     );
     summary.push((
         "Fig 11: 8-thread sync".into(),
@@ -192,7 +235,8 @@ fn main() {
     ));
 
     banner("Figure 12");
-    let r12 = groupsync::fig12(scale, 21);
+    let (r12, stats12) = groupsync::fig12_with_stats(scale, 21);
+    report.add("fig12_group_sync_scale", stats12);
     write_csv(
         &out_dir().join("fig12_group_sync_scale.csv"),
         &["n", "invocation", "spread_cycles"],
@@ -219,15 +263,26 @@ fn main() {
     ));
 
     banner("Figure 13");
-    let r13 = throttle::run(Granularity::Coarse, scale, 3);
+    let (r13, stats13) = throttle::run_with_stats(Granularity::Coarse, scale, 3);
+    report.add("fig13_throttle_coarse", stats13);
     let (_, cv13) = throttle::control_quality(&r13);
     banner("Figure 14");
-    let r14 = throttle::run(Granularity::Fine, scale, 3);
+    let (r14, stats14) = throttle::run_with_stats(Granularity::Fine, scale, 3);
+    report.add("fig14_throttle_fine", stats14);
     let (_, cv14) = throttle::control_quality(&r14);
-    for (name, pts) in [("fig13_throttle_coarse.csv", &r13), ("fig14_throttle_fine.csv", &r14)] {
+    for (name, pts) in [
+        ("fig13_throttle_coarse.csv", &r13),
+        ("fig14_throttle_fine.csv", &r14),
+    ] {
         write_csv(
             &out_dir().join(name),
-            &["period_ns", "slice_ns", "utilization", "time_ns", "admitted"],
+            &[
+                "period_ns",
+                "slice_ns",
+                "utilization",
+                "time_ns",
+                "admitted",
+            ],
             pts.iter().map(|p| {
                 vec![
                     p.period_ns.to_string(),
@@ -249,10 +304,20 @@ fn main() {
     let r15 = barrier_removal::run(Granularity::Coarse, scale, 7);
     banner("Figure 16");
     let r16 = barrier_removal::run(Granularity::Fine, scale, 7);
-    for (name, r) in [("fig15_barrier_coarse.csv", &r15), ("fig16_barrier_fine.csv", &r16)] {
+    for (name, r) in [
+        ("fig15_barrier_coarse.csv", &r15),
+        ("fig16_barrier_fine.csv", &r16),
+    ] {
         write_csv(
             &out_dir().join(name),
-            &["period_ns", "slice_ns", "with_barrier_ns", "without_barrier_ns", "speedup", "violations"],
+            &[
+                "period_ns",
+                "slice_ns",
+                "with_barrier_ns",
+                "without_barrier_ns",
+                "speedup",
+                "violations",
+            ],
             r.points.iter().map(|p| {
                 vec![
                     p.period_ns.to_string(),
@@ -275,7 +340,9 @@ fn main() {
             "mean speedup coarse {} fine {}; fine beats aperiodic: {}",
             f(mean_speedup(&r15)),
             f(mean_speedup(&r16)),
-            r16.points.iter().any(|p| p.without_barrier_ns < r16.aperiodic_ns)
+            r16.points
+                .iter()
+                .any(|p| p.without_barrier_ns < r16.aperiodic_ns)
         ),
     ));
 
@@ -294,14 +361,16 @@ fn main() {
     ));
 
     banner("Ablations");
-    let el = ablations::eager_vs_lazy(31);
+    let (el, stats_el) = ablations::eager_vs_lazy_with_stats(31);
+    report.add("abl_eager_vs_lazy", stats_el);
     let (_, e_hot, l_hot) = el[el.len() - 1];
     summary.push((
         "Ablation: eager vs lazy under SMI".into(),
         "eager absorbs missing time".into(),
         format!("miss rates: eager {} lazy {}", f(e_hot), f(l_hot)),
     ));
-    let knob = ablations::util_limit_knob(31);
+    let (knob, stats_knob) = ablations::util_limit_knob_with_stats(31);
+    report.add("abl_util_limit", stats_knob);
     summary.push((
         "Ablation: utilization-limit knob".into(),
         "lower limit, fewer SMI-induced misses".into(),
@@ -316,6 +385,23 @@ fn main() {
     for (what, paper, measured) in &summary {
         println!("{what}\n  paper:    {paper}\n  measured: {measured}");
     }
+    let (trials, wall, events) = report.totals();
+    println!(
+        "\nharness: {} trials on {} threads, {:.2}s wall in instrumented sections, \
+         {} simulated events ({:.0} events/s)",
+        trials,
+        harness::threads(),
+        wall,
+        events,
+        if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        }
+    );
+    let bench_path = std::path::Path::new("BENCH_repro.json");
+    report.write(bench_path);
+    println!("wrote {bench_path:?}");
     println!(
         "\nall CSVs under {:?}; elapsed {:.1}s",
         out_dir(),

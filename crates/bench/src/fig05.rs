@@ -43,7 +43,9 @@ pub struct Fig05 {
 
 fn measure(platform: Platform, scale: Scale, seed: u64) -> PlatformOverheads {
     let mut cfg = NodeConfig::for_machine(
-        MachineConfig::for_platform(platform).with_cpus(2).with_seed(seed),
+        MachineConfig::for_platform(platform)
+            .with_cpus(2)
+            .with_seed(seed),
     );
     cfg.record_overheads = true;
     let mut node = Node::new(cfg);

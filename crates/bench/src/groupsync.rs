@@ -9,6 +9,7 @@
 //! variation (largely independent of group size, ~4000 cycles on the Phi).
 
 use crate::common::Scale;
+use crate::harness::{run_trials, HarnessStats};
 use nautix_des::Summary;
 use nautix_hw::MachineConfig;
 use nautix_kernel::{Action, Constraints, FnProgram, GroupId, SysCall};
@@ -27,6 +28,16 @@ pub struct SyncSeries {
 
 /// Run one group-sync measurement.
 pub fn measure(n: usize, invocations: usize, phase_correction: bool, seed: u64) -> SyncSeries {
+    measure_instrumented(n, invocations, phase_correction, seed).0
+}
+
+/// [`measure`] plus the trial's simulated-event count.
+pub fn measure_instrumented(
+    n: usize,
+    invocations: usize,
+    phase_correction: bool,
+    seed: u64,
+) -> (SyncSeries, u64) {
     let mut cfg = NodeConfig::phi();
     cfg.machine = MachineConfig::phi().with_cpus(n + 1).with_seed(seed);
     cfg.dispatch_log_cap = invocations + 64;
@@ -88,11 +99,14 @@ pub fn measure(n: usize, invocations: usize, phase_correction: bool, seed: u64) 
         .take(invocations)
         .map(|&ns| freq.ns_to_cycles(ns))
         .collect();
-    SyncSeries {
-        n,
-        summary: Summary::of(&spreads),
-        spreads,
-    }
+    (
+        SyncSeries {
+            n,
+            summary: Summary::of(&spreads),
+            spreads,
+        },
+        node.machine.events_processed(),
+    )
 }
 
 /// Figure 11: an 8-thread group followed over many invocations.
@@ -104,13 +118,20 @@ pub fn fig11(scale: Scale, seed: u64) -> SyncSeries {
     measure(8, inv, false, seed)
 }
 
-/// Figure 12: spread series at several group sizes.
-pub fn fig12(scale: Scale, seed: u64) -> Vec<SyncSeries> {
+/// Figure 12: spread series at several group sizes, one independent trial
+/// per size, fanned across worker threads.
+pub fn fig12_with_stats(scale: Scale, seed: u64) -> (Vec<SyncSeries>, HarnessStats) {
     let (sizes, inv): (Vec<usize>, usize) = match scale {
         Scale::Quick => (vec![8, 32, 63], 300),
         Scale::Paper => (vec![8, 64, 128, 255], 1000),
     };
-    sizes.into_iter().map(|n| measure(n, inv, false, seed)).collect()
+    let set = run_trials(sizes, |&n| measure_instrumented(n, inv, false, seed));
+    (set.results, set.stats)
+}
+
+/// [`fig12_with_stats`] without the instrumentation.
+pub fn fig12(scale: Scale, seed: u64) -> Vec<SyncSeries> {
+    fig12_with_stats(scale, seed).0
 }
 
 #[cfg(test)]

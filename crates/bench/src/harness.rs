@@ -1,0 +1,355 @@
+//! Parallel trial harness: fan independent simulation trials across OS
+//! threads with deterministic results.
+//!
+//! Every experiment in this crate decomposes into *trials* — independent
+//! simulations distinguished by their parameters (seed, utilization point,
+//! CPU count, granularity). Each trial builds its own [`Machine`]
+//! (`nautix_hw`) from its own seed, so trials share no mutable state and
+//! their results depend only on their parameters, never on which worker
+//! thread ran them or in what order. [`run_trials`] exploits that: workers
+//! pull trial indices from a shared atomic counter, results land in
+//! index-addressed slots, and the returned vector is always in input order
+//! — a parallel run is byte-identical to a serial one.
+//!
+//! Thread count comes from the `NAUTIX_THREADS` environment variable,
+//! defaulting to the host's available parallelism. Setting it to 1 gives a
+//! plain serial run.
+//!
+//! Every trial is instrumented: the harness records per-trial wall time and
+//! simulated-event count (the DES hot-path metric) and aggregates them into
+//! [`HarnessStats`]. Binaries collect one `HarnessStats` per experiment
+//! section into a [`BenchReport`] and emit it as `BENCH_repro.json`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker-thread count: `NAUTIX_THREADS`, else available parallelism.
+pub fn threads() -> usize {
+    std::env::var("NAUTIX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Aggregate instrumentation for one batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch, seconds.
+    pub wall_secs: f64,
+    /// Sum of per-trial wall times, seconds (the serial-equivalent time).
+    pub cpu_secs: f64,
+    /// Total simulated events across all trials.
+    pub events: u64,
+    /// Per-trial wall time, in input order, seconds.
+    pub trial_wall_secs: Vec<f64>,
+    /// Per-trial simulated-event count, in input order.
+    pub trial_events: Vec<u64>,
+}
+
+impl HarnessStats {
+    /// Simulated events per wall-clock second — the DES throughput metric.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// cpu_secs / wall_secs: effective parallel speedup of the batch.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cpu_secs / self.wall_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Merge another batch into this one (sections built from several
+    /// `run_trials` calls).
+    pub fn merge(&mut self, other: &HarnessStats) {
+        self.trials += other.trials;
+        self.threads = self.threads.max(other.threads);
+        self.wall_secs += other.wall_secs;
+        self.cpu_secs += other.cpu_secs;
+        self.events += other.events;
+        self.trial_wall_secs
+            .extend_from_slice(&other.trial_wall_secs);
+        self.trial_events.extend_from_slice(&other.trial_events);
+    }
+}
+
+/// Results plus instrumentation from [`run_trials`].
+#[derive(Debug)]
+pub struct TrialSet<R> {
+    /// One result per input item, in input order.
+    pub results: Vec<R>,
+    /// Batch instrumentation.
+    pub stats: HarnessStats,
+}
+
+/// Run `f` over every item, fanned across worker threads.
+///
+/// `f` maps an item to `(result, simulated_events)`. It must be a pure
+/// function of the item — build the simulation from parameters carried *in*
+/// the item (including the RNG seed); never derive anything from thread
+/// identity or execution order. Under that contract the output is
+/// independent of the thread count: `results[i]` is `f(&items[i]).0`
+/// exactly, whether the batch ran on one thread or sixteen.
+pub fn run_trials<I, R, F>(items: Vec<I>, f: F) -> TrialSet<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> (R, u64) + Sync,
+{
+    let n = items.len();
+    let nthreads = threads().min(n.max(1));
+    let t0 = Instant::now();
+    let slots: Vec<Mutex<Option<(R, u64, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..nthreads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let start = Instant::now();
+                let (result, events) = f(&items[i]);
+                let wall = start.elapsed().as_secs_f64();
+                *slots[i].lock().unwrap() = Some((result, events, wall));
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut results = Vec::with_capacity(n);
+    let mut trial_wall_secs = Vec::with_capacity(n);
+    let mut trial_events = Vec::with_capacity(n);
+    for slot in slots {
+        let (r, events, wall) = slot
+            .into_inner()
+            .unwrap()
+            .expect("trial slot unfilled: a worker must have panicked");
+        results.push(r);
+        trial_events.push(events);
+        trial_wall_secs.push(wall);
+    }
+    let stats = HarnessStats {
+        trials: n,
+        threads: nthreads,
+        wall_secs,
+        cpu_secs: trial_wall_secs.iter().sum(),
+        events: trial_events.iter().sum(),
+        trial_wall_secs,
+        trial_events,
+    };
+    TrialSet { results, stats }
+}
+
+/// Per-section instrumentation, serialized to `BENCH_repro.json`.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    sections: Vec<(String, HarnessStats)>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one experiment section.
+    pub fn add(&mut self, name: &str, stats: HarnessStats) {
+        self.sections.push((name.to_string(), stats));
+    }
+
+    /// Totals over all sections: (trials, wall_secs, events).
+    pub fn totals(&self) -> (usize, f64, u64) {
+        self.sections.iter().fold((0, 0.0, 0), |(t, w, e), (_, s)| {
+            (t + s.trials, w + s.wall_secs, e + s.events)
+        })
+    }
+
+    /// Serialize as JSON.
+    pub fn to_json(&self) -> String {
+        let (trials, wall, events) = self.totals();
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", threads());
+        let _ = writeln!(s, "  \"trials\": {trials},");
+        let _ = writeln!(s, "  \"wall_secs\": {},", fnum(wall));
+        let _ = writeln!(s, "  \"events\": {events},");
+        let _ = writeln!(
+            s,
+            "  \"events_per_sec\": {},",
+            fnum(if wall > 0.0 {
+                events as f64 / wall
+            } else {
+                0.0
+            })
+        );
+        s.push_str("  \"sections\": [\n");
+        for (i, (name, st)) in self.sections.iter().enumerate() {
+            s.push_str("    {");
+            let _ = write!(
+                s,
+                "\"name\": \"{}\", \"trials\": {}, \"threads\": {}, \
+                 \"wall_secs\": {}, \"cpu_secs\": {}, \"speedup\": {}, \
+                 \"events\": {}, \"events_per_sec\": {}, ",
+                escape(name),
+                st.trials,
+                st.threads,
+                fnum(st.wall_secs),
+                fnum(st.cpu_secs),
+                fnum(st.speedup()),
+                st.events,
+                fnum(st.events_per_sec()),
+            );
+            let _ = write!(
+                s,
+                "\"trial_wall_secs\": [{}], \"trial_events\": [{}]",
+                st.trial_wall_secs
+                    .iter()
+                    .map(|&x| fnum(x))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                st.trial_events
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push('}');
+            s.push_str(if i + 1 < self.sections.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write(&self, path: &Path) {
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    }
+}
+
+/// JSON number formatting: finite, non-scientific, trailing-zero trimmed.
+fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".into();
+    }
+    let s = format!("{x:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".into()
+    } else {
+        s.to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let set = run_trials(items, |&i| (i * 2, i));
+        assert_eq!(set.results, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+        assert_eq!(set.stats.trials, 100);
+        assert_eq!(set.stats.events, (0..100).sum::<u64>());
+        assert_eq!(set.stats.trial_events, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        // The contract under test: thread count must not affect results.
+        let run = |threads: &str| {
+            std::env::set_var("NAUTIX_THREADS", threads);
+            let set = run_trials((0..64u64).collect(), |&i| {
+                // A little work so threads genuinely interleave.
+                let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..1000 {
+                    h ^= h >> 13;
+                    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                }
+                (h, i + 1)
+            });
+            std::env::remove_var("NAUTIX_THREADS");
+            set
+        };
+        let serial = run("1");
+        let parallel = run("4");
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.stats.trial_events, parallel.stats.trial_events);
+        assert_eq!(parallel.stats.threads, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let set = run_trials(Vec::<u64>::new(), |&i| (i, 0));
+        assert!(set.results.is_empty());
+        assert_eq!(set.stats.trials, 0);
+        assert_eq!(set.stats.events, 0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let a = run_trials(vec![1u64, 2], |&i| (i, 10));
+        let b = run_trials(vec![3u64], |&i| (i, 5));
+        let mut m = a.stats.clone();
+        m.merge(&b.stats);
+        assert_eq!(m.trials, 3);
+        assert_eq!(m.events, 25);
+        assert_eq!(m.trial_events, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut r = BenchReport::new();
+        let set = run_trials(vec![1u64, 2, 3], |&i| (i, i * 100));
+        r.add("sec\"one", set.stats);
+        let j = r.to_json();
+        assert!(j.contains("\"sections\": ["));
+        assert!(j.contains("sec\\\"one"));
+        assert!(j.contains("\"events\": 600"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn fnum_trims_and_stays_finite() {
+        assert_eq!(fnum(1.5), "1.5");
+        assert_eq!(fnum(2.0), "2");
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(f64::NAN), "0");
+        assert_eq!(fnum(f64::INFINITY), "0");
+    }
+}

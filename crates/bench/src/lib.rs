@@ -31,8 +31,10 @@ pub mod fig04;
 pub mod fig05;
 pub mod fig10;
 pub mod groupsync;
+pub mod harness;
 pub mod isolation;
 pub mod missrate;
 pub mod throttle;
 
 pub use common::{banner, f, out_dir, write_csv, Scale};
+pub use harness::{run_trials, BenchReport, HarnessStats, TrialSet};

@@ -9,13 +9,17 @@
 //! infeasible region stay small (Figures 8 and 9).
 
 use crate::common::Scale;
+use crate::harness::{run_trials, HarnessStats};
 use nautix_des::Nanos;
 use nautix_hw::{MachineConfig, Platform};
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
 use nautix_rt::{Node, NodeConfig};
 
 /// One (period, slice) sample of the sweep.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq` is derived so determinism tests can compare whole sweeps
+/// (serial vs. parallel) for exact equality.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissPoint {
     /// Period τ in µs.
     pub period_us: u64,
@@ -29,6 +33,8 @@ pub struct MissPoint {
     pub miss_std_ns: f64,
     /// Jobs observed.
     pub jobs: u64,
+    /// Simulated machine events this trial processed (throughput metric).
+    pub events: u64,
 }
 
 /// The sweep grid for a platform.
@@ -56,7 +62,9 @@ pub fn measure_point(
     seed: u64,
 ) -> MissPoint {
     let mut cfg = NodeConfig::for_machine(
-        MachineConfig::for_platform(platform).with_cpus(2).with_seed(seed),
+        MachineConfig::for_platform(platform)
+            .with_cpus(2)
+            .with_seed(seed),
     );
     cfg.sched.admission_enabled = false;
     cfg.sched.min_period_ns = 100;
@@ -92,24 +100,49 @@ pub fn measure_point(
         miss_mean_ns: mt.mean,
         miss_std_ns: mt.std_dev,
         jobs: st.stats.met + st.stats.missed,
+        events: node.machine.events_processed(),
     }
 }
 
-/// Run the full sweep for a platform (Figures 6+8 or 7+9).
-pub fn sweep(platform: Platform, scale: Scale, seed: u64) -> Vec<MissPoint> {
+/// The (period_ns, slice_ns, jobs) trial grid for a platform.
+pub fn trial_grid(platform: Platform, scale: Scale) -> Vec<(Nanos, Nanos, u64)> {
     let jobs = match scale {
         Scale::Quick => 60,
         Scale::Paper => 300,
     };
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for period_us in periods_us(platform) {
         for pct in slice_pcts(scale) {
             let period_ns = period_us * 1000;
             let slice_ns = (period_ns * pct / 100).max(50);
-            out.push(measure_point(platform, period_ns, slice_ns, jobs, seed));
+            grid.push((period_ns, slice_ns, jobs));
         }
     }
-    out
+    grid
+}
+
+/// Run the full sweep for a platform (Figures 6+8 or 7+9), with trials
+/// fanned across worker threads. Each grid point is an independent
+/// simulation seeded only by `(grid point, seed)`, so the result vector is
+/// identical at any thread count.
+pub fn sweep_with_stats(
+    platform: Platform,
+    scale: Scale,
+    seed: u64,
+) -> (Vec<MissPoint>, HarnessStats) {
+    let set = run_trials(
+        trial_grid(platform, scale),
+        |&(period_ns, slice_ns, jobs)| {
+            let p = measure_point(platform, period_ns, slice_ns, jobs, seed);
+            (p, p.events)
+        },
+    );
+    (set.results, set.stats)
+}
+
+/// [`sweep_with_stats`] without the instrumentation.
+pub fn sweep(platform: Platform, scale: Scale, seed: u64) -> Vec<MissPoint> {
+    sweep_with_stats(platform, scale, seed).0
 }
 
 #[cfg(test)]

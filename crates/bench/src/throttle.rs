@@ -8,6 +8,7 @@
 //! themselves.
 
 use crate::common::Scale;
+use crate::harness::{run_trials, HarnessStats};
 use nautix_bsp::{run_bsp, BspMode, BspParams};
 use nautix_des::Nanos;
 use nautix_hw::MachineConfig;
@@ -86,35 +87,63 @@ pub fn measure(
     scale: Scale,
     seed: u64,
 ) -> ThrottlePoint {
+    measure_instrumented(g, p, period_ns, slice_ns, scale, seed).0
+}
+
+/// [`measure`] plus the trial's simulated-event count.
+pub fn measure_instrumented(
+    g: Granularity,
+    p: usize,
+    period_ns: Nanos,
+    slice_ns: Nanos,
+    scale: Scale,
+    seed: u64,
+) -> (ThrottlePoint, u64) {
     let bsp = params(g, p, scale).with_mode(BspMode::RtGroup {
         period: period_ns,
         slice: slice_ns,
     });
     let r = run_bsp(node_cfg(p, seed), bsp);
-    ThrottlePoint {
-        period_ns,
-        slice_ns,
-        utilization: slice_ns as f64 / period_ns as f64,
-        time_ns: r.max_ns,
-        admitted: r.admitted,
-    }
+    (
+        ThrottlePoint {
+            period_ns,
+            slice_ns,
+            utilization: slice_ns as f64 / period_ns as f64,
+            time_ns: r.max_ns,
+            admitted: r.admitted,
+        },
+        r.events,
+    )
 }
 
-/// Run the full sweep for one granularity.
-pub fn run(g: Granularity, scale: Scale, seed: u64) -> Vec<ThrottlePoint> {
+/// Run the full sweep for one granularity, grid points fanned across
+/// worker threads as independent trials.
+pub fn run_with_stats(
+    g: Granularity,
+    scale: Scale,
+    seed: u64,
+) -> (Vec<ThrottlePoint>, HarnessStats) {
     let (periods, slice_pcts) = grid(scale);
     let p = worker_count(scale);
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &period in &periods {
         for &pct in &slice_pcts {
             let slice = (period * pct / 100).max(1000);
             if slice * 100 >= period * 99 {
                 continue; // beyond the 99% utilization limit
             }
-            out.push(measure(g, p, period, slice, scale, seed));
+            points.push((period, slice));
         }
     }
-    out
+    let set = run_trials(points, |&(period, slice)| {
+        measure_instrumented(g, p, period, slice, scale, seed)
+    });
+    (set.results, set.stats)
+}
+
+/// Run the full sweep for one granularity.
+pub fn run(g: Granularity, scale: Scale, seed: u64) -> Vec<ThrottlePoint> {
+    run_with_stats(g, scale, seed).0
 }
 
 /// Linear-control figure of merit: for each admitted point, the product
@@ -184,6 +213,9 @@ mod tests {
             cv_fine > cv_coarse,
             "fine granularity should vary more (fine {cv_fine} vs coarse {cv_coarse})"
         );
-        assert!(cv_coarse < 0.35, "coarse control should be clean ({cv_coarse})");
+        assert!(
+            cv_coarse < 0.35,
+            "coarse control should be clean ({cv_coarse})"
+        );
     }
 }

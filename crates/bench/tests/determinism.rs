@@ -1,0 +1,36 @@
+//! Regression test: the parallel trial harness is bit-for-bit identical to
+//! a serial run. Every trial is a pure function of its grid point and
+//! seed, and results are collected in input order, so the thread count
+//! must never leak into experiment output.
+
+use nautix_bench::throttle::Granularity;
+use nautix_bench::{missrate, throttle, Scale};
+use nautix_hw::Platform;
+
+/// Single test (not one per experiment) because `NAUTIX_THREADS` is
+/// process-global and tests in one binary run concurrently.
+#[test]
+fn serial_and_parallel_sweeps_are_identical() {
+    // Miss-rate sweep (Figures 6/8): full grid, exact equality.
+    std::env::set_var("NAUTIX_THREADS", "1");
+    let (serial, s1) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
+    std::env::set_var("NAUTIX_THREADS", "4");
+    let (parallel, s4) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
+    assert_eq!(s1.threads, 1);
+    assert_eq!(s4.threads, 4);
+    assert_eq!(serial, parallel, "thread count changed miss-rate results");
+    assert_eq!(s1.events, s4.events, "simulated event counts must match");
+
+    // Throttle sweep (Figure 13): compare the fields that feed the CSV.
+    std::env::set_var("NAUTIX_THREADS", "1");
+    let (t1, _) = throttle::run_with_stats(Granularity::Coarse, Scale::Quick, 3);
+    std::env::set_var("NAUTIX_THREADS", "3");
+    let (t3, _) = throttle::run_with_stats(Granularity::Coarse, Scale::Quick, 3);
+    std::env::remove_var("NAUTIX_THREADS");
+    let key = |p: &throttle::ThrottlePoint| (p.period_ns, p.slice_ns, p.time_ns, p.admitted);
+    assert_eq!(
+        t1.iter().map(key).collect::<Vec<_>>(),
+        t3.iter().map(key).collect::<Vec<_>>(),
+        "thread count changed throttle results"
+    );
+}

@@ -120,6 +120,10 @@ pub struct BspResult {
     pub misses: u64,
     /// Whether group admission succeeded (always true in aperiodic mode).
     pub admitted: bool,
+    /// Simulated machine events processed during the run (throughput
+    /// instrumentation; populated by [`run_bsp`], zero from bare
+    /// [`collect_bsp`] on a shared node).
+    pub events: u64,
 }
 
 impl BspResult {
@@ -432,6 +436,7 @@ pub fn collect_bsp(node: &Node, handles: &BspHandles) -> BspResult {
         torn_reads: sh.torn,
         misses,
         admitted: !sh.admit_failed,
+        events: 0,
     }
 }
 
@@ -445,11 +450,15 @@ pub fn run_bsp(mut node_cfg: NodeConfig, params: BspParams) -> BspResult {
     );
     // The benchmark threads are the only load; make sure thread capacity
     // fits the idle threads plus P workers.
-    node_cfg.max_threads = node_cfg.max_threads.max(node_cfg.machine.n_cpus + params.p + 1);
+    node_cfg.max_threads = node_cfg
+        .max_threads
+        .max(node_cfg.machine.n_cpus + params.p + 1);
     let mut node = Node::new(node_cfg);
     let handles = spawn_bsp(&mut node, params, 1);
     node.run_until_quiescent();
-    collect_bsp(&node, &handles)
+    let mut r = collect_bsp(&node, &handles);
+    r.events = node.machine.events_processed();
+    r
 }
 
 #[cfg(test)]

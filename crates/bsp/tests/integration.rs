@@ -32,7 +32,10 @@ fn two_instances_on_disjoint_cpu_ranges() {
     assert!(ra.max_ns > 0 && rb.max_ns > 0);
     // Disjoint CPUs at identical constraints: near-identical times.
     let ratio = ra.max_ns as f64 / rb.max_ns as f64;
-    assert!((0.9..1.1).contains(&ratio), "disjoint gangs should match ({ratio})");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "disjoint gangs should match ({ratio})"
+    );
 }
 
 #[test]

@@ -118,12 +118,7 @@ pub fn compile(tasks: &[CyclicTask]) -> Result<CyclicSchedule, CyclicError> {
     // (fewer frames = fewer frame interrupts), subject to the conditions.
     let mut candidates: Vec<u64> = divisors(hyper)
         .into_iter()
-        .filter(|&f| {
-            f >= max_wcet
-                && tasks
-                    .iter()
-                    .all(|t| 2 * f <= t.period + gcd(f, t.period))
-        })
+        .filter(|&f| f >= max_wcet && tasks.iter().all(|t| 2 * f <= t.period + gcd(f, t.period)))
         .collect();
     candidates.sort_unstable_by(|a, b| b.cmp(a));
     for f in candidates {
@@ -142,12 +137,9 @@ pub fn compile(tasks: &[CyclicTask]) -> Result<CyclicSchedule, CyclicError> {
         }
     }
     // Distinguish "no frame length" from "packing failed at every f".
-    let any_frame = divisors(hyper).into_iter().any(|f| {
-        f >= max_wcet
-            && tasks
-                .iter()
-                .all(|t| 2 * f <= t.period + gcd(f, t.period))
-    });
+    let any_frame = divisors(hyper)
+        .into_iter()
+        .any(|f| f >= max_wcet && tasks.iter().all(|t| 2 * f <= t.period + gcd(f, t.period)));
     if any_frame {
         Err(CyclicError::Unschedulable)
     } else {
@@ -476,11 +468,17 @@ mod tests {
         let r = s.render();
         assert!(r.contains("cyclic executive"));
         for i in 0..s.frames.len() {
-            assert!(r.contains(&format!("frame {i} ")), "missing frame {i} in:\n{r}");
+            assert!(
+                r.contains(&format!("frame {i} ")),
+                "missing frame {i} in:\n{r}"
+            );
         }
         let placements: usize = s.frames.iter().map(|f| f.placements.len()).sum();
-        assert_eq!(r.matches("µs)").count(), placements + s.frames.len(),
-            "every placement and every frame load should be printed");
+        assert_eq!(
+            r.matches("µs)").count(),
+            placements + s.frames.len(),
+            "every placement and every frame load should be printed"
+        );
     }
 
     #[test]

@@ -23,12 +23,13 @@ pub mod timeline;
 pub mod timesync;
 
 pub use admission::{AdmissionPolicy, CpuLoad, SchedConfig, SchedMode, PPM};
-pub use cyclic::{compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask};
+pub use cyclic::{
+    compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask,
+};
 pub use local::{Decision, InvokeReason, JobOutcome, LocalScheduler, SchedThread};
 pub use node::{GaTiming, Node, NodeConfig};
 pub use stats::{
-    dispatch_spreads, CpuSchedStats, DispatchLog, OverheadBreakdown, OverheadSample,
-    ThreadRtStats,
+    dispatch_spreads, CpuSchedStats, DispatchLog, OverheadBreakdown, OverheadSample, ThreadRtStats,
 };
 pub use timeline::{Span, Timeline};
 pub use timesync::{calibrate, wall_cycles, TimeSync};

@@ -505,7 +505,9 @@ impl LocalScheduler {
     fn enqueue_current(&mut self, tid: ThreadId, st: &mut SchedThread, now_ns: Nanos) {
         if st.is_rt() {
             if st.job_active && st.remaining_cycles > 0 {
-                self.rt_run.push(st.deadline_ns, tid).expect("rt_run overflow");
+                self.rt_run
+                    .push(st.deadline_ns, tid)
+                    .expect("rt_run overflow");
             } else {
                 // For a completed periodic job next_arrival is already the
                 // deadline of the finished job; if that instant has passed
@@ -516,7 +518,9 @@ impl LocalScheduler {
                         st.next_arrival_ns = now_ns + 1;
                     }
                 }
-                self.pending.push(st.next_arrival_ns, tid).expect("pending overflow");
+                self.pending
+                    .push(st.next_arrival_ns, tid)
+                    .expect("pending overflow");
             }
         } else {
             self.nonrt
@@ -663,7 +667,8 @@ mod tests {
             period,
             slice,
         };
-        s.change_constraints(tid, &mut ts[tid], c, now, true).unwrap();
+        s.change_constraints(tid, &mut ts[tid], c, now, true)
+            .unwrap();
         s.enqueue(tid, &mut ts[tid], now);
     }
 
@@ -700,7 +705,7 @@ mod tests {
         let (mut s, mut ts) = mk();
         admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
         s.invoke(100_000, &mut ts, InvokeReason::Timer, false); // dispatch
-        // Burn the whole slice; completion lands before the 200 us deadline.
+                                                                // Burn the whole slice; completion lands before the 200 us deadline.
         let c = ts[1].remaining_cycles;
         s.account(&mut ts[1], c);
         let d = s.invoke(150_000, &mut ts, InvokeReason::Timer, true);

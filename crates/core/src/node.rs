@@ -39,12 +39,14 @@ use crate::local::{InvokeReason, LocalScheduler, SchedThread};
 use crate::stats::DispatchLog;
 use crate::timesync::{self, TimeSync};
 use nautix_des::{Cycles, Freq, Nanos};
-use nautix_groups::{estimate_delta, CollectiveOutcome, CollectiveRelease, Decision as GDecision, GroupRegistry};
+use nautix_groups::{
+    estimate_delta, CollectiveOutcome, CollectiveRelease, Decision as GDecision, GroupRegistry,
+};
 use nautix_hw::{CpuId, Machine, MachineConfig, MachineEvent};
 use nautix_kernel::{
-    Action, AdmissionError, BarrierOutcome, Constraints, GroupError, GroupId, Program,
-    ResumeCx, Steering, SysCall, SysResult, Thread, ThreadId, ThreadState, ThreadTable,
-    TaskQueues, WaitKind, Zone, ZoneAllocator,
+    Action, AdmissionError, BarrierOutcome, Constraints, GroupError, GroupId, Program, ResumeCx,
+    Steering, SysCall, SysResult, TaskQueues, Thread, ThreadId, ThreadState, ThreadTable, WaitKind,
+    Zone, ZoneAllocator,
 };
 use std::collections::HashMap;
 
@@ -267,8 +269,9 @@ impl Node {
             TimeSync::perfect(n)
         };
         let mut threads = ThreadTable::new(cfg.max_threads);
-        let mut ts: Vec<SchedThread> =
-            (0..cfg.max_threads).map(|_| SchedThread::new_aperiodic()).collect();
+        let mut ts: Vec<SchedThread> = (0..cfg.max_threads)
+            .map(|_| SchedThread::new_aperiodic())
+            .collect();
         let mut sched = Vec::with_capacity(n);
         let per_cpu_cap = cfg.max_threads;
         for cpu in 0..n {
@@ -406,7 +409,10 @@ impl Node {
                 while self.reap(c) > 0 {}
             }
         }
-        let stack = self.alloc.alloc(16 * 1024, Zone::HighBandwidth).map(|(a, _)| a);
+        let stack = self
+            .alloc
+            .alloc(16 * 1024, Zone::HighBandwidth)
+            .map(|(a, _)| a);
         let tid = self
             .threads
             .spawn(Thread {
@@ -488,10 +494,7 @@ impl Node {
 
     /// Start recording an execution timeline (at most `cap` spans).
     pub fn record_timeline(&mut self, cap: usize) {
-        self.timeline = Some(crate::timeline::Timeline::new(
-            self.machine.n_cpus(),
-            cap,
-        ));
+        self.timeline = Some(crate::timeline::Timeline::new(self.machine.n_cpus(), cap));
     }
 
     /// Take the recorded timeline, closing open spans at the current
@@ -524,9 +527,7 @@ impl Node {
             return false;
         };
         match ev {
-            MachineEvent::TimerInterrupt { cpu } => {
-                self.interrupt_path(cpu, InvokeReason::Timer)
-            }
+            MachineEvent::TimerInterrupt { cpu } => self.interrupt_path(cpu, InvokeReason::Timer),
             MachineEvent::Ipi { cpu, .. } => self.interrupt_path(cpu, InvokeReason::Kick),
             MachineEvent::DeviceInterrupt { cpu, irq } => self.device_interrupt(cpu, irq),
             MachineEvent::OpComplete { cpu, token } => self.op_complete(cpu, token),
@@ -616,12 +617,15 @@ impl Node {
             self.machine.gpio_write_at(t, 0b100, 0);
         }
         if self.record_overheads {
-            self.sched[cpu].stats.overheads.push(crate::stats::OverheadSample {
-                irq: c_entry + c_exit,
-                other: c_other,
-                resched: c_pass,
-                switch: c_switch,
-            });
+            self.sched[cpu]
+                .stats
+                .overheads
+                .push(crate::stats::OverheadSample {
+                    irq: c_entry + c_exit,
+                    other: c_other,
+                    resched: c_pass,
+                    switch: c_switch,
+                });
         }
         self.dispatch(cpu);
     }
@@ -638,10 +642,7 @@ impl Node {
         self.preempt(cpu);
         let cm = self.machine.cost_model().clone();
         self.machine.charge(cpu, cm.irq_entry);
-        let waiter = self
-            .irq_waiters
-            .get_mut(&irq)
-            .and_then(|q| q.pop_front());
+        let waiter = self.irq_waiters.get_mut(&irq).and_then(|q| q.pop_front());
         if let Some(tid) = waiter {
             // Acknowledge only; the interrupt thread does the processing.
             self.machine.charge(cpu, cm.atomic_rmw);
@@ -1172,7 +1173,10 @@ impl Node {
             }
             SysCall::TaskSpawn { size, work } => {
                 self.machine.charge(cpu, cm.atomic_rmw);
-                let id = self.tasks[cpu].spawn(size, work).map(|t| t.0).unwrap_or(u64::MAX);
+                let id = self.tasks[cpu]
+                    .spawn(size, work)
+                    .map(|t| t.0)
+                    .unwrap_or(u64::MAX);
                 self.pending_result[tid] = SysResult::Value(id);
                 false
             }
@@ -1200,10 +1204,12 @@ impl Node {
             self.pending_result[tid] = SysResult::Group(Err(GroupError::NotFound));
             return false;
         };
-        let mut rng = nautix_des::DetRng::seed_from(
-            0x5EED ^ self.machine.now() ^ (gid.0 as u64) << 32,
-        );
-        match group.barrier.arrive(tid, &mut rng, cm.barrier_release_stagger) {
+        let mut rng =
+            nautix_des::DetRng::seed_from(0x5EED ^ self.machine.now() ^ (gid.0 as u64) << 32);
+        match group
+            .barrier
+            .arrive(tid, &mut rng, cm.barrier_release_stagger)
+        {
             BarrierOutcome::Wait => {
                 self.block(tid, kind, WaitKind::Barrier);
                 true
@@ -1220,7 +1226,9 @@ impl Node {
     /// arrival — the instant its RMW actually lands on the shared line —
     /// not from the event timestamp at which the charge was issued.
     fn release_base(&self, completer_cpu: CpuId) -> Cycles {
-        self.machine.busy_until(completer_cpu).max(self.machine.now())
+        self.machine
+            .busy_until(completer_cpu)
+            .max(self.machine.now())
     }
 
     fn schedule_barrier_releases(&mut self, completer: ThreadId, rs: &[nautix_kernel::Release]) {
@@ -1268,9 +1276,8 @@ impl Node {
             CollKind::Reduce => GDecision::Max,
             CollKind::Broadcast => GDecision::Of(leader),
         };
-        let mut rng = nautix_des::DetRng::seed_from(
-            0xC0_11EC ^ self.machine.now() ^ (gid.0 as u64) << 32,
-        );
+        let mut rng =
+            nautix_des::DetRng::seed_from(0xC0_11EC ^ self.machine.now() ^ (gid.0 as u64) << 32);
         match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
             CollectiveOutcome::Wait => {
                 self.block(tid, BlockKind::Collective, WaitKind::Group);
@@ -1440,8 +1447,7 @@ impl Node {
                     match self.ga_barrier(cpu, tid) {
                         None => return true,
                         Some(_) => {
-                            self.ga[tid].as_mut().unwrap().phase =
-                                GaPhase::AfterFallbackBarrier;
+                            self.ga[tid].as_mut().unwrap().phase = GaPhase::AfterFallbackBarrier;
                         }
                     }
                 }
@@ -1450,8 +1456,7 @@ impl Node {
                     match self.ga_barrier(cpu, tid) {
                         None => return true,
                         Some(_) => {
-                            self.ga[tid].as_mut().unwrap().phase =
-                                GaPhase::AfterFinalBarrier;
+                            self.ga[tid].as_mut().unwrap().phase = GaPhase::AfterFinalBarrier;
                         }
                     }
                 }
@@ -1510,27 +1515,32 @@ impl Node {
     }
 
     fn finish_ga(&mut self, tid: ThreadId, success: bool) {
-        if !success
-            && self.record_ga_timing {
-                let c = self.ga[tid].as_ref().unwrap();
-                let cpu = self.threads.expect(tid).cpu;
-                let now = self.wall_ns_busy(cpu);
-                self.ga_timings.push(GaTiming {
-                    tid,
-                    n: c.n,
-                    t_call: c.t_call,
-                    t_elect: c.t_elect,
-                    local_admit_ns: c.local_admit_ns,
-                    t_reduce: c.t_reduce,
-                    t_done: now,
-                });
-            }
+        if !success && self.record_ga_timing {
+            let c = self.ga[tid].as_ref().unwrap();
+            let cpu = self.threads.expect(tid).cpu;
+            let now = self.wall_ns_busy(cpu);
+            self.ga_timings.push(GaTiming {
+                tid,
+                n: c.n,
+                t_call: c.t_call,
+                t_elect: c.t_elect,
+                local_admit_ns: c.local_admit_ns,
+                t_reduce: c.t_reduce,
+                t_done: now,
+            });
+        }
         self.ga[tid] = None;
     }
 
     /// A collective arrival inside group admission. Returns the result if
     /// the thread proceeded, or None if it blocked.
-    fn ga_collective(&mut self, cpu: CpuId, tid: ThreadId, which: GaColl, value: u64) -> Option<u64> {
+    fn ga_collective(
+        &mut self,
+        cpu: CpuId,
+        tid: ThreadId,
+        which: GaColl,
+        value: u64,
+    ) -> Option<u64> {
         // If a previous release delivered the result, consume it.
         if let SysResult::Value(v) =
             std::mem::replace(&mut self.pending_result[tid], SysResult::None)
@@ -1551,9 +1561,8 @@ impl Node {
             GaColl::Elect => GDecision::Min,
             GaColl::Reduce => GDecision::Max,
         };
-        let mut rng = nautix_des::DetRng::seed_from(
-            0x6A ^ self.machine.now() ^ (gid.0 as u64) << 32,
-        );
+        let mut rng =
+            nautix_des::DetRng::seed_from(0x6A ^ self.machine.now() ^ (gid.0 as u64) << 32);
         match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
             CollectiveOutcome::Wait => {
                 self.block(tid, BlockKind::GaCollective, WaitKind::Group);
@@ -1580,10 +1589,12 @@ impl Node {
         let dur = self.serialize_on(0x50_0000 + gid.0 as u64, hold);
         self.machine.charge_raw(cpu, dur);
         let group = self.groups.get_mut(gid).expect("group vanished");
-        let mut rng = nautix_des::DetRng::seed_from(
-            0xBA44 ^ self.machine.now() ^ (gid.0 as u64) << 32,
-        );
-        match group.barrier.arrive(tid, &mut rng, cm.barrier_release_stagger) {
+        let mut rng =
+            nautix_des::DetRng::seed_from(0xBA44 ^ self.machine.now() ^ (gid.0 as u64) << 32);
+        match group
+            .barrier
+            .arrive(tid, &mut rng, cm.barrier_release_stagger)
+        {
             BarrierOutcome::Wait => {
                 self.block(tid, BlockKind::GaCollective, WaitKind::Barrier);
                 None

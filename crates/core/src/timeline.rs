@@ -151,10 +151,30 @@ mod tests {
         assert_eq!(
             t.spans(),
             &[
-                Span { cpu: 0, tid: Some(5), start_ns: 0, end_ns: 100 },
-                Span { cpu: 0, tid: None, start_ns: 100, end_ns: 150 },
-                Span { cpu: 0, tid: Some(6), start_ns: 150, end_ns: 200 },
-                Span { cpu: 1, tid: Some(7), start_ns: 50, end_ns: 200 },
+                Span {
+                    cpu: 0,
+                    tid: Some(5),
+                    start_ns: 0,
+                    end_ns: 100
+                },
+                Span {
+                    cpu: 0,
+                    tid: None,
+                    start_ns: 100,
+                    end_ns: 150
+                },
+                Span {
+                    cpu: 0,
+                    tid: Some(6),
+                    start_ns: 150,
+                    end_ns: 200
+                },
+                Span {
+                    cpu: 1,
+                    tid: Some(7),
+                    start_ns: 50,
+                    end_ns: 200
+                },
             ]
         );
     }
@@ -169,7 +189,10 @@ mod tests {
         }
         t.finish(400);
         let s = t.render(0, 400, 40);
-        assert!(s.contains("cpu   0 |AAAAA.....AAAAA.....AAAAA.....AAAAA.....|"), "got:\n{s}");
+        assert!(
+            s.contains("cpu   0 |AAAAA.....AAAAA.....AAAAA.....AAAAA.....|"),
+            "got:\n{s}"
+        );
         assert!(s.contains("legend: A=tid3"));
     }
 
@@ -187,7 +210,11 @@ mod tests {
         let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("cpu")).collect();
         assert_eq!(rows.len(), 3);
         // Same shape on each CPU, different symbols.
-        let shape = |r: &str| r.chars().map(|c| if c == '.' { '.' } else { 'x' }).collect::<String>();
+        let shape = |r: &str| {
+            r.chars()
+                .map(|c| if c == '.' { '.' } else { 'x' })
+                .collect::<String>()
+        };
         assert_eq!(shape(rows[0]), shape(rows[1]));
         assert_eq!(shape(rows[1]), shape(rows[2]));
     }

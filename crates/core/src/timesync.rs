@@ -139,13 +139,18 @@ mod tests {
             "worst residual {} exceeds the paper's 1000-cycle envelope",
             s.max
         );
-        assert!(s.mean > 0.0, "a zero-mean residual would be unrealistically good");
+        assert!(
+            s.mean > 0.0,
+            "a zero-mean residual would be unrealistically good"
+        );
     }
 
     #[test]
     fn calibration_improves_on_boot_skew() {
         let mut m = Machine::new(MachineConfig::phi().with_cpus(16).with_seed(3));
-        let raw: Vec<u64> = (0..16).map(|c| m.tsc_true_offset(c).unsigned_abs()).collect();
+        let raw: Vec<u64> = (0..16)
+            .map(|c| m.tsc_true_offset(c).unsigned_abs())
+            .collect();
         let sync = calibrate(&mut m, 16);
         let raw_max = raw.iter().max().copied().unwrap();
         assert!(

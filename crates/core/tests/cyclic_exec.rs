@@ -25,8 +25,12 @@ fn executive_runs_its_table_on_a_node() {
     let hosting = schedule.hosting_constraints(10_000);
     let frame = schedule.frame;
     let major_cycles = 10;
-    let expected_placements: usize =
-        schedule.frames.iter().map(|f| f.placements.len()).sum::<usize>() * major_cycles;
+    let expected_placements: usize = schedule
+        .frames
+        .iter()
+        .map(|f| f.placements.len())
+        .sum::<usize>()
+        * major_cycles;
 
     let mut cfg = NodeConfig::phi();
     cfg.machine = MachineConfig::phi().with_cpus(2).with_seed(51);

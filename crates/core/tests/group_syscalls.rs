@@ -33,7 +33,8 @@ where
                 k => steps(i, k - 3, cx.result),
             }
         });
-        node.spawn_on(i + 1, &format!("m{i}"), Box::new(prog)).unwrap();
+        node.spawn_on(i + 1, &format!("m{i}"), Box::new(prog))
+            .unwrap();
     }
     node.run_for_ns(horizon_ns);
     node

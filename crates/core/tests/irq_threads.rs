@@ -73,7 +73,8 @@ fn interrupt_thread_work_is_governed_by_the_scheduler() {
             Action::Compute(130_000) // 100 µs of deferred processing
         }
     });
-    node.spawn_on(1, "irq-thread", Box::new(irq_thread)).unwrap();
+    node.spawn_on(1, "irq-thread", Box::new(irq_thread))
+        .unwrap();
     node.run_for_ns(1_000_000);
     for _ in 0..100 {
         node.raise_device_irq(3);

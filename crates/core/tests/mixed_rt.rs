@@ -101,8 +101,7 @@ fn sporadic_reservation_rejects_when_exhausted() {
         // Each burst wants 6% of the CPU; the 10% reservation fits one.
         let prog = FnProgram::new(move |cx, n| match n {
             0 => Action::Call(SysCall::ChangeConstraints(Constraints::sporadic(
-                60_000,
-                1_000_000,
+                60_000, 1_000_000,
             ))),
             1 => {
                 r2.borrow_mut().push((i, cx.result));
@@ -110,7 +109,8 @@ fn sporadic_reservation_rejects_when_exhausted() {
             }
             _ => Action::Exit,
         });
-        node.spawn_on(1, &format!("burst{i}"), Box::new(prog)).unwrap();
+        node.spawn_on(1, &format!("burst{i}"), Box::new(prog))
+            .unwrap();
     }
     node.run_until_quiescent();
     let rs = results.borrow();

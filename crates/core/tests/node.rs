@@ -22,10 +22,14 @@ fn boots_and_is_quiescent_without_threads() {
 fn runs_a_simple_compute_program_to_exit() {
     let mut node = small_node(2);
     let tid = node
-        .spawn_on(1, "worker", Box::new(Script::new(vec![
-            Action::Compute(10_000),
-            Action::Compute(5_000),
-        ])))
+        .spawn_on(
+            1,
+            "worker",
+            Box::new(Script::new(vec![
+                Action::Compute(10_000),
+                Action::Compute(5_000),
+            ])),
+        )
         .unwrap();
     node.run_until_quiescent();
     assert_eq!(node.live_programs(), 0);
@@ -36,10 +40,14 @@ fn runs_a_simple_compute_program_to_exit() {
 fn sleep_delays_execution() {
     let mut node = small_node(2);
     let tid = node
-        .spawn_on(1, "sleeper", Box::new(Script::new(vec![
-            Action::Call(SysCall::SleepNs(1_000_000)), // 1 ms
-            Action::Compute(1_000),
-        ])))
+        .spawn_on(
+            1,
+            "sleeper",
+            Box::new(Script::new(vec![
+                Action::Call(SysCall::SleepNs(1_000_000)), // 1 ms
+                Action::Compute(1_000),
+            ])),
+        )
         .unwrap();
     node.run_until_quiescent();
     let _ = tid;
@@ -125,7 +133,9 @@ fn infeasible_period_misses_with_admission_disabled() {
     // this hopeless on the Phi (Figure 6's infeasible region).
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(8_000, 7_000)))
+            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                8_000, 7_000,
+            )))
         } else {
             Action::Compute(50_000)
         }
@@ -180,7 +190,10 @@ fn group_admission_gang_schedules_and_phase_corrects() {
                 _ => Action::Exit,
             }
         });
-        tids.push(node.spawn_on(cpu, &format!("g{cpu}"), Box::new(prog)).unwrap());
+        tids.push(
+            node.spawn_on(cpu, &format!("g{cpu}"), Box::new(prog))
+                .unwrap(),
+        );
     }
     node.run_for_ns(60_000_000);
     node.run_until_quiescent();
@@ -256,7 +269,10 @@ fn group_admission_fails_atomically_when_one_cpu_is_full() {
                 _ => Action::Exit,
             }
         });
-        tids.push(node.spawn_on(cpu, &format!("g{cpu}"), Box::new(prog)).unwrap());
+        tids.push(
+            node.spawn_on(cpu, &format!("g{cpu}"), Box::new(prog))
+                .unwrap(),
+        );
     }
     node.run_for_ns(50_000_000);
     let rs = results.borrow();
@@ -281,9 +297,13 @@ fn work_stealing_migrates_aperiodic_threads() {
     let mut node = Node::new(cfg);
     // Pile several compute-bound, *unbound* threads on CPU 1.
     for i in 0..6 {
-        node.spawn_unbound(1, &format!("w{i}"), Box::new(Script::new(vec![
-            Action::Compute(50_000_000), // ~38 ms each
-        ])))
+        node.spawn_unbound(
+            1,
+            &format!("w{i}"),
+            Box::new(Script::new(vec![
+                Action::Compute(50_000_000), // ~38 ms each
+            ])),
+        )
         .unwrap();
     }
     node.run_until_quiescent();
@@ -291,7 +311,9 @@ fn work_stealing_migrates_aperiodic_threads() {
     assert!(steals > 0, "idle CPUs should have stolen work");
     // Stolen threads really executed elsewhere: some thread's final CPU
     // differs from 1 — visible through steal counts on other CPUs.
-    assert!((0..4).filter(|&c| c != 1).any(|c| node.scheduler(c).stats.steals > 0));
+    assert!((0..4)
+        .filter(|&c| c != 1)
+        .any(|c| node.scheduler(c).stats.steals > 0));
 }
 
 #[test]
@@ -302,9 +324,11 @@ fn bound_threads_are_never_stolen_even_with_backlog() {
     // Six *bound* compute threads piled on CPU 1: backlog exists, but
     // bound threads must not migrate.
     for i in 0..6 {
-        node.spawn_on(1, &format!("b{i}"), Box::new(Script::new(vec![
-            Action::Compute(5_000_000),
-        ])))
+        node.spawn_on(
+            1,
+            &format!("b{i}"),
+            Box::new(Script::new(vec![Action::Compute(5_000_000)])),
+        )
         .unwrap();
     }
     node.run_until_quiescent();
@@ -410,7 +434,10 @@ fn device_interrupts_stay_in_the_laden_partition() {
         node.run_for_ns(100_000);
     }
     node.run_until_quiescent();
-    assert_eq!(node.device_irqs_handled[0], 20, "default partition is CPU 0");
+    assert_eq!(
+        node.device_irqs_handled[0], 20,
+        "default partition is CPU 0"
+    );
     for c in 1..4 {
         assert_eq!(node.device_irqs_handled[c], 0, "CPU {c} is interrupt-free");
     }
@@ -420,11 +447,18 @@ fn device_interrupts_stay_in_the_laden_partition() {
 fn gpio_syscall_reaches_the_port() {
     let mut node = small_node(2);
     node.machine.gpio().start_capture();
-    node.spawn_on(1, "blink", Box::new(Script::new(vec![
-        Action::Call(SysCall::GpioSet { pin: 2, high: true }),
-        Action::Compute(10_000),
-        Action::Call(SysCall::GpioSet { pin: 2, high: false }),
-    ])))
+    node.spawn_on(
+        1,
+        "blink",
+        Box::new(Script::new(vec![
+            Action::Call(SysCall::GpioSet { pin: 2, high: true }),
+            Action::Compute(10_000),
+            Action::Call(SysCall::GpioSet {
+                pin: 2,
+                high: false,
+            }),
+        ])),
+    )
     .unwrap();
     node.run_until_quiescent();
     let trace = node.machine.gpio().take_trace();

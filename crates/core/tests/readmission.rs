@@ -107,7 +107,10 @@ fn gang_readmission_rethrottles_the_whole_group() {
                 }
             }
         });
-        tids.push(node.spawn_on(i + 1, &format!("g{i}"), Box::new(prog)).unwrap());
+        tids.push(
+            node.spawn_on(i + 1, &format!("g{i}"), Box::new(prog))
+                .unwrap(),
+        );
     }
     node.run_until_quiescent();
     let pts = phase_times.borrow();

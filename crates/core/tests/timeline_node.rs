@@ -21,7 +21,8 @@ fn node_timeline_captures_periodic_execution() {
                 Action::Compute(1_000_000)
             }
         });
-        node.spawn_on(cpu, &format!("p{cpu}"), Box::new(prog)).unwrap();
+        node.spawn_on(cpu, &format!("p{cpu}"), Box::new(prog))
+            .unwrap();
     }
     node.run_for_ns(5_000_000);
     let tl = node.take_timeline().expect("recording was enabled");
@@ -42,7 +43,11 @@ fn node_timeline_captures_periodic_execution() {
     assert!(pic.contains("cpu   2 |"));
     assert!(pic.contains("legend:"));
     // CPU 2's thread has twice CPU 1's duty cycle: more letters per row.
-    let letters = |row: &str| row.chars().filter(|c| c.is_ascii_alphabetic() && *c != 'c' && *c != 'p' && *c != 'u').count();
+    let letters = |row: &str| {
+        row.chars()
+            .filter(|c| c.is_ascii_alphabetic() && *c != 'c' && *c != 'p' && *c != 'u')
+            .count()
+    };
     let rows: Vec<&str> = pic.lines().filter(|l| l.starts_with("cpu")).collect();
     assert!(
         letters(rows[1]) > letters(rows[0]),
@@ -55,8 +60,12 @@ fn timeline_disabled_by_default() {
     let mut cfg = NodeConfig::phi();
     cfg.machine = MachineConfig::phi().with_cpus(2).with_seed(92);
     let mut node = Node::new(cfg);
-    node.spawn_on(1, "t", Box::new(nautix_kernel::Script::new(vec![Action::Compute(1000)])))
-        .unwrap();
+    node.spawn_on(
+        1,
+        "t",
+        Box::new(nautix_kernel::Script::new(vec![Action::Compute(1000)])),
+    )
+    .unwrap();
     node.run_until_quiescent();
     assert!(node.take_timeline().is_none());
 }

@@ -1,52 +1,74 @@
 //! Cancellable, deterministically ordered event queue.
 //!
-//! The queue is a binary heap keyed on `(time, sequence)` where the sequence
-//! number is assigned at insertion. Two events scheduled for the same
-//! instant therefore fire in insertion order, which keeps whole-machine
-//! simulations reproducible regardless of hash-map iteration order or other
-//! environmental noise.
+//! The queue is an index-tracked binary min-heap keyed on `(time, sequence)`
+//! where the sequence number is assigned at insertion. Two events scheduled
+//! for the same instant therefore fire in insertion order, which keeps
+//! whole-machine simulations reproducible regardless of hash-map iteration
+//! order or other environmental noise.
 //!
-//! Cancellation is *lazy*: `cancel` records the event id, and cancelled
-//! entries are discarded as they surface. This makes re-programming a
-//! one-shot APIC timer (the dominant use) O(log n) without heap surgery.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+//! Cancellation is *true removal*: every scheduled event owns a slot that
+//! records its current heap position, kept up to date through sift swaps, so
+//! `cancel` excises the entry in O(log n) with no tombstones left behind.
+//! Compared with the earlier lazy scheme (a `cancelled: HashSet` consulted
+//! on every pop and peek) this keeps the heap at its live size under
+//! re-programming storms, makes `peek_time`/`is_empty` pure `&self` reads,
+//! and removes a hash lookup from the hot pop path.
+//!
+//! Slots are reused through a free list; an [`EventId`] packs the slot index
+//! with a per-slot generation so a stale id (already fired or already
+//! cancelled) can never alias a later event in the same slot.
 
 use crate::time::Cycles;
 
 /// Identifier of a scheduled event, usable to cancel it later.
+///
+/// Packs a slot index (high 32 bits) and that slot's generation at schedule
+/// time (low 32 bits). Ids are unique across the life of the queue up to
+/// 2^32 reuses of one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 impl EventId {
-    /// The raw sequence number. Exposed for trace output only.
+    /// The raw packed value. Exposed for trace output only.
     pub fn raw(&self) -> u64 {
         self.0
     }
+
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((slot as u64) << 32 | gen as u64)
+    }
+
+    fn slot(&self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn gen(&self) -> u32 {
+        self.0 as u32
+    }
 }
 
+/// Per-event bookkeeping. `payload` is `Some` exactly while the event is
+/// pending; `pos` is its current index in `heap` during that window.
 #[derive(Debug)]
-struct Entry<E> {
-    time: Cycles,
-    id: EventId,
-    payload: E,
+struct Slot<E> {
+    gen: u32,
+    pos: usize,
+    payload: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.id == other.id
-    }
+/// POD heap entry: ordering key plus the owning slot. Payloads stay in the
+/// slot table so sift swaps move 24 bytes regardless of `E`.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: Cycles,
+    seq: u64,
+    slot: u32,
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.id).cmp(&(other.time, other.id))
+
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (Cycles, u64) {
+        (self.time, self.seq)
     }
 }
 
@@ -56,9 +78,10 @@ impl<E> Ord for Entry<E> {
 /// hardware model uses a fixed enum of machine events).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    next_seq: u64,
     now: Cycles,
     popped: u64,
 }
@@ -73,15 +96,17 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
             now: 0,
             popped: 0,
         }
     }
 
-    /// Current simulation time: the timestamp of the last popped event.
+    /// Current simulation time: the timestamp of the last popped event (or
+    /// the last [`advance_to`](Self::advance_to) target, whichever is later).
     pub fn now(&self) -> Cycles {
         self.now
     }
@@ -103,70 +128,194 @@ impl<E> EventQueue<E> {
             at,
             self.now
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.heap.push(Reverse(Entry {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                debug_assert!(slot.payload.is_none());
+                slot.payload = Some(payload);
+                s
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event slot overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    pos: 0,
+                    payload: Some(payload),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pos = self.heap.len();
+        self.heap.push(HeapEntry {
             time: at,
-            id,
-            payload,
-        }));
-        id
+            seq,
+            slot,
+        });
+        self.slots[slot as usize].pos = pos;
+        self.sift_up(pos);
+        EventId::new(slot, self.slots[slot as usize].gen)
     }
 
     /// Schedule `payload` after a relative delay.
     pub fn schedule_in(&mut self, delay: Cycles, payload: E) -> EventId {
-        let at = self.now.checked_add(delay).expect("simulation time overflow");
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation time overflow");
         self.schedule(at, payload)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op; the return value
-    /// says whether the cancellation might still take effect.
+    /// Cancel a previously scheduled event, removing it from the queue
+    /// outright. Returns `true` if the event was pending (and is now gone);
+    /// `false` if it had already fired or been cancelled — stale ids are
+    /// harmless because the slot generation no longer matches.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        let s = id.slot() as usize;
+        if s >= self.slots.len() {
             return false;
         }
-        self.cancelled.insert(id)
+        if self.slots[s].gen != id.gen() || self.slots[s].payload.is_none() {
+            return false;
+        }
+        let pos = self.slots[s].pos;
+        self.remove_at(pos);
+        self.retire_slot(s);
+        true
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycles, EventId, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now);
-            self.now = entry.time;
-            self.popped += 1;
-            return Some((entry.time, entry.id, entry.payload));
+        if self.heap.is_empty() {
+            return None;
         }
-        None
+        let entry = self.heap[0];
+        self.remove_at(0);
+        let s = entry.slot as usize;
+        let id = EventId::new(entry.slot, self.slots[s].gen);
+        let payload = self.retire_slot(s).expect("heap entry without payload");
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, id, payload))
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<Cycles> {
-        // Drop cancelled heads so the answer reflects a live event.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let id = entry.id;
-                self.heap.pop();
-                self.cancelled.remove(&id);
-            } else {
-                return Some(entry.time);
-            }
-        }
-        None
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.first().map(|e| e.time)
     }
 
-    /// True when no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 
-    /// Number of entries currently in the heap, including not-yet-collected
-    /// cancelled entries. Intended for tests and capacity diagnostics.
+    /// Advance the clock to `t` without popping an event. Used by simulation
+    /// layers that interleave out-of-heap event sources (per-CPU timer
+    /// slots) with the queue. Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: Cycles) {
+        assert!(
+            t >= self.now,
+            "clock moved backwards: to={} now={}",
+            t,
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Record `n` events processed by an out-of-heap event source, so
+    /// whole-simulation throughput accounting stays honest.
+    pub fn note_external_events(&mut self, n: u64) {
+        self.popped += n;
+    }
+
+    /// Number of pending events. With true-removal cancellation this is the
+    /// live count — there are no tombstones to exclude.
     pub fn backlog(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Bump the slot's generation, free it, and take its payload.
+    fn retire_slot(&mut self, s: usize) -> Option<E> {
+        let slot = &mut self.slots[s];
+        slot.gen = slot.gen.wrapping_add(1);
+        let payload = slot.payload.take();
+        self.free.push(s as u32);
+        payload
+    }
+
+    /// Remove the heap entry at `pos`, restoring the heap property.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos != last {
+            self.heap.swap(pos, last);
+            self.slots[self.heap[pos].slot as usize].pos = pos;
+        }
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The transplanted entry may violate the heap property in
+            // either direction relative to its new neighborhood.
+            let moved = self.sift_down(pos);
+            if !moved {
+                self.sift_up(pos);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap[pos].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.slots[self.heap[pos].slot as usize].pos = pos;
+            self.slots[self.heap[parent].slot as usize].pos = parent;
+            pos = parent;
+        }
+    }
+
+    /// Returns whether the entry moved.
+    fn sift_down(&mut self, mut pos: usize) -> bool {
+        let start = pos;
+        let n = self.heap.len();
+        loop {
+            let l = 2 * pos + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < n && self.heap[r].key() < self.heap[l].key() {
+                r
+            } else {
+                l
+            };
+            if self.heap[child].key() >= self.heap[pos].key() {
+                break;
+            }
+            self.heap.swap(pos, child);
+            self.slots[self.heap[pos].slot as usize].pos = pos;
+            self.slots[self.heap[child].slot as usize].pos = child;
+            pos = child;
+        }
+        pos != start
+    }
+
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        for (i, e) in self.heap.iter().enumerate() {
+            let slot = &self.slots[e.slot as usize];
+            assert_eq!(slot.pos, i, "slot {} position out of sync", e.slot);
+            assert!(slot.payload.is_some(), "heap entry without payload");
+            if i > 0 {
+                let parent = &self.heap[(i - 1) / 2];
+                assert!(parent.key() <= e.key(), "heap property violated at {i}");
+            }
+        }
+        let pending = self.heap.len();
+        let free = self.free.len();
+        assert_eq!(pending + free, self.slots.len(), "slot leak");
     }
 }
 
@@ -222,11 +371,49 @@ mod tests {
         let mut q = EventQueue::new();
         let a = q.schedule(1, "first");
         q.pop();
-        // The id was consumed; cancelling it again must not poison a future id.
-        q.cancel(a);
+        // The id was consumed; cancelling it must report dead and not
+        // poison a future event reusing the same slot.
+        assert!(!q.cancel(a));
         let b = q.schedule(2, "live");
         assert_ne!(a, b);
+        assert!(!q.cancel(a));
         assert_eq!(q.pop().unwrap().2, "live");
+    }
+
+    #[test]
+    fn double_cancel_reports_dead() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_id_does_not_alias_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, "a");
+        assert!(q.cancel(a));
+        // The slot is reused for a different event; the stale id must not
+        // be able to cancel it.
+        let b = q.schedule(2, "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.peek_time(), Some(2));
+        assert!(q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_immediately() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|t| q.schedule(t, t)).collect();
+        assert_eq!(q.backlog(), 10);
+        for id in &ids {
+            q.cancel(*id);
+        }
+        // True removal: no tombstones linger in the heap.
+        assert_eq!(q.backlog(), 0);
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -265,5 +452,69 @@ mod tests {
         q.cancel(a);
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_clock_without_pop() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_to(500);
+        assert_eq!(q.now(), 500);
+        assert_eq!(q.events_processed(), 0);
+        q.note_external_events(3);
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_to_rejects_the_past() {
+        let mut q = EventQueue::<()>::new();
+        q.schedule(10, ());
+        q.pop();
+        q.advance_to(5);
+    }
+
+    #[test]
+    fn interleaved_schedule_cancel_pop_keeps_heap_consistent() {
+        // Deterministic stress: a mix of schedules, targeted cancels, and
+        // pops, with the internal invariants checked after every step.
+        let mut q = EventQueue::new();
+        let mut live: Vec<EventId> = Vec::new();
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        for step in 0..2000u64 {
+            match next(4) {
+                0 | 1 => {
+                    let at = q.now() + next(100);
+                    live.push(q.schedule(at, step));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let i = next(live.len() as u64) as usize;
+                        let id = live.swap_remove(i);
+                        q.cancel(id);
+                    }
+                }
+                _ => {
+                    if let Some((_, id, _)) = q.pop() {
+                        live.retain(|x| *x != id);
+                    }
+                }
+            }
+            q.assert_invariants();
+        }
+        // Drain; everything left must pop in nondecreasing time order.
+        let mut last = q.now();
+        while let Some((t, _, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            q.assert_invariants();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.backlog(), 0);
     }
 }

@@ -4,40 +4,83 @@
 //! latency jitter, SMI arrival processes, measurement granularity noise)
 //! draw from a [`DetRng`] seeded from the experiment configuration, so a
 //! given configuration always produces the same trace.
+//!
+//! The generator is a self-contained xoshiro256++ (the algorithm behind
+//! `rand::rngs::SmallRng` on 64-bit targets), seeded through SplitMix64.
+//! Keeping it in-tree removes the only external runtime dependency and
+//! guarantees the stream never shifts underneath recorded experiment
+//! results when a crate version would have bumped.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A small, fast, explicitly seeded PRNG.
+/// A small, fast, explicitly seeded PRNG (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Seed deterministically. Equal seeds give equal streams.
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+        // as specified by the xoshiro authors (and used by SmallRng).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Derive an independent child stream, e.g. one per CPU, such that the
     /// per-CPU streams do not depend on event interleaving.
     pub fn fork(&mut self, label: u64) -> DetRng {
-        let s = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::seed_from(s)
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
     pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty uniform range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full 64-bit range.
+            return self.next_u64();
+        }
+        // Lemire's unbiased multiply-shift rejection sampling.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (self.next_u64() as u128).wrapping_mul(span as u128);
+            if m as u64 >= threshold {
+                return lo.wrapping_add((m >> 64) as u64);
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniformly random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A jittered duration: `base` plus a uniform draw in `[0, spread]`.
@@ -135,5 +178,21 @@ mod tests {
             }
         }
         assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = DetRng::seed_from(5);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn full_range_uniform_does_not_loop_forever() {
+        let mut r = DetRng::seed_from(13);
+        // span == 2^64 takes the raw-output fast path.
+        let _ = r.uniform(0, u64::MAX);
     }
 }

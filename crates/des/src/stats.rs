@@ -203,7 +203,9 @@ impl Histogram {
         if x < self.lo {
             return None;
         }
-        self.bins.get(((x - self.lo) / self.width) as usize).copied()
+        self.bins
+            .get(((x - self.lo) / self.width) as usize)
+            .copied()
     }
 
     /// Fraction of samples below `x` (approximate to bin granularity;

@@ -117,15 +117,12 @@ impl Collective {
         let result = match decision {
             Decision::Min => self.arrived.iter().map(|&(_, v)| v).min().unwrap(),
             Decision::Max => self.arrived.iter().map(|&(_, v)| v).max().unwrap(),
-            Decision::Of(src) => {
-                self.arrived
-                    .iter()
-                    .find(|&&(t, _)| t == src)
-                    .map(|&(_, v)| v)
-                    .unwrap_or_else(|| {
-                        panic!("broadcast source {src} is not a participant")
-                    })
-            }
+            Decision::Of(src) => self
+                .arrived
+                .iter()
+                .find(|&&(t, _)| t == src)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("broadcast source {src} is not a participant")),
         };
         // The completing arriver departs first; earlier arrivals follow in
         // arrival order, one cache-line transfer apart.

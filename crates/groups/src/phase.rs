@@ -25,12 +25,7 @@ pub fn corrected_phase(base_phase: Nanos, order: usize, n: usize, delta_ns: Nano
 }
 
 /// Apply phase correction to a constraint descriptor.
-pub fn correct_constraints(
-    c: Constraints,
-    order: usize,
-    n: usize,
-    delta_ns: Nanos,
-) -> Constraints {
+pub fn correct_constraints(c: Constraints, order: usize, n: usize, delta_ns: Nanos) -> Constraints {
     match c.phase() {
         Some(phase) => c.with_phase(corrected_phase(phase, order, n, delta_ns)),
         None => c,

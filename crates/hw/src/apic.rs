@@ -14,7 +14,7 @@
 //!
 //! Vector priority follows x86: `priority = vector >> 4`.
 
-use nautix_des::{Cycles, EventId, Freq, Nanos};
+use nautix_des::{Cycles, Freq, Nanos};
 
 /// Scheduling-related interrupt vectors (priority class 14, like a high
 /// vector on real hardware).
@@ -64,7 +64,12 @@ impl TimerMode {
     }
 }
 
-/// One CPU's APIC state.
+/// One CPU's APIC state: timer mode, processor priority, pending vectors.
+///
+/// The one-shot countdown itself lives in the machine-level
+/// [`TimerSlots`](crate::timer::TimerSlots) array — one pending deadline
+/// per CPU, re-armed in place — so the APIC model carries no per-programming
+/// state and re-programming cannot leave stale events behind.
 #[derive(Debug)]
 pub struct Apic {
     mode: TimerMode,
@@ -72,15 +77,6 @@ pub struct Apic {
     tpr: u8,
     /// Pending (raised but masked) vectors, one bit each.
     pending: [u64; 4],
-    /// The scheduled DES event for the current one-shot programming, if any.
-    timer_event: Option<EventId>,
-    /// Generation stamp of the current programming; stale firings are
-    /// ignored by comparing generations.
-    timer_gen: u64,
-    /// Absolute cycle time the current programming will fire.
-    timer_deadline: Option<Cycles>,
-    /// Count of timer programmings, for diagnostics.
-    programmings: u64,
 }
 
 impl Apic {
@@ -90,10 +86,6 @@ impl Apic {
             mode,
             tpr: 0,
             pending: [0; 4],
-            timer_event: None,
-            timer_gen: 0,
-            timer_deadline: None,
-            programmings: 0,
         }
     }
 
@@ -142,50 +134,6 @@ impl Apic {
 
     fn clear_pending(&mut self, vector: u8) {
         self.pending[(vector >> 6) as usize] &= !(1u64 << (vector & 63));
-    }
-
-    /// Begin a new one-shot programming: returns `(generation,
-    /// actual_delay_cycles, previous_event_to_cancel)`. The caller schedules
-    /// the DES event and reports it back via [`Apic::commit_timer`].
-    pub fn program_oneshot(
-        &mut self,
-        now: Cycles,
-        delay_cycles: Cycles,
-    ) -> (u64, Cycles, Option<EventId>) {
-        let actual = self.mode.quantize(delay_cycles);
-        self.timer_gen += 1;
-        self.programmings += 1;
-        self.timer_deadline = Some(now + actual);
-        (self.timer_gen, actual, self.timer_event.take())
-    }
-
-    /// Record the DES event backing the programming made with `gen`.
-    pub fn commit_timer(&mut self, gen: u64, ev: EventId) {
-        if gen == self.timer_gen {
-            self.timer_event = Some(ev);
-        }
-    }
-
-    /// Called when a timer DES event fires; returns true if it matches the
-    /// live generation (stale events are ignored).
-    pub fn timer_fired(&mut self, gen: u64) -> bool {
-        if gen == self.timer_gen {
-            self.timer_event = None;
-            self.timer_deadline = None;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Absolute cycle time the timer is set to fire, if programmed.
-    pub fn timer_deadline(&self) -> Option<Cycles> {
-        self.timer_deadline
-    }
-
-    /// Number of one-shot programmings performed.
-    pub fn programmings(&self) -> u64 {
-        self.programmings
     }
 }
 
@@ -244,29 +192,6 @@ mod tests {
         // Higher priority class first.
         assert_eq!(released, vec![VEC_DEVICE_BASE + 0x10, VEC_DEVICE_BASE]);
         assert!(!a.is_pending(VEC_DEVICE_BASE));
-    }
-
-    #[test]
-    fn stale_timer_generations_are_ignored() {
-        let mut a = Apic::new(TimerMode::TscDeadline);
-        let (g1, _, _) = a.program_oneshot(0, 500);
-        let (g2, _, _) = a.program_oneshot(0, 900);
-        assert!(!a.timer_fired(g1), "stale generation must be ignored");
-        assert!(a.timer_fired(g2));
-        assert!(a.timer_deadline().is_none());
-    }
-
-    #[test]
-    fn reprogramming_returns_previous_event_for_cancellation() {
-        let mut a = Apic::new(TimerMode::TscDeadline);
-        let (g1, _, prev) = a.program_oneshot(0, 500);
-        assert!(prev.is_none());
-        // Simulate the machine committing a DES event.
-        let mut q = nautix_des::EventQueue::new();
-        let ev = q.schedule(500, ());
-        a.commit_timer(g1, ev);
-        let (_, _, prev) = a.program_oneshot(10, 300);
-        assert_eq!(prev, Some(ev));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod cost;
 pub mod gpio;
 pub mod machine;
 pub mod smi;
+pub mod timer;
 pub mod tsc;
 
 pub use apic::{vector_priority, Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
@@ -28,4 +29,5 @@ pub use cost::{Cost, CostModel};
 pub use gpio::{scope, Gpio, GpioSample};
 pub use machine::{CpuId, Machine, MachineConfig, MachineEvent, Platform};
 pub use smi::{SmiConfig, SmiPattern, SmiStats};
+pub use timer::TimerSlots;
 pub use tsc::Tsc;

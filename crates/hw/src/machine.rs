@@ -28,6 +28,7 @@ use crate::apic::{Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
 use crate::cost::{Cost, CostModel};
 use crate::gpio::Gpio;
 use crate::smi::{SmiConfig, SmiStats};
+use crate::timer::TimerSlots;
 use crate::tsc::Tsc;
 use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos};
 
@@ -171,11 +172,20 @@ pub enum MachineEvent {
 
 #[derive(Debug)]
 enum Ev {
-    TimerFired { cpu: CpuId, gen: u64 },
-    Arrive { cpu: CpuId, vector: u8, irq: Option<u8> },
-    OpComplete { cpu: CpuId, seq: u64 },
+    Arrive {
+        cpu: CpuId,
+        vector: u8,
+        irq: Option<u8>,
+    },
+    OpComplete {
+        cpu: CpuId,
+        seq: u64,
+    },
     SmiEnter,
-    Wakeup { token: u64, cpu: Option<CpuId> },
+    Wakeup {
+        token: u64,
+        cpu: Option<CpuId>,
+    },
 }
 
 #[derive(Debug)]
@@ -202,6 +212,9 @@ pub struct Machine {
     freq: Freq,
     cost: CostModel,
     q: EventQueue<Ev>,
+    /// One pending one-shot deadline per CPU, kept out of the event heap so
+    /// the scheduler's per-exit re-arm is an O(1) store (see [`TimerSlots`]).
+    timers: TimerSlots,
     cpus: Vec<CpuState>,
     rng: DetRng,
     gpio: Gpio,
@@ -237,11 +250,13 @@ impl Machine {
         if let Some(gap) = cfg.smi.next_gap(&mut rng) {
             q.schedule(gap, Ev::SmiEnter);
         }
+        let timers = TimerSlots::new(cpus.len());
         Machine {
             cfg,
             freq,
             cost,
             q,
+            timers,
             cpus,
             rng,
             gpio: Gpio::new(),
@@ -320,32 +335,28 @@ impl Machine {
         self.set_timer_cycles(cpu, delay)
     }
 
-    /// Program `cpu`'s one-shot timer in raw cycles.
+    /// Program `cpu`'s one-shot timer in raw cycles. Re-arming overwrites
+    /// the slot in place — no event-queue traffic, no stale state.
     pub fn set_timer_cycles(&mut self, cpu: CpuId, delay: Cycles) -> Cycles {
         let now = self.q.now();
-        let (gen, actual, prev) = self.cpus[cpu].apic.program_oneshot(now, delay);
-        if let Some(prev) = prev {
-            self.q.cancel(prev);
-        }
-        let ev = self.q.schedule(now + actual, Ev::TimerFired { cpu, gen });
-        self.cpus[cpu].apic.commit_timer(gen, ev);
+        let actual = self.cpus[cpu].apic.mode().quantize(delay);
+        self.timers.arm(cpu, now + actual);
         actual
     }
 
     /// Disarm `cpu`'s one-shot timer.
     pub fn cancel_timer(&mut self, cpu: CpuId) {
-        let now = self.q.now();
-        // Program a dummy far-future deadline then drop the event: the
-        // generation bump invalidates any in-flight firing.
-        let (_, _, prev) = self.cpus[cpu].apic.program_oneshot(now, Cycles::MAX / 4);
-        if let Some(prev) = prev {
-            self.q.cancel(prev);
-        }
+        self.timers.disarm(cpu);
     }
 
     /// The programmed timer deadline (true time), if armed.
     pub fn timer_deadline(&self, cpu: CpuId) -> Option<Cycles> {
-        self.cpus[cpu].apic.timer_deadline()
+        self.timers.deadline(cpu)
+    }
+
+    /// Total one-shot programmings performed, all CPUs (diagnostics).
+    pub fn timer_programmings(&self) -> u64 {
+        self.timers.arms()
     }
 
     /// Set `cpu`'s processor priority (TPR). Newly unblocked pending
@@ -551,31 +562,46 @@ impl Machine {
         self.q.events_processed()
     }
 
+    /// Events currently pending in the global heap (diagnostics). Timer
+    /// programmings live in the per-CPU slots and never appear here.
+    pub fn event_backlog(&self) -> usize {
+        self.q.backlog()
+    }
+
     // ------------------------------------------------------------------
     // The event pump
     // ------------------------------------------------------------------
 
-    /// Advance to the next kernel-visible event, or `None` when the event
-    /// queue drains (machine is quiescent).
+    /// Advance to the next kernel-visible event, or `None` when both event
+    /// sources drain (machine is quiescent).
+    ///
+    /// Two sources merge here in timestamp order: the global future-event
+    /// heap and the per-CPU timer slots. A timer due no later than the heap
+    /// head fires first — it models hardware raising the interrupt line,
+    /// which precedes any same-instant software-visible event.
     pub fn advance(&mut self) -> Option<(Cycles, MachineEvent)> {
         loop {
+            if let Some((cpu, deadline)) = self.timers.earliest() {
+                if self.q.peek_time().is_none_or(|qh| deadline <= qh) {
+                    self.timers.disarm(cpu);
+                    self.q.advance_to(deadline);
+                    self.q.note_external_events(1);
+                    let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
+                    self.q.schedule(
+                        deadline + latency,
+                        Ev::Arrive {
+                            cpu,
+                            vector: VEC_TIMER,
+                            irq: None,
+                        },
+                    );
+                    continue;
+                }
+            }
             let (t, _, ev) = self.q.pop()?;
             match ev {
                 Ev::SmiEnter => {
                     self.handle_smi_enter(t);
-                }
-                Ev::TimerFired { cpu, gen } => {
-                    if self.cpus[cpu].apic.timer_fired(gen) {
-                        let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
-                        self.q.schedule(
-                            t + latency,
-                            Ev::Arrive {
-                                cpu,
-                                vector: VEC_TIMER,
-                                irq: None,
-                            },
-                        );
-                    }
                 }
                 Ev::Arrive { cpu, vector, irq } => {
                     if let Some(deliver_at) = self.delivery_deferral(cpu, t) {
@@ -601,7 +627,13 @@ impl Machine {
                         .unwrap_or(false);
                     if matches {
                         let op = self.cpus[cpu].op.take().unwrap();
-                        return Some((t, MachineEvent::OpComplete { cpu, token: op.token }));
+                        return Some((
+                            t,
+                            MachineEvent::OpComplete {
+                                cpu,
+                                token: op.token,
+                            },
+                        ));
                     }
                 }
                 Ev::Wakeup { token, cpu } => {
@@ -640,13 +672,9 @@ impl Machine {
             if let Some(op) = self.cpus[cpu].op.take() {
                 self.q.cancel(op.event);
                 let completion = op.start + op.cycles + op.stalled_add + d;
-                let ev = self.q.schedule(
-                    completion,
-                    Ev::OpComplete {
-                        cpu,
-                        seq: op.seq,
-                    },
-                );
+                let ev = self
+                    .q
+                    .schedule(completion, Ev::OpComplete { cpu, seq: op.seq });
                 self.cpus[cpu].op = Some(InFlightOp {
                     stalled_add: op.stalled_add + d,
                     event: ev,

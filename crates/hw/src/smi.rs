@@ -76,9 +76,7 @@ impl SmiConfig {
         match self.pattern {
             SmiPattern::Disabled => None,
             SmiPattern::Periodic { interval } => Some(interval.max(1)),
-            SmiPattern::Poisson { mean_interval } => {
-                Some(rng.exponential(mean_interval as f64))
-            }
+            SmiPattern::Poisson { mean_interval } => Some(rng.exponential(mean_interval as f64)),
         }
     }
 

@@ -1,0 +1,218 @@
+//! Per-CPU one-shot timer slots.
+//!
+//! Each CPU has exactly one APIC one-shot countdown pending at a time, and
+//! the scheduler re-arms it on every scheduler exit (tickless operation,
+//! §3.3). Funneling those programmings through the global future-event heap
+//! made every re-arm an O(log n) insert plus a tombstone for the cancelled
+//! predecessor — and on a 256-CPU Phi the heap was mostly timers.
+//!
+//! [`TimerSlots`] stores the single pending deadline per CPU in a flat
+//! array instead: re-arming is a store, disarming is a store, and the next
+//! timer to fire is read in O(1) from a cached earliest-slot index. The
+//! index is updated in O(1) when an arm improves on the cached earliest and
+//! by an O(n_cpus) rescan only when the current earliest is demoted or
+//! cleared — amortized, one scan per firing, exactly what popping a heap of
+//! n_cpus timers would cost, without the per-re-arm churn.
+
+use nautix_des::Cycles;
+
+/// An unarmed slot. `Cycles::MAX` is unreachable as a real deadline: the
+/// simulation asserts against time overflow long before.
+const UNARMED: Cycles = Cycles::MAX;
+
+/// One pending one-shot deadline per CPU, with an O(1) earliest read.
+#[derive(Debug, Clone)]
+pub struct TimerSlots {
+    /// Absolute fire time per CPU; `UNARMED` when the slot is empty.
+    deadlines: Vec<Cycles>,
+    /// Index of a slot holding the minimum deadline (any slot when none are
+    /// armed). Invariant: `deadlines[earliest] == min(deadlines)`.
+    earliest: usize,
+    /// Total arms, for diagnostics (matches the old APIC programmings
+    /// counter, summed over CPUs).
+    arms: u64,
+}
+
+impl TimerSlots {
+    /// `n` unarmed slots.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        TimerSlots {
+            deadlines: vec![UNARMED; n],
+            earliest: 0,
+            arms: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.deadlines.len()
+    }
+
+    /// True when no slot is armed.
+    pub fn is_empty(&self) -> bool {
+        self.deadlines[self.earliest] == UNARMED
+    }
+
+    /// Arm (or re-arm) `cpu`'s one-shot to fire at absolute time `deadline`.
+    /// The previous programming, if any, is simply overwritten — one slot
+    /// per CPU means re-arm storms cannot grow any state.
+    pub fn arm(&mut self, cpu: usize, deadline: Cycles) {
+        assert!(deadline < UNARMED, "timer deadline overflow");
+        self.arms += 1;
+        let was_earliest = cpu == self.earliest;
+        let improves = deadline <= self.deadlines[self.earliest];
+        self.deadlines[cpu] = deadline;
+        if improves {
+            self.earliest = cpu;
+        } else if was_earliest {
+            // The earliest slot moved later; another slot may now be first.
+            self.rescan();
+        }
+    }
+
+    /// Disarm `cpu`'s one-shot, if armed.
+    pub fn disarm(&mut self, cpu: usize) {
+        self.deadlines[cpu] = UNARMED;
+        if cpu == self.earliest {
+            self.rescan();
+        }
+    }
+
+    /// `cpu`'s pending deadline, if armed.
+    pub fn deadline(&self, cpu: usize) -> Option<Cycles> {
+        match self.deadlines[cpu] {
+            UNARMED => None,
+            d => Some(d),
+        }
+    }
+
+    /// The next timer to fire: `(cpu, deadline)`, in O(1).
+    ///
+    /// Ties are deterministic: among equal deadlines the slot most recently
+    /// promoted by [`arm`](Self::arm) (or the lowest index after a rescan)
+    /// is reported, and the firing order of simultaneous timers follows
+    /// from the deterministic sequence of arm/disarm calls.
+    pub fn earliest(&self) -> Option<(usize, Cycles)> {
+        match self.deadlines[self.earliest] {
+            UNARMED => None,
+            d => Some((self.earliest, d)),
+        }
+    }
+
+    /// Total arm operations performed.
+    pub fn arms(&self) -> u64 {
+        self.arms
+    }
+
+    fn rescan(&mut self) {
+        let mut best = 0;
+        for (i, &d) in self.deadlines.iter().enumerate() {
+            if d < self.deadlines[best] {
+                best = i;
+            }
+        }
+        self.earliest = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unarmed() {
+        let t = TimerSlots::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.earliest(), None);
+        assert_eq!(t.deadline(2), None);
+    }
+
+    #[test]
+    fn earliest_tracks_min_across_arms() {
+        let mut t = TimerSlots::new(4);
+        t.arm(1, 500);
+        assert_eq!(t.earliest(), Some((1, 500)));
+        t.arm(3, 200);
+        assert_eq!(t.earliest(), Some((3, 200)));
+        t.arm(0, 900);
+        assert_eq!(t.earliest(), Some((3, 200)));
+    }
+
+    #[test]
+    fn rearm_later_demotes_and_rescans() {
+        let mut t = TimerSlots::new(3);
+        t.arm(0, 100);
+        t.arm(1, 300);
+        // Re-arm the earliest CPU to a later deadline: CPU 1 must surface.
+        t.arm(0, 1000);
+        assert_eq!(t.earliest(), Some((1, 300)));
+        assert_eq!(t.deadline(0), Some(1000));
+    }
+
+    #[test]
+    fn disarm_clears_and_rescans() {
+        let mut t = TimerSlots::new(3);
+        t.arm(0, 100);
+        t.arm(2, 150);
+        t.disarm(0);
+        assert_eq!(t.earliest(), Some((2, 150)));
+        t.disarm(2);
+        assert!(t.is_empty());
+        assert_eq!(t.earliest(), None);
+    }
+
+    #[test]
+    fn disarming_unarmed_slot_is_noop() {
+        let mut t = TimerSlots::new(2);
+        t.arm(1, 50);
+        t.disarm(0);
+        assert_eq!(t.earliest(), Some((1, 50)));
+    }
+
+    #[test]
+    fn rearm_storm_keeps_single_slot() {
+        let mut t = TimerSlots::new(2);
+        for i in 0..10_000u64 {
+            t.arm(0, 10 + i);
+        }
+        // Only the latest programming is live.
+        assert_eq!(t.deadline(0), Some(10_009));
+        assert_eq!(t.earliest(), Some((0, 10_009)));
+        assert_eq!(t.arms(), 10_000);
+    }
+
+    #[test]
+    fn equal_deadlines_resolve_deterministically() {
+        let mut a = TimerSlots::new(4);
+        let mut b = TimerSlots::new(4);
+        for t in [&mut a, &mut b] {
+            t.arm(2, 100);
+            t.arm(1, 100);
+            t.arm(3, 100);
+        }
+        assert_eq!(a.earliest(), b.earliest());
+    }
+
+    #[test]
+    fn matches_bruteforce_min_under_mixed_ops() {
+        let mut t = TimerSlots::new(8);
+        let mut state = 0x9E37_79B9u64;
+        let mut next = |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        for _ in 0..5000 {
+            let cpu = next(8) as usize;
+            if next(5) == 0 {
+                t.disarm(cpu);
+            } else {
+                t.arm(cpu, next(1 << 40));
+            }
+            let brute = t.deadlines.iter().copied().filter(|&d| d != UNARMED).min();
+            assert_eq!(t.earliest().map(|(_, d)| d), brute);
+        }
+    }
+}

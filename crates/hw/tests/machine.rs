@@ -35,8 +35,55 @@ fn reprogramming_timer_cancels_previous() {
     m.set_timer_ns(0, 50_000); // reprogram before it fires
     let (t, ev) = m.advance().unwrap();
     assert_eq!(ev, MachineEvent::TimerInterrupt { cpu: 0 });
-    assert!(t >= m.freq().ns_to_cycles(50_000), "old programming fired at {t}");
+    assert!(
+        t >= m.freq().ns_to_cycles(50_000),
+        "old programming fired at {t}"
+    );
     assert!(m.advance().is_none());
+}
+
+#[test]
+fn rearm_storm_allocates_nothing_and_only_latest_fires() {
+    let mut m = small_machine();
+    let backlog0 = m.event_backlog();
+    // A pathological re-arm storm on one CPU: tens of thousands of
+    // programmings before anything fires. Each one overwrites the per-CPU
+    // slot in place, so pending event state must not grow at all.
+    let mut expect = 0;
+    for i in 0..50_000u64 {
+        // `set_timer_cycles` returns the quantized hardware delay; with
+        // the machine at t=0 that is also the armed deadline.
+        expect = m.set_timer_cycles(0, 5_000 + (i % 7) * 1_000);
+    }
+    assert_eq!(
+        m.event_backlog(),
+        backlog0,
+        "re-arming must not grow the event heap"
+    );
+    assert_eq!(m.timer_programmings(), 50_000);
+    // Only the LAST programming exists.
+    assert_eq!(m.timer_deadline(0), Some(expect));
+    let (t, ev) = m.advance().expect("latest programming must fire");
+    assert_eq!(ev, MachineEvent::TimerInterrupt { cpu: 0 });
+    assert!(t >= expect, "fired at {t}, armed for {expect}");
+    assert!(m.advance().is_none(), "exactly one firing for the storm");
+}
+
+#[test]
+fn rearm_storm_on_one_cpu_leaves_other_timers_intact() {
+    let mut m = small_machine();
+    m.set_timer_cycles(1, 3_000);
+    for _ in 0..10_000 {
+        m.set_timer_cycles(0, 100_000);
+    }
+    let (_, ev) = m.advance().unwrap();
+    assert_eq!(
+        ev,
+        MachineEvent::TimerInterrupt { cpu: 1 },
+        "cpu 1's earlier deadline must win despite cpu 0's storm"
+    );
+    let (_, ev) = m.advance().unwrap();
+    assert_eq!(ev, MachineEvent::TimerInterrupt { cpu: 0 });
 }
 
 #[test]
@@ -162,7 +209,10 @@ fn adjust_tsc_moves_phase_with_bounded_slop() {
     assert!(m.adjust_tsc(2, -before));
     let resid = m.tsc_true_offset(2);
     let slop = m.cost_model().tsc_write_granularity.worst() as i64;
-    assert!(resid >= 0 && resid <= slop, "residual {resid} slop bound {slop}");
+    assert!(
+        resid >= 0 && resid <= slop,
+        "residual {resid} slop bound {slop}"
+    );
 }
 
 #[test]
@@ -179,7 +229,10 @@ fn smi_stretches_inflight_ops() {
         pattern: SmiPattern::Periodic { interval: 10_000 },
         duration: smi.duration,
     };
-    let cfg = MachineConfig::phi().with_cpus(2).with_seed(7).with_smi(smi_soon);
+    let cfg = MachineConfig::phi()
+        .with_cpus(2)
+        .with_seed(7)
+        .with_smi(smi_soon);
     let mut m = Machine::new(cfg);
     m.begin_op(0, 50_000, 1);
     let (t, ev) = m.advance().unwrap();
@@ -245,12 +298,15 @@ fn cpu_bound_wakeup_defers_on_busy_window() {
 #[test]
 fn identical_seeds_produce_identical_traces() {
     let run = |seed: u64| {
-        let cfg = MachineConfig::phi().with_cpus(4).with_seed(seed).with_smi(SmiConfig {
-            pattern: SmiPattern::Poisson {
-                mean_interval: 100_000,
-            },
-            duration: Cost::new(5_000, 2_000),
-        });
+        let cfg = MachineConfig::phi()
+            .with_cpus(4)
+            .with_seed(seed)
+            .with_smi(SmiConfig {
+                pattern: SmiPattern::Poisson {
+                    mean_interval: 100_000,
+                },
+                duration: Cost::new(5_000, 2_000),
+            });
         let mut m = Machine::new(cfg);
         for c in 0..4 {
             m.set_timer_ns(c, 10_000 + c as u64 * 100);
@@ -302,7 +358,10 @@ fn pending_device_irq_survives_an_smi() {
         pattern: SmiPattern::Periodic { interval: 5_000 },
         duration: Cost::fixed(2_000),
     };
-    let cfg = MachineConfig::phi().with_cpus(1).with_seed(13).with_smi(smi);
+    let cfg = MachineConfig::phi()
+        .with_cpus(1)
+        .with_seed(13)
+        .with_smi(smi);
     let mut m = Machine::new(cfg);
     m.set_tpr(0, 13);
     m.raise_irq(0, 9);

@@ -33,8 +33,7 @@ impl BuddyAllocator {
             base.is_multiple_of(1usize << max_order),
             "base must be aligned to the arena size"
         );
-        let mut free: Vec<BTreeSet<usize>> =
-            (0..=max_order).map(|_| BTreeSet::new()).collect();
+        let mut free: Vec<BTreeSet<usize>> = (0..=max_order).map(|_| BTreeSet::new()).collect();
         free[max_order as usize].insert(base);
         BuddyAllocator {
             base,
@@ -65,7 +64,10 @@ impl BuddyAllocator {
         if size == 0 {
             return None;
         }
-        let order = size.next_power_of_two().trailing_zeros().max(self.min_order);
+        let order = size
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(self.min_order);
         if order > self.max_order {
             None
         } else {
@@ -172,10 +174,18 @@ impl ZoneAllocator {
     /// Allocate in the preferred zone, falling back to the other.
     pub fn alloc(&mut self, size: usize, prefer: Zone) -> Option<(usize, Zone)> {
         let (first, second, fz, sz) = match prefer {
-            Zone::HighBandwidth => {
-                (&mut self.hbm, &mut self.dram, Zone::HighBandwidth, Zone::Dram)
-            }
-            Zone::Dram => (&mut self.dram, &mut self.hbm, Zone::Dram, Zone::HighBandwidth),
+            Zone::HighBandwidth => (
+                &mut self.hbm,
+                &mut self.dram,
+                Zone::HighBandwidth,
+                Zone::Dram,
+            ),
+            Zone::Dram => (
+                &mut self.dram,
+                &mut self.hbm,
+                Zone::Dram,
+                Zone::HighBandwidth,
+            ),
         };
         if let Some(a) = first.alloc(size) {
             return Some((a, fz));
@@ -249,7 +259,10 @@ mod tests {
             b.free(x);
         }
         assert!(b.is_pristine());
-        assert!(b.alloc(256).is_some(), "full arena should be available again");
+        assert!(
+            b.alloc(256).is_some(),
+            "full arena should be available again"
+        );
     }
 
     #[test]

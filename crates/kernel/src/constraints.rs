@@ -152,7 +152,12 @@ impl Constraints {
                     Ok(())
                 }
             }
-            Constraints::Sporadic { size, deadline, phase, .. } => {
+            Constraints::Sporadic {
+                size,
+                deadline,
+                phase,
+                ..
+            } => {
                 if size == 0 || deadline == 0 {
                     Err(ConstraintError::ZeroDuration)
                 } else if phase.saturating_add(size) > deadline {

@@ -8,19 +8,29 @@
 //! non-real-time threads. Pushing past capacity is an admission-control
 //! failure surfaced to the caller, never a reallocation.
 
+use std::collections::HashMap;
+use std::hash::Hash;
+
 /// A bounded binary min-heap of `(key, value)` with FIFO tie-break.
+///
+/// Alongside the heap array it keeps a value→count multiset, preallocated
+/// at capacity, so [`FixedHeap::contains`] is O(1) instead of a linear
+/// scan. Both structures are sized once in [`FixedHeap::new`] and never
+/// grow past `capacity` entries, preserving the no-reallocation bound.
 #[derive(Debug, Clone)]
-pub struct FixedHeap<K: Ord + Copy, V: Copy + Eq> {
+pub struct FixedHeap<K: Ord + Copy, V: Copy + Eq + Hash> {
     items: Vec<(K, u64, V)>,
+    members: HashMap<V, u32>,
     capacity: usize,
     seq: u64,
 }
 
-impl<K: Ord + Copy, V: Copy + Eq> FixedHeap<K, V> {
+impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
     /// An empty heap that will never hold more than `capacity` items.
     pub fn new(capacity: usize) -> Self {
         FixedHeap {
             items: Vec::with_capacity(capacity),
+            members: HashMap::with_capacity(capacity),
             capacity,
             seq: 0,
         }
@@ -49,6 +59,7 @@ impl<K: Ord + Copy, V: Copy + Eq> FixedHeap<K, V> {
         let seq = self.seq;
         self.seq += 1;
         self.items.push((key, seq, value));
+        *self.members.entry(value).or_insert(0) += 1;
         self.sift_up(self.items.len() - 1);
         Ok(())
     }
@@ -66,6 +77,7 @@ impl<K: Ord + Copy, V: Copy + Eq> FixedHeap<K, V> {
         let last = self.items.len() - 1;
         self.items.swap(0, last);
         let (k, _, v) = self.items.pop().unwrap();
+        self.forget(v);
         if !self.items.is_empty() {
             self.sift_down(0);
         }
@@ -73,14 +85,19 @@ impl<K: Ord + Copy, V: Copy + Eq> FixedHeap<K, V> {
     }
 
     /// Remove the first entry whose value equals `value`. O(capacity),
-    /// which is the bounded cost the paper's design relies on.
+    /// which is the bounded cost the paper's design relies on; absent
+    /// values are rejected in O(1) via the membership map.
     pub fn remove(&mut self, value: V) -> bool {
+        if !self.contains(value) {
+            return false;
+        }
         let Some(idx) = self.items.iter().position(|&(_, _, v)| v == value) else {
             return false;
         };
         let last = self.items.len() - 1;
         self.items.swap(idx, last);
         self.items.pop();
+        self.forget(value);
         if idx < self.items.len() {
             self.sift_down(idx);
             self.sift_up(idx);
@@ -88,9 +105,20 @@ impl<K: Ord + Copy, V: Copy + Eq> FixedHeap<K, V> {
         true
     }
 
-    /// Whether `value` is queued.
+    /// Whether `value` is queued. O(1): a lookup in the membership map.
     pub fn contains(&self, value: V) -> bool {
-        self.items.iter().any(|&(_, _, v)| v == value)
+        self.members.contains_key(&value)
+    }
+
+    /// Drop one multiset reference to `value` after it left the heap.
+    fn forget(&mut self, value: V) {
+        match self.members.get_mut(&value) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.members.remove(&value);
+            }
+            None => debug_assert!(false, "membership map out of sync"),
+        }
     }
 
     /// Iterate entries in unspecified (heap) order.
@@ -267,6 +295,22 @@ mod tests {
         assert!(!h.contains(9));
         assert_eq!(h.peek(), Some((1, 8)));
         assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn heap_membership_tracks_duplicates() {
+        let mut h: FixedHeap<u64, usize> = FixedHeap::new(8);
+        h.push(1, 7).unwrap();
+        h.push(2, 7).unwrap();
+        h.push(3, 8).unwrap();
+        assert!(h.contains(7));
+        assert!(h.remove(7));
+        // One copy of 7 is still queued.
+        assert!(h.contains(7));
+        assert_eq!(h.pop(), Some((2, 7)));
+        assert!(!h.contains(7));
+        assert!(!h.remove(7));
+        assert!(h.contains(8));
     }
 
     #[test]

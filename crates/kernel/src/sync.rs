@@ -83,12 +83,7 @@ impl SimBarrier {
     /// itself at order 0 (it flipped the flag and proceeds immediately),
     /// then earlier arrivals in arrival order, each a cache-line transfer
     /// (`stagger`) after the previous.
-    pub fn arrive(
-        &mut self,
-        tid: ThreadId,
-        rng: &mut DetRng,
-        stagger: Cost,
-    ) -> BarrierOutcome {
+    pub fn arrive(&mut self, tid: ThreadId, rng: &mut DetRng, stagger: Cost) -> BarrierOutcome {
         debug_assert!(
             !self.waiting.contains(&tid),
             "thread {tid} arrived twice in one episode"
@@ -153,9 +148,30 @@ mod tests {
         };
         assert_eq!(rs.len(), 3);
         // Last arriver departs first; earlier arrivals are staggered.
-        assert_eq!(rs[0], Release { tid: 2, order: 0, delay: 0 });
-        assert_eq!(rs[1], Release { tid: 0, order: 1, delay: 10 });
-        assert_eq!(rs[2], Release { tid: 1, order: 2, delay: 20 });
+        assert_eq!(
+            rs[0],
+            Release {
+                tid: 2,
+                order: 0,
+                delay: 0
+            }
+        );
+        assert_eq!(
+            rs[1],
+            Release {
+                tid: 0,
+                order: 1,
+                delay: 10
+            }
+        );
+        assert_eq!(
+            rs[2],
+            Release {
+                tid: 1,
+                order: 2,
+                delay: 20
+            }
+        );
     }
 
     #[test]

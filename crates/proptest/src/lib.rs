@@ -1,0 +1,356 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real proptest cannot be vendored. This crate implements the subset of
+//! its API that the workspace's property tests actually use — enough to
+//! keep those tests meaningful randomized tests rather than deleting them:
+//!
+//! * the [`proptest!`] macro (each test function runs `PROPTEST_CASES`
+//!   deterministic cases, default 64, seeded from the test's name),
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges and
+//!   tuples,
+//! * `prop::collection::vec`, `prop::bool::ANY`, `prop::sample::select`,
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`].
+//!
+//! Sampling is deterministic: the same test name and case index always see
+//! the same inputs, so failures reproduce without shrink support. Set
+//! `PROPTEST_CASES` to raise or lower the case count.
+
+/// The deterministic source of randomness behind every strategy.
+///
+/// SplitMix64: tiny, full-period, and statistically fine for test-input
+/// generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream determined entirely by `seed`.
+    pub fn seed_from(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; the tiny modulo bias is irrelevant for test-input
+        // generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over a test's name: a stable per-test seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Number of cases each `proptest!` function runs.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// One alternative of a [`OneOf`]: a boxed sampling closure.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// A weighted-free choice among boxed alternatives ([`prop_oneof!`]).
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from sampling closures (used by the macro).
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty());
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// A `Vec` whose length is drawn from `len` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// The result of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Either boolean, evenly.
+        pub struct Any;
+        /// Either boolean, evenly.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Sampling from explicit menus.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty());
+            Select { options }
+        }
+
+        /// The result of [`select`].
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Strategy};
+}
+
+/// Assert inside a property test (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $({
+                let s = $arm;
+                std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::sample(&s, rng)
+                })
+            }),+
+        ])
+    };
+}
+
+/// Define property tests: each function body runs [`cases`] times with
+/// inputs drawn deterministically from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::seed_from($crate::seed_of(stringify!($name)));
+            for _case in 0..$crate::cases() {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (3usize..=7).sample(&mut rng);
+            assert!((3..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::seed_from(2);
+        let s = prop::collection::vec(0u64..100, 2..9);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![
+            (0u64..1).prop_map(|_| "a"),
+            (0u64..1).prop_map(|_| "b"),
+            (0u64..1).prop_map(|_| "c"),
+        ];
+        let mut rng = TestRng::seed_from(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn select_and_bool_sample() {
+        let mut rng = TestRng::seed_from(4);
+        let menu = prop::sample::select(vec![5u64, 6, 7]);
+        for _ in 0..50 {
+            assert!((5..=7).contains(&menu.sample(&mut rng)));
+        }
+        let mut t = 0;
+        for _ in 0..100 {
+            if prop::bool::ANY.sample(&mut rng) {
+                t += 1;
+            }
+        }
+        assert!(t > 20 && t < 80);
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 1u64..50, v in prop::collection::vec(0u64..10, 1..4)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+}

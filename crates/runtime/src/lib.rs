@@ -40,11 +40,8 @@ mod tests {
 
     #[test]
     fn static_uniform_loop_scales() {
-        let plan = Plan::new().parallel_for(
-            1024,
-            CostProfile::Uniform(10_000),
-            LoopSchedule::Static,
-        );
+        let plan =
+            Plan::new().parallel_for(1024, CostProfile::Uniform(10_000), LoopSchedule::Static);
         let r1 = run_plan(cfg(2), team(1), plan.clone());
         let r4 = run_plan(cfg(5), team(4), plan);
         let speedup = r1.total_ns as f64 / r4.total_ns as f64;
@@ -97,9 +94,11 @@ mod tests {
     fn serial_sections_limit_speedup() {
         // Equal serial and parallel compute: Amdahl caps speedup below 2.
         let par = 4_000_000u64;
-        let plan = Plan::new()
-            .serial(par)
-            .parallel_for(256, CostProfile::Uniform(par / 256), LoopSchedule::Static);
+        let plan = Plan::new().serial(par).parallel_for(
+            256,
+            CostProfile::Uniform(par / 256),
+            LoopSchedule::Static,
+        );
         let r = run_plan(cfg(9), team(8), plan);
         assert!(
             r.speedup() < 2.0,
@@ -132,11 +131,8 @@ mod tests {
 
     #[test]
     fn throttled_team_runs_proportionally_slower() {
-        let plan = Plan::new().parallel_for(
-            2048,
-            CostProfile::Uniform(10_000),
-            LoopSchedule::Static,
-        );
+        let plan =
+            Plan::new().parallel_for(2048, CostProfile::Uniform(10_000), LoopSchedule::Static);
         let fast = run_plan(
             cfg(5),
             TeamConfig {

@@ -143,7 +143,12 @@ impl Plan {
     }
 
     /// Append a parallel loop.
-    pub fn parallel_for(mut self, items: u64, profile: CostProfile, schedule: LoopSchedule) -> Self {
+    pub fn parallel_for(
+        mut self,
+        items: u64,
+        profile: CostProfile,
+        schedule: LoopSchedule,
+    ) -> Self {
         self.regions.push(Region::ParallelFor {
             items,
             profile,

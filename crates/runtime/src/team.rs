@@ -71,8 +71,8 @@ impl PlanResult {
     /// Load imbalance: max/mean of per-worker busy cycles.
     pub fn imbalance(&self) -> f64 {
         let max = *self.worker_cycles.iter().max().unwrap_or(&0) as f64;
-        let mean = self.worker_cycles.iter().sum::<u64>() as f64
-            / self.worker_cycles.len().max(1) as f64;
+        let mean =
+            self.worker_cycles.iter().sum::<u64>() as f64 / self.worker_cycles.len().max(1) as f64;
         if mean == 0.0 {
             1.0
         } else {

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 fn arb_profile() -> impl Strategy<Value = CostProfile> {
     prop_oneof![
         (1u64..10_000).prop_map(CostProfile::Uniform),
-        (1u64..5_000, 0u64..100)
-            .prop_map(|(base, step)| CostProfile::Linear { base, step }),
+        (1u64..5_000, 0u64..100).prop_map(|(base, step)| CostProfile::Linear { base, step }),
         (1u64..2_000, 1u64..50, 1u64..100_000)
             .prop_map(|(base, every, spike)| CostProfile::Spiky { base, every, spike }),
     ]

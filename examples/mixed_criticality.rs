@@ -27,7 +27,9 @@ fn main() {
         let prog = FnProgram::new(move |cx, step| {
             let k = if i == 0 { step } else { step + 1 };
             match k {
-                0 => Action::Call(SysCall::GroupCreate { name: "control-loop" }),
+                0 => Action::Call(SysCall::GroupCreate {
+                    name: "control-loop",
+                }),
                 1 => Action::Call(SysCall::GroupJoin(gid)),
                 2 => Action::Call(SysCall::SleepNs(2_000_000)),
                 3 => Action::Call(SysCall::GroupChangeConstraints {

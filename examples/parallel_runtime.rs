@@ -39,10 +39,22 @@ fn main() {
     println!("{workers}-worker team, 4-region plan:\n");
 
     // Static vs dynamic scheduling of the imbalanced loop.
-    let rs = run_plan(cfg(workers), TeamConfig { workers, mode: TeamMode::BestEffort },
-        make_plan(LoopSchedule::Static));
-    let rd = run_plan(cfg(workers), TeamConfig { workers, mode: TeamMode::BestEffort },
-        make_plan(LoopSchedule::Dynamic { chunk: 16 }));
+    let rs = run_plan(
+        cfg(workers),
+        TeamConfig {
+            workers,
+            mode: TeamMode::BestEffort,
+        },
+        make_plan(LoopSchedule::Static),
+    );
+    let rd = run_plan(
+        cfg(workers),
+        TeamConfig {
+            workers,
+            mode: TeamMode::BestEffort,
+        },
+        make_plan(LoopSchedule::Dynamic { chunk: 16 }),
+    );
     println!(
         "schedule(static) : {:>9} ns, speedup {:.2}x, efficiency {:.2}",
         rs.total_ns,

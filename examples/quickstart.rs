@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nautix::prelude::*;
 use nautix::kernel::{FnProgram, SysResult};
+use nautix::prelude::*;
 
 fn main() {
     // A 4-CPU slice of the paper's Xeon Phi testbed.

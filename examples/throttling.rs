@@ -15,7 +15,10 @@ fn main() {
     let workers = 8;
     let base = BspParams::coarse(workers, 10);
     println!("coarse BSP job on {workers} CPUs, throttled via slice/period:\n");
-    println!("{:>12} {:>14} {:>12}", "utilization", "exec time (ms)", "norm rate");
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "utilization", "exec time (ms)", "norm rate"
+    );
 
     let mut reference: Option<f64> = None;
     for pct in [90u64, 70, 50, 30, 10] {

@@ -34,7 +34,8 @@ fn main() {
                 _ => Action::Compute(1_000_000),
             }
         });
-        node.spawn_on(i + 1, &format!("g{i}"), Box::new(prog)).unwrap();
+        node.spawn_on(i + 1, &format!("g{i}"), Box::new(prog))
+            .unwrap();
     }
     node.run_for_ns(8_000_000);
     let tl = node.take_timeline().unwrap();

@@ -32,7 +32,5 @@ pub mod prelude {
     pub use nautix_des::{Cycles, Freq, Nanos};
     pub use nautix_hw::{CostModel, MachineConfig, Platform};
     pub use nautix_kernel::{Action, Program, ResumeCx, SysCall, ThreadId};
-    pub use nautix_rt::{
-        AdmissionPolicy, Constraints, Node, NodeConfig, SchedConfig,
-    };
+    pub use nautix_rt::{AdmissionPolicy, Constraints, Node, NodeConfig, SchedConfig};
 }

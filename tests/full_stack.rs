@@ -77,7 +77,10 @@ fn two_gangs_share_the_node() {
                 }
             });
             let cpu = 1 + g * 4 + i;
-            tids.push(node.spawn_on(cpu, &format!("g{g}t{i}"), Box::new(prog)).unwrap());
+            tids.push(
+                node.spawn_on(cpu, &format!("g{g}t{i}"), Box::new(prog))
+                    .unwrap(),
+            );
         }
     }
     node.run_for_ns(50_000_000);
@@ -117,7 +120,11 @@ fn smi_missing_time_is_visible_in_wall_clock() {
     });
     let mut node = Node::new(cfg);
     let tid = node
-        .spawn_on(1, "w", Box::new(Script::new(vec![Action::Compute(13_000_000)])))
+        .spawn_on(
+            1,
+            "w",
+            Box::new(Script::new(vec![Action::Compute(13_000_000)])),
+        )
         .unwrap();
     node.run_until_quiescent();
     // 10 ms of work stretched by ~10 SMIs of 100 µs each: wall clock shows
