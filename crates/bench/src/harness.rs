@@ -20,11 +20,43 @@
 //! [`HarnessStats`]. Binaries collect one `HarnessStats` per experiment
 //! section into a [`BenchReport`] and emit it as `BENCH_repro.json`.
 
+use nautix_rt::{Node, NodeConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// A worker-owned cache of one [`Node`] reused across trials.
+///
+/// Paper-scale sweeps run thousands of trials, and each used to pay full
+/// node construction and teardown — hundreds of `Vec`/`Box` allocations per
+/// trial, contending on the global allocator from every worker thread. A
+/// pool instead keeps the previous trial's node and [`Node::reset`]s it in
+/// place for the next configuration, reusing its arenas. Reset is defined
+/// to be byte-identical to fresh construction (see the pooled determinism
+/// test), so pooling is purely a performance choice.
+#[derive(Default)]
+pub struct NodePool {
+    node: Option<Node>,
+}
+
+impl NodePool {
+    /// An empty pool; the first [`NodePool::node`] call constructs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A node booted for `cfg`: the pooled arena reset in place when one
+    /// exists, a fresh construction otherwise.
+    pub fn node(&mut self, cfg: NodeConfig) -> &mut Node {
+        match &mut self.node {
+            Some(n) => n.reset(cfg),
+            slot @ None => *slot = Some(Node::new(cfg)),
+        }
+        self.node.as_mut().unwrap()
+    }
+}
 
 /// Worker-thread count: `NAUTIX_THREADS`, else available parallelism.
 pub fn threads() -> usize {
@@ -114,6 +146,23 @@ where
     R: Send,
     F: Fn(&I) -> (R, u64) + Sync,
 {
+    run_trials_pooled(items, |_pool, item| f(item))
+}
+
+/// [`run_trials`] with a per-worker [`NodePool`] threaded through `f`, so
+/// trials that build a whole node can reuse the previous trial's arenas
+/// instead of reconstructing from scratch.
+///
+/// The same purity contract applies: `f` must derive everything from the
+/// item, and because `Node::reset` replays construction exactly, a pooled
+/// node cannot leak state between trials — `results[i]` stays independent
+/// of which worker ran trial `i` or what it ran before.
+pub fn run_trials_pooled<I, R, F>(items: Vec<I>, f: F) -> TrialSet<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&mut NodePool, &I) -> (R, u64) + Sync,
+{
     let n = items.len();
     let nthreads = threads().min(n.max(1));
     let t0 = Instant::now();
@@ -121,15 +170,18 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..nthreads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut pool = NodePool::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let start = Instant::now();
+                    let (result, events) = f(&mut pool, &items[i]);
+                    let wall = start.elapsed().as_secs_f64();
+                    *slots[i].lock().unwrap() = Some((result, events, wall));
                 }
-                let start = Instant::now();
-                let (result, events) = f(&items[i]);
-                let wall = start.elapsed().as_secs_f64();
-                *slots[i].lock().unwrap() = Some((result, events, wall));
             });
         }
     });
@@ -323,7 +375,7 @@ mod tests {
     fn stats_merge_accumulates() {
         let a = run_trials(vec![1u64, 2], |&i| (i, 10));
         let b = run_trials(vec![3u64], |&i| (i, 5));
-        let mut m = a.stats.clone();
+        let mut m = a.stats;
         m.merge(&b.stats);
         assert_eq!(m.trials, 3);
         assert_eq!(m.events, 25);

@@ -9,11 +9,11 @@
 //! infeasible region stay small (Figures 8 and 9).
 
 use crate::common::Scale;
-use crate::harness::{run_trials, HarnessStats};
+use crate::harness::{run_trials_pooled, HarnessStats, NodePool};
 use nautix_des::Nanos;
 use nautix_hw::{MachineConfig, Platform};
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::{Node, NodeConfig};
+use nautix_rt::NodeConfig;
 
 /// One (period, slice) sample of the sweep.
 ///
@@ -53,8 +53,27 @@ pub fn slice_pcts(scale: Scale) -> Vec<u64> {
     }
 }
 
-/// Measure one (period, slice) point.
+/// Measure one (period, slice) point on a fresh node.
 pub fn measure_point(
+    platform: Platform,
+    period_ns: Nanos,
+    slice_ns: Nanos,
+    jobs: u64,
+    seed: u64,
+) -> MissPoint {
+    measure_point_pooled(
+        &mut NodePool::new(),
+        platform,
+        period_ns,
+        slice_ns,
+        jobs,
+        seed,
+    )
+}
+
+/// Measure one (period, slice) point, reusing `pool`'s node arenas.
+pub fn measure_point_pooled(
+    pool: &mut NodePool,
     platform: Platform,
     period_ns: Nanos,
     slice_ns: Nanos,
@@ -70,7 +89,7 @@ pub fn measure_point(
     cfg.sched.min_period_ns = 100;
     cfg.sched.min_slice_ns = 50;
     cfg.sched.granularity_ns = 1;
-    let mut node = Node::new(cfg);
+    let node = pool.node(cfg);
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
             // One period of phase so the first arrival lands after the
@@ -130,10 +149,10 @@ pub fn sweep_with_stats(
     scale: Scale,
     seed: u64,
 ) -> (Vec<MissPoint>, HarnessStats) {
-    let set = run_trials(
+    let set = run_trials_pooled(
         trial_grid(platform, scale),
-        |&(period_ns, slice_ns, jobs)| {
-            let p = measure_point(platform, period_ns, slice_ns, jobs, seed);
+        |pool, &(period_ns, slice_ns, jobs)| {
+            let p = measure_point_pooled(pool, platform, period_ns, slice_ns, jobs, seed);
             (p, p.events)
         },
     );

@@ -1,0 +1,48 @@
+//! Regression test: a pooled node reset in place is byte-identical to a
+//! freshly constructed one. `Node::reset` replays construction exactly
+//! (same RNG draw order, same ThreadId assignment, same queue tie-break
+//! state), so arena reuse must be invisible in every trial result. CI runs
+//! this binary under both `NAUTIX_THREADS=1` and `NAUTIX_THREADS=4`, which
+//! also varies how trials are distributed over warm pools.
+
+use nautix_bench::harness::NodePool;
+use nautix_bench::{missrate, Scale};
+use nautix_hw::Platform;
+
+#[test]
+fn pooled_reset_node_matches_fresh_construction() {
+    // Warm the pool on a *different* configuration first, so what's under
+    // test is the reset path of a dirty node, not first construction.
+    let mut pool = NodePool::new();
+    let _ = missrate::measure_point_pooled(&mut pool, Platform::R415, 100_000, 50_000, 30, 11);
+
+    for &(platform, period, slice, jobs, seed) in &[
+        (Platform::Phi, 1_000_000u64, 500_000u64, 50u64, 5u64),
+        (Platform::Phi, 10_000, 7_000, 80, 9),
+        (Platform::R415, 4_000, 400, 80, 7),
+    ] {
+        let fresh = missrate::measure_point(platform, period, slice, jobs, seed);
+        let pooled = missrate::measure_point_pooled(&mut pool, platform, period, slice, jobs, seed);
+        assert_eq!(
+            fresh, pooled,
+            "reset node diverged from fresh node at \
+             ({platform:?}, {period}, {slice}, {jobs}, {seed})"
+        );
+    }
+}
+
+#[test]
+fn pooled_sweep_matches_fresh_per_point_results() {
+    // The full sweep runs on per-worker pools (at whatever NAUTIX_THREADS
+    // the environment sets); every point must equal an isolated fresh run.
+    let (sweep, _) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
+    let grid = missrate::trial_grid(Platform::Phi, Scale::Quick);
+    assert_eq!(sweep.len(), grid.len());
+    for (point, &(period, slice, jobs)) in sweep.iter().zip(&grid) {
+        let fresh = missrate::measure_point(Platform::Phi, period, slice, jobs, 5);
+        assert_eq!(
+            *point, fresh,
+            "pooled sweep diverged from fresh node at ({period}, {slice})"
+        );
+    }
+}

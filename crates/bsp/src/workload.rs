@@ -359,7 +359,7 @@ pub fn spawn_bsp(node: &mut Node, params: BspParams, cpu_base: usize) -> BspHand
         cpu_base + params.p
     );
     let gid = node.create_group("bsp");
-    let cm = node.machine.cost_model().clone();
+    let cm = *node.machine.cost_model();
     let base_compute = params.ne * params.nc * cm.local_compute_unit.base;
     let write_cycles = params.nw * cm.remote_write.base;
     let ne = params.ne.max(1) as usize;

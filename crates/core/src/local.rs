@@ -288,9 +288,40 @@ impl LocalScheduler {
     }
 
     /// The queued aperiodic threads, front to back (steal-candidate
-    /// inspection).
-    pub fn nonrt_tids(&self) -> Vec<ThreadId> {
-        self.nonrt.iter().map(|(_, t)| t).collect()
+    /// inspection). Borrows the ring directly — the steal path probes
+    /// victims on every idle pass and must not allocate a snapshot.
+    pub fn nonrt_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.nonrt.iter().map(|(_, t)| t)
+    }
+
+    /// Reinitialize for a new trial, keeping the queues' backing storage
+    /// when the capacity is unchanged (the common case in a sweep). Must
+    /// leave the scheduler in exactly the state `new` would.
+    pub fn reset(
+        &mut self,
+        cpu: CpuId,
+        idle: ThreadId,
+        cfg: SchedConfig,
+        freq: Freq,
+        capacity: usize,
+    ) {
+        self.cpu = cpu;
+        self.cfg = cfg;
+        self.freq = freq;
+        self.load = CpuLoad::new();
+        if self.pending.capacity() == capacity {
+            self.pending.clear();
+            self.rt_run.clear();
+            self.nonrt.clear();
+        } else {
+            self.pending = FixedHeap::new(capacity);
+            self.rt_run = FixedHeap::new(capacity);
+            self.nonrt = RrQueue::new(capacity);
+        }
+        self.current = idle;
+        self.idle = idle;
+        self.stats = CpuSchedStats::default();
+        self.last_outcome = None;
     }
 
     /// Individual admission control: `nk_sched_thread_change_constraints`.

@@ -41,14 +41,15 @@ use crate::timesync::{self, TimeSync};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_groups::{
     estimate_delta, CollectiveOutcome, CollectiveRelease, Decision as GDecision, GroupRegistry,
+    MAX_GROUPS,
 };
-use nautix_hw::{CpuId, Machine, MachineConfig, MachineEvent};
+use nautix_hw::{CostModel, CpuId, Machine, MachineConfig, MachineEvent};
 use nautix_kernel::{
     Action, AdmissionError, BarrierOutcome, Constraints, GroupError, GroupId, Program, ResumeCx,
     Steering, SysCall, SysResult, TaskQueues, Thread, ThreadId, ThreadState, ThreadTable, WaitKind,
     Zone, ZoneAllocator,
 };
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Node-wide configuration.
 pub struct NodeConfig {
@@ -189,6 +190,29 @@ const TK_RELEASE: u64 = 2;
 const TK_POKE: u64 = 3;
 const TK_STEAL_POLL: u64 = 4;
 
+/// Device-interrupt vector space (the machine asserts `irq < 0x40`).
+const IRQ_LINES: usize = 64;
+
+/// Serialization classes for the contended shared lines the event path
+/// models. Each class owns one row of [`MAX_GROUPS`] slots in the flat
+/// `serial_until` table, replacing the old `HashMap` keyed on synthetic
+/// `0x10_0000 + gid`-style integers: the hot path indexes instead of
+/// hashing. Collective classes span one row per operation kind.
+const SER_JOIN: usize = 0;
+const SER_BARRIER: usize = 1;
+const SER_COLL: usize = 2; // + CollKind in 0..3
+const SER_GA_COLL: usize = 5; // + GaColl in 0..2
+const SER_GA_BARRIER: usize = 7;
+const SER_CLASSES: usize = 8;
+
+/// Flat index of a (class, group) serialization line. `MAX_GROUPS` is a
+/// power of two, so masking keeps any `GroupId` in range (an out-of-range
+/// id can only alias another line's timing, never index out of bounds).
+fn serial_slot(class: usize, gid: GroupId) -> usize {
+    debug_assert!(class < SER_CLASSES);
+    class * MAX_GROUPS + (gid.0 as usize & (MAX_GROUPS - 1))
+}
+
 fn tok(kind: u64, payload: u64) -> u64 {
     (kind << 56) | payload
 }
@@ -227,6 +251,13 @@ pub struct Node {
     /// Optional execution-timeline recorder.
     timeline: Option<crate::timeline::Timeline>,
     freq: Freq,
+    /// The machine's cost model, cached by value at boot (`CostModel` is
+    /// `Copy`). The event path reads costs on every interrupt; caching
+    /// avoids re-reading through the machine — and the per-event clone the
+    /// hot paths used to pay — while keeping disjoint-field borrows with
+    /// `&mut self.machine`. The model is fixed per machine; `reset`
+    /// refreshes the cache along with everything else.
+    cm: CostModel,
     threads: ThreadTable,
     ts: Vec<SchedThread>,
     sched: Vec<LocalScheduler>,
@@ -239,14 +270,15 @@ pub struct Node {
     blocked: Vec<Option<BlockKind>>,
     pending_result: Vec<SysResult>,
     cur_op: Vec<Option<(ThreadId, Cycles)>>,
-    /// Per-key serialization horizons modeling contended shared lines
-    /// (group join, collective arrival).
-    serial_until: HashMap<u64, Cycles>,
+    /// Per-line serialization horizons modeling contended shared lines
+    /// (group join, collective arrival). Flat `SER_CLASSES × MAX_GROUPS`
+    /// table indexed by [`serial_slot`] — no hashing on the event path.
+    serial_until: Vec<Cycles>,
     ga_timings: Vec<GaTiming>,
     join_timings: Vec<(ThreadId, Nanos)>,
     steal_poll_armed: Vec<bool>,
-    /// Threads blocked in WaitIrq, per irq line (FIFO).
-    irq_waiters: HashMap<u8, std::collections::VecDeque<ThreadId>>,
+    /// Threads blocked in WaitIrq, per irq line (FIFO), indexed by vector.
+    irq_waiters: Vec<VecDeque<ThreadId>>,
     /// Exited threads awaiting reaping, per CPU (thread-pool maintenance,
     /// §3.4: performed by the idle path under the local scheduler's lock
     /// for a bounded time).
@@ -297,6 +329,7 @@ impl Node {
                 per_cpu_cap,
             ));
         }
+        let cm = *machine.cost_model();
         let mut node = Node {
             machine,
             cfg_sched: cfg.sched,
@@ -308,6 +341,7 @@ impl Node {
             gpio_watch: None,
             timeline: None,
             freq,
+            cm,
             threads,
             ts,
             sched,
@@ -320,11 +354,11 @@ impl Node {
             blocked: (0..cfg.max_threads).map(|_| None).collect(),
             pending_result: (0..cfg.max_threads).map(|_| SysResult::None).collect(),
             cur_op: (0..n).map(|_| None).collect(),
-            serial_until: HashMap::new(),
+            serial_until: vec![0; SER_CLASSES * MAX_GROUPS],
             ga_timings: Vec::new(),
             join_timings: Vec::new(),
             steal_poll_armed: vec![false; n],
-            irq_waiters: HashMap::new(),
+            irq_waiters: (0..IRQ_LINES).map(|_| VecDeque::new()).collect(),
             zombies: (0..n).map(|_| Vec::new()).collect(),
             live_programs: 0,
             device_irqs_handled: vec![0; n],
@@ -337,6 +371,105 @@ impl Node {
                 .schedule_wakeup(at, tok(TK_POKE, cpu as u64), Some(cpu));
         }
         node
+    }
+
+    /// Reboot this node in place for a new trial, reusing every large
+    /// allocation: the thread table's slot vector, the per-thread sched
+    /// states, the per-CPU scheduler queues, and the event heap keep their
+    /// capacity instead of being freed and re-grown. A reset node must be
+    /// observationally identical to `Node::new(cfg)`: the machine replays
+    /// the exact boot draw order (per-CPU skews, then the SMI gap),
+    /// calibration reruns against the reseeded RNG, and idle threads and
+    /// boot pokes are re-spawned in the same order, so idle `ThreadId`s
+    /// and every subsequent event land exactly as on a fresh node. The
+    /// pooled determinism test asserts this byte-for-byte.
+    pub fn reset(&mut self, cfg: NodeConfig) {
+        self.machine.reset(cfg.machine);
+        let n = self.machine.n_cpus();
+        self.freq = self.machine.freq();
+        self.cm = *self.machine.cost_model();
+        self.sync = if cfg.calib_rounds > 0 {
+            timesync::calibrate(&mut self.machine, cfg.calib_rounds)
+        } else {
+            TimeSync::perfect(n)
+        };
+        self.cfg_sched = cfg.sched;
+        self.dispatch_log_cap = cfg.dispatch_log_cap;
+        self.record_overheads = cfg.record_overheads;
+        self.record_ga_timing = cfg.record_ga_timing;
+        self.steal_poll_ns = cfg.steal_poll_ns;
+        self.phase_correction = cfg.phase_correction;
+        self.gpio_watch = None;
+        self.timeline = None;
+        self.threads.reset(cfg.max_threads);
+        self.ts.clear();
+        self.ts
+            .resize_with(cfg.max_threads, SchedThread::new_aperiodic);
+        self.sched.truncate(n);
+        let per_cpu_cap = cfg.max_threads;
+        for cpu in 0..n {
+            let idle_tid = self
+                .threads
+                .spawn(Thread {
+                    name: format!("idle{cpu}"),
+                    cpu,
+                    bound: true,
+                    state: ThreadState::Running,
+                    program: Box::new(nautix_kernel::IdleLoop::new(1)),
+                    cycles_used: 0,
+                    is_idle: true,
+                    stack: None,
+                })
+                .unwrap_or_else(|_| panic!("thread table too small for idle threads"));
+            if cpu < self.sched.len() {
+                self.sched[cpu].reset(cpu, idle_tid, cfg.sched, self.freq, per_cpu_cap);
+            } else {
+                self.sched.push(LocalScheduler::new(
+                    cpu,
+                    idle_tid,
+                    cfg.sched,
+                    self.freq,
+                    per_cpu_cap,
+                ));
+            }
+        }
+        self.groups = GroupRegistry::new();
+        self.steering = Steering::new(cfg.laden);
+        self.alloc = ZoneAllocator::knl_scaled();
+        self.tasks.clear();
+        self.tasks.extend((0..n).map(|_| TaskQueues::new(256)));
+        self.ga.clear();
+        self.ga.resize_with(cfg.max_threads, || None);
+        self.blocked.clear();
+        self.blocked.resize_with(cfg.max_threads, || None);
+        self.pending_result.clear();
+        self.pending_result
+            .resize_with(cfg.max_threads, || SysResult::None);
+        self.cur_op.clear();
+        self.cur_op.resize(n, None);
+        self.serial_until.fill(0);
+        self.ga_timings.clear();
+        self.join_timings.clear();
+        self.steal_poll_armed.clear();
+        self.steal_poll_armed.resize(n, false);
+        for q in &mut self.irq_waiters {
+            q.clear();
+        }
+        self.zombies.truncate(n);
+        for z in &mut self.zombies {
+            z.clear();
+        }
+        while self.zombies.len() < n {
+            self.zombies.push(Vec::new());
+        }
+        self.live_programs = 0;
+        self.device_irqs_handled.clear();
+        self.device_irqs_handled.resize(n, 0);
+        for cpu in 0..n {
+            let at = self.machine.now();
+            self.machine
+                .schedule_wakeup(at, tok(TK_POKE, cpu as u64), Some(cpu));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -593,16 +726,15 @@ impl Node {
         if trace {
             self.machine.gpio_write_at(t_irq_start, 0b100, 0b100);
         }
-        let cm = self.machine.cost_model().clone();
-        let c_entry = self.machine.charge(cpu, cm.irq_entry);
-        let c_other = self.machine.charge(cpu, cm.sched_other);
+        let c_entry = self.machine.charge(cpu, self.cm.irq_entry);
+        let c_other = self.machine.charge(cpu, self.cm.sched_other);
         let t_pass_start = self.machine.busy_until(cpu);
         if trace {
             self.machine.gpio_write_at(t_pass_start, 0b010, 0b010);
         }
-        let mut c_pass = self.machine.charge(cpu, cm.sched_pass);
+        let mut c_pass = self.machine.charge(cpu, self.cm.sched_pass);
         let resident = self.sched[cpu].resident() as u64;
-        let per = self.machine.draw(cm.sched_pass_per_thread) * resident;
+        let per = self.machine.draw(self.cm.sched_pass_per_thread) * resident;
         self.machine.charge_raw(cpu, per);
         c_pass += per;
         if trace {
@@ -610,7 +742,7 @@ impl Node {
             self.machine.gpio_write_at(t, 0b010, 0);
         }
         let (c_switch, timer) = self.local_invoke_raw(cpu, reason, true);
-        let c_exit = self.machine.charge(cpu, cm.irq_exit);
+        let c_exit = self.machine.charge(cpu, self.cm.irq_exit);
         self.program_timer(cpu, timer);
         if trace {
             let t = self.machine.busy_until(cpu);
@@ -640,13 +772,12 @@ impl Node {
     ///   however the ending time is not").
     fn device_interrupt(&mut self, cpu: CpuId, irq: u8) {
         self.preempt(cpu);
-        let cm = self.machine.cost_model().clone();
-        self.machine.charge(cpu, cm.irq_entry);
-        let waiter = self.irq_waiters.get_mut(&irq).and_then(|q| q.pop_front());
+        self.machine.charge(cpu, self.cm.irq_entry);
+        let waiter = self.irq_waiters[irq as usize].pop_front();
         if let Some(tid) = waiter {
             // Acknowledge only; the interrupt thread does the processing.
-            self.machine.charge(cpu, cm.atomic_rmw);
-            self.machine.charge(cpu, cm.irq_exit);
+            self.machine.charge(cpu, self.cm.atomic_rmw);
+            self.machine.charge(cpu, self.cm.irq_exit);
             self.device_irqs_handled[cpu] += 1;
             let target_cpu = self.threads.expect(tid).cpu;
             self.make_ready(tid);
@@ -656,8 +787,8 @@ impl Node {
                 self.machine.send_kick(cpu, target_cpu);
             }
         } else {
-            self.machine.charge(cpu, cm.device_handler);
-            self.machine.charge(cpu, cm.irq_exit);
+            self.machine.charge(cpu, self.cm.device_handler);
+            self.machine.charge(cpu, self.cm.irq_exit);
             self.device_irqs_handled[cpu] += 1;
         }
         self.dispatch(cpu);
@@ -691,11 +822,10 @@ impl Node {
                 self.preempt(cpu);
                 // Ready the thread before the scheduling pass.
                 self.make_ready(tid);
-                let cm = self.machine.cost_model().clone();
-                self.machine.charge(cpu, cm.irq_entry);
-                self.machine.charge(cpu, cm.sched_pass);
+                self.machine.charge(cpu, self.cm.irq_entry);
+                self.machine.charge(cpu, self.cm.sched_pass);
                 let (_, timer) = self.local_invoke_raw(cpu, InvokeReason::Wake, true);
-                self.machine.charge(cpu, cm.irq_exit);
+                self.machine.charge(cpu, self.cm.irq_exit);
                 self.program_timer(cpu, timer);
                 self.dispatch(cpu);
             }
@@ -741,10 +871,9 @@ impl Node {
         let now = self.wall_ns(cpu);
         let prev = self.sched[cpu].current;
         let d = self.sched[cpu].invoke(now, &mut self.ts, reason, runnable);
-        let cm = self.machine.cost_model().clone();
         let mut c_switch = 0;
         if d.switched {
-            c_switch = self.machine.charge(cpu, cm.ctx_switch);
+            c_switch = self.machine.charge(cpu, self.cm.ctx_switch);
             self.machine
                 .set_tpr(cpu, self.steering.tpr_for(d.next_is_rt));
             let prev_running = self.threads.expect(d.next).state;
@@ -819,8 +948,7 @@ impl Node {
             self.machine.cancel_timer(cpu);
             return;
         }
-        let cm = self.machine.cost_model().clone();
-        self.machine.charge(cpu, cm.timer_program);
+        self.machine.charge(cpu, self.cm.timer_program);
         let backlog = self
             .machine
             .busy_until(cpu)
@@ -937,9 +1065,8 @@ impl Node {
                 c != cpu
                     && self.sched[c].nonrt_len() > 1
                     && self.sched[c]
-                        .nonrt_tids()
-                        .iter()
-                        .any(|&t| !self.threads.expect(t).bound)
+                        .nonrt_iter()
+                        .any(|t| !self.threads.expect(t).bound)
             });
             if work_somewhere {
                 self.steal_poll_armed[cpu] = true;
@@ -951,6 +1078,20 @@ impl Node {
         // 4. Halt until the next interrupt.
     }
 
+    /// Pick a work-steal victim: uniform over the other CPUs, never the
+    /// stealer itself. Drawing from `0..n-1` and shifting the stealer's
+    /// own index out of the image gives every other CPU equal probability
+    /// without rejection sampling (one RNG draw per probe).
+    fn pick_victim(&mut self, cpu: CpuId, n: usize) -> CpuId {
+        debug_assert!(n >= 2);
+        let v = self.machine.rand_uniform(0, (n - 2) as u64) as usize;
+        if v >= cpu {
+            v + 1
+        } else {
+            v
+        }
+    }
+
     /// One steal attempt: probe two random victims, steal from the longer
     /// non-RT queue. "Only aperiodic threads can be stolen" (§3.4).
     fn try_steal(&mut self, cpu: CpuId) -> bool {
@@ -958,20 +1099,11 @@ impl Node {
         if n < 2 {
             return false;
         }
-        let cm = self.machine.cost_model().clone();
-        let pick = |node: &mut Self| {
-            let v = node.machine.rand_uniform(0, (n - 2) as u64) as usize;
-            if v >= cpu {
-                v + 1
-            } else {
-                v
-            }
-        };
-        let v1 = pick(self);
-        let v2 = pick(self);
+        let v1 = self.pick_victim(cpu, n);
+        let v2 = self.pick_victim(cpu, n);
         // Probing the victims' queue lengths costs shared-line reads.
-        self.machine.charge(cpu, cm.atomic_rmw);
-        self.machine.charge(cpu, cm.atomic_rmw);
+        self.machine.charge(cpu, self.cm.atomic_rmw);
+        self.machine.charge(cpu, self.cm.atomic_rmw);
         let victim = if self.sched[v1].nonrt_len() >= self.sched[v2].nonrt_len() {
             v1
         } else {
@@ -984,11 +1116,10 @@ impl Node {
         }
         // Lock the victim's scheduler only once work was ascertained, and
         // take the first *unbound* queued thread (bound threads never
-        // migrate).
-        self.machine.charge(cpu, cm.atomic_rmw_contended);
+        // migrate) straight off the victim's ring — no snapshot `Vec`.
+        self.machine.charge(cpu, self.cm.atomic_rmw_contended);
         let candidate = self.sched[victim]
-            .nonrt_tids()
-            .into_iter()
+            .nonrt_iter()
             .find(|&t| !self.threads.expect(t).bound);
         let Some(tid) = candidate else {
             return false;
@@ -1026,13 +1157,12 @@ impl Node {
     /// pool. Bounded batch per idle pass, so the time under the scheduler
     /// lock stays bounded (§3.4).
     fn reap(&mut self, cpu: CpuId) -> usize {
-        let cm = self.machine.cost_model().clone();
         let mut reaped = 0;
         while reaped < 8 {
             let Some(tid) = self.zombies[cpu].pop() else {
                 break;
             };
-            self.machine.charge(cpu, cm.atomic_rmw);
+            self.machine.charge(cpu, self.cm.atomic_rmw);
             self.threads.reap(tid);
             reaped += 1;
         }
@@ -1044,11 +1174,11 @@ impl Node {
     // ------------------------------------------------------------------
 
     /// Model a serialized contended operation (a lock or contended RMW on
-    /// a shared line): the caller queues behind earlier holders. Returns
-    /// the total time charged to the caller.
-    fn serialize_on(&mut self, key: u64, hold: Cycles) -> Cycles {
+    /// a shared line): the caller queues behind earlier holders. `slot` is
+    /// a [`serial_slot`] index. Returns the total time charged.
+    fn serialize_on(&mut self, slot: usize, hold: Cycles) -> Cycles {
         let now = self.machine.now();
-        let until = self.serial_until.entry(key).or_insert(0);
+        let until = &mut self.serial_until[slot];
         let start = (*until).max(now);
         let wait = start - now;
         *until = start + hold;
@@ -1057,7 +1187,6 @@ impl Node {
 
     /// Handle a syscall; returns true if the thread blocked.
     fn handle_syscall(&mut self, cpu: CpuId, tid: ThreadId, sys: SysCall) -> bool {
-        let cm = self.machine.cost_model().clone();
         match sys {
             SysCall::Yield => {
                 self.pending_result[tid] = SysResult::None;
@@ -1086,12 +1215,12 @@ impl Node {
                 true
             }
             SysCall::ReadClock => {
-                self.machine.charge(cpu, cm.spin_check);
+                self.machine.charge(cpu, self.cm.spin_check);
                 self.pending_result[tid] = SysResult::Clock(self.wall_ns(cpu));
                 false
             }
             SysCall::ChangeConstraints(c) => {
-                self.machine.charge(cpu, cm.admission_local);
+                self.machine.charge(cpu, self.cm.admission_local);
                 let now = self.wall_ns(cpu);
                 let res = {
                     let st = &mut self.ts[tid];
@@ -1102,15 +1231,15 @@ impl Node {
                 false
             }
             SysCall::GroupCreate { name } => {
-                self.machine.charge(cpu, cm.atomic_rmw);
+                self.machine.charge(cpu, self.cm.atomic_rmw);
                 let res = self.groups.create(name);
                 self.pending_result[tid] = SysResult::Group(res);
                 false
             }
             SysCall::GroupJoin(gid) => {
                 let t0 = self.wall_ns(cpu);
-                let hold = self.machine.draw(cm.atomic_rmw_contended);
-                let dur = self.serialize_on(0x10_0000 + gid.0 as u64, hold);
+                let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+                let dur = self.serialize_on(serial_slot(SER_JOIN, gid), hold);
                 self.machine.charge_raw(cpu, dur);
                 let res = self.groups.join(gid, tid).map(|_| gid);
                 let t1 = self.wall_ns(cpu) + self.freq.cycles_to_ns(dur);
@@ -1119,15 +1248,15 @@ impl Node {
                 false
             }
             SysCall::GroupLeave(gid) => {
-                let hold = self.machine.draw(cm.atomic_rmw_contended);
-                let dur = self.serialize_on(0x10_0000 + gid.0 as u64, hold);
+                let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+                let dur = self.serialize_on(serial_slot(SER_JOIN, gid), hold);
                 self.machine.charge_raw(cpu, dur);
                 let res = self.groups.leave(gid, tid).map(|_| gid);
                 self.pending_result[tid] = SysResult::Group(res);
                 false
             }
             SysCall::GroupSize(gid) => {
-                self.machine.charge(cpu, cm.atomic_rmw);
+                self.machine.charge(cpu, self.cm.atomic_rmw);
                 let len = self.groups.get(gid).map(|g| g.len() as u64).unwrap_or(0);
                 self.pending_result[tid] = SysResult::Value(len);
                 false
@@ -1166,13 +1295,14 @@ impl Node {
                 false
             }
             SysCall::WaitIrq(irq) => {
-                self.machine.charge(cpu, cm.atomic_rmw);
+                assert!((irq as usize) < IRQ_LINES, "irq vector out of range");
+                self.machine.charge(cpu, self.cm.atomic_rmw);
                 self.block(tid, BlockKind::Irq, WaitKind::Idle);
-                self.irq_waiters.entry(irq).or_default().push_back(tid);
+                self.irq_waiters[irq as usize].push_back(tid);
                 true
             }
             SysCall::TaskSpawn { size, work } => {
-                self.machine.charge(cpu, cm.atomic_rmw);
+                self.machine.charge(cpu, self.cm.atomic_rmw);
                 let id = self.tasks[cpu]
                     .spawn(size, work)
                     .map(|t| t.0)
@@ -1196,9 +1326,8 @@ impl Node {
     /// Plain group barrier syscall: arrive; completer proceeds, the rest
     /// wake at their staggered departures.
     fn group_barrier(&mut self, cpu: CpuId, tid: ThreadId, gid: GroupId, kind: BlockKind) -> bool {
-        let cm = self.machine.cost_model().clone();
-        let hold = self.machine.draw(cm.atomic_rmw_contended);
-        let dur = self.serialize_on(0x20_0000 + gid.0 as u64, hold);
+        let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+        let dur = self.serialize_on(serial_slot(SER_BARRIER, gid), hold);
         self.machine.charge_raw(cpu, dur);
         let Ok(group) = self.groups.get_mut(gid) else {
             self.pending_result[tid] = SysResult::Group(Err(GroupError::NotFound));
@@ -1208,7 +1337,7 @@ impl Node {
             nautix_des::DetRng::seed_from(0x5EED ^ self.machine.now() ^ (gid.0 as u64) << 32);
         match group
             .barrier
-            .arrive(tid, &mut rng, cm.barrier_release_stagger)
+            .arrive(tid, &mut rng, self.cm.barrier_release_stagger)
         {
             BarrierOutcome::Wait => {
                 self.block(tid, kind, WaitKind::Barrier);
@@ -1252,9 +1381,8 @@ impl Node {
         kind: CollKind,
         value: u64,
     ) -> bool {
-        let cm = self.machine.cost_model().clone();
-        let hold = self.machine.draw(cm.atomic_rmw_contended);
-        let dur = self.serialize_on(0x30_0000 + ((kind as u64) << 32) + gid.0 as u64, hold);
+        let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+        let dur = self.serialize_on(serial_slot(SER_COLL + kind as usize, gid), hold);
         self.machine.charge_raw(cpu, dur);
         let leader = self
             .groups
@@ -1278,7 +1406,13 @@ impl Node {
         };
         let mut rng =
             nautix_des::DetRng::seed_from(0xC0_11EC ^ self.machine.now() ^ (gid.0 as u64) << 32);
-        match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
+        match coll.arrive(
+            tid,
+            value,
+            decision,
+            &mut rng,
+            self.cm.barrier_release_stagger,
+        ) {
             CollectiveOutcome::Wait => {
                 self.block(tid, BlockKind::Collective, WaitKind::Group);
                 true
@@ -1339,9 +1473,8 @@ impl Node {
                     let ctx = self.ga[tid].as_ref().unwrap().clone();
                     if ctx.leader == tid {
                         // lock group; attach constraints to group
-                        let cm = self.machine.cost_model().clone();
-                        self.machine.charge(cpu, cm.atomic_rmw);
-                        self.machine.charge(cpu, cm.atomic_rmw);
+                        self.machine.charge(cpu, self.cm.atomic_rmw);
+                        self.machine.charge(cpu, self.cm.atomic_rmw);
                         let g = self.groups.get_mut(ctx.group).expect("group vanished");
                         g.lock(tid).expect("leader lock contention");
                         g.attached = Some(ctx.constraints);
@@ -1362,9 +1495,8 @@ impl Node {
                     // context, with the leader-attached constraints). The
                     // ledger is touched exactly once per call — re-entry
                     // happens only in the Reducing state below.
-                    let cm = self.machine.cost_model().clone();
                     let t0 = self.machine.now();
-                    self.machine.charge(cpu, cm.admission_local);
+                    self.machine.charge(cpu, self.cm.admission_local);
                     let dur = self.machine.busy_until(cpu).saturating_sub(t0);
                     let gid = self.ga[tid].as_ref().unwrap().group;
                     let attached = self
@@ -1422,8 +1554,7 @@ impl Node {
                     if ctx.group_error != 0 {
                         // if any local admission control failed then
                         // readmit myself using default constraints
-                        let cm = self.machine.cost_model().clone();
-                        self.machine.charge(cpu, cm.admission_local);
+                        self.machine.charge(cpu, self.cm.admission_local);
                         if ctx.admitted_here {
                             self.sched[cpu].load.release(&ctx.constraints);
                         } else {
@@ -1548,9 +1679,8 @@ impl Node {
             return Some(v);
         }
         let gid = self.ga[tid].as_ref().unwrap().group;
-        let cm = self.machine.cost_model().clone();
-        let hold = self.machine.draw(cm.atomic_rmw_contended);
-        let dur = self.serialize_on(0x40_0000 + ((which as u64) << 32) + gid.0 as u64, hold);
+        let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+        let dur = self.serialize_on(serial_slot(SER_GA_COLL + which as usize, gid), hold);
         self.machine.charge_raw(cpu, dur);
         let group = self.groups.get_mut(gid).expect("group vanished");
         let coll = match which {
@@ -1563,7 +1693,13 @@ impl Node {
         };
         let mut rng =
             nautix_des::DetRng::seed_from(0x6A ^ self.machine.now() ^ (gid.0 as u64) << 32);
-        match coll.arrive(tid, value, decision, &mut rng, cm.barrier_release_stagger) {
+        match coll.arrive(
+            tid,
+            value,
+            decision,
+            &mut rng,
+            self.cm.barrier_release_stagger,
+        ) {
             CollectiveOutcome::Wait => {
                 self.block(tid, BlockKind::GaCollective, WaitKind::Group);
                 None
@@ -1584,16 +1720,15 @@ impl Node {
             return Some(());
         }
         let gid = self.ga[tid].as_ref().unwrap().group;
-        let cm = self.machine.cost_model().clone();
-        let hold = self.machine.draw(cm.atomic_rmw_contended);
-        let dur = self.serialize_on(0x50_0000 + gid.0 as u64, hold);
+        let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+        let dur = self.serialize_on(serial_slot(SER_GA_BARRIER, gid), hold);
         self.machine.charge_raw(cpu, dur);
         let group = self.groups.get_mut(gid).expect("group vanished");
         let mut rng =
             nautix_des::DetRng::seed_from(0xBA44 ^ self.machine.now() ^ (gid.0 as u64) << 32);
         match group
             .barrier
-            .arrive(tid, &mut rng, cm.barrier_release_stagger)
+            .arrive(tid, &mut rng, self.cm.barrier_release_stagger)
         {
             BarrierOutcome::Wait => {
                 self.block(tid, BlockKind::GaCollective, WaitKind::Barrier);
@@ -1643,4 +1778,71 @@ enum CollKind {
 enum GaColl {
     Elect = 0,
     Reduce = 1,
+}
+
+#[cfg(test)]
+mod steal_tests {
+    use super::*;
+    use nautix_kernel::IdleLoop;
+
+    fn small_node(cpus: usize) -> Node {
+        let mut cfg = NodeConfig::for_machine(MachineConfig::phi().with_cpus(cpus));
+        cfg.calib_rounds = 0;
+        Node::new(cfg)
+    }
+
+    #[test]
+    fn pick_victim_never_self_and_covers_all_others() {
+        let mut node = small_node(4);
+        for cpu in 0..4 {
+            let mut seen = [false; 4];
+            for _ in 0..256 {
+                let v = node.pick_victim(cpu, 4);
+                assert_ne!(v, cpu, "stealer probed itself");
+                seen[v] = true;
+            }
+            for (other, hit) in seen.iter().enumerate() {
+                assert!(
+                    other == cpu || *hit,
+                    "victim {other} never drawn for stealer {cpu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steal_takes_from_longer_probed_queue() {
+        let mut node = small_node(3);
+        for _ in 0..6 {
+            node.spawn_unbound(1, "w", Box::new(IdleLoop::new(1)))
+                .unwrap();
+        }
+        assert_eq!(node.scheduler(1).nonrt_len(), 6);
+        assert_eq!(node.scheduler(2).nonrt_len(), 0);
+        let mut attempts = 0;
+        while node.scheduler(1).nonrt_len() >= 2 && attempts < 200 {
+            node.try_steal(0);
+            attempts += 1;
+        }
+        // Power-of-two-choices from CPU 0 probes {1,2}: any pair touching
+        // CPU 1 (3 of the 4 equally likely pairs) must pick it as the
+        // longer queue; only the {2,2} pair finds nothing. Draining 5
+        // threads therefore takes about 5/0.75 attempts — needing anywhere
+        // near the 200 cap would mean the picker ignores queue lengths.
+        assert!(node.scheduler(1).nonrt_len() < 2, "queue never drained");
+        assert_eq!(node.scheduler(0).stats.steals, 5);
+        assert!(attempts <= 60, "attempts {attempts} out of band");
+    }
+
+    #[test]
+    fn bound_threads_are_never_stolen() {
+        let mut node = small_node(3);
+        for _ in 0..4 {
+            node.spawn_on(1, "b", Box::new(IdleLoop::new(1))).unwrap();
+        }
+        for _ in 0..64 {
+            assert!(!node.try_steal(0), "stole a bound thread");
+        }
+        assert_eq!(node.scheduler(1).nonrt_len(), 4);
+    }
 }

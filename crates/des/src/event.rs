@@ -116,6 +116,20 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Return the queue to its power-on state — empty, clock at zero,
+    /// sequence counter restarted — while keeping the backing allocations.
+    /// A cleared queue is indistinguishable from a fresh one (pending ids,
+    /// slot generations, and tie-break order all restart), which is what
+    /// trial pooling relies on for byte-identical reruns.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.now = 0;
+        self.popped = 0;
+    }
+
     /// Schedule `payload` at absolute time `at`.
     ///
     /// Panics if `at` is in the past: the simulation layers above never

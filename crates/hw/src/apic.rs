@@ -101,18 +101,32 @@ impl Apic {
 
     /// Set the task priority register. Returns the vectors that become
     /// deliverable as a result (and removes them from the pending set).
+    ///
+    /// The scheduler writes the TPR on every interrupt entry and exit, so
+    /// this is event-path code: with nothing pending (the common case) it
+    /// is four word compares and no allocation — `Vec::new` holds no heap.
+    /// Only actually-pending vectors are visited otherwise.
     pub fn set_tpr(&mut self, tpr: u8) -> Vec<u8> {
         assert!(tpr < 16);
         self.tpr = tpr;
+        if self.pending == [0; 4] {
+            return Vec::new();
+        }
         let mut released = Vec::new();
-        for v in 0..=255u16 {
-            let v = v as u8;
-            if self.is_pending(v) && !self.blocks(v) {
-                self.clear_pending(v);
-                released.push(v);
+        for (w, word) in self.pending.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                let v = (w as u8) << 6 | b;
+                if vector_priority(v) > tpr {
+                    *word &= !(1u64 << b);
+                    released.push(v);
+                }
             }
         }
-        // Higher-priority vectors first, matching hardware delivery order.
+        // Higher-priority vectors first, matching hardware delivery order
+        // (stable sort: ascending vector order within a priority class).
         released.sort_by_key(|&v| std::cmp::Reverse(vector_priority(v)));
         released
     }
@@ -130,10 +144,6 @@ impl Apic {
     /// Whether `vector` is pending.
     pub fn is_pending(&self, vector: u8) -> bool {
         self.pending[(vector >> 6) as usize] & (1u64 << (vector & 63)) != 0
-    }
-
-    fn clear_pending(&mut self, vector: u8) {
-        self.pending[(vector >> 6) as usize] &= !(1u64 << (vector & 63));
     }
 }
 

@@ -53,7 +53,11 @@ impl Cost {
 }
 
 /// The full set of modeled hardware/firmware path costs for one platform.
-#[derive(Debug, Clone)]
+///
+/// `Copy` on purpose: the model is a flat bag of `Cost` pairs (~320 bytes,
+/// no heap), and the event hot path reads it on every interrupt. Callers
+/// keep a copy by value instead of cloning through a reference each event.
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Interrupt entry: vectoring, IDT dispatch, register save.
     pub irq_entry: Cost,

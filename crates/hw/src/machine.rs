@@ -268,6 +268,45 @@ impl Machine {
         }
     }
 
+    /// "Power-cycle" the machine in place for `cfg`, reusing the event
+    /// queue's and CPU vector's allocations. The RNG is reseeded and every
+    /// draw of [`Machine::new`] is replayed in the same order (per-CPU boot
+    /// skews, then the first SMI gap), so a reset machine is byte-for-byte
+    /// equivalent to a freshly constructed one — the foundation of pooled
+    /// trial reuse.
+    pub fn reset(&mut self, cfg: MachineConfig) {
+        let mut rng = DetRng::seed_from(cfg.seed);
+        self.freq = cfg.platform.freq();
+        self.cost = cfg.platform.cost_model();
+        self.cpus.clear();
+        for i in 0..cfg.n_cpus {
+            let offset = if i == 0 || cfg.boot_skew_max == 0 {
+                0
+            } else {
+                rng.uniform(0, cfg.boot_skew_max) as i64
+            };
+            self.cpus.push(CpuState {
+                tsc: Tsc::new(offset, cfg.tsc_writable),
+                apic: Apic::new(cfg.timer_mode),
+                busy_until: 0,
+                op: None,
+            });
+        }
+        self.q.clear();
+        if let Some(gap) = cfg.smi.next_gap(&mut rng) {
+            self.q.schedule(gap, Ev::SmiEnter);
+        }
+        self.timers.reset(self.cpus.len());
+        self.rng = rng;
+        self.gpio = Gpio::new();
+        self.op_seq = 0;
+        self.stall_until = 0;
+        self.smi_stats = SmiStats::default();
+        self.ipis_sent = 0;
+        self.device_irqs = 0;
+        self.cfg = cfg;
+    }
+
     /// True machine time. Kernel code must treat this as unobservable and
     /// go through [`Machine::read_tsc`]; harnesses use it as the external
     /// ground-truth clock (the "oscilloscope view").

@@ -49,6 +49,15 @@ impl TimerSlots {
         self.deadlines.len()
     }
 
+    /// Return to `n` unarmed slots, reusing the backing storage.
+    pub fn reset(&mut self, n: usize) {
+        assert!(n >= 1);
+        self.deadlines.clear();
+        self.deadlines.resize(n, UNARMED);
+        self.earliest = 0;
+        self.arms = 0;
+    }
+
     /// True when no slot is armed.
     pub fn is_empty(&self) -> bool {
         self.deadlines[self.earliest] == UNARMED

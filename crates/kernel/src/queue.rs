@@ -13,14 +13,17 @@ use std::hash::Hash;
 
 /// A bounded binary min-heap of `(key, value)` with FIFO tie-break.
 ///
-/// Alongside the heap array it keeps a value→count multiset, preallocated
-/// at capacity, so [`FixedHeap::contains`] is O(1) instead of a linear
-/// scan. Both structures are sized once in [`FixedHeap::new`] and never
-/// grow past `capacity` entries, preserving the no-reallocation bound.
+/// Alongside the heap array it keeps a value→heap-indices map, maintained
+/// through every sift swap, so [`FixedHeap::contains`] is O(1) and
+/// [`FixedHeap::remove`] is O(log n) — no linear scan for the victim's
+/// position. Duplicate values each track their own index. Both structures
+/// are sized once in [`FixedHeap::new`] and never grow past `capacity`
+/// entries, preserving the no-reallocation bound.
 #[derive(Debug, Clone)]
 pub struct FixedHeap<K: Ord + Copy, V: Copy + Eq + Hash> {
     items: Vec<(K, u64, V)>,
-    members: HashMap<V, u32>,
+    /// value → indices in `items` currently holding it.
+    positions: HashMap<V, Vec<u32>>,
     capacity: usize,
     seq: u64,
 }
@@ -30,7 +33,7 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
     pub fn new(capacity: usize) -> Self {
         FixedHeap {
             items: Vec::with_capacity(capacity),
-            members: HashMap::with_capacity(capacity),
+            positions: HashMap::with_capacity(capacity),
             capacity,
             seq: 0,
         }
@@ -51,6 +54,15 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
         self.capacity
     }
 
+    /// Empty the heap in place, keeping the backing storage. The FIFO
+    /// sequence counter restarts, so a cleared heap behaves exactly like a
+    /// fresh one (trial-to-trial determinism for pooled schedulers).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.positions.clear();
+        self.seq = 0;
+    }
+
     /// Insert `value` with `key`. Fails (returning the value) when full.
     pub fn push(&mut self, key: K, value: V) -> Result<(), V> {
         if self.items.len() >= self.capacity {
@@ -59,7 +71,8 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
         let seq = self.seq;
         self.seq += 1;
         self.items.push((key, seq, value));
-        *self.members.entry(value).or_insert(0) += 1;
+        let idx = (self.items.len() - 1) as u32;
+        self.positions.entry(value).or_default().push(idx);
         self.sift_up(self.items.len() - 1);
         Ok(())
     }
@@ -75,29 +88,28 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
             return None;
         }
         let last = self.items.len() - 1;
-        self.items.swap(0, last);
+        self.swap_entries(0, last);
         let (k, _, v) = self.items.pop().unwrap();
-        self.forget(v);
+        self.drop_position(v, last as u32);
         if !self.items.is_empty() {
             self.sift_down(0);
         }
         Some((k, v))
     }
 
-    /// Remove the first entry whose value equals `value`. O(capacity),
-    /// which is the bounded cost the paper's design relies on; absent
-    /// values are rejected in O(1) via the membership map.
+    /// Remove the first-positioned entry whose value equals `value`, in
+    /// O(log n): the position map hands over the victim's heap index (the
+    /// lowest, matching the old array-scan semantics for duplicates), and
+    /// only the sifts remain. Absent values are rejected in O(1).
     pub fn remove(&mut self, value: V) -> bool {
-        if !self.contains(value) {
-            return false;
-        }
-        let Some(idx) = self.items.iter().position(|&(_, _, v)| v == value) else {
+        let Some(ps) = self.positions.get(&value) else {
             return false;
         };
+        let idx = *ps.iter().min().expect("position map entry empty") as usize;
         let last = self.items.len() - 1;
-        self.items.swap(idx, last);
+        self.swap_entries(idx, last);
         self.items.pop();
-        self.forget(value);
+        self.drop_position(value, last as u32);
         if idx < self.items.len() {
             self.sift_down(idx);
             self.sift_up(idx);
@@ -105,19 +117,49 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
         true
     }
 
-    /// Whether `value` is queued. O(1): a lookup in the membership map.
+    /// Whether `value` is queued. O(1): a lookup in the position map.
     pub fn contains(&self, value: V) -> bool {
-        self.members.contains_key(&value)
+        self.positions.contains_key(&value)
     }
 
-    /// Drop one multiset reference to `value` after it left the heap.
-    fn forget(&mut self, value: V) {
-        match self.members.get_mut(&value) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                self.members.remove(&value);
-            }
-            None => debug_assert!(false, "membership map out of sync"),
+    /// Swap two heap slots, keeping the position map in sync.
+    fn swap_entries(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let va = self.items[a].2;
+        let vb = self.items[b].2;
+        self.items.swap(a, b);
+        self.reindex(va, a as u32, b as u32);
+        self.reindex(vb, b as u32, a as u32);
+    }
+
+    /// Retarget one tracked index of `value` from `from` to `to`.
+    fn reindex(&mut self, value: V, from: u32, to: u32) {
+        let ps = self
+            .positions
+            .get_mut(&value)
+            .expect("position map out of sync");
+        let slot = ps
+            .iter_mut()
+            .find(|p| **p == from)
+            .expect("position map out of sync");
+        *slot = to;
+    }
+
+    /// Forget that `value` occupied heap index `at` (it left the heap).
+    fn drop_position(&mut self, value: V, at: u32) {
+        let ps = self
+            .positions
+            .get_mut(&value)
+            .expect("position map out of sync");
+        let i = ps
+            .iter()
+            .position(|&p| p == at)
+            .expect("position map out of sync");
+        ps.swap_remove(i);
+        if ps.is_empty() {
+            self.positions.remove(&value);
         }
     }
 
@@ -136,7 +178,7 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
         while i > 0 {
             let parent = (i - 1) / 2;
             if self.less(i, parent) {
-                self.items.swap(i, parent);
+                self.swap_entries(i, parent);
                 i = parent;
             } else {
                 break;
@@ -158,7 +200,7 @@ impl<K: Ord + Copy, V: Copy + Eq + Hash> FixedHeap<K, V> {
             if smallest == i {
                 break;
             }
-            self.items.swap(i, smallest);
+            self.swap_entries(i, smallest);
             i = smallest;
         }
     }
@@ -189,6 +231,11 @@ impl<V: Copy + Eq> RrQueue<V> {
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+
+    /// Empty the queue in place, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.items.clear();
     }
 
     /// Enqueue at the back of `priority`'s class. Fails when full.
@@ -311,6 +358,91 @@ mod tests {
         assert!(!h.contains(7));
         assert!(!h.remove(7));
         assert!(h.contains(8));
+    }
+
+    #[test]
+    fn heap_remove_then_pop_preserves_order() {
+        // Interior removals must leave the heap property and FIFO
+        // tie-breaks intact — this is the path the position map serves.
+        let mut h: FixedHeap<u64, usize> = FixedHeap::new(16);
+        for (i, k) in [8, 3, 11, 1, 9, 4, 15, 2, 6].iter().enumerate() {
+            h.push(*k, i).unwrap();
+        }
+        assert!(h.remove(0)); // key 8, an interior node
+        assert!(h.remove(7)); // key 2
+        let keys: Vec<_> = std::iter::from_fn(|| h.pop().map(|(k, _)| k)).collect();
+        assert_eq!(keys, vec![1, 3, 4, 6, 9, 11, 15]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn heap_clear_restarts_fifo_sequence() {
+        let mut h: FixedHeap<u64, usize> = FixedHeap::new(8);
+        for v in 0..3 {
+            h.push(1, v).unwrap();
+        }
+        h.pop();
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(1));
+        // After clear, tie-break order must match a fresh heap's.
+        for v in [30, 10, 20] {
+            h.push(5, v).unwrap();
+        }
+        let order: Vec<_> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn heap_random_remove_pop_matches_model() {
+        // Drive the heap through thousands of push/remove/pop steps and
+        // check every pop against a brute-force model; any drift in the
+        // position map would surface as a mismatch or an internal panic.
+        let mut h: FixedHeap<u64, u64> = FixedHeap::new(64);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (key, value); value doubles as seq
+        let mut next_v = 0u64;
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        for _ in 0..8000 {
+            match next(4) {
+                0 | 3 if model.len() < 64 => {
+                    let k = next(50);
+                    h.push(k, next_v).unwrap();
+                    model.push((k, next_v));
+                    next_v += 1;
+                }
+                1 if !model.is_empty() => {
+                    let i = next(model.len() as u64) as usize;
+                    let (_, v) = model[i];
+                    assert!(h.remove(v));
+                    assert!(!h.contains(v));
+                    model.remove(i);
+                }
+                _ => {
+                    // Values are assigned in push order, so (key, value)
+                    // ordering equals the heap's (key, seq) tie-break.
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(k, v))| (k, v))
+                        .map(|(i, &(k, v))| (i, k, v));
+                    match (h.pop(), expect) {
+                        (None, None) => {}
+                        (Some((k, v)), Some((i, ek, ev))) => {
+                            assert_eq!((k, v), (ek, ev));
+                            model.remove(i);
+                        }
+                        (got, want) => panic!("pop {got:?} vs model {want:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(h.len(), model.len());
     }
 
     #[test]

@@ -101,6 +101,20 @@ impl ThreadTable {
         self.slots.len()
     }
 
+    /// Return to an empty table of `capacity` slots, reusing the backing
+    /// storage. The free list is rebuilt in the same order `new` builds it,
+    /// so a reset table hands out ThreadIds in the same sequence as a fresh
+    /// one — required for pooled trials to replay exactly.
+    pub fn reset(&mut self, capacity: usize) {
+        self.slots.clear();
+        self.slots.resize_with(capacity, || None);
+        self.free.clear();
+        self.free.extend((0..capacity).rev());
+        self.live = 0;
+        self.spawned = 0;
+        self.reaped = 0;
+    }
+
     /// Live (spawned, unreaped) thread count.
     pub fn live(&self) -> usize {
         self.live

@@ -310,7 +310,7 @@ pub fn run_plan(mut node_cfg: NodeConfig, team: TeamConfig, plan: Plan) -> PlanR
         .max_threads
         .max(node_cfg.machine.n_cpus + team.workers + 1);
     let mut node = Node::new(node_cfg);
-    let cm = node.machine.cost_model().clone();
+    let cm = *node.machine.cost_model();
     let n_regions = plan.regions.len();
     let plan = Rc::new(plan);
     let shared = Rc::new(RefCell::new(TeamShared {
