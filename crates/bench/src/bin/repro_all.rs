@@ -17,6 +17,14 @@ fn main() {
          {} worker threads (set NAUTIX_THREADS to override)\n",
         harness::threads()
     );
+    #[cfg(feature = "trace")]
+    if nautix_trace::oracles_enabled() {
+        println!(
+            "NAUTIX_ORACLES=1: online invariant oracles armed on every node \
+             (EDF dispatch, admission soundness, RT isolation, tickless \
+             one-shot); any violation aborts the run\n"
+        );
+    }
     let mut summary: Vec<(String, String, String)> = Vec::new();
     let mut report = BenchReport::new();
     let t0 = std::time::Instant::now();
@@ -399,6 +407,23 @@ fn main() {
             0.0
         }
     );
+    #[cfg(feature = "trace")]
+    if nautix_trace::oracles_enabled() {
+        let (suites, o) = nautix_rt::oracle::global_stats();
+        println!(
+            "\noracles: CLEAN over {} node lifetimes — {} records consumed; \
+             checks: {} EDF dispatch, {} timer one-shot, {} inline task, \
+             {} admitted-miss ({} environment-attributed, {} policy divergences)",
+            suites,
+            o.records,
+            o.edf_checks,
+            o.timer_checks,
+            o.task_checks,
+            o.miss_checks,
+            o.environment_misses,
+            o.divergences,
+        );
+    }
     let bench_path = std::path::Path::new("BENCH_repro.json");
     report.write(bench_path);
     println!("wrote {bench_path:?}");

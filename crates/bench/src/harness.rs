@@ -3,7 +3,7 @@
 //!
 //! Every experiment in this crate decomposes into *trials* — independent
 //! simulations distinguished by their parameters (seed, utilization point,
-//! CPU count, granularity). Each trial builds its own [`Machine`]
+//! CPU count, granularity). Each trial builds its own [`Machine`](nautix_hw::Machine)
 //! (`nautix_hw`) from its own seed, so trials share no mutable state and
 //! their results depend only on their parameters, never on which worker
 //! thread ran them or in what order. [`run_trials`] exploits that: workers

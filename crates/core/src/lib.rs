@@ -18,6 +18,8 @@ pub mod admission;
 pub mod cyclic;
 pub mod local;
 pub mod node;
+#[cfg(feature = "trace")]
+pub mod oracle;
 pub mod stats;
 pub mod timeline;
 pub mod timesync;

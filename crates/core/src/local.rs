@@ -25,6 +25,8 @@ use crate::stats::{CpuSchedStats, DispatchLog, ThreadRtStats};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::CpuId;
 use nautix_kernel::{AdmissionError, Constraints, FixedHeap, RrQueue, ThreadId};
+#[cfg(feature = "trace")]
+use nautix_trace::{Record, TraceClass, TraceHandle, TraceOutcome};
 
 /// Why the local scheduler was invoked (diagnostics; the paper's local
 /// scheduler is invoked "only on a timer interrupt, a kick interrupt from
@@ -176,6 +178,13 @@ pub struct LocalScheduler {
     pub stats: CpuSchedStats,
     /// Jobs completed on this invocation (for harnesses).
     pub last_outcome: Option<JobOutcome>,
+    #[cfg(feature = "trace")]
+    trace: Option<TraceHandle>,
+    /// Deliberately broken dispatch for oracle regression tests: pick the
+    /// lowest-numbered runnable RT thread (creation order) instead of the
+    /// earliest deadline. Never set outside tests.
+    #[cfg(feature = "trace")]
+    sabotage_fifo: bool,
 }
 
 impl LocalScheduler {
@@ -193,12 +202,38 @@ impl LocalScheduler {
             idle,
             stats: CpuSchedStats::default(),
             last_outcome: None,
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            sabotage_fifo: false,
         }
     }
 
     /// The boot-time configuration.
     pub fn config(&self) -> &SchedConfig {
         &self.cfg
+    }
+
+    /// Install (or remove) the trace sink fed by this scheduler's queue
+    /// transitions, dispatches, and admission verdicts.
+    #[cfg(feature = "trace")]
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
+    }
+
+    /// Enable the deliberately broken FIFO dispatch (regression tests for
+    /// the EDF oracle only).
+    #[cfg(feature = "trace")]
+    pub fn set_sabotage_fifo(&mut self, on: bool) {
+        self.sabotage_fifo = on;
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn emit(&self, r: Record) {
+        if let Some(t) = &self.trace {
+            t.emit(r);
+        }
     }
 
     /// Threads resident on this CPU (for the per-thread pass cost).
@@ -214,6 +249,12 @@ impl LocalScheduler {
                 self.rt_run
                     .push(st.deadline_ns, tid)
                     .expect("rt_run overflow: capacity misconfigured");
+                #[cfg(feature = "trace")]
+                self.emit(Record::RtQueued {
+                    cpu: self.cpu as u32,
+                    tid: tid as u32,
+                    deadline_ns: st.deadline_ns,
+                });
             } else {
                 // (Re)synchronize to the next arrival strictly after now.
                 if st.job_active {
@@ -224,6 +265,12 @@ impl LocalScheduler {
                 self.pending
                     .push(st.next_arrival_ns, tid)
                     .expect("pending overflow: capacity misconfigured");
+                #[cfg(feature = "trace")]
+                self.emit(Record::PendingQueued {
+                    cpu: self.cpu as u32,
+                    tid: tid as u32,
+                    arrival_ns: st.next_arrival_ns,
+                });
             }
         } else {
             self.nonrt
@@ -268,6 +315,11 @@ impl LocalScheduler {
         self.pending.remove(tid);
         self.rt_run.remove(tid);
         self.nonrt.remove(tid);
+        #[cfg(feature = "trace")]
+        self.emit(Record::Dequeued {
+            cpu: self.cpu as u32,
+            tid: tid as u32,
+        });
     }
 
     /// Whether the thread sits in this scheduler's non-RT queue
@@ -322,6 +374,11 @@ impl LocalScheduler {
         self.idle = idle;
         self.stats = CpuSchedStats::default();
         self.last_outcome = None;
+        #[cfg(feature = "trace")]
+        {
+            self.trace = None;
+            self.sabotage_fifo = false;
+        }
     }
 
     /// Individual admission control: `nk_sched_thread_change_constraints`.
@@ -337,7 +394,7 @@ impl LocalScheduler {
     ) -> Result<(), AdmissionError> {
         let old = st.constraints;
         self.load.release(&old);
-        match self.load.admit(&self.cfg, &new) {
+        let verdict = match self.load.admit(&self.cfg, &new) {
             Ok(()) => {
                 st.constraints = new;
                 st.job_active = false;
@@ -355,7 +412,38 @@ impl LocalScheduler {
                     .expect("re-admitting previously admitted constraints");
                 Err(e)
             }
+        };
+        #[cfg(feature = "trace")]
+        {
+            if verdict.is_ok() && old.is_realtime() {
+                self.emit(Record::ConstraintsReleased {
+                    cpu: self.cpu as u32,
+                    tid: _tid as u32,
+                });
+            }
+            self.emit_verdict(_tid, &new, verdict.is_ok());
         }
+        verdict
+    }
+
+    /// Record an admission verdict for `tid` (also used by the node's
+    /// group-admission path, which goes through the ledger directly).
+    #[cfg(feature = "trace")]
+    pub fn emit_verdict(&self, tid: ThreadId, c: &Constraints, accepted: bool) {
+        let (class, period_ns, slice_ns) = match *c {
+            Constraints::Aperiodic { .. } => (TraceClass::Aperiodic, 0, 0),
+            Constraints::Periodic { period, slice, .. } => (TraceClass::Periodic, period, slice),
+            Constraints::Sporadic { size, deadline, .. } => (TraceClass::Sporadic, deadline, size),
+        };
+        self.emit(Record::AdmitVerdict {
+            cpu: self.cpu as u32,
+            tid: tid as u32,
+            accepted,
+            enforced: self.cfg.admission_enabled,
+            class,
+            period_ns,
+            slice_ns,
+        });
     }
 
     /// Anchor the admission time Λ at `now_ns` and compute the first
@@ -374,9 +462,9 @@ impl LocalScheduler {
     /// Finalize a thread that is leaving the scheduler for good (exit):
     /// if its current job just completed, record the outcome that the next
     /// scheduling pass would have recorded.
-    pub fn finalize_exit(&mut self, st: &mut SchedThread, now_ns: Nanos) {
+    pub fn finalize_exit(&mut self, tid: ThreadId, st: &mut SchedThread, now_ns: Nanos) {
         if st.is_rt() && st.job_active && st.remaining_cycles == 0 {
-            self.complete_job(st, now_ns);
+            self.complete_job(tid, st, now_ns);
         }
     }
 
@@ -425,7 +513,7 @@ impl LocalScheduler {
             } else {
                 if st.is_rt() && st.job_active && st.remaining_cycles == 0 {
                     // Job complete: classify and schedule the next arrival.
-                    self.complete_job(st, now_ns);
+                    self.complete_job(prev, st, now_ns);
                 }
                 // Re-queue below after pumping (so selection sees it).
             }
@@ -442,6 +530,13 @@ impl LocalScheduler {
             self.rt_run
                 .push(st.deadline_ns, tid)
                 .expect("rt_run overflow");
+            #[cfg(feature = "trace")]
+            self.emit(Record::JobArrive {
+                cpu: self.cpu as u32,
+                tid: tid as u32,
+                arrival_ns: arrival,
+                deadline_ns: threads[tid].deadline_ns,
+            });
         }
 
         // Re-queue a still-runnable current thread so selection is uniform.
@@ -474,6 +569,31 @@ impl LocalScheduler {
         // 4. Choose the next timer.
         let (timer_exec_cycles, timer_wall_ns) = self.next_timer(now_ns, threads, next);
         let next_is_rt = next != self.idle && threads[next].is_rt();
+        #[cfg(feature = "trace")]
+        {
+            if switched && prev != self.idle && current_runnable {
+                self.emit(Record::Preempt {
+                    cpu: self.cpu as u32,
+                    tid: prev as u32,
+                    now_ns,
+                });
+            }
+            let st = &threads[next];
+            let in_job_rt = next != self.idle && st.is_rt() && st.job_active;
+            self.emit(Record::Dispatch {
+                cpu: self.cpu as u32,
+                tid: next as u32,
+                now_ns,
+                deadline_ns: if in_job_rt {
+                    st.deadline_ns
+                } else {
+                    Nanos::MAX
+                },
+                is_rt: in_job_rt,
+                is_idle: next == self.idle,
+                switched,
+            });
+        }
         Decision {
             next,
             switched,
@@ -506,7 +626,7 @@ impl LocalScheduler {
         }
     }
 
-    fn complete_job(&mut self, st: &mut SchedThread, now_ns: Nanos) {
+    fn complete_job(&mut self, tid: ThreadId, st: &mut SchedThread, now_ns: Nanos) {
         let outcome = if st.job_blocked {
             JobOutcome::Forfeited
         } else if now_ns <= st.deadline_ns {
@@ -520,6 +640,18 @@ impl LocalScheduler {
         };
         self.last_outcome = Some(outcome);
         st.job_active = false;
+        #[cfg(feature = "trace")]
+        self.emit(Record::JobComplete {
+            cpu: self.cpu as u32,
+            tid: tid as u32,
+            now_ns,
+            deadline_ns: st.deadline_ns,
+            outcome: match outcome {
+                JobOutcome::Met => TraceOutcome::Met,
+                JobOutcome::Missed { .. } => TraceOutcome::Missed,
+                JobOutcome::Forfeited => TraceOutcome::Forfeited,
+            },
+        });
         // A sporadic burst decays to the aperiodic class.
         if let Constraints::Sporadic {
             aperiodic_priority, ..
@@ -529,7 +661,13 @@ impl LocalScheduler {
             st.constraints = Constraints::Aperiodic {
                 priority: aperiodic_priority,
             };
+            #[cfg(feature = "trace")]
+            self.emit(Record::ConstraintsReleased {
+                cpu: self.cpu as u32,
+                tid: tid as u32,
+            });
         }
+        let _ = tid;
     }
 
     /// Put the (runnable) outgoing current thread back in a queue.
@@ -539,6 +677,12 @@ impl LocalScheduler {
                 self.rt_run
                     .push(st.deadline_ns, tid)
                     .expect("rt_run overflow");
+                #[cfg(feature = "trace")]
+                self.emit(Record::RtQueued {
+                    cpu: self.cpu as u32,
+                    tid: tid as u32,
+                    deadline_ns: st.deadline_ns,
+                });
             } else {
                 // For a completed periodic job next_arrival is already the
                 // deadline of the finished job; if that instant has passed
@@ -552,6 +696,12 @@ impl LocalScheduler {
                 self.pending
                     .push(st.next_arrival_ns, tid)
                     .expect("pending overflow");
+                #[cfg(feature = "trace")]
+                self.emit(Record::PendingQueued {
+                    cpu: self.cpu as u32,
+                    tid: tid as u32,
+                    arrival_ns: st.next_arrival_ns,
+                });
             }
         } else {
             self.nonrt
@@ -569,6 +719,16 @@ impl LocalScheduler {
     fn select(&mut self, now_ns: Nanos, threads: &[SchedThread]) -> ThreadId {
         match self.cfg.mode {
             SchedMode::Eager => {
+                #[cfg(feature = "trace")]
+                if self.sabotage_fifo {
+                    let mut first: Option<ThreadId> = None;
+                    for (_, tid) in self.rt_run.iter() {
+                        first = Some(first.map_or(tid, |f| f.min(tid)));
+                    }
+                    if let Some(tid) = first {
+                        return tid;
+                    }
+                }
                 if let Some((_, tid)) = self.rt_run.peek() {
                     return tid;
                 }

@@ -36,6 +36,8 @@
 
 use crate::admission::SchedConfig;
 use crate::local::{InvokeReason, LocalScheduler, SchedThread};
+#[cfg(feature = "trace")]
+use crate::oracle::{OracleConfig, OracleSuite};
 use crate::stats::DispatchLog;
 use crate::timesync::{self, TimeSync};
 use nautix_des::{Cycles, Freq, Nanos};
@@ -49,7 +51,13 @@ use nautix_kernel::{
     Steering, SysCall, SysResult, TaskQueues, Thread, ThreadId, ThreadState, ThreadTable, WaitKind,
     Zone, ZoneAllocator,
 };
+#[cfg(feature = "trace")]
+use nautix_trace::{Record, Sink, TraceHandle};
+#[cfg(feature = "trace")]
+use std::cell::RefCell;
 use std::collections::VecDeque;
+#[cfg(feature = "trace")]
+use std::rc::Rc;
 
 /// Node-wide configuration.
 pub struct NodeConfig {
@@ -286,6 +294,10 @@ pub struct Node {
     live_programs: usize,
     /// Device interrupts handled, per CPU.
     pub device_irqs_handled: Vec<u64>,
+    #[cfg(feature = "trace")]
+    trace: Option<TraceHandle>,
+    #[cfg(feature = "trace")]
+    oracles: Option<Rc<RefCell<OracleSuite>>>,
 }
 
 impl Node {
@@ -362,7 +374,15 @@ impl Node {
             zombies: (0..n).map(|_| Vec::new()).collect(),
             live_programs: 0,
             device_irqs_handled: vec![0; n],
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            oracles: None,
         };
+        #[cfg(feature = "trace")]
+        if nautix_trace::oracles_enabled() {
+            node.enable_oracles();
+        }
         // Kick every CPU once at boot so each local scheduler runs its
         // first pass (and each idle loop gets a chance to start stealing).
         for cpu in 0..n {
@@ -465,11 +485,75 @@ impl Node {
         self.live_programs = 0;
         self.device_irqs_handled.clear();
         self.device_irqs_handled.resize(n, 0);
+        #[cfg(feature = "trace")]
+        {
+            // Machine/scheduler/task-queue resets dropped their handles;
+            // start every trial with a fresh sink and fresh oracle state.
+            self.trace = None;
+            self.oracles = None;
+            if nautix_trace::oracles_enabled() {
+                self.enable_oracles();
+            }
+        }
         for cpu in 0..n {
             let at = self.machine.now();
             self.machine
                 .schedule_wakeup(at, tok(TK_POKE, cpu as u64), Some(cpu));
         }
+    }
+
+    /// Attach a trace sink with the online invariant oracles as its
+    /// observer (panicking on the first violation). Returns a handle to
+    /// the suite for inspection; tests use [`Node::enable_oracles_with`]
+    /// to collect violations instead. Tracing never perturbs the
+    /// simulation — the event stream is byte-identical with or without it.
+    #[cfg(feature = "trace")]
+    pub fn enable_oracles(&mut self) -> Rc<RefCell<OracleSuite>> {
+        self.enable_oracles_with(OracleConfig::for_node(
+            self.freq,
+            &self.cfg_sched,
+            &self.cm,
+            self.machine.config(),
+        ))
+    }
+
+    /// Attach the oracles with an explicit configuration.
+    #[cfg(feature = "trace")]
+    pub fn enable_oracles_with(&mut self, cfg: OracleConfig) -> Rc<RefCell<OracleSuite>> {
+        let suite = Rc::new(RefCell::new(OracleSuite::new(cfg)));
+        let handle = TraceHandle::new(Sink::with_observer(
+            nautix_trace::DEFAULT_RING_CAPACITY,
+            Box::new(Rc::clone(&suite)),
+        ));
+        self.install_trace(handle);
+        self.oracles = Some(Rc::clone(&suite));
+        suite
+    }
+
+    /// The attached oracle suite, if any.
+    #[cfg(feature = "trace")]
+    pub fn oracles(&self) -> Option<&Rc<RefCell<OracleSuite>>> {
+        self.oracles.as_ref()
+    }
+
+    /// Thread a trace handle through every emitting layer of this node.
+    #[cfg(feature = "trace")]
+    fn install_trace(&mut self, handle: TraceHandle) {
+        self.machine.set_trace(Some(handle.clone()));
+        for s in &mut self.sched {
+            s.set_trace(Some(handle.clone()));
+        }
+        for (cpu, q) in self.tasks.iter_mut().enumerate() {
+            q.set_trace(Some((handle.clone(), cpu as u32)));
+        }
+        self.trace = Some(handle);
+    }
+
+    /// Enable the deliberately broken FIFO dispatch on `cpu` (EDF-oracle
+    /// regression tests only).
+    #[cfg(feature = "trace")]
+    pub fn set_sabotage_fifo(&mut self, cpu: CpuId, on: bool) {
+        self.sched[cpu].set_sabotage_fifo(on);
     }
 
     // ------------------------------------------------------------------
@@ -917,6 +1001,15 @@ impl Node {
             let mut spent = 0;
             while let Some(task) = self.tasks[cpu].pop_sized_fitting(budget - spent) {
                 self.machine.charge_raw(cpu, task.work);
+                #[cfg(feature = "trace")]
+                if let Some(t) = &self.trace {
+                    t.emit(Record::TaskExec {
+                        cpu: cpu as u32,
+                        now_ns: now,
+                        size_cycles: task.size.unwrap_or(task.work),
+                        budget_cycles: budget,
+                    });
+                }
                 spent += task.size.unwrap_or(task.work);
                 self.tasks[cpu].inline_completed += 1;
                 self.sched[cpu].stats.inline_tasks += 1;
@@ -944,6 +1037,16 @@ impl Node {
     /// absolute and get no such adjustment. Callers invoke this *after*
     /// their final charges.
     fn program_timer(&mut self, cpu: CpuId, req: TimerReq) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::TimerReq {
+                cpu: cpu as u32,
+                now_ns: self.wall_ns(cpu),
+                wall_ns: req.wall_ns.unwrap_or(Nanos::MAX),
+                exec_cycles: req.exec_cycles.unwrap_or(Cycles::MAX),
+                armed: req.exec_cycles.is_some() || req.wall_ns.is_some(),
+            });
+        }
         if req.exec_cycles.is_none() && req.wall_ns.is_none() {
             self.machine.cancel_timer(cpu);
             return;
@@ -1124,6 +1227,14 @@ impl Node {
         let Some(tid) = candidate else {
             return false;
         };
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::Steal {
+                thief: cpu as u32,
+                victim: victim as u32,
+                tid: tid as u32,
+            });
+        }
         self.sched[victim].dequeue(tid);
         self.threads.expect_mut(tid).cpu = cpu;
         let now = self.wall_ns(cpu);
@@ -1139,9 +1250,18 @@ impl Node {
         let now = self.wall_ns(cpu);
         {
             let st = &mut self.ts[tid];
-            self.sched[cpu].finalize_exit(st, now);
+            self.sched[cpu].finalize_exit(tid, st, now);
         }
         // Release any admitted constraints.
+        #[cfg(feature = "trace")]
+        if self.ts[tid].constraints.is_realtime() {
+            if let Some(t) = &self.trace {
+                t.emit(Record::ConstraintsReleased {
+                    cpu: cpu as u32,
+                    tid: tid as u32,
+                });
+            }
+        }
         self.sched[cpu].load.release(&self.ts[tid].constraints);
         self.sched[cpu].dequeue(tid);
         self.threads.expect_mut(tid).state = ThreadState::Exited;
@@ -1526,6 +1646,8 @@ impl Node {
                             admission_error_code(e)
                         }
                     };
+                    #[cfg(feature = "trace")]
+                    self.sched[cpu].emit_verdict(tid, &attached, err == 0);
                     {
                         let ctx = self.ga[tid].as_mut().unwrap();
                         ctx.my_error = err;
@@ -1557,6 +1679,13 @@ impl Node {
                         self.machine.charge(cpu, self.cm.admission_local);
                         if ctx.admitted_here {
                             self.sched[cpu].load.release(&ctx.constraints);
+                            #[cfg(feature = "trace")]
+                            if let Some(t) = &self.trace {
+                                t.emit(Record::ConstraintsReleased {
+                                    cpu: cpu as u32,
+                                    tid: tid as u32,
+                                });
+                            }
                         } else {
                             self.sched[cpu].load.release(&self.ts[tid].constraints);
                         }

@@ -2,9 +2,9 @@
 //! soundness, ledger conservation, phase-correction alignment, EDF
 //! simulation consistency, and calibration bounds.
 
-use nautix_kernel::Constraints;
+use nautix_kernel::{AdmissionError, Constraints};
 use nautix_rt::admission::simulate_edf_feasible;
-use nautix_rt::{compile_cyclic, CpuLoad, CyclicTask, SchedConfig, PPM};
+use nautix_rt::{compile_cyclic, AdmissionPolicy, CpuLoad, CyclicTask, SchedConfig, PPM};
 use proptest::prelude::*;
 
 fn arb_periodic() -> impl Strategy<Value = Constraints> {
@@ -145,6 +145,144 @@ proptest! {
         }
         prop_assert_eq!(load.sporadic_util_ppm(), 0);
     }
+}
+
+/// Admit-then-release probe: returns the verdict without perturbing the
+/// ledger (rejection is side-effect-free; release undoes an admission).
+fn probe(load: &mut CpuLoad, cfg: &SchedConfig, c: &Constraints) -> bool {
+    if load.admit(cfg, c).is_ok() {
+        load.release(c);
+        true
+    } else {
+        false
+    }
+}
+
+proptest! {
+    /// Admission is monotone in requested utilization: against the same
+    /// ledger state, if the larger of two slices admits at a given
+    /// period, the smaller one must admit too (equivalently, rejection
+    /// is monotone upward).
+    #[test]
+    fn admission_is_monotone_in_slice(
+        preload in prop::collection::vec(arb_periodic(), 0..10),
+        p100 in 100u64..100_000,
+        pct_a in 5u64..90,
+        pct_b in 5u64..90,
+    ) {
+        let period = p100 * 100;
+        let (lo, hi) = if pct_a <= pct_b { (pct_a, pct_b) } else { (pct_b, pct_a) };
+        let small = Constraints::periodic(period, (period * lo / 100).max(500));
+        let big = Constraints::periodic(period, (period * hi / 100).max(500));
+        let cfg = SchedConfig::default();
+        let mut load = CpuLoad::new();
+        for c in &preload {
+            let _ = load.admit(&cfg, c);
+        }
+        let big_ok = probe(&mut load, &cfg, &big);
+        let small_ok = probe(&mut load, &cfg, &small);
+        prop_assert!(
+            !big_ok || small_ok,
+            "slice {} admitted but shorter slice {} rejected at period {}",
+            big.utilization_ppm(), small.utilization_ppm(), period
+        );
+    }
+
+    /// The closed-form utilization test and the hyperperiod EDF
+    /// simulation (zero overhead) return the *same verdict sequence* on
+    /// any request stream: below 100% total utilization EDF is optimal,
+    /// so the 79% periodic budget is the only binding constraint for
+    /// both policies.
+    #[test]
+    fn utilization_test_agrees_with_hyperperiod_simulation(
+        cs in prop::collection::vec(arb_periodic(), 1..8),
+    ) {
+        let bound_cfg = SchedConfig::default();
+        let sim_cfg = SchedConfig {
+            policy: AdmissionPolicy::HyperperiodSim {
+                overhead_ns: 0,
+                window_cap_ns: 20_000_000,
+            },
+            ..SchedConfig::default()
+        };
+        let mut bound = CpuLoad::new();
+        let mut sim = CpuLoad::new();
+        for c in &cs {
+            let vb = bound.admit(&bound_cfg, c).is_ok();
+            let vs = sim.admit(&sim_cfg, c).is_ok();
+            prop_assert_eq!(
+                vb, vs,
+                "policies diverge on {:?} ppm (ledger at {} ppm)",
+                c.utilization_ppm(), bound.periodic_util_ppm()
+            );
+        }
+        prop_assert_eq!(bound.periodic_util_ppm(), sim.periodic_util_ppm());
+    }
+}
+
+/// The §3.2 default reservations — 99% utilization limit, 10% sporadic,
+/// 10% aperiodic — leave exactly 79% for periodic admission, and the
+/// ledger honors each boundary exactly (admit at the line, reject one
+/// step past it).
+#[test]
+fn reservation_defaults_hold_at_exact_boundaries() {
+    let cfg = SchedConfig::default();
+    assert_eq!(cfg.util_limit_ppm, 990_000);
+    assert_eq!(cfg.sporadic_reserve_ppm, 100_000);
+    assert_eq!(cfg.aperiodic_reserve_ppm, 100_000);
+    assert_eq!(cfg.periodic_budget_ppm(), 790_000);
+
+    // Periodic: exactly the 79% budget admits...
+    let mut load = CpuLoad::new();
+    assert!(load
+        .admit(&cfg, &Constraints::periodic(1_000_000, 790_000))
+        .is_ok());
+    // ...and with it held, even the minimum legal slice is refused.
+    assert_eq!(
+        load.admit(&cfg, &Constraints::periodic(1_000_000, 500)),
+        Err(AdmissionError::UtilizationExceeded)
+    );
+    // One ppm past the budget on a fresh ledger is refused outright.
+    let mut fresh = CpuLoad::new();
+    assert_eq!(
+        fresh.admit(&cfg, &Constraints::periodic(1_000_000, 790_001)),
+        Err(AdmissionError::UtilizationExceeded)
+    );
+
+    // Sporadic: exactly the 10% reserve admits; one ppm more is refused,
+    // whether in a single burst or on top of a full reserve.
+    let mut load = CpuLoad::new();
+    assert!(load
+        .admit(&cfg, &Constraints::sporadic(100_000, 1_000_000))
+        .is_ok());
+    assert_eq!(load.sporadic_util_ppm(), cfg.sporadic_reserve_ppm);
+    assert_eq!(
+        load.admit(&cfg, &Constraints::sporadic(500, 1_000_000)),
+        Err(AdmissionError::SporadicReservationExceeded)
+    );
+    let mut fresh = CpuLoad::new();
+    assert_eq!(
+        fresh.admit(&cfg, &Constraints::sporadic(100_001, 1_000_000)),
+        Err(AdmissionError::SporadicReservationExceeded)
+    );
+
+    // Aperiodic admission cannot fail (§3.2), even with every other
+    // reservation saturated.
+    assert!(load.admit(&cfg, &Constraints::default_aperiodic()).is_ok());
+
+    // The throughput shape folds both reserves back into the periodic
+    // budget: the full 99% admits, one ppm more does not.
+    let tp = SchedConfig::throughput();
+    assert_eq!(tp.periodic_budget_ppm(), 990_000);
+    let mut load = CpuLoad::new();
+    assert!(load
+        .admit(&tp, &Constraints::periodic(1_000_000, 990_000))
+        .is_ok());
+    let mut fresh = CpuLoad::new();
+    assert_eq!(
+        fresh.admit(&tp, &Constraints::periodic(1_000_000, 990_001)),
+        Err(AdmissionError::UtilizationExceeded)
+    );
 }
 
 fn arb_cyclic_set() -> impl Strategy<Value = Vec<CyclicTask>> {

@@ -31,6 +31,8 @@ use crate::smi::{SmiConfig, SmiStats};
 use crate::timer::TimerSlots;
 use crate::tsc::Tsc;
 use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos};
+#[cfg(feature = "trace")]
+use nautix_trace::{Record, TraceHandle};
 
 /// Index of a hardware thread ("CPU" in the paper's terminology).
 pub type CpuId = usize;
@@ -223,6 +225,8 @@ pub struct Machine {
     smi_stats: SmiStats,
     ipis_sent: u64,
     device_irqs: u64,
+    #[cfg(feature = "trace")]
+    trace: Option<TraceHandle>,
 }
 
 impl Machine {
@@ -265,6 +269,8 @@ impl Machine {
             smi_stats: SmiStats::default(),
             ipis_sent: 0,
             device_irqs: 0,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 
@@ -305,6 +311,18 @@ impl Machine {
         self.ipis_sent = 0;
         self.device_irqs = 0;
         self.cfg = cfg;
+        #[cfg(feature = "trace")]
+        {
+            self.trace = None;
+        }
+    }
+
+    /// Install (or remove) the trace sink fed by this machine's timer and
+    /// kick paths. Tracing never perturbs the simulation: no RNG draws, no
+    /// event-queue traffic.
+    #[cfg(feature = "trace")]
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// True machine time. Kernel code must treat this as unobservable and
@@ -380,12 +398,27 @@ impl Machine {
         let now = self.q.now();
         let actual = self.cpus[cpu].apic.mode().quantize(delay);
         self.timers.arm(cpu, now + actual);
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::TimerArm {
+                cpu: cpu as u32,
+                now_cycles: now,
+                fire_at_cycles: now + actual,
+            });
+        }
         actual
     }
 
     /// Disarm `cpu`'s one-shot timer.
     pub fn cancel_timer(&mut self, cpu: CpuId) {
         self.timers.disarm(cpu);
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::TimerCancel {
+                cpu: cpu as u32,
+                now_cycles: self.q.now(),
+            });
+        }
     }
 
     /// The programmed timer deadline (true time), if armed.
@@ -443,6 +476,14 @@ impl Machine {
 
     /// Send the scheduler kick IPI (§3.4).
     pub fn send_kick(&mut self, from: CpuId, to: CpuId) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::Kick {
+                from: from as u32,
+                to: to as u32,
+                now_cycles: self.q.now(),
+            });
+        }
         self.send_ipi(from, to, VEC_KICK);
     }
 
@@ -625,6 +666,13 @@ impl Machine {
                     self.timers.disarm(cpu);
                     self.q.advance_to(deadline);
                     self.q.note_external_events(1);
+                    #[cfg(feature = "trace")]
+                    if let Some(t) = &self.trace {
+                        t.emit(Record::TimerFire {
+                            cpu: cpu as u32,
+                            at_cycles: deadline,
+                        });
+                    }
                     let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
                     self.q.schedule(
                         deadline + latency,

@@ -179,7 +179,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// The result of [`vec`].
+        /// The result of [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             len: std::ops::Range<usize>,

@@ -1,0 +1,512 @@
+//! Typed scheduler trace records and a zero-allocation ring sink.
+//!
+//! The paper's claims are behavioral: an admitted periodic/sporadic thread
+//! never misses its deadline, the local scheduler always dispatches the
+//! earliest-deadline runnable RT thread, tasks never delay RT threads, and
+//! the tickless one-shot timer is always armed for the next constraint
+//! edge (§3–§5). This crate is the observability substrate that lets the
+//! rest of the workspace *check* those claims continuously: the scheduler,
+//! node, kernel task queues, and machine emit [`Record`]s into a
+//! fixed-capacity [`TraceRing`]; an optional [`Observer`] (the invariant
+//! oracles in `nautix-rt::oracle`) consumes each record online, as the
+//! simulation runs.
+//!
+//! # Zero-allocation discipline
+//!
+//! Records are plain `Copy` values. The ring is allocated once at trace
+//! enable time and overwrites its oldest entry when full — emitting a
+//! record on the event hot path is a bounds-checked store plus an optional
+//! virtual call into the observer, never an allocation. The entire layer
+//! is compiled in only under the `trace` cargo feature of the crates that
+//! host the emission points; with the feature off the hot path is
+//! byte-identical to a build without this crate.
+//!
+//! # Timestamps
+//!
+//! The simulation has two clocks, and records carry whichever the emitting
+//! layer actually sees: scheduler-level records carry the CPU's wall-clock
+//! estimate in nanoseconds (`now_ns`), hardware-level records carry true
+//! machine time in cycles (`now_cycles`). Oracles that need both (the
+//! tickless-correctness check) compare within one domain and never convert
+//! across the calibration boundary.
+
+use nautix_des::{Cycles, Nanos};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// CPU index as recorded in the trace.
+pub type TraceCpu = u32;
+/// Thread id as recorded in the trace.
+pub type TraceTid = u32;
+
+/// Default ring capacity: enough recent context to explain a violation
+/// (a full scheduling pass emits a handful of records) without measurable
+/// footprint per node.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Outcome of a completed real-time job, as recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Completed by its deadline.
+    Met,
+    /// Completed after its deadline.
+    Missed,
+    /// The thread blocked during the job; the guarantee was forfeited.
+    Forfeited,
+}
+
+/// Constraint class of an admission verdict, as recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// Best-effort priority class.
+    Aperiodic,
+    /// Periodic (phase φ, period τ, slice σ).
+    Periodic,
+    /// Sporadic (one burst with a deadline, then aperiodic).
+    Sporadic,
+}
+
+/// One typed trace record. Emission points are the scheduler/kernel/
+/// hardware paths named in each variant's doc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// End of a scheduling pass: `tid` was placed on the CPU
+    /// (`LocalScheduler::invoke`). `deadline_ns` is the dispatched job's
+    /// absolute deadline, `Nanos::MAX` when the thread is not an in-job RT
+    /// thread (or is the idle thread).
+    Dispatch {
+        /// CPU the pass ran on.
+        cpu: TraceCpu,
+        /// Chosen thread (may be the idle thread).
+        tid: TraceTid,
+        /// The CPU's wall-clock estimate at the pass.
+        now_ns: Nanos,
+        /// Absolute deadline of the dispatched job, or `Nanos::MAX`.
+        deadline_ns: Nanos,
+        /// Whether the chosen thread holds RT constraints with an active job.
+        is_rt: bool,
+        /// Whether the chosen thread is the CPU's idle thread.
+        is_idle: bool,
+        /// Whether this differs from the previously running thread.
+        switched: bool,
+    },
+    /// A runnable current thread was displaced by the pass's selection.
+    Preempt {
+        /// CPU it happened on.
+        cpu: TraceCpu,
+        /// The displaced thread.
+        tid: TraceTid,
+        /// Wall-clock estimate at the pass.
+        now_ns: Nanos,
+    },
+    /// A thread entered the RT run queue with an active job
+    /// (`enqueue`/`enqueue_current`).
+    RtQueued {
+        /// CPU whose queue it entered.
+        cpu: TraceCpu,
+        /// The queued thread.
+        tid: TraceTid,
+        /// Absolute deadline it is keyed by.
+        deadline_ns: Nanos,
+    },
+    /// A thread entered the pending queue to wait for its next arrival.
+    PendingQueued {
+        /// CPU whose queue it entered.
+        cpu: TraceCpu,
+        /// The queued thread.
+        tid: TraceTid,
+        /// Absolute arrival instant it is keyed by.
+        arrival_ns: Nanos,
+    },
+    /// A thread left every queue (exit, migration, class change, or
+    /// because it was dispatched).
+    Dequeued {
+        /// CPU whose queues it left.
+        cpu: TraceCpu,
+        /// The removed thread.
+        tid: TraceTid,
+    },
+    /// A pending arrival was pumped into the RT run queue: a new job is
+    /// active (`LocalScheduler::invoke`, step 2).
+    JobArrive {
+        /// CPU it arrived on.
+        cpu: TraceCpu,
+        /// The arriving thread.
+        tid: TraceTid,
+        /// The job's arrival instant (wall ns).
+        arrival_ns: Nanos,
+        /// The job's absolute deadline.
+        deadline_ns: Nanos,
+    },
+    /// A job ran its slice to completion and was classified
+    /// (`complete_job`).
+    JobComplete {
+        /// CPU it completed on.
+        cpu: TraceCpu,
+        /// The thread whose job completed.
+        tid: TraceTid,
+        /// Wall-clock estimate at classification.
+        now_ns: Nanos,
+        /// The job's absolute deadline.
+        deadline_ns: Nanos,
+        /// Met, missed, or forfeited.
+        outcome: TraceOutcome,
+    },
+    /// An admission decision (`change_constraints` or group admission).
+    AdmitVerdict {
+        /// CPU whose ledger decided.
+        cpu: TraceCpu,
+        /// The thread requesting constraints.
+        tid: TraceTid,
+        /// Whether the request was admitted.
+        accepted: bool,
+        /// Whether admission control was actually enforcing (the missrate
+        /// sweeps run with it disabled to map the infeasible region).
+        enforced: bool,
+        /// Requested class.
+        class: TraceClass,
+        /// Period τ (periodic) or deadline δ (sporadic), ns; 0 otherwise.
+        period_ns: Nanos,
+        /// Slice σ (periodic) or burst size (sporadic), ns; 0 otherwise.
+        slice_ns: Nanos,
+    },
+    /// A thread's RT reservation was released (exit, class change away
+    /// from RT, or sporadic decay to aperiodic).
+    ConstraintsReleased {
+        /// CPU whose ledger released it.
+        cpu: TraceCpu,
+        /// The thread.
+        tid: TraceTid,
+    },
+    /// The node's per-pass timer request, in the scheduler's own terms,
+    /// before hardware quantization (`Node::program_timer`).
+    TimerReq {
+        /// CPU whose one-shot is being programmed.
+        cpu: TraceCpu,
+        /// Wall-clock estimate at the request.
+        now_ns: Nanos,
+        /// Absolute wall-clock request (pending arrival, lazy latest
+        /// start, deadline backstop), or `Nanos::MAX` for none.
+        wall_ns: Nanos,
+        /// Execution-relative request (slice/quantum end), in cycles of
+        /// remaining execution, or `Cycles::MAX` for none.
+        exec_cycles: Cycles,
+        /// Whether any one-shot was armed (false means the pass cancelled
+        /// the timer).
+        armed: bool,
+    },
+    /// The APIC one-shot was armed (`Machine::set_timer_cycles`).
+    TimerArm {
+        /// CPU whose timer slot was written.
+        cpu: TraceCpu,
+        /// True machine time of the programming.
+        now_cycles: Cycles,
+        /// True machine time the one-shot will fire at (post-quantization).
+        fire_at_cycles: Cycles,
+    },
+    /// The APIC one-shot was disarmed (`Machine::cancel_timer`).
+    TimerCancel {
+        /// CPU whose timer slot was cleared.
+        cpu: TraceCpu,
+        /// True machine time of the cancellation.
+        now_cycles: Cycles,
+    },
+    /// The one-shot deadline elapsed and the timer interrupt was raised
+    /// (`Machine::advance`).
+    TimerFire {
+        /// CPU the interrupt is for.
+        cpu: TraceCpu,
+        /// True machine time of the hardware deadline.
+        at_cycles: Cycles,
+    },
+    /// A scheduler kick IPI was sent (`Machine::send_kick`, §3.4).
+    Kick {
+        /// Sending CPU.
+        from: TraceCpu,
+        /// Target CPU.
+        to: TraceCpu,
+        /// True machine time of the send.
+        now_cycles: Cycles,
+    },
+    /// An aperiodic thread was stolen by an idle CPU (`Node::try_steal`,
+    /// power-of-two-choices, §3.4).
+    Steal {
+        /// The idle CPU that took the thread.
+        thief: TraceCpu,
+        /// The CPU it was taken from.
+        victim: TraceCpu,
+        /// The migrated thread.
+        tid: TraceTid,
+    },
+    /// A task was queued (`TaskQueues::spawn`, §3.1).
+    TaskSpawn {
+        /// CPU whose queues received it.
+        cpu: TraceCpu,
+        /// Whether the producer declared a size.
+        sized: bool,
+        /// Actual execution cost, cycles.
+        work_cycles: Cycles,
+    },
+    /// A size-tagged task was executed inline by the scheduler in the gap
+    /// before the next RT arrival (§3.1).
+    TaskExec {
+        /// CPU that ran it.
+        cpu: TraceCpu,
+        /// Wall-clock estimate when the gap was measured.
+        now_ns: Nanos,
+        /// Declared size, cycles.
+        size_cycles: Cycles,
+        /// Inline budget the scheduler computed for the gap, cycles.
+        budget_cycles: Cycles,
+    },
+}
+
+/// Fixed-capacity overwrite-oldest record buffer.
+///
+/// Allocated once when tracing is enabled; `push` never allocates. Keeps
+/// the most recent `capacity` records for post-mortem context when an
+/// oracle fails.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<Record>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            seq: 0,
+        }
+    }
+
+    /// Append a record, overwriting the oldest once full.
+    pub fn push(&mut self, r: Record) {
+        let pos = (self.seq % self.capacity as u64) as usize;
+        if self.buf.len() < self.capacity {
+            self.buf.push(r);
+        } else {
+            self.buf[pos] = r;
+        }
+        self.seq += 1;
+    }
+
+    /// Total records ever pushed (not just the retained window).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained records, oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> + '_ {
+        let split = if self.buf.len() < self.capacity {
+            0
+        } else {
+            (self.seq % self.capacity as u64) as usize
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Forget everything, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.seq = 0;
+    }
+}
+
+/// An online consumer of the record stream (the invariant oracles).
+///
+/// `recent` is the ring *including* the record just emitted, for
+/// violation messages that want the surrounding context.
+pub trait Observer {
+    /// Called once per emitted record, in emission order.
+    fn on_record(&mut self, r: &Record, recent: &TraceRing);
+}
+
+impl<T: Observer> Observer for Rc<RefCell<T>> {
+    fn on_record(&mut self, r: &Record, recent: &TraceRing) {
+        self.borrow_mut().on_record(r, recent);
+    }
+}
+
+/// The ring plus an optional online observer.
+pub struct Sink {
+    ring: TraceRing,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl Sink {
+    /// A sink with no observer (record-only tracing).
+    pub fn new(capacity: usize) -> Self {
+        Sink {
+            ring: TraceRing::new(capacity),
+            observer: None,
+        }
+    }
+
+    /// A sink whose records are also fed to `observer` online.
+    pub fn with_observer(capacity: usize, observer: Box<dyn Observer>) -> Self {
+        Sink {
+            ring: TraceRing::new(capacity),
+            observer: Some(observer),
+        }
+    }
+
+    /// Record `r` and notify the observer.
+    pub fn emit(&mut self, r: Record) {
+        self.ring.push(r);
+        if let Some(o) = self.observer.as_mut() {
+            o.on_record(&r, &self.ring);
+        }
+    }
+
+    /// The retained record window.
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink")
+            .field("ring", &self.ring)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+/// Shared handle to a [`Sink`], cloned into every emitting layer of one
+/// node (scheduler, node, task queues, machine). Single-threaded by
+/// design: one simulated node is driven by one host thread.
+#[derive(Clone)]
+pub struct TraceHandle(Rc<RefCell<Sink>>);
+
+impl TraceHandle {
+    /// Wrap a sink for sharing.
+    pub fn new(sink: Sink) -> Self {
+        TraceHandle(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Emit one record.
+    pub fn emit(&self, r: Record) {
+        self.0.borrow_mut().emit(r);
+    }
+
+    /// Run `f` against the sink (inspection, draining for tests).
+    pub fn with_sink<R>(&self, f: impl FnOnce(&mut Sink) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Total records emitted so far.
+    pub fn records(&self) -> u64 {
+        self.0.borrow().ring.seq()
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceHandle(records={})", self.records())
+    }
+}
+
+/// Whether `NAUTIX_ORACLES=1` (or `true`/`yes`/`on`) is set. Read once per
+/// process so every node in a run sees the same answer.
+pub fn oracles_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("NAUTIX_ORACLES")
+            .map(|v| matches!(v.as_str(), "1" | "true" | "yes" | "on"))
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kick(n: u64) -> Record {
+        Record::Kick {
+            from: 0,
+            to: 1,
+            now_cycles: n,
+        }
+    }
+
+    #[test]
+    fn ring_retains_newest_window() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(kick(i));
+        }
+        assert_eq!(r.seq(), 10);
+        assert_eq!(r.len(), 4);
+        let got: Vec<u64> = r
+            .iter()
+            .map(|rec| match rec {
+                Record::Kick { now_cycles, .. } => *now_cycles,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_iter_before_wraparound() {
+        let mut r = TraceRing::new(8);
+        for i in 0..3 {
+            r.push(kick(i));
+        }
+        assert_eq!(r.iter().count(), 3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seq(), 0);
+    }
+
+    #[test]
+    fn sink_feeds_observer_in_order() {
+        struct Collect(Rc<RefCell<Vec<u64>>>);
+        impl Observer for Collect {
+            fn on_record(&mut self, r: &Record, recent: &TraceRing) {
+                if let Record::Kick { now_cycles, .. } = r {
+                    self.0.borrow_mut().push(*now_cycles);
+                }
+                assert!(recent.seq() > 0, "ring includes the current record");
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sink = Sink::with_observer(4, Box::new(Collect(Rc::clone(&seen))));
+        for i in 0..5 {
+            sink.emit(kick(i));
+        }
+        assert_eq!(*seen.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sink.ring().seq(), 5);
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let h = TraceHandle::new(Sink::new(4));
+        let h2 = h.clone();
+        h.emit(kick(1));
+        h2.emit(kick(2));
+        assert_eq!(h.records(), 2);
+    }
+}

@@ -138,6 +138,60 @@ fn smi_missing_time_is_visible_in_wall_clock() {
     let _ = tid;
 }
 
+/// The full stack under the pooled trial harness: the same RT workload
+/// fanned over seeds via `run_trials_pooled` (worker-local `NodePool`s
+/// reusing nodes through `Node::reset`) must be green — every deadline
+/// met — and byte-equal to fresh-node runs of the same seeds.
+#[test]
+fn full_stack_is_green_under_the_pooled_harness() {
+    use nautix_bench::harness::run_trials_pooled;
+
+    fn trial(node: &mut Node) -> (u64, u64, u64) {
+        let mut tids = Vec::new();
+        for cpu in 1..3 {
+            let prog = FnProgram::new(move |_cx, n| {
+                if n == 0 {
+                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
+                        200_000, 50_000,
+                    )))
+                } else if n < 40 {
+                    Action::Compute(30_000)
+                } else {
+                    Action::Exit
+                }
+            });
+            tids.push(node.spawn_on(cpu, "p", Box::new(prog)).unwrap());
+        }
+        node.run_until_quiescent();
+        let missed = tids
+            .iter()
+            .map(|&t| node.thread_state(t).stats.missed)
+            .sum();
+        (node.machine.now(), node.machine.events_processed(), missed)
+    }
+
+    let seeds: Vec<u64> = (100..112).collect();
+    let pooled = run_trials_pooled(seeds.clone(), |pool, &seed| {
+        let node = pool.node(small(3, seed));
+        let r = trial(node);
+        (r, r.1)
+    });
+    assert_eq!(pooled.results.len(), seeds.len());
+    for (i, &seed) in seeds.iter().enumerate() {
+        let fresh = trial(&mut Node::new(small(3, seed)));
+        assert_eq!(
+            pooled.results[i], fresh,
+            "pooled node diverged from a fresh node on seed {seed}"
+        );
+        assert_eq!(pooled.results[i].2, 0, "deadline missed under seed {seed}");
+    }
+    assert_eq!(
+        pooled.stats.events,
+        pooled.results.iter().map(|r| r.1).sum::<u64>(),
+        "harness event accounting must match the trials"
+    );
+}
+
 #[test]
 fn seeds_differ_but_each_is_reproducible() {
     let run = |seed: u64| {
