@@ -34,7 +34,7 @@ fn bench_scheduler_invoke(c: &mut Criterion) {
         let mut threads: Vec<SchedThread> = (0..16).map(|_| SchedThread::new_aperiodic()).collect();
         #[allow(clippy::needless_range_loop)]
         for tid in 1..9 {
-            let cons = Constraints::periodic(100_000 * tid as u64, 5_000 * tid as u64);
+            let cons = Constraints::periodic(100_000 * tid as u64, 5_000 * tid as u64).build();
             sched
                 .change_constraints(tid, &mut threads[tid], cons, 0, true)
                 .unwrap();
@@ -55,8 +55,9 @@ fn bench_admission(c: &mut Criterion) {
             CpuLoad::new,
             |mut load| {
                 for i in 1..8u64 {
-                    let _ =
-                        black_box(load.admit(&cfg, &Constraints::periodic(100_000 * i, 9_000 * i)));
+                    let _ = black_box(
+                        load.admit(&cfg, &Constraints::periodic(100_000 * i, 9_000 * i).build()),
+                    );
                 }
             },
             BatchSize::SmallInput,
@@ -73,8 +74,10 @@ fn bench_admission(c: &mut Criterion) {
         b.iter_batched(
             CpuLoad::new,
             |mut load| {
-                let _ = black_box(load.admit(&cfg, &Constraints::periodic(100_000, 50_000)));
-                let _ = black_box(load.admit(&cfg, &Constraints::periodic(250_000, 50_000)));
+                let _ =
+                    black_box(load.admit(&cfg, &Constraints::periodic(100_000, 50_000).build()));
+                let _ =
+                    black_box(load.admit(&cfg, &Constraints::periodic(250_000, 50_000).build()));
             },
             BatchSize::SmallInput,
         )

@@ -15,7 +15,9 @@ use crate::harness::{run_trials, HarnessStats};
 use nautix_des::Nanos;
 use nautix_hw::{Cost, MachineConfig, SmiConfig, SmiPattern, TimerMode};
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::{AdmissionPolicy, CpuLoad, Node, NodeConfig, SchedConfig, SchedMode};
+use nautix_rt::{
+    AdmissionPolicy, CpuLoad, HarnessConfig, Node, NodeConfig, SchedConfig, SchedMode,
+};
 
 /// Miss rate of a periodic thread under the given scheduler mode and SMI
 /// injection intensity.
@@ -57,9 +59,9 @@ pub fn miss_rate_under_smi_instrumented(
     let slice = period * (util_limit_ppm.saturating_sub(40_000)) / 1_000_000;
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                period, slice,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(period, slice).build(),
+            ))
         } else {
             Action::Compute(200_000)
         }
@@ -73,13 +75,16 @@ pub fn miss_rate_under_smi_instrumented(
 /// Eager-vs-lazy rows: (smi interval µs or None, eager rate, lazy rate).
 /// The eight underlying simulations are independent trials fanned across
 /// worker threads.
-pub fn eager_vs_lazy_with_stats(seed: u64) -> (Vec<(Option<u64>, f64, f64)>, HarnessStats) {
+pub fn eager_vs_lazy_with_stats(
+    hc: &HarnessConfig,
+    seed: u64,
+) -> (Vec<(Option<u64>, f64, f64)>, HarnessStats) {
     let intervals = [None, Some(50_000u64), Some(10_000), Some(3_000)];
     let trials: Vec<(Option<u64>, SchedMode)> = intervals
         .iter()
         .flat_map(|&smi| [(smi, SchedMode::Eager), (smi, SchedMode::Lazy)])
         .collect();
-    let set = run_trials(trials, |&(smi, mode)| {
+    let set = run_trials(hc, trials, |&(smi, mode)| {
         miss_rate_under_smi_instrumented(mode, smi, 900_000, seed)
     });
     let rows = intervals
@@ -90,16 +95,20 @@ pub fn eager_vs_lazy_with_stats(seed: u64) -> (Vec<(Option<u64>, f64, f64)>, Har
     (rows, set.stats)
 }
 
-/// [`eager_vs_lazy_with_stats`] without the instrumentation.
+/// [`eager_vs_lazy_with_stats`] without the instrumentation, configured
+/// from the environment.
 pub fn eager_vs_lazy(seed: u64) -> Vec<(Option<u64>, f64, f64)> {
-    eager_vs_lazy_with_stats(seed).0
+    eager_vs_lazy_with_stats(&HarnessConfig::from_env(), seed).0
 }
 
 /// Utilization-limit knob rows: (limit %, miss rate) under fixed SMI noise,
 /// one independent trial per limit.
-pub fn util_limit_knob_with_stats(seed: u64) -> (Vec<(u64, f64)>, HarnessStats) {
+pub fn util_limit_knob_with_stats(
+    hc: &HarnessConfig,
+    seed: u64,
+) -> (Vec<(u64, f64)>, HarnessStats) {
     let limits = vec![990_000u64, 950_000, 900_000, 800_000, 700_000];
-    let set = run_trials(limits.clone(), |&limit| {
+    let set = run_trials(hc, limits.clone(), |&limit| {
         miss_rate_under_smi_instrumented(SchedMode::Eager, Some(5_000), limit, seed)
     });
     let rows = limits
@@ -110,9 +119,10 @@ pub fn util_limit_knob_with_stats(seed: u64) -> (Vec<(u64, f64)>, HarnessStats) 
     (rows, set.stats)
 }
 
-/// [`util_limit_knob_with_stats`] without the instrumentation.
+/// [`util_limit_knob_with_stats`] without the instrumentation, configured
+/// from the environment.
 pub fn util_limit_knob(seed: u64) -> Vec<(u64, f64)> {
-    util_limit_knob_with_stats(seed).0
+    util_limit_knob_with_stats(&HarnessConfig::from_env(), seed).0
 }
 
 /// Interrupt steering: jitter of an RT thread's dispatches with device
@@ -129,9 +139,9 @@ pub fn steering_effect(steer_to_rt_cpu: bool, seed: u64) -> f64 {
     }
     let prog = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                100_000, 30_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(100_000, 30_000).build(),
+            ))
         } else {
             Action::Compute(100_000)
         }
@@ -165,9 +175,9 @@ pub fn timer_mode_precision(mode: TimerMode, seed: u64) -> f64 {
     let period: Nanos = 50_000;
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                period, 10_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(period, 10_000).build(),
+            ))
         } else {
             Action::Compute(100_000)
         }
@@ -203,9 +213,9 @@ pub fn hard_vs_soft_overload(seed: u64) -> (f64, usize, Vec<f64>) {
             let admitted2 = admitted.clone();
             let prog = FnProgram::new(move |cx, n| {
                 if n == 0 {
-                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                        1_000_000, 600_000,
-                    )))
+                    Action::Call(SysCall::ChangeConstraints(
+                        Constraints::periodic(1_000_000, 600_000).build(),
+                    ))
                 } else {
                     if n == 1 {
                         admitted2
@@ -244,25 +254,25 @@ pub fn admission_policy_matrix() -> Vec<(&'static str, bool, bool, bool)> {
         (
             "two_large_tasks_77pct",
             vec![
-                Constraints::periodic(100_000, 47_000),
-                Constraints::periodic(100_000, 30_000),
+                Constraints::periodic(100_000, 47_000).build(),
+                Constraints::periodic(100_000, 30_000).build(),
             ],
         ),
         (
             "three_tasks_78pct",
             vec![
-                Constraints::periodic(100_000, 30_000),
-                Constraints::periodic(100_000, 30_000),
-                Constraints::periodic(100_000, 18_000),
+                Constraints::periodic(100_000, 30_000).build(),
+                Constraints::periodic(100_000, 30_000).build(),
+                Constraints::periodic(100_000, 18_000).build(),
             ],
         ),
         (
             "fine_grain_50pct_at_10us",
-            vec![Constraints::periodic(10_000, 5_000)],
+            vec![Constraints::periodic(10_000, 5_000).build()],
         ),
         (
             "coarse_50pct_at_1ms",
-            vec![Constraints::periodic(1_000_000, 500_000)],
+            vec![Constraints::periodic(1_000_000, 500_000).build()],
         ),
     ];
     let policies = [

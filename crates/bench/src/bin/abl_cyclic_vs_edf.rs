@@ -41,9 +41,9 @@ fn run_edf(horizon_ns: u64) -> (u64, u64, u64, u64) {
     for t in SET {
         let prog = FnProgram::new(move |_cx, n| {
             if n == 0 {
-                Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                    t.period, t.wcet,
-                )))
+                Action::Call(SysCall::ChangeConstraints(
+                    Constraints::periodic(t.period, t.wcet).build(),
+                ))
             } else {
                 Action::Compute(1_000_000)
             }

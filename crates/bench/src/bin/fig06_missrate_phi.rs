@@ -2,11 +2,13 @@
 
 use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 6: miss rate vs period/slice (Phi)");
-    let (pts, stats) = missrate::sweep_with_stats(Platform::Phi, scale, 5);
+    let (pts, stats) =
+        missrate::sweep_with_stats(&HarnessConfig::from_env(), Platform::Phi, scale, 5);
     println!("period_us,slice_pct,miss_rate,jobs");
     for p in &pts {
         println!(

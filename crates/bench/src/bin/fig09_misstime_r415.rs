@@ -2,11 +2,13 @@
 
 use nautix_bench::{banner, f, missrate, out_dir, write_csv, BenchReport, Scale};
 use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
 fn main() {
     let scale = Scale::from_args();
     banner("Figure 9: miss times vs period/slice (R415, µs)");
-    let (pts, stats) = missrate::sweep_with_stats(Platform::R415, scale, 5);
+    let (pts, stats) =
+        missrate::sweep_with_stats(&HarnessConfig::from_env(), Platform::R415, scale, 5);
     println!("period_us,slice_pct,miss_mean_us,miss_std_us");
     for p in &pts {
         println!(

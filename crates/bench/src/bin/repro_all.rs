@@ -5,20 +5,22 @@
 
 use nautix_bench::throttle::Granularity;
 use nautix_bench::{
-    ablations, banner, barrier_removal, f, fig03, fig04, fig05, fig10, groupsync, harness,
-    missrate, out_dir, throttle, write_csv, BenchReport, Scale,
+    ablations, banner, barrier_removal, f, fig03, fig04, fig05, fig10, groupsync, missrate,
+    out_dir, throttle, write_csv, BenchReport, Scale,
 };
 use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
 fn main() {
     let scale = Scale::from_args();
+    let hc = HarnessConfig::from_env();
     println!(
         "scale: {scale:?} (pass --paper for the full configuration); \
          {} worker threads (set NAUTIX_THREADS to override)\n",
-        harness::threads()
+        hc.threads
     );
     #[cfg(feature = "trace")]
-    if nautix_trace::oracles_enabled() {
+    if hc.oracles {
         println!(
             "NAUTIX_ORACLES=1: online invariant oracles armed on every node \
              (EDF dispatch, admission soundness, RT isolation, tickless \
@@ -123,7 +125,7 @@ fn main() {
         ("Fig 7", "Fig 9", Platform::R415, "4 µs"),
     ] {
         banner(&format!("{figa} / {figb}"));
-        let (pts, stats) = missrate::sweep_with_stats(platform, scale, 5);
+        let (pts, stats) = missrate::sweep_with_stats(&hc, platform, scale, 5);
         report.add(
             if platform == Platform::Phi {
                 "fig06_08_missrate_phi"
@@ -243,7 +245,7 @@ fn main() {
     ));
 
     banner("Figure 12");
-    let (r12, stats12) = groupsync::fig12_with_stats(scale, 21);
+    let (r12, stats12) = groupsync::fig12_with_stats(&hc, scale, 21);
     report.add("fig12_group_sync_scale", stats12);
     write_csv(
         &out_dir().join("fig12_group_sync_scale.csv"),
@@ -271,11 +273,11 @@ fn main() {
     ));
 
     banner("Figure 13");
-    let (r13, stats13) = throttle::run_with_stats(Granularity::Coarse, scale, 3);
+    let (r13, stats13) = throttle::run_with_stats(&hc, Granularity::Coarse, scale, 3);
     report.add("fig13_throttle_coarse", stats13);
     let (_, cv13) = throttle::control_quality(&r13);
     banner("Figure 14");
-    let (r14, stats14) = throttle::run_with_stats(Granularity::Fine, scale, 3);
+    let (r14, stats14) = throttle::run_with_stats(&hc, Granularity::Fine, scale, 3);
     report.add("fig14_throttle_fine", stats14);
     let (_, cv14) = throttle::control_quality(&r14);
     for (name, pts) in [
@@ -369,7 +371,7 @@ fn main() {
     ));
 
     banner("Ablations");
-    let (el, stats_el) = ablations::eager_vs_lazy_with_stats(31);
+    let (el, stats_el) = ablations::eager_vs_lazy_with_stats(&hc, 31);
     report.add("abl_eager_vs_lazy", stats_el);
     let (_, e_hot, l_hot) = el[el.len() - 1];
     summary.push((
@@ -377,7 +379,7 @@ fn main() {
         "eager absorbs missing time".into(),
         format!("miss rates: eager {} lazy {}", f(e_hot), f(l_hot)),
     ));
-    let (knob, stats_knob) = ablations::util_limit_knob_with_stats(31);
+    let (knob, stats_knob) = ablations::util_limit_knob_with_stats(&hc, 31);
     report.add("abl_util_limit", stats_knob);
     summary.push((
         "Ablation: utilization-limit knob".into(),
@@ -398,7 +400,7 @@ fn main() {
         "\nharness: {} trials on {} threads, {:.2}s wall in instrumented sections, \
          {} simulated events ({:.0} events/s)",
         trials,
-        harness::threads(),
+        hc.threads,
         wall,
         events,
         if wall > 0.0 {
@@ -408,7 +410,7 @@ fn main() {
         }
     );
     #[cfg(feature = "trace")]
-    if nautix_trace::oracles_enabled() {
+    if hc.oracles {
         let (suites, o) = nautix_rt::oracle::global_stats();
         println!(
             "\noracles: CLEAN over {} node lifetimes — {} records consumed; \
@@ -422,6 +424,24 @@ fn main() {
             o.miss_checks,
             o.environment_misses,
             o.divergences,
+        );
+        if o.fault_records.iter().any(|&n| n > 0) {
+            for lane in nautix_trace::FaultLane::all() {
+                println!(
+                    "  fault lane {:>14}: {} injected, {} misses attributed",
+                    lane.name(),
+                    o.fault_records[lane.idx()],
+                    o.env_miss_by_lane[lane.idx()],
+                );
+            }
+        }
+    }
+    let degrade = nautix_rt::degrade_global_stats();
+    if degrade.total() > 0 {
+        println!(
+            "\ndegradation: {} sporadic demotions, {} periodic widenings, \
+             {} periodic demotions",
+            degrade.sporadic_demotions, degrade.periodic_widenings, degrade.periodic_demotions,
         );
     }
     let bench_path = std::path::Path::new("BENCH_repro.json");

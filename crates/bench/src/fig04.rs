@@ -33,9 +33,9 @@ pub fn run(scale: Scale, seed: u64) -> Fig04 {
     let mut node = Node::new(cfg);
     let prog = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                100_000, 50_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(100_000, 50_000).build(),
+            ))
         } else {
             Action::Compute(13_000)
         }

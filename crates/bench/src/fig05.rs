@@ -51,9 +51,9 @@ fn measure(platform: Platform, scale: Scale, seed: u64) -> PlatformOverheads {
     let mut node = Node::new(cfg);
     let prog = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                100_000, 50_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(100_000, 50_000).build(),
+            ))
         } else {
             Action::Compute(1_000_000)
         }

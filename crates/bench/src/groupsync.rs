@@ -13,7 +13,7 @@ use crate::harness::{run_trials, HarnessStats};
 use nautix_des::Summary;
 use nautix_hw::MachineConfig;
 use nautix_kernel::{Action, Constraints, FnProgram, GroupId, SysCall};
-use nautix_rt::{dispatch_spreads, DispatchLog, Node, NodeConfig};
+use nautix_rt::{dispatch_spreads, DispatchLog, HarnessConfig, Node, NodeConfig};
 
 /// Spread series for one group size.
 #[derive(Debug, Clone)]
@@ -120,18 +120,23 @@ pub fn fig11(scale: Scale, seed: u64) -> SyncSeries {
 
 /// Figure 12: spread series at several group sizes, one independent trial
 /// per size, fanned across worker threads.
-pub fn fig12_with_stats(scale: Scale, seed: u64) -> (Vec<SyncSeries>, HarnessStats) {
+pub fn fig12_with_stats(
+    hc: &HarnessConfig,
+    scale: Scale,
+    seed: u64,
+) -> (Vec<SyncSeries>, HarnessStats) {
     let (sizes, inv): (Vec<usize>, usize) = match scale {
         Scale::Quick => (vec![8, 32, 63], 300),
         Scale::Paper => (vec![8, 64, 128, 255], 1000),
     };
-    let set = run_trials(sizes, |&n| measure_instrumented(n, inv, false, seed));
+    let set = run_trials(hc, sizes, |&n| measure_instrumented(n, inv, false, seed));
     (set.results, set.stats)
 }
 
-/// [`fig12_with_stats`] without the instrumentation.
+/// [`fig12_with_stats`] without the instrumentation, configured from the
+/// environment.
 pub fn fig12(scale: Scale, seed: u64) -> Vec<SyncSeries> {
-    fig12_with_stats(scale, seed).0
+    fig12_with_stats(&HarnessConfig::from_env(), scale, seed).0
 }
 
 #[cfg(test)]

@@ -11,16 +11,18 @@
 //! index-addressed slots, and the returned vector is always in input order
 //! — a parallel run is byte-identical to a serial one.
 //!
-//! Thread count comes from the `NAUTIX_THREADS` environment variable,
-//! defaulting to the host's available parallelism. Setting it to 1 gives a
-//! plain serial run.
+//! Thread count comes from the [`HarnessConfig`] passed to the trial
+//! runners. Binaries build one with [`HarnessConfig::from_env`] (where
+//! `NAUTIX_THREADS` survives as the compat shim, defaulting to the host's
+//! available parallelism); tests construct one explicitly. A config with
+//! `threads: 1` gives a plain serial run.
 //!
 //! Every trial is instrumented: the harness records per-trial wall time and
 //! simulated-event count (the DES hot-path metric) and aggregates them into
 //! [`HarnessStats`]. Binaries collect one `HarnessStats` per experiment
 //! section into a [`BenchReport`] and emit it as `BENCH_repro.json`.
 
-use nautix_rt::{Node, NodeConfig};
+use nautix_rt::{HarnessConfig, Node, NodeConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,17 +60,11 @@ impl NodePool {
     }
 }
 
-/// Worker-thread count: `NAUTIX_THREADS`, else available parallelism.
+/// Worker-thread count of the ambient environment. Compat shim over
+/// [`HarnessConfig::from_env`]; prefer threading a [`HarnessConfig`]
+/// through explicitly.
 pub fn threads() -> usize {
-    std::env::var("NAUTIX_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    HarnessConfig::from_env().threads
 }
 
 /// Aggregate instrumentation for one batch of trials.
@@ -132,7 +128,7 @@ pub struct TrialSet<R> {
     pub stats: HarnessStats,
 }
 
-/// Run `f` over every item, fanned across worker threads.
+/// Run `f` over every item, fanned across `hc.threads` worker threads.
 ///
 /// `f` maps an item to `(result, simulated_events)`. It must be a pure
 /// function of the item — build the simulation from parameters carried *in*
@@ -140,13 +136,13 @@ pub struct TrialSet<R> {
 /// identity or execution order. Under that contract the output is
 /// independent of the thread count: `results[i]` is `f(&items[i]).0`
 /// exactly, whether the batch ran on one thread or sixteen.
-pub fn run_trials<I, R, F>(items: Vec<I>, f: F) -> TrialSet<R>
+pub fn run_trials<I, R, F>(hc: &HarnessConfig, items: Vec<I>, f: F) -> TrialSet<R>
 where
     I: Sync,
     R: Send,
     F: Fn(&I) -> (R, u64) + Sync,
 {
-    run_trials_pooled(items, |_pool, item| f(item))
+    run_trials_pooled(hc, items, |_pool, item| f(item))
 }
 
 /// [`run_trials`] with a per-worker [`NodePool`] threaded through `f`, so
@@ -157,14 +153,14 @@ where
 /// item, and because `Node::reset` replays construction exactly, a pooled
 /// node cannot leak state between trials — `results[i]` stays independent
 /// of which worker ran trial `i` or what it ran before.
-pub fn run_trials_pooled<I, R, F>(items: Vec<I>, f: F) -> TrialSet<R>
+pub fn run_trials_pooled<I, R, F>(hc: &HarnessConfig, items: Vec<I>, f: F) -> TrialSet<R>
 where
     I: Sync,
     R: Send,
     F: Fn(&mut NodePool, &I) -> (R, u64) + Sync,
 {
     let n = items.len();
-    let nthreads = threads().min(n.max(1));
+    let nthreads = hc.threads.max(1).min(n.max(1));
     let t0 = Instant::now();
     let slots: Vec<Mutex<Option<(R, u64, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -332,7 +328,7 @@ mod tests {
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<u64> = (0..100).collect();
-        let set = run_trials(items, |&i| (i * 2, i));
+        let set = run_trials(&HarnessConfig::with_threads(4), items, |&i| (i * 2, i));
         assert_eq!(set.results, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
         assert_eq!(set.stats.trials, 100);
         assert_eq!(set.stats.events, (0..100).sum::<u64>());
@@ -342,22 +338,23 @@ mod tests {
     #[test]
     fn serial_and_parallel_agree() {
         // The contract under test: thread count must not affect results.
-        let run = |threads: &str| {
-            std::env::set_var("NAUTIX_THREADS", threads);
-            let set = run_trials((0..64u64).collect(), |&i| {
-                // A little work so threads genuinely interleave.
-                let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                for _ in 0..1000 {
-                    h ^= h >> 13;
-                    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                }
-                (h, i + 1)
-            });
-            std::env::remove_var("NAUTIX_THREADS");
-            set
+        let run = |threads: usize| {
+            run_trials(
+                &HarnessConfig::with_threads(threads),
+                (0..64u64).collect(),
+                |&i| {
+                    // A little work so threads genuinely interleave.
+                    let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for _ in 0..1000 {
+                        h ^= h >> 13;
+                        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                    }
+                    (h, i + 1)
+                },
+            )
         };
-        let serial = run("1");
-        let parallel = run("4");
+        let serial = run(1);
+        let parallel = run(4);
         assert_eq!(serial.results, parallel.results);
         assert_eq!(serial.stats.trial_events, parallel.stats.trial_events);
         assert_eq!(parallel.stats.threads, 4);
@@ -365,7 +362,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_fine() {
-        let set = run_trials(Vec::<u64>::new(), |&i| (i, 0));
+        let set = run_trials(&HarnessConfig::serial(), Vec::<u64>::new(), |&i| (i, 0));
         assert!(set.results.is_empty());
         assert_eq!(set.stats.trials, 0);
         assert_eq!(set.stats.events, 0);
@@ -373,8 +370,9 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let a = run_trials(vec![1u64, 2], |&i| (i, 10));
-        let b = run_trials(vec![3u64], |&i| (i, 5));
+        let hc = HarnessConfig::serial();
+        let a = run_trials(&hc, vec![1u64, 2], |&i| (i, 10));
+        let b = run_trials(&hc, vec![3u64], |&i| (i, 5));
         let mut m = a.stats;
         m.merge(&b.stats);
         assert_eq!(m.trials, 3);
@@ -385,7 +383,9 @@ mod tests {
     #[test]
     fn report_json_is_well_formed() {
         let mut r = BenchReport::new();
-        let set = run_trials(vec![1u64, 2, 3], |&i| (i, i * 100));
+        let set = run_trials(&HarnessConfig::with_threads(2), vec![1u64, 2, 3], |&i| {
+            (i, i * 100)
+        });
         r.add("sec\"one", set.stats);
         let j = r.to_json();
         assert!(j.contains("\"sections\": ["));

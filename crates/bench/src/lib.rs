@@ -26,6 +26,7 @@
 pub mod ablations;
 pub mod barrier_removal;
 pub mod common;
+pub mod fault_sweep;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

@@ -13,7 +13,7 @@ use crate::harness::{run_trials_pooled, HarnessStats, NodePool};
 use nautix_des::Nanos;
 use nautix_hw::{MachineConfig, Platform};
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::NodeConfig;
+use nautix_rt::{HarnessConfig, NodeConfig};
 
 /// One (period, slice) sample of the sweep.
 ///
@@ -145,11 +145,13 @@ pub fn trial_grid(platform: Platform, scale: Scale) -> Vec<(Nanos, Nanos, u64)> 
 /// simulation seeded only by `(grid point, seed)`, so the result vector is
 /// identical at any thread count.
 pub fn sweep_with_stats(
+    hc: &HarnessConfig,
     platform: Platform,
     scale: Scale,
     seed: u64,
 ) -> (Vec<MissPoint>, HarnessStats) {
     let set = run_trials_pooled(
+        hc,
         trial_grid(platform, scale),
         |pool, &(period_ns, slice_ns, jobs)| {
             let p = measure_point_pooled(pool, platform, period_ns, slice_ns, jobs, seed);
@@ -159,9 +161,10 @@ pub fn sweep_with_stats(
     (set.results, set.stats)
 }
 
-/// [`sweep_with_stats`] without the instrumentation.
+/// [`sweep_with_stats`] without the instrumentation, configured from the
+/// environment.
 pub fn sweep(platform: Platform, scale: Scale, seed: u64) -> Vec<MissPoint> {
-    sweep_with_stats(platform, scale, seed).0
+    sweep_with_stats(&HarnessConfig::from_env(), platform, scale, seed).0
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::harness::{run_trials, HarnessStats};
 use nautix_bsp::{run_bsp, BspMode, BspParams};
 use nautix_des::Nanos;
 use nautix_hw::MachineConfig;
-use nautix_rt::{NodeConfig, SchedConfig};
+use nautix_rt::{HarnessConfig, NodeConfig, SchedConfig};
 
 /// One (τ, σ) sample.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +119,7 @@ pub fn measure_instrumented(
 /// Run the full sweep for one granularity, grid points fanned across
 /// worker threads as independent trials.
 pub fn run_with_stats(
+    hc: &HarnessConfig,
     g: Granularity,
     scale: Scale,
     seed: u64,
@@ -135,15 +136,15 @@ pub fn run_with_stats(
             points.push((period, slice));
         }
     }
-    let set = run_trials(points, |&(period, slice)| {
+    let set = run_trials(hc, points, |&(period, slice)| {
         measure_instrumented(g, p, period, slice, scale, seed)
     });
     (set.results, set.stats)
 }
 
-/// Run the full sweep for one granularity.
+/// Run the full sweep for one granularity, configured from the environment.
 pub fn run(g: Granularity, scale: Scale, seed: u64) -> Vec<ThrottlePoint> {
-    run_with_stats(g, scale, seed).0
+    run_with_stats(&HarnessConfig::from_env(), g, scale, seed).0
 }
 
 /// Linear-control figure of merit: for each admitted point, the product

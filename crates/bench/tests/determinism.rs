@@ -6,27 +6,41 @@
 use nautix_bench::throttle::Granularity;
 use nautix_bench::{missrate, throttle, Scale};
 use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
-/// Single test (not one per experiment) because `NAUTIX_THREADS` is
-/// process-global and tests in one binary run concurrently.
 #[test]
 fn serial_and_parallel_sweeps_are_identical() {
     // Miss-rate sweep (Figures 6/8): full grid, exact equality.
-    std::env::set_var("NAUTIX_THREADS", "1");
-    let (serial, s1) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
-    std::env::set_var("NAUTIX_THREADS", "4");
-    let (parallel, s4) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
+    let (serial, s1) = missrate::sweep_with_stats(
+        &HarnessConfig::with_threads(1),
+        Platform::Phi,
+        Scale::Quick,
+        5,
+    );
+    let (parallel, s4) = missrate::sweep_with_stats(
+        &HarnessConfig::with_threads(4),
+        Platform::Phi,
+        Scale::Quick,
+        5,
+    );
     assert_eq!(s1.threads, 1);
     assert_eq!(s4.threads, 4);
     assert_eq!(serial, parallel, "thread count changed miss-rate results");
     assert_eq!(s1.events, s4.events, "simulated event counts must match");
 
     // Throttle sweep (Figure 13): compare the fields that feed the CSV.
-    std::env::set_var("NAUTIX_THREADS", "1");
-    let (t1, _) = throttle::run_with_stats(Granularity::Coarse, Scale::Quick, 3);
-    std::env::set_var("NAUTIX_THREADS", "3");
-    let (t3, _) = throttle::run_with_stats(Granularity::Coarse, Scale::Quick, 3);
-    std::env::remove_var("NAUTIX_THREADS");
+    let (t1, _) = throttle::run_with_stats(
+        &HarnessConfig::with_threads(1),
+        Granularity::Coarse,
+        Scale::Quick,
+        3,
+    );
+    let (t3, _) = throttle::run_with_stats(
+        &HarnessConfig::with_threads(3),
+        Granularity::Coarse,
+        Scale::Quick,
+        3,
+    );
     let key = |p: &throttle::ThrottlePoint| (p.period_ns, p.slice_ns, p.time_ns, p.admitted);
     assert_eq!(
         t1.iter().map(key).collect::<Vec<_>>(),

@@ -8,6 +8,7 @@
 use nautix_bench::harness::NodePool;
 use nautix_bench::{missrate, Scale};
 use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
 #[test]
 fn pooled_reset_node_matches_fresh_construction() {
@@ -33,9 +34,14 @@ fn pooled_reset_node_matches_fresh_construction() {
 
 #[test]
 fn pooled_sweep_matches_fresh_per_point_results() {
-    // The full sweep runs on per-worker pools (at whatever NAUTIX_THREADS
-    // the environment sets); every point must equal an isolated fresh run.
-    let (sweep, _) = missrate::sweep_with_stats(Platform::Phi, Scale::Quick, 5);
+    // The full sweep runs on per-worker pools; every point must equal an
+    // isolated fresh run.
+    let (sweep, _) = missrate::sweep_with_stats(
+        &HarnessConfig::with_threads(4),
+        Platform::Phi,
+        Scale::Quick,
+        5,
+    );
     let grid = missrate::trial_grid(Platform::Phi, Scale::Quick);
     assert_eq!(sweep.len(), grid.len());
     for (point, &(period, slice, jobs)) in sweep.iter().zip(&grid) {

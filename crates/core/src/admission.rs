@@ -59,6 +59,56 @@ pub enum SchedMode {
     Lazy,
 }
 
+/// Graceful-degradation policy: what the local scheduler does when
+/// environmental interference (SMIs, fault lanes) pushes an admitted
+/// reservation past its envelope. Disabled by default — the paper's
+/// scheduler never alters an admitted constraint on its own, and the
+/// deterministic reproduction depends on that.
+///
+/// When enabled:
+///
+/// * a **sporadic** job still holding unfinished work past its deadline is
+///   demoted to the aperiodic class at once, so a blown burst stops
+///   outranking every periodic thread in EDF order;
+/// * a **periodic** thread that misses `miss_threshold` consecutive
+///   deadlines has its admission revoked and is resubmitted with its
+///   period widened by `widen_pct` percent (same slice, lower
+///   utilization, more slack per job). After `max_widen` rounds — or if
+///   the widened set is somehow rejected — the thread falls back to the
+///   aperiodic class instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Consecutive misses before a periodic reservation is widened.
+    pub miss_threshold: u32,
+    /// Percent added to the period on each resubmission.
+    pub widen_pct: u32,
+    /// Widening rounds per thread before demotion to aperiodic.
+    pub max_widen: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            enabled: false,
+            miss_threshold: 3,
+            widen_pct: 25,
+            max_widen: 3,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The default thresholds with the master switch on.
+    pub fn enabled() -> Self {
+        DegradePolicy {
+            enabled: true,
+            ..DegradePolicy::default()
+        }
+    }
+}
+
 /// Boot-time local-scheduler configuration (§3.2, §5.1).
 #[derive(Debug, Clone, Copy)]
 pub struct SchedConfig {
@@ -94,6 +144,8 @@ pub struct SchedConfig {
     pub admission_enabled: bool,
     /// Enable the idle-thread work stealer (§3.4).
     pub work_stealing: bool,
+    /// Graceful degradation under sustained interference (off by default).
+    pub degrade: DegradePolicy,
 }
 
 impl Default for SchedConfig {
@@ -111,6 +163,7 @@ impl Default for SchedConfig {
             lazy_margin_ns: 15_000,
             admission_enabled: true,
             work_stealing: true,
+            degrade: DegradePolicy::default(),
         }
     }
 }
@@ -411,12 +464,12 @@ mod tests {
         let c = cfg();
         // 4 x 19% = 76% <= 79%
         for _ in 0..4 {
-            load.admit(&c, &Constraints::periodic(100_000, 19_000))
+            load.admit(&c, &Constraints::periodic(100_000, 19_000).build())
                 .unwrap();
         }
         // A 5th would reach 95%.
         assert_eq!(
-            load.admit(&c, &Constraints::periodic(100_000, 19_000)),
+            load.admit(&c, &Constraints::periodic(100_000, 19_000).build()),
             Err(AdmissionError::UtilizationExceeded)
         );
         assert_eq!(load.periodic_count(), 4);
@@ -426,14 +479,14 @@ mod tests {
     fn release_returns_utilization() {
         let mut load = CpuLoad::new();
         let c = cfg();
-        let big = Constraints::periodic(100_000, 70_000);
+        let big = Constraints::periodic(100_000, 70_000).build();
         load.admit(&c, &big).unwrap();
         assert_eq!(
-            load.admit(&c, &Constraints::periodic(100_000, 20_000)),
+            load.admit(&c, &Constraints::periodic(100_000, 20_000).build()),
             Err(AdmissionError::UtilizationExceeded)
         );
         load.release(&big);
-        load.admit(&c, &Constraints::periodic(100_000, 20_000))
+        load.admit(&c, &Constraints::periodic(100_000, 20_000).build())
             .unwrap();
     }
 
@@ -444,31 +497,31 @@ mod tests {
         let mut load = CpuLoad::new();
         // Two tasks at 39% each: 78% total passes EDF (79% budget) but
         // exceeds the 2-task RM bound of ~82.8%... 78 < 82.8, so passes.
-        load.admit(&c, &Constraints::periodic(100_000, 39_000))
+        load.admit(&c, &Constraints::periodic(100_000, 39_000).build())
             .unwrap();
-        load.admit(&c, &Constraints::periodic(100_000, 39_000))
+        load.admit(&c, &Constraints::periodic(100_000, 39_000).build())
             .unwrap();
         // Third at 39%: total 117% fails everything; try 5%: total 83%
         // exceeds the 3-task RM bound (~78%) but is under the EDF budget?
         // 83% > 79% budget too. Use tighter numbers: load 2x30%, third 17%:
         let mut load = CpuLoad::new();
-        load.admit(&c, &Constraints::periodic(100_000, 30_000))
+        load.admit(&c, &Constraints::periodic(100_000, 30_000).build())
             .unwrap();
-        load.admit(&c, &Constraints::periodic(100_000, 30_000))
+        load.admit(&c, &Constraints::periodic(100_000, 30_000).build())
             .unwrap();
         // total would be 77% < 79% budget, but 3-task RM bound is 77.98%:
         // 77% <= 77.98% admits. 18% instead -> 78% > 77.98% rejects.
-        load.admit(&c, &Constraints::periodic(100_000, 17_000))
+        load.admit(&c, &Constraints::periodic(100_000, 17_000).build())
             .unwrap();
         let mut load2 = CpuLoad::new();
         load2
-            .admit(&c, &Constraints::periodic(100_000, 30_000))
+            .admit(&c, &Constraints::periodic(100_000, 30_000).build())
             .unwrap();
         load2
-            .admit(&c, &Constraints::periodic(100_000, 30_000))
+            .admit(&c, &Constraints::periodic(100_000, 30_000).build())
             .unwrap();
         assert_eq!(
-            load2.admit(&c, &Constraints::periodic(100_000, 18_000)),
+            load2.admit(&c, &Constraints::periodic(100_000, 18_000).build()),
             Err(AdmissionError::UtilizationExceeded)
         );
     }
@@ -484,11 +537,11 @@ mod tests {
         // 10 us period with a 5 us slice: 50% utilization passes the bound,
         // but 5 + 9 us of work per 10 us period cannot fit.
         assert_eq!(
-            load.admit(&c, &Constraints::periodic(10_000, 5_000)),
+            load.admit(&c, &Constraints::periodic(10_000, 5_000).build()),
             Err(AdmissionError::UtilizationExceeded)
         );
         // The same 50% at 1 ms period absorbs the overhead easily.
-        load.admit(&c, &Constraints::periodic(1_000_000, 500_000))
+        load.admit(&c, &Constraints::periodic(1_000_000, 500_000).build())
             .unwrap();
     }
 
@@ -497,16 +550,16 @@ mod tests {
         let mut load = CpuLoad::new();
         let c = cfg();
         // 5% of the CPU: fits in the 10% sporadic reservation.
-        load.admit(&c, &Constraints::sporadic(5_000, 100_000))
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000).build())
             .unwrap();
-        load.admit(&c, &Constraints::sporadic(5_000, 100_000))
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000).build())
             .unwrap();
         assert_eq!(
-            load.admit(&c, &Constraints::sporadic(5_000, 100_000)),
+            load.admit(&c, &Constraints::sporadic(5_000, 100_000).build()),
             Err(AdmissionError::SporadicReservationExceeded)
         );
-        load.release(&Constraints::sporadic(5_000, 100_000));
-        load.admit(&c, &Constraints::sporadic(5_000, 100_000))
+        load.release(&Constraints::sporadic(5_000, 100_000).build());
+        load.admit(&c, &Constraints::sporadic(5_000, 100_000).build())
             .unwrap();
     }
 
@@ -515,11 +568,11 @@ mod tests {
         let mut load = CpuLoad::new();
         let c = cfg();
         assert_eq!(
-            load.admit(&c, &Constraints::periodic(500, 400)),
+            load.admit(&c, &Constraints::periodic(500, 400).build()),
             Err(AdmissionError::TooFine)
         );
         assert_eq!(
-            load.admit(&c, &Constraints::periodic(10_000, 100)),
+            load.admit(&c, &Constraints::periodic(10_000, 100).build()),
             Err(AdmissionError::TooFine)
         );
     }
@@ -530,9 +583,9 @@ mod tests {
         c.admission_enabled = false;
         let mut load = CpuLoad::new();
         // 95% + 95%: hopeless, but Figures 6-9 need it admitted.
-        load.admit(&c, &Constraints::periodic(10_000, 9_500))
+        load.admit(&c, &Constraints::periodic(10_000, 9_500).build())
             .unwrap();
-        load.admit(&c, &Constraints::periodic(10_000, 9_500))
+        load.admit(&c, &Constraints::periodic(10_000, 9_500).build())
             .unwrap();
     }
 
@@ -541,8 +594,10 @@ mod tests {
         let mut c = cfg();
         c.admission_enabled = false;
         let mut load = CpuLoad::new();
+        // Deliberately malformed (σ > τ): bypass the builder's own check to
+        // prove admission still rejects it with validation disabled.
         assert!(matches!(
-            load.admit(&c, &Constraints::periodic(10_000, 20_000)),
+            load.admit(&c, &Constraints::periodic(10_000, 20_000).build_unchecked()),
             Err(AdmissionError::Invalid(_))
         ));
     }

@@ -1,0 +1,144 @@
+//! Typed harness configuration.
+//!
+//! Experiment binaries, the parallel trial harness, and node construction
+//! used to read `NAUTIX_THREADS` / `NAUTIX_ORACLES` directly from the
+//! environment at scattered points. [`HarnessConfig`] replaces those with
+//! one typed value: construct it explicitly in tests (so behavior is a
+//! function of arguments, not ambient process state), or call
+//! [`HarnessConfig::from_env`] exactly once at a binary's entry point —
+//! the environment variables survive only as the compat shim inside that
+//! constructor.
+
+use nautix_hw::FaultPlan;
+
+/// Fault-injection intensity, the scalar knob of
+/// [`FaultPlan::noisy`]. `0.0` means no injection; the conversion to a
+/// concrete [`FaultPlan`] is deferred until a platform frequency is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultIntensity(pub f64);
+
+impl FaultIntensity {
+    /// No fault injection.
+    pub const OFF: FaultIntensity = FaultIntensity(0.0);
+
+    /// Whether any injection is requested.
+    pub fn enabled(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// The concrete plan for a machine running at `freq`.
+    pub fn plan(self, freq: nautix_des::Freq) -> FaultPlan {
+        FaultPlan::noisy(freq, self.0)
+    }
+}
+
+/// How a harness run is configured: worker threads for parallel trials,
+/// whether every constructed node arms the online invariant oracles, and
+/// the fault-injection intensity for experiments that opt in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessConfig {
+    /// Host worker threads for the parallel trial harness.
+    pub threads: usize,
+    /// Arm the online invariant oracles on every node (panic on the first
+    /// invariant violation).
+    pub oracles: bool,
+    /// Fault-injection intensity for experiments that opt in. The paper
+    /// reproduction never applies this implicitly — an enabled intensity
+    /// changes results only where a harness passes it into a machine.
+    pub faults: FaultIntensity,
+}
+
+impl HarnessConfig {
+    /// Serial, oracle-free, fault-free: the explicit-configuration
+    /// baseline for tests.
+    pub fn serial() -> Self {
+        HarnessConfig {
+            threads: 1,
+            oracles: false,
+            faults: FaultIntensity::OFF,
+        }
+    }
+
+    /// A config with `threads` workers and everything else off.
+    pub fn with_threads(threads: usize) -> Self {
+        HarnessConfig {
+            threads: threads.max(1),
+            ..HarnessConfig::serial()
+        }
+    }
+
+    /// The single environment entry point:
+    ///
+    /// * `NAUTIX_THREADS` — worker count (≥ 1); defaults to the host's
+    ///   available parallelism,
+    /// * `NAUTIX_ORACLES` — `1`/`true`/`yes`/`on` arms the oracles,
+    /// * `NAUTIX_FAULTS` — fault intensity as a float (`0` disables).
+    ///
+    /// Reads the environment on every call (no caching), so tests that
+    /// scope an override around a run observe it; everything downstream of
+    /// a binary's entry point should take the constructed value instead of
+    /// calling this again.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("NAUTIX_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let oracles = std::env::var("NAUTIX_ORACLES")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                matches!(v.as_str(), "1" | "true" | "yes" | "on")
+            })
+            .unwrap_or(false);
+        let faults = std::env::var("NAUTIX_FAULTS")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .map(FaultIntensity)
+            .unwrap_or(FaultIntensity::OFF);
+        HarnessConfig {
+            threads,
+            oracles,
+            faults,
+        }
+    }
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautix_des::Freq;
+
+    #[test]
+    fn serial_baseline_is_inert() {
+        let c = HarnessConfig::serial();
+        assert_eq!(c.threads, 1);
+        assert!(!c.oracles);
+        assert!(!c.faults.enabled());
+        assert_eq!(c.faults.plan(Freq::phi()), FaultPlan::disabled());
+        assert_eq!(HarnessConfig::default(), c);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(HarnessConfig::with_threads(0).threads, 1);
+        assert_eq!(HarnessConfig::with_threads(7).threads, 7);
+    }
+
+    #[test]
+    fn intensity_converts_to_noisy_plan() {
+        let i = FaultIntensity(0.5);
+        assert!(i.enabled());
+        assert_eq!(i.plan(Freq::phi()), FaultPlan::noisy(Freq::phi(), 0.5));
+    }
+}

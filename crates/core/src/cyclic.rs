@@ -313,6 +313,7 @@ impl CyclicSchedule {
             self.frame,
             (self.peak_frame_load() + margin_ns).min(self.frame),
         )
+        .build()
     }
 }
 

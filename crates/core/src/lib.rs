@@ -15,6 +15,7 @@
 //!   task sets into statically verified cyclic executives.
 
 pub mod admission;
+pub mod config;
 pub mod cyclic;
 pub mod local;
 pub mod node;
@@ -24,17 +25,21 @@ pub mod stats;
 pub mod timeline;
 pub mod timesync;
 
-pub use admission::{AdmissionPolicy, CpuLoad, SchedConfig, SchedMode, PPM};
+pub use admission::{AdmissionPolicy, CpuLoad, DegradePolicy, SchedConfig, SchedMode, PPM};
+pub use config::{FaultIntensity, HarnessConfig};
 pub use cyclic::{
     compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask,
 };
-pub use local::{Decision, InvokeReason, JobOutcome, LocalScheduler, SchedThread};
-pub use node::{GaTiming, Node, NodeConfig};
+pub use local::{
+    degrade_global_stats, Decision, InvokeReason, JobOutcome, LocalScheduler, SchedThread,
+};
+pub use node::{GaTiming, Node, NodeBuilder, NodeConfig};
 pub use stats::{
-    dispatch_spreads, CpuSchedStats, DispatchLog, OverheadBreakdown, OverheadSample, ThreadRtStats,
+    dispatch_spreads, CpuSchedStats, DegradeStats, DispatchLog, OverheadBreakdown, OverheadSample,
+    ThreadRtStats,
 };
 pub use timeline::{Span, Timeline};
 pub use timesync::{calibrate, wall_cycles, TimeSync};
 
 // Re-export the scheduling ABI so users can stay within this crate.
-pub use nautix_kernel::{AdmissionError, ConstraintError, Constraints};
+pub use nautix_kernel::{AdmissionError, ConstraintError, Constraints, ConstraintsBuilder};

@@ -21,12 +21,30 @@
 //! exactly as a kernel's scheduler core would be.
 
 use crate::admission::{CpuLoad, SchedConfig, SchedMode};
-use crate::stats::{CpuSchedStats, DispatchLog, ThreadRtStats};
+use crate::stats::{CpuSchedStats, DegradeStats, DispatchLog, ThreadRtStats};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::CpuId;
 use nautix_kernel::{AdmissionError, Constraints, FixedHeap, RrQueue, ThreadId};
 #[cfg(feature = "trace")]
 use nautix_trace::{Record, TraceClass, TraceHandle, TraceOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Process-wide degradation tally across every node and trial, for the
+// `repro_all` harness summary. Purely observational: nothing reads these
+// back into scheduling decisions, so they cannot perturb determinism.
+static G_SPORADIC_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+static G_PERIODIC_WIDENINGS: AtomicU64 = AtomicU64::new(0);
+static G_PERIODIC_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Degradation activations accumulated process-wide (across all nodes,
+/// trials, and host threads since process start).
+pub fn degrade_global_stats() -> DegradeStats {
+    DegradeStats {
+        sporadic_demotions: G_SPORADIC_DEMOTIONS.load(Ordering::Relaxed),
+        periodic_widenings: G_PERIODIC_WIDENINGS.load(Ordering::Relaxed),
+        periodic_demotions: G_PERIODIC_DEMOTIONS.load(Ordering::Relaxed),
+    }
+}
 
 /// Why the local scheduler was invoked (diagnostics; the paper's local
 /// scheduler is invoked "only on a timer interrupt, a kick interrupt from
@@ -79,6 +97,11 @@ pub struct SchedThread {
     pub stats: ThreadRtStats,
     /// Dispatch timestamps for the synchronization figures.
     pub dispatch_log: DispatchLog,
+    /// Deadline misses since the last met job (overload detection for
+    /// [`crate::admission::DegradePolicy`]).
+    pub consecutive_misses: u32,
+    /// Reservation-widening rounds consumed by the degradation policy.
+    pub widen_rounds: u32,
 }
 
 impl SchedThread {
@@ -97,6 +120,8 @@ impl SchedThread {
             pending_compute: None,
             stats: ThreadRtStats::default(),
             dispatch_log: DispatchLog::with_capacity(0),
+            consecutive_misses: 0,
+            widen_rounds: 0,
         }
     }
 
@@ -401,6 +426,9 @@ impl LocalScheduler {
                 st.job_started = false;
                 st.job_blocked = false;
                 st.remaining_cycles = 0;
+                // A fresh contract restarts the overload bookkeeping.
+                st.consecutive_misses = 0;
+                st.widen_rounds = 0;
                 if anchor {
                     self.anchor(st, now_ns);
                 }
@@ -511,6 +539,18 @@ impl LocalScheduler {
                     st.job_blocked = true;
                 }
             } else {
+                if self.cfg.degrade.enabled
+                    && st.job_active
+                    && st.remaining_cycles > 0
+                    && now_ns > st.deadline_ns
+                    && matches!(st.constraints, Constraints::Sporadic { .. })
+                {
+                    // Overrun: a blown sporadic burst would outrank every
+                    // periodic deadline in EDF order forever. Demote it.
+                    self.demote(prev, st);
+                    self.stats.degrade.sporadic_demotions += 1;
+                    G_SPORADIC_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+                }
                 if st.is_rt() && st.job_active && st.remaining_cycles == 0 {
                     // Job complete: classify and schedule the next arrival.
                     self.complete_job(prev, st, now_ns);
@@ -639,6 +679,11 @@ impl LocalScheduler {
             JobOutcome::Missed { late_ns: late }
         };
         self.last_outcome = Some(outcome);
+        match outcome {
+            JobOutcome::Met => st.consecutive_misses = 0,
+            JobOutcome::Missed { .. } => st.consecutive_misses += 1,
+            JobOutcome::Forfeited => {}
+        }
         st.job_active = false;
         #[cfg(feature = "trace")]
         self.emit(Record::JobComplete {
@@ -666,6 +711,110 @@ impl LocalScheduler {
                 cpu: self.cpu as u32,
                 tid: tid as u32,
             });
+        }
+        // Sustained interference on a periodic thread: widen or demote.
+        if self.cfg.degrade.enabled && st.consecutive_misses >= self.cfg.degrade.miss_threshold {
+            if let Constraints::Periodic {
+                phase,
+                period,
+                slice,
+            } = st.constraints
+            {
+                self.widen_or_demote(tid, st, phase, period, slice);
+            }
+        }
+        let _ = tid;
+    }
+
+    /// Demote a thread to the aperiodic class, releasing its reservation
+    /// and abandoning any active job.
+    fn demote(&mut self, tid: ThreadId, st: &mut SchedThread) {
+        self.load.release(&st.constraints);
+        let priority = match st.constraints {
+            Constraints::Sporadic {
+                aperiodic_priority, ..
+            } => aperiodic_priority,
+            _ => 1,
+        };
+        st.constraints = Constraints::Aperiodic { priority };
+        st.job_active = false;
+        st.job_started = false;
+        st.remaining_cycles = 0;
+        st.consecutive_misses = 0;
+        st.widen_rounds = 0;
+        #[cfg(feature = "trace")]
+        self.emit(Record::ConstraintsReleased {
+            cpu: self.cpu as u32,
+            tid: tid as u32,
+        });
+        let _ = tid;
+    }
+
+    /// Degradation response for a periodic thread past the miss threshold:
+    /// revoke the admission and resubmit with the period widened by the
+    /// policy's percentage (same slice — lower utilization, more slack per
+    /// job). Once the widening rounds are exhausted, or if the widened
+    /// reservation is rejected, fall back to aperiodic demotion.
+    fn widen_or_demote(
+        &mut self,
+        tid: ThreadId,
+        st: &mut SchedThread,
+        phase: Nanos,
+        period: Nanos,
+        slice: Nanos,
+    ) {
+        if st.widen_rounds >= self.cfg.degrade.max_widen {
+            self.demote(tid, st);
+            self.stats.degrade.periodic_demotions += 1;
+            G_PERIODIC_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Widen the period, keeping it on the granularity grid.
+        let g = self.cfg.granularity_ns.max(1);
+        let mut widened = period + period * self.cfg.degrade.widen_pct as u64 / 100;
+        widened = widened.div_ceil(g) * g;
+        if widened <= period {
+            widened = period + g;
+        }
+        self.load.release(&st.constraints);
+        let new = Constraints::Periodic {
+            phase,
+            period: widened,
+            slice,
+        };
+        match self.load.admit(&self.cfg, &new) {
+            Ok(()) => {
+                st.constraints = new;
+                st.widen_rounds += 1;
+                st.consecutive_misses = 0;
+                self.stats.degrade.periodic_widenings += 1;
+                G_PERIODIC_WIDENINGS.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "trace")]
+                {
+                    self.emit(Record::ConstraintsReleased {
+                        cpu: self.cpu as u32,
+                        tid: tid as u32,
+                    });
+                    self.emit_verdict(tid, &new, true);
+                }
+            }
+            Err(_) => {
+                // The reservation is already released; finish the demotion
+                // by hand (demote() would double-release).
+                st.constraints = Constraints::Aperiodic { priority: 1 };
+                st.job_active = false;
+                st.job_started = false;
+                st.remaining_cycles = 0;
+                st.consecutive_misses = 0;
+                st.widen_rounds = 0;
+                self.stats.degrade.periodic_demotions += 1;
+                G_PERIODIC_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "trace")]
+                self.emit(Record::ConstraintsReleased {
+                    cpu: self.cpu as u32,
+                    tid: tid as u32,
+                });
+            }
         }
         let _ = tid;
     }
@@ -974,7 +1123,7 @@ mod tests {
     #[test]
     fn sporadic_decays_to_aperiodic_after_burst() {
         let (mut s, mut ts) = mk();
-        let c = Constraints::sporadic(5_000, 50_000);
+        let c = Constraints::sporadic(5_000, 50_000).build();
         s.change_constraints(1, &mut ts[1], c, 0, true).unwrap();
         s.enqueue(1, &mut ts[1], 0);
         let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
@@ -1067,15 +1216,95 @@ mod tests {
     #[test]
     fn change_constraints_failure_keeps_old_class() {
         let (mut s, mut ts) = mk();
-        let big = Constraints::periodic(100_000, 70_000);
+        let big = Constraints::periodic(100_000, 70_000).build();
         s.change_constraints(1, &mut ts[1], big, 0, true).unwrap();
-        let too_big = Constraints::periodic(100_000, 90_000);
+        let too_big = Constraints::periodic(100_000, 90_000).build();
         let err = s.change_constraints(2, &mut ts[2], too_big, 0, true);
         assert!(err.is_err());
         assert!(!ts[2].is_rt());
         assert_eq!(ts[1].constraints, big);
         // The ledger still reflects only the first admission.
         assert_eq!(s.load.periodic_count(), 1);
+    }
+
+    #[test]
+    fn sporadic_overrun_demotes_when_policy_enabled() {
+        use crate::admission::DegradePolicy;
+        let (mut s, mut ts) = mk();
+        s.cfg.degrade = DegradePolicy::enabled();
+        let c = Constraints::sporadic(5_000, 50_000).build();
+        s.change_constraints(1, &mut ts[1], c, 0, true).unwrap();
+        s.enqueue(1, &mut ts[1], 0);
+        let d = s.invoke(0, &mut ts, InvokeReason::Timer, false);
+        assert_eq!(d.next, 1);
+        // Burn only part of the burst; the deadline (50 us) passes with
+        // work outstanding — interference stretched the burst.
+        let c = ts[1].remaining_cycles / 2;
+        s.account(&mut ts[1], c);
+        let d = s.invoke(60_000, &mut ts, InvokeReason::Timer, true);
+        assert!(!ts[1].is_rt(), "blown burst must stop being RT");
+        assert_eq!(s.stats.degrade.sporadic_demotions, 1);
+        assert_eq!(s.load.sporadic_util_ppm(), 0, "reservation released");
+        assert_eq!(d.next, 1, "still runnable, now aperiodic");
+        assert!(!d.next_is_rt);
+    }
+
+    #[test]
+    fn consecutive_misses_widen_then_demote_periodic() {
+        use crate::admission::DegradePolicy;
+        let (mut s, mut ts) = mk();
+        s.cfg.degrade = DegradePolicy {
+            enabled: true,
+            miss_threshold: 1,
+            widen_pct: 25,
+            max_widen: 1,
+        };
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        // First job misses: completion 5 us past the 200 us deadline.
+        s.invoke(100_000, &mut ts, InvokeReason::Timer, false);
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        s.invoke(205_000, &mut ts, InvokeReason::Timer, true);
+        assert_eq!(s.last_outcome, Some(JobOutcome::Missed { late_ns: 5_000 }));
+        // Degradation widened the period by 25%.
+        assert_eq!(
+            ts[1].constraints,
+            Constraints::Periodic {
+                phase: 100_000,
+                period: 125_000,
+                slice: 50_000,
+            }
+        );
+        assert_eq!(ts[1].widen_rounds, 1);
+        assert_eq!(s.stats.degrade.periodic_widenings, 1);
+        // The next job misses too; the single widening round is spent, so
+        // the thread is demoted to aperiodic and the ledger is emptied.
+        let next = ts[1].next_arrival_ns;
+        s.invoke(next, &mut ts, InvokeReason::Timer, false);
+        let c = ts[1].remaining_cycles;
+        s.account(&mut ts[1], c);
+        s.invoke(next + 130_000, &mut ts, InvokeReason::Timer, true);
+        assert!(!ts[1].is_rt());
+        assert_eq!(s.stats.degrade.periodic_demotions, 1);
+        assert_eq!(s.load.periodic_count(), 0);
+    }
+
+    #[test]
+    fn degradation_disabled_by_default_leaves_classes_alone() {
+        let (mut s, mut ts) = mk();
+        admit_periodic(&mut s, &mut ts, 1, 0, 100_000, 100_000, 50_000);
+        for k in 1..=5u64 {
+            let now = ts[1].next_arrival_ns;
+            s.invoke(now, &mut ts, InvokeReason::Timer, false);
+            let c = ts[1].remaining_cycles;
+            s.account(&mut ts[1], c);
+            // Complete every job late.
+            s.invoke(now + 105_000, &mut ts, InvokeReason::Timer, true);
+            assert_eq!(ts[1].stats.missed, k);
+        }
+        assert!(ts[1].is_rt(), "no demotion without the policy");
+        assert_eq!(s.stats.degrade.total(), 0);
+        assert_eq!(ts[1].consecutive_misses, 5);
     }
 
     #[test]

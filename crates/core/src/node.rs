@@ -89,16 +89,20 @@ pub struct NodeConfig {
 
 impl NodeConfig {
     /// The paper's primary testbed configuration.
+    ///
+    /// Deprecated-in-spirit: prefer `Node::builder(MachineConfig::phi())`,
+    /// which converges configuration and the post-hoc arming calls into
+    /// one construction path. Kept as a thin wrapper for one PR.
     pub fn phi() -> Self {
         Self::for_machine(MachineConfig::phi())
     }
 
-    /// The secondary testbed.
+    /// The secondary testbed. Prefer `Node::builder(MachineConfig::r415())`.
     pub fn r415() -> Self {
         Self::for_machine(MachineConfig::r415())
     }
 
-    /// Defaults around a machine config.
+    /// Defaults around a machine config. Prefer [`Node::builder`].
     pub fn for_machine(machine: MachineConfig) -> Self {
         NodeConfig {
             machine,
@@ -112,6 +116,183 @@ impl NodeConfig {
             steal_poll_ns: 1_000_000,
             phase_correction: true,
         }
+    }
+}
+
+/// One converged construction path for [`Node`].
+///
+/// Historically a node was configured through [`NodeConfig`]'s public
+/// fields and then mutated post-hoc (`enable_oracles`, `record_timeline`,
+/// `set_sabotage_fifo`), leaving a window where the node ran unobserved
+/// and scattering setup across call sites. The builder folds both halves
+/// into one expression:
+///
+/// ```
+/// use nautix_rt::Node;
+/// use nautix_hw::{FaultPlan, MachineConfig};
+///
+/// let mc = MachineConfig::phi();
+/// let node = Node::builder(MachineConfig::phi())
+///     .fault_plan(FaultPlan::noisy(mc.platform.freq(), 0.5))
+///     .timeline(4096)
+///     .build();
+/// # let _ = node;
+/// ```
+///
+/// Every knob of [`NodeConfig`] has a builder method; unset knobs keep
+/// [`NodeConfig::for_machine`]'s defaults.
+pub struct NodeBuilder {
+    cfg: NodeConfig,
+    timeline_cap: usize,
+    #[cfg(feature = "trace")]
+    oracle_cfg: Option<OracleConfig>,
+    #[cfg(feature = "trace")]
+    oracles_default: bool,
+    #[cfg(feature = "trace")]
+    sabotage_fifo: Vec<CpuId>,
+}
+
+impl NodeBuilder {
+    /// A builder with [`NodeConfig::for_machine`] defaults.
+    pub fn new(machine: MachineConfig) -> Self {
+        NodeBuilder {
+            cfg: NodeConfig::for_machine(machine),
+            timeline_cap: 0,
+            #[cfg(feature = "trace")]
+            oracle_cfg: None,
+            #[cfg(feature = "trace")]
+            oracles_default: false,
+            #[cfg(feature = "trace")]
+            sabotage_fifo: Vec::new(),
+        }
+    }
+
+    /// Replace the boot-time local-scheduler configuration.
+    pub fn sched(mut self, sched: SchedConfig) -> Self {
+        self.cfg.sched = sched;
+        self
+    }
+
+    /// CPUs receiving external device interrupts (§3.5).
+    pub fn laden(mut self, laden: Vec<CpuId>) -> Self {
+        self.cfg.laden = laden;
+        self
+    }
+
+    /// Rounds of boot-time TSC calibration (0 skips it).
+    pub fn calib_rounds(mut self, rounds: u32) -> Self {
+        self.cfg.calib_rounds = rounds;
+        self
+    }
+
+    /// Per-thread dispatch-log capacity (0 disables logging).
+    pub fn dispatch_log_cap(mut self, cap: usize) -> Self {
+        self.cfg.dispatch_log_cap = cap;
+        self
+    }
+
+    /// Record per-invocation overhead samples (Figure 5).
+    pub fn record_overheads(mut self, on: bool) -> Self {
+        self.cfg.record_overheads = on;
+        self
+    }
+
+    /// Record group-admission step timings (Figure 10).
+    pub fn record_ga_timing(mut self, on: bool) -> Self {
+        self.cfg.record_ga_timing = on;
+        self
+    }
+
+    /// System-wide thread bound.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.cfg.max_threads = n;
+        self
+    }
+
+    /// Idle work-steal poll interval.
+    pub fn steal_poll_ns(mut self, ns: Nanos) -> Self {
+        self.cfg.steal_poll_ns = ns;
+        self
+    }
+
+    /// Apply the §4.4 phase correction during group admission.
+    pub fn phase_correction(mut self, on: bool) -> Self {
+        self.cfg.phase_correction = on;
+        self
+    }
+
+    /// Inject the composed fault lanes into the machine.
+    pub fn fault_plan(mut self, plan: nautix_hw::FaultPlan) -> Self {
+        self.cfg.machine.faults = plan;
+        self
+    }
+
+    /// Enable graceful degradation under sustained interference.
+    pub fn degrade(mut self, policy: crate::admission::DegradePolicy) -> Self {
+        self.cfg.sched.degrade = policy;
+        self
+    }
+
+    /// Record an execution timeline with the given span capacity.
+    pub fn timeline(mut self, cap: usize) -> Self {
+        self.timeline_cap = cap;
+        self
+    }
+
+    /// Arm the online invariant oracles with an explicit configuration.
+    #[cfg(feature = "trace")]
+    pub fn oracles(mut self, cfg: OracleConfig) -> Self {
+        self.oracle_cfg = Some(cfg);
+        self
+    }
+
+    /// Arm the oracles with the configuration derived from the node
+    /// (the `NAUTIX_ORACLES=1` behavior, made explicit).
+    #[cfg(feature = "trace")]
+    pub fn oracles_default(mut self) -> Self {
+        self.oracles_default = true;
+        self
+    }
+
+    /// Enable the deliberately broken FIFO dispatch on `cpu`
+    /// (EDF-oracle regression tests only).
+    #[cfg(feature = "trace")]
+    pub fn sabotage_fifo(mut self, cpu: CpuId) -> Self {
+        self.sabotage_fifo.push(cpu);
+        self
+    }
+
+    /// The accumulated [`NodeConfig`] (for harnesses that reset pooled
+    /// nodes with the same configuration).
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Consume the builder and return the assembled [`NodeConfig`], for
+    /// callers that construct nodes through another path (for example a
+    /// trial harness `NodePool`).
+    pub fn into_config(self) -> NodeConfig {
+        self.cfg
+    }
+
+    /// Boot the node and apply every post-construction arming step.
+    pub fn build(self) -> Node {
+        let mut node = Node::new(self.cfg);
+        #[cfg(feature = "trace")]
+        {
+            if let Some(cfg) = self.oracle_cfg {
+                node.enable_oracles_with(cfg);
+            } else if self.oracles_default {
+                node.enable_oracles();
+            }
+            for cpu in self.sabotage_fifo {
+                node.set_sabotage_fifo(cpu, true);
+            }
+        }
+        if self.timeline_cap > 0 {
+            node.record_timeline(self.timeline_cap);
+        }
+        node
     }
 }
 
@@ -301,6 +482,13 @@ pub struct Node {
 }
 
 impl Node {
+    /// Start a [`NodeBuilder`] around a machine configuration — the
+    /// converged construction path (configuration plus post-hoc arming in
+    /// one expression).
+    pub fn builder(machine: MachineConfig) -> NodeBuilder {
+        NodeBuilder::new(machine)
+    }
+
     /// Boot a node: build the machine, calibrate time, start the per-CPU
     /// schedulers and idle threads.
     pub fn new(cfg: NodeConfig) -> Self {
@@ -380,7 +568,7 @@ impl Node {
             oracles: None,
         };
         #[cfg(feature = "trace")]
-        if nautix_trace::oracles_enabled() {
+        if crate::config::HarnessConfig::from_env().oracles {
             node.enable_oracles();
         }
         // Kick every CPU once at boot so each local scheduler runs its
@@ -491,7 +679,7 @@ impl Node {
             // start every trial with a fresh sink and fresh oracle state.
             self.trace = None;
             self.oracles = None;
-            if nautix_trace::oracles_enabled() {
+            if crate::config::HarnessConfig::from_env().oracles {
                 self.enable_oracles();
             }
         }
@@ -507,6 +695,7 @@ impl Node {
     /// the suite for inspection; tests use [`Node::enable_oracles_with`]
     /// to collect violations instead. Tracing never perturbs the
     /// simulation — the event stream is byte-identical with or without it.
+    /// Prefer `NodeBuilder::oracles_default()` at construction time.
     #[cfg(feature = "trace")]
     pub fn enable_oracles(&mut self) -> Rc<RefCell<OracleSuite>> {
         self.enable_oracles_with(OracleConfig::for_node(
@@ -536,6 +725,17 @@ impl Node {
         self.oracles.as_ref()
     }
 
+    /// Degradation activations across this node's CPUs (all zero unless
+    /// [`crate::admission::DegradePolicy`] is enabled and interference
+    /// actually forced a response).
+    pub fn degrade_stats(&self) -> crate::stats::DegradeStats {
+        let mut d = crate::stats::DegradeStats::default();
+        for s in &self.sched {
+            d.merge(&s.stats.degrade);
+        }
+        d
+    }
+
     /// Thread a trace handle through every emitting layer of this node.
     #[cfg(feature = "trace")]
     fn install_trace(&mut self, handle: TraceHandle) {
@@ -550,7 +750,8 @@ impl Node {
     }
 
     /// Enable the deliberately broken FIFO dispatch on `cpu` (EDF-oracle
-    /// regression tests only).
+    /// regression tests only). Prefer `NodeBuilder::sabotage_fifo(cpu)`
+    /// at construction time.
     #[cfg(feature = "trace")]
     pub fn set_sabotage_fifo(&mut self, cpu: CpuId, on: bool) {
         self.sched[cpu].set_sabotage_fifo(on);
@@ -710,6 +911,7 @@ impl Node {
     }
 
     /// Start recording an execution timeline (at most `cap` spans).
+    /// Prefer `NodeBuilder::timeline(cap)` at construction time.
     pub fn record_timeline(&mut self, cap: usize) {
         self.timeline = Some(crate::timeline::Timeline::new(self.machine.n_cpus(), cap));
     }

@@ -38,7 +38,7 @@
 use crate::admission::{simulate_edf_feasible, SchedConfig, SchedMode};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::{CostModel, MachineConfig, TimerMode};
-use nautix_trace::{Observer, Record, TraceClass, TraceOutcome, TraceRing, TraceTid};
+use nautix_trace::{FaultLane, Observer, Record, TraceClass, TraceOutcome, TraceRing, TraceTid};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the suite reacts to a violation.
@@ -79,8 +79,23 @@ pub struct OracleStats {
     /// (policy divergence, not a scheduler bug).
     pub divergences: u64,
     /// Misses on enforced-admitted threads attributed to modeled hardware
-    /// effects outside the admission model (SMIs, timer quantization).
+    /// effects outside the admission model (SMIs, injected fault lanes,
+    /// timer quantization).
     pub environment_misses: u64,
+    /// Fault-injection records seen, per lane ([`FaultLane::idx`] order).
+    pub fault_records: [u64; FaultLane::COUNT],
+    /// Environment-attributed misses broken down by the fault lane whose
+    /// injection most recently preceded each miss ([`FaultLane::idx`]
+    /// order). Misses with no preceding fault record (pure SMI or
+    /// quantization effects) stay in the aggregate count only.
+    pub env_miss_by_lane: [u64; FaultLane::COUNT],
+}
+
+impl OracleStats {
+    /// Environment-attributed misses that a fault-lane injection preceded.
+    pub fn env_misses_lane_attributed(&self) -> u64 {
+        self.env_miss_by_lane.iter().sum()
+    }
 }
 
 /// Process-wide accumulators, flushed from each suite as it drops (node
@@ -94,10 +109,20 @@ static G_TASK: AtomicU64 = AtomicU64::new(0);
 static G_TIMER: AtomicU64 = AtomicU64::new(0);
 static G_DIVERGE: AtomicU64 = AtomicU64::new(0);
 static G_ENV_MISS: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ATOMIC_ZERO: AtomicU64 = AtomicU64::new(0);
+static G_FAULT_RECORDS: [AtomicU64; FaultLane::COUNT] = [ATOMIC_ZERO; FaultLane::COUNT];
+static G_ENV_BY_LANE: [AtomicU64; FaultLane::COUNT] = [ATOMIC_ZERO; FaultLane::COUNT];
 
 /// Totals flushed from every dropped suite so far: `(suites, stats)`.
 /// Suites still alive have not flushed yet.
 pub fn global_stats() -> (u64, OracleStats) {
+    let mut fault_records = [0u64; FaultLane::COUNT];
+    let mut env_miss_by_lane = [0u64; FaultLane::COUNT];
+    for i in 0..FaultLane::COUNT {
+        fault_records[i] = G_FAULT_RECORDS[i].load(Ordering::Relaxed);
+        env_miss_by_lane[i] = G_ENV_BY_LANE[i].load(Ordering::Relaxed);
+    }
     (
         G_SUITES.load(Ordering::Relaxed),
         OracleStats {
@@ -108,6 +133,8 @@ pub fn global_stats() -> (u64, OracleStats) {
             timer_checks: G_TIMER.load(Ordering::Relaxed),
             divergences: G_DIVERGE.load(Ordering::Relaxed),
             environment_misses: G_ENV_MISS.load(Ordering::Relaxed),
+            fault_records,
+            env_miss_by_lane,
         },
     )
 }
@@ -133,10 +160,11 @@ pub struct OracleConfig {
     /// on backlog jitter.
     pub task_slop_ns: Nanos,
     /// Whether the environment upholds the admission model at all: false
-    /// when SMIs are injected or the timer is quantized (coarse one-shot
-    /// ticks), the two hardware effects the paper shows *do* cause misses
-    /// on admitted sets (§4–§5). Admitted-set misses then count in
-    /// [`OracleStats::environment_misses`] instead of failing.
+    /// when SMIs or any `FaultPlan` lane are injected, or when the timer
+    /// is quantized (coarse one-shot ticks) — hardware effects the paper
+    /// shows *do* cause misses on admitted sets (§4–§5). Admitted-set
+    /// misses then count in [`OracleStats::environment_misses`] instead
+    /// of failing, attributed per lane via the `Record::Fault` stream.
     pub admission_guarantee: bool,
 }
 
@@ -170,7 +198,7 @@ impl OracleConfig {
             overhead_ns: freq.cycles_to_ns(2 * pass_cycles),
             window_cap_ns: 1_000_000_000,
             task_slop_ns: 100_000,
-            admission_guarantee: !mc.smi.enabled() && tick_ok,
+            admission_guarantee: !mc.smi.enabled() && !mc.faults.enabled() && tick_ok,
         }
     }
 
@@ -227,6 +255,9 @@ pub struct OracleSuite {
     cpus: Vec<CpuState>,
     violations: Vec<Violation>,
     stats: OracleStats,
+    /// Most recent injected fault seen in the stream, for attributing
+    /// environment misses to the lane that induced them.
+    last_fault: Option<FaultLane>,
 }
 
 impl OracleSuite {
@@ -237,6 +268,7 @@ impl OracleSuite {
             cpus: Vec::new(),
             violations: Vec::new(),
             stats: OracleStats::default(),
+            last_fault: None,
         }
     }
 
@@ -356,6 +388,9 @@ impl OracleSuite {
         self.stats.miss_checks += 1;
         if !self.cfg.admission_guarantee {
             self.stats.environment_misses += 1;
+            if let Some(lane) = self.last_fault {
+                self.stats.env_miss_by_lane[lane.idx()] += 1;
+            }
             return;
         }
         if simulate_edf_feasible(&set, overhead, cap) {
@@ -487,6 +522,10 @@ impl Drop for OracleSuite {
         G_TIMER.fetch_add(self.stats.timer_checks, Ordering::Relaxed);
         G_DIVERGE.fetch_add(self.stats.divergences, Ordering::Relaxed);
         G_ENV_MISS.fetch_add(self.stats.environment_misses, Ordering::Relaxed);
+        for i in 0..FaultLane::COUNT {
+            G_FAULT_RECORDS[i].fetch_add(self.stats.fault_records[i], Ordering::Relaxed);
+            G_ENV_BY_LANE[i].fetch_add(self.stats.env_miss_by_lane[i], Ordering::Relaxed);
+        }
     }
 }
 
@@ -594,6 +633,10 @@ impl Observer for OracleSuite {
             }
             Record::Steal { thief, victim, tid } => {
                 self.check_steal(thief, victim, tid, recent);
+            }
+            Record::Fault { lane, .. } => {
+                self.stats.fault_records[lane.idx()] += 1;
+                self.last_fault = Some(lane);
             }
             // Context-only records: no oracle state.
             Record::Preempt { .. }
@@ -892,5 +935,49 @@ mod tests {
             ],
         );
         s.assert_clean();
+    }
+
+    #[test]
+    fn fault_lane_miss_attribution() {
+        // With faults enabled the guarantee is void; a miss after a fault
+        // record is environment-attributed to that lane, not a violation.
+        let mc = MachineConfig::phi().with_faults(nautix_hw::FaultPlan::noisy(Freq::phi(), 1.0));
+        let cfg =
+            OracleConfig::for_node(Freq::phi(), &SchedConfig::default(), &CostModel::phi(), &mc)
+                .collecting();
+        assert!(!cfg.admission_guarantee);
+        let mut s = OracleSuite::new(cfg);
+        feed(
+            &mut s,
+            &[
+                Record::AdmitVerdict {
+                    cpu: 0,
+                    tid: 2,
+                    accepted: true,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 1_000_000,
+                    slice_ns: 100_000,
+                },
+                Record::Fault {
+                    cpu: 0,
+                    lane: FaultLane::CpuStall,
+                    now_cycles: 500,
+                    magnitude_cycles: 65_000,
+                },
+                Record::JobComplete {
+                    cpu: 0,
+                    tid: 2,
+                    now_ns: 1_100_000,
+                    deadline_ns: 1_000_000,
+                    outcome: TraceOutcome::Missed,
+                },
+            ],
+        );
+        s.assert_clean();
+        assert_eq!(s.stats().environment_misses, 1);
+        assert_eq!(s.stats().fault_records[FaultLane::CpuStall.idx()], 1);
+        assert_eq!(s.stats().env_miss_by_lane[FaultLane::CpuStall.idx()], 1);
+        assert_eq!(s.stats().env_misses_lane_attributed(), 1);
     }
 }

@@ -62,6 +62,34 @@ impl OverheadSample {
     }
 }
 
+/// Degraded-mode activations on one CPU (see
+/// [`crate::admission::DegradePolicy`]). All zero unless the policy is
+/// enabled and interference actually forced a response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Sporadic jobs demoted to aperiodic after overrunning a deadline.
+    pub sporadic_demotions: u64,
+    /// Periodic reservations revoked and resubmitted with a wider period.
+    pub periodic_widenings: u64,
+    /// Periodic threads demoted to aperiodic (widening rounds exhausted or
+    /// the widened set rejected).
+    pub periodic_demotions: u64,
+}
+
+impl DegradeStats {
+    /// Total degradation activations of any kind.
+    pub fn total(&self) -> u64 {
+        self.sporadic_demotions + self.periodic_widenings + self.periodic_demotions
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &DegradeStats) {
+        self.sporadic_demotions += other.sporadic_demotions;
+        self.periodic_widenings += other.periodic_widenings;
+        self.periodic_demotions += other.periodic_demotions;
+    }
+}
+
 /// Per-CPU scheduler counters and samples.
 #[derive(Debug, Default)]
 pub struct CpuSchedStats {
@@ -79,6 +107,8 @@ pub struct CpuSchedStats {
     pub overheads: Vec<OverheadSample>,
     /// Size-tagged tasks executed inline by the scheduler.
     pub inline_tasks: u64,
+    /// Degraded-mode activations (all zero unless the policy is enabled).
+    pub degrade: DegradeStats,
 }
 
 impl CpuSchedStats {

@@ -29,9 +29,9 @@ fn run_edf(set: &[CyclicTask], horizon_ns: u64) -> (u64, u64) {
         let (period, wcet) = (t.period, t.wcet);
         let prog = FnProgram::new(move |_cx, n| {
             if n == 0 {
-                Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                    period, wcet,
-                )))
+                Action::Call(SysCall::ChangeConstraints(
+                    Constraints::periodic(period, wcet).build(),
+                ))
             } else {
                 Action::Compute(1_000_000)
             }

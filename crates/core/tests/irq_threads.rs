@@ -58,9 +58,9 @@ fn interrupt_thread_work_is_governed_by_the_scheduler() {
     let mut node = node(3);
     let rt = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                500_000, 200_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(500_000, 200_000).build(),
+            ))
         } else {
             Action::Compute(100_000)
         }

@@ -21,9 +21,9 @@ fn wait_next_period_completes_the_job_early() {
     // period and parks with WaitNextPeriod.
     let prog = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 400_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 400_000).build(),
+            ))
         } else if n % 2 == 1 {
             Action::Compute(130_000) // 100 µs of real work
         } else {
@@ -53,9 +53,9 @@ fn sporadic_burst_preempts_periodic_by_deadline_order() {
     // A 30% periodic thread runs continuously.
     let periodic = FnProgram::new(|_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 300_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 300_000).build(),
+            ))
         } else {
             Action::Compute(200_000)
         }
@@ -67,10 +67,13 @@ fn sporadic_burst_preempts_periodic_by_deadline_order() {
     let done2 = done.clone();
     let sporadic = FnProgram::new(move |cx, n| match n {
         0 => Action::Call(SysCall::SleepNs(5_300_000)),
-        1 => Action::Call(SysCall::ChangeConstraints(Constraints::sporadic(
-            30_000,  // needs 30 µs ...
-            300_000, // ... within 300 µs: 10%, exactly the reservation
-        ))),
+        1 => Action::Call(SysCall::ChangeConstraints(
+            Constraints::sporadic(
+                30_000,  // needs 30 µs ...
+                300_000, // ... within 300 µs: 10%, exactly the reservation
+            )
+            .build(),
+        )),
         2 => {
             assert_eq!(cx.result, SysResult::Admission(Ok(())));
             Action::Compute(39_000) // the burst body
@@ -100,9 +103,9 @@ fn sporadic_reservation_rejects_when_exhausted() {
         let r2 = results.clone();
         // Each burst wants 6% of the CPU; the 10% reservation fits one.
         let prog = FnProgram::new(move |cx, n| match n {
-            0 => Action::Call(SysCall::ChangeConstraints(Constraints::sporadic(
-                60_000, 1_000_000,
-            ))),
+            0 => Action::Call(SysCall::ChangeConstraints(
+                Constraints::sporadic(60_000, 1_000_000).build(),
+            )),
             1 => {
                 r2.borrow_mut().push((i, cx.result));
                 Action::Compute(78_000)

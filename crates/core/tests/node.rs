@@ -62,9 +62,9 @@ fn change_constraints_result_is_delivered() {
     let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let log2 = log.clone();
     let prog = FnProgram::new(move |cx, n| match n {
-        0 => Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-            1_000_000, 100_000,
-        ))),
+        0 => Action::Call(SysCall::ChangeConstraints(
+            Constraints::periodic(1_000_000, 100_000).build(),
+        )),
         1 => {
             log2.borrow_mut().push(cx.result);
             Action::Compute(1_000)
@@ -83,9 +83,12 @@ fn infeasible_constraints_are_rejected() {
     let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let log2 = log.clone();
     let prog = FnProgram::new(move |cx, n| match n {
-        0 => Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-            100_000, 95_000, // 95% > the 79% periodic budget
-        ))),
+        0 => Action::Call(SysCall::ChangeConstraints(
+            Constraints::periodic(
+                100_000, 95_000, // 95% > the 79% periodic budget
+            )
+            .build(),
+        )),
         1 => {
             log2.borrow_mut().push(cx.result);
             Action::Exit
@@ -107,9 +110,9 @@ fn periodic_thread_meets_feasible_deadlines() {
     // forever so every job's slice is exercised.
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 200_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 200_000).build(),
+            ))
         } else {
             Action::Compute(50_000)
         }
@@ -133,9 +136,9 @@ fn infeasible_period_misses_with_admission_disabled() {
     // this hopeless on the Phi (Figure 6's infeasible region).
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                8_000, 7_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(8_000, 7_000).build(),
+            ))
         } else {
             Action::Compute(50_000)
         }
@@ -239,9 +242,9 @@ fn group_admission_fails_atomically_when_one_cpu_is_full() {
     // A squatter occupies most of CPU 2's RT budget.
     let squatter = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 700_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 700_000).build(),
+            ))
         } else {
             Action::Compute(1_000_000)
         }
@@ -260,7 +263,7 @@ fn group_admission_fails_atomically_when_one_cpu_is_full() {
                 3 => Action::Call(SysCall::GroupChangeConstraints {
                     group: gid,
                     // 40%: fits everywhere except the squatter's CPU.
-                    constraints: Constraints::periodic(1_000_000, 400_000),
+                    constraints: Constraints::periodic(1_000_000, 400_000).build(),
                 }),
                 4 => {
                     results2.borrow_mut().push(cx.result);
@@ -343,9 +346,9 @@ fn rt_threads_are_never_stolen() {
     let mut node = Node::new(cfg);
     let prog = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 500_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 500_000).build(),
+            ))
         } else if n < 20 {
             Action::Compute(400_000)
         } else {
@@ -400,9 +403,12 @@ fn smi_injection_causes_misses_in_lazy_mode_but_not_eager() {
         let mut node = Node::new(cfg);
         let prog = FnProgram::new(move |_cx, n| {
             if n == 0 {
-                Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                    1_000_000, 300_000, // 30%: plenty of slack
-                )))
+                Action::Call(SysCall::ChangeConstraints(
+                    Constraints::periodic(
+                        1_000_000, 300_000, // 30%: plenty of slack
+                    )
+                    .build(),
+                ))
             } else {
                 Action::Compute(250_000)
             }
@@ -475,9 +481,9 @@ fn node_runs_are_deterministic() {
         for cpu in 1..3 {
             let prog = FnProgram::new(move |_cx, n| {
                 if n == 0 {
-                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                        500_000, 100_000,
-                    )))
+                    Action::Call(SysCall::ChangeConstraints(
+                        Constraints::periodic(500_000, 100_000).build(),
+                    ))
                 } else if n < 50 {
                     Action::Compute(90_000)
                 } else {

@@ -13,7 +13,7 @@ fn arb_periodic() -> impl Strategy<Value = Constraints> {
     (100u64..100_000, 5u64..90).prop_map(|(p100, pct)| {
         let period = p100 * 100;
         let slice = (period * pct / 100).max(500);
-        Constraints::periodic(period, slice)
+        Constraints::periodic(period, slice).build()
     })
 }
 
@@ -55,7 +55,7 @@ proptest! {
         let before_util = load.periodic_util_ppm();
         let before_count = load.periodic_count();
         // An oversized request that must fail.
-        let hog = Constraints::periodic(1_000_000, greedy_pct * 10_000);
+        let hog = Constraints::periodic(1_000_000, greedy_pct * 10_000).build();
         if load.admit(&cfg, &hog).is_err() {
             prop_assert_eq!(load.periodic_util_ppm(), before_util);
             prop_assert_eq!(load.periodic_count(), before_count);
@@ -134,7 +134,7 @@ proptest! {
         let mut load = CpuLoad::new();
         let mut admitted = Vec::new();
         for &(size, deadline) in &bursts {
-            let c = Constraints::sporadic(size, deadline);
+            let c = Constraints::sporadic(size, deadline).build();
             if load.admit(&cfg, &c).is_ok() {
                 admitted.push(c);
             }
@@ -172,8 +172,8 @@ proptest! {
     ) {
         let period = p100 * 100;
         let (lo, hi) = if pct_a <= pct_b { (pct_a, pct_b) } else { (pct_b, pct_a) };
-        let small = Constraints::periodic(period, (period * lo / 100).max(500));
-        let big = Constraints::periodic(period, (period * hi / 100).max(500));
+        let small = Constraints::periodic(period, (period * lo / 100).max(500)).build();
+        let big = Constraints::periodic(period, (period * hi / 100).max(500)).build();
         let cfg = SchedConfig::default();
         let mut load = CpuLoad::new();
         for c in &preload {
@@ -235,17 +235,17 @@ fn reservation_defaults_hold_at_exact_boundaries() {
     // Periodic: exactly the 79% budget admits...
     let mut load = CpuLoad::new();
     assert!(load
-        .admit(&cfg, &Constraints::periodic(1_000_000, 790_000))
+        .admit(&cfg, &Constraints::periodic(1_000_000, 790_000).build())
         .is_ok());
     // ...and with it held, even the minimum legal slice is refused.
     assert_eq!(
-        load.admit(&cfg, &Constraints::periodic(1_000_000, 500)),
+        load.admit(&cfg, &Constraints::periodic(1_000_000, 500).build()),
         Err(AdmissionError::UtilizationExceeded)
     );
     // One ppm past the budget on a fresh ledger is refused outright.
     let mut fresh = CpuLoad::new();
     assert_eq!(
-        fresh.admit(&cfg, &Constraints::periodic(1_000_000, 790_001)),
+        fresh.admit(&cfg, &Constraints::periodic(1_000_000, 790_001).build()),
         Err(AdmissionError::UtilizationExceeded)
     );
 
@@ -253,16 +253,16 @@ fn reservation_defaults_hold_at_exact_boundaries() {
     // whether in a single burst or on top of a full reserve.
     let mut load = CpuLoad::new();
     assert!(load
-        .admit(&cfg, &Constraints::sporadic(100_000, 1_000_000))
+        .admit(&cfg, &Constraints::sporadic(100_000, 1_000_000).build())
         .is_ok());
     assert_eq!(load.sporadic_util_ppm(), cfg.sporadic_reserve_ppm);
     assert_eq!(
-        load.admit(&cfg, &Constraints::sporadic(500, 1_000_000)),
+        load.admit(&cfg, &Constraints::sporadic(500, 1_000_000).build()),
         Err(AdmissionError::SporadicReservationExceeded)
     );
     let mut fresh = CpuLoad::new();
     assert_eq!(
-        fresh.admit(&cfg, &Constraints::sporadic(100_001, 1_000_000)),
+        fresh.admit(&cfg, &Constraints::sporadic(100_001, 1_000_000).build()),
         Err(AdmissionError::SporadicReservationExceeded)
     );
 
@@ -276,11 +276,11 @@ fn reservation_defaults_hold_at_exact_boundaries() {
     assert_eq!(tp.periodic_budget_ppm(), 990_000);
     let mut load = CpuLoad::new();
     assert!(load
-        .admit(&tp, &Constraints::periodic(1_000_000, 990_000))
+        .admit(&tp, &Constraints::periodic(1_000_000, 990_000).build())
         .is_ok());
     let mut fresh = CpuLoad::new();
     assert_eq!(
-        fresh.admit(&tp, &Constraints::periodic(1_000_000, 990_001)),
+        fresh.admit(&tp, &Constraints::periodic(1_000_000, 990_001).build()),
         Err(AdmissionError::UtilizationExceeded)
     );
 }

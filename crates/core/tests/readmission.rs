@@ -22,9 +22,12 @@ fn individual_thread_rethrottles_itself() {
     let p2 = progress.clone();
     let prog = FnProgram::new(move |cx, n| {
         match n {
-            0 => Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 800_000, // 80%
-            ))),
+            0 => Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(
+                    1_000_000, 800_000, // 80%
+                )
+                .build(),
+            )),
             1..=60 => {
                 assert_ne!(
                     cx.result,
@@ -33,9 +36,12 @@ fn individual_thread_rethrottles_itself() {
                 p2.borrow_mut().0 += 1;
                 Action::Compute(260_000) // 200 µs of work per resume
             }
-            61 => Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 200_000, // re-admit at 20%
-            ))),
+            61 => Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(
+                    1_000_000, 200_000, // re-admit at 20%
+                )
+                .build(),
+            )),
             62..=121 => {
                 p2.borrow_mut().1 += 1;
                 Action::Compute(260_000)
@@ -54,7 +60,10 @@ fn individual_thread_rethrottles_itself() {
     // both phases ran to completion under their respective constraints.
     let (a, b) = *progress.borrow();
     assert_eq!((a, b), (60, 60));
-    assert_eq!(st.constraints, Constraints::periodic(1_000_000, 200_000));
+    assert_eq!(
+        st.constraints,
+        Constraints::periodic(1_000_000, 200_000).build()
+    );
 }
 
 #[test]
@@ -80,7 +89,7 @@ fn gang_readmission_rethrottles_the_whole_group() {
                 1 => Action::Call(SysCall::SleepNs(1_000_000)),
                 2 => Action::Call(SysCall::GroupChangeConstraints {
                     group: gid,
-                    constraints: Constraints::periodic(500_000, 400_000), // 80%
+                    constraints: Constraints::periodic(500_000, 400_000).build(), // 80%
                 }),
                 3 => {
                     assert_eq!(cx.result, SysResult::Admission(Ok(())));
@@ -93,7 +102,7 @@ fn gang_readmission_rethrottles_the_whole_group() {
                     // The whole gang re-enters group admission at 20%.
                     Action::Call(SysCall::GroupChangeConstraints {
                         group: gid,
-                        constraints: Constraints::periodic(500_000, 100_000),
+                        constraints: Constraints::periodic(500_000, 100_000).build(),
                     })
                 }
                 n if n == readmit_at + 1 => {

@@ -72,7 +72,7 @@ fn demoted_sporadic_never_preempts_in_deadline_rt() {
     // even though the demoted thread is current and runnable.
     // Phase is relative to the anchor instant: 0 means "first job due
     // now", so the thread is immediately in deadline.
-    let rt = Constraints::periodic(100_000, 30_000);
+    let rt = Constraints::periodic(100_000, 30_000).build();
     s.change_constraints(2, &mut ts[2], rt, 60_000, true)
         .unwrap();
     s.enqueue(2, &mut ts[2], 60_000);
@@ -112,9 +112,9 @@ fn decayed_sporadic_is_harmless_to_periodic_neighbors_on_a_node() {
     // computing for 10 ms as demoted background work.
     let sporadic = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::sporadic(
-                10_000, 100_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::sporadic(10_000, 100_000).build(),
+            ))
         } else {
             Action::Compute(10_000_000)
         }
@@ -124,9 +124,9 @@ fn decayed_sporadic_is_harmless_to_periodic_neighbors_on_a_node() {
     // Periodic neighbor on the same CPU: 200 µs period, 40 µs slice.
     let periodic = FnProgram::new(move |_cx, n| {
         if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                200_000, 40_000,
-            )))
+            Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(200_000, 40_000).build(),
+            ))
         } else {
             Action::Compute(1_000_000)
         }

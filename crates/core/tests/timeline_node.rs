@@ -13,10 +13,13 @@ fn node_timeline_captures_periodic_execution() {
     for cpu in 1..3 {
         let prog = FnProgram::new(move |_cx, n| {
             if n == 0 {
-                Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                    200_000,
-                    80_000 * cpu as u64 / 2, // different duty per CPU
-                )))
+                Action::Call(SysCall::ChangeConstraints(
+                    Constraints::periodic(
+                        200_000,
+                        80_000 * cpu as u64 / 2, // different duty per CPU
+                    )
+                    .build(),
+                ))
             } else {
                 Action::Compute(1_000_000)
             }

@@ -27,7 +27,12 @@ pub fn corrected_phase(base_phase: Nanos, order: usize, n: usize, delta_ns: Nano
 /// Apply phase correction to a constraint descriptor.
 pub fn correct_constraints(c: Constraints, order: usize, n: usize, delta_ns: Nanos) -> Constraints {
     match c.phase() {
-        Some(phase) => c.with_phase(corrected_phase(phase, order, n, delta_ns)),
+        // Unchecked on purpose: correction runs on an already-admitted
+        // descriptor and must not panic; if the enlarged phase pushes a
+        // sporadic burst past its deadline, re-admission rejects it.
+        Some(phase) => c
+            .with_phase(corrected_phase(phase, order, n, delta_ns))
+            .build_unchecked(),
         None => c,
     }
 }

@@ -10,6 +10,9 @@
 //! * **IPIs** and steerable external device interrupts,
 //! * **SMIs** that stall every CPU while clocks keep running — the "missing
 //!   time" of §3.6 ([`smi`]),
+//! * composable **fault lanes** beyond SMIs — kick-IPI loss and delay,
+//!   one-shot overshoot, frequency dips, spurious device interrupts, and
+//!   single-CPU stalls ([`fault`]),
 //! * a **GPIO port** with scope-style capture for external verification
 //!   ([`gpio`]),
 //! * a calibrated **cycle-cost model** for kernel paths ([`cost`]),
@@ -18,6 +21,7 @@
 
 pub mod apic;
 pub mod cost;
+pub mod fault;
 pub mod gpio;
 pub mod machine;
 pub mod smi;
@@ -26,6 +30,7 @@ pub mod tsc;
 
 pub use apic::{vector_priority, Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
 pub use cost::{Cost, CostModel};
+pub use fault::{FaultPattern, FaultPlan, FaultStats};
 pub use gpio::{scope, Gpio, GpioSample};
 pub use machine::{CpuId, Machine, MachineConfig, MachineEvent, Platform};
 pub use smi::{SmiConfig, SmiPattern, SmiStats};

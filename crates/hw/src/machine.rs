@@ -26,13 +26,14 @@
 
 use crate::apic::{Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
 use crate::cost::{Cost, CostModel};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::gpio::Gpio;
 use crate::smi::{SmiConfig, SmiStats};
 use crate::timer::TimerSlots;
 use crate::tsc::Tsc;
 use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos};
 #[cfg(feature = "trace")]
-use nautix_trace::{Record, TraceHandle};
+use nautix_trace::{FaultLane, Record, TraceHandle};
 
 /// Index of a hardware thread ("CPU" in the paper's terminology).
 pub type CpuId = usize;
@@ -101,6 +102,9 @@ pub struct MachineConfig {
     pub boot_skew_max: Cycles,
     /// SMI injection configuration.
     pub smi: SmiConfig,
+    /// Fault-lane injection plan beyond SMIs (kick loss/delay, timer
+    /// overshoot, frequency dips, spurious interrupts, per-CPU stalls).
+    pub faults: FaultPlan,
     /// Seed for all modeled jitter.
     pub seed: u64,
 }
@@ -127,6 +131,7 @@ impl MachineConfig {
             // a few milliseconds of each other before calibration.
             boot_skew_max: platform.freq().us_to_cycles(1500),
             smi: SmiConfig::disabled(),
+            faults: FaultPlan::disabled(),
             seed: 0xAA71,
         }
     }
@@ -153,6 +158,12 @@ impl MachineConfig {
     /// Override the timer mode.
     pub fn with_timer_mode(mut self, mode: TimerMode) -> Self {
         self.timer_mode = mode;
+        self
+    }
+
+    /// Enable fault-lane injection.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -184,6 +195,11 @@ enum Ev {
         seq: u64,
     },
     SmiEnter,
+    /// Recurring fault lanes from the `FaultPlan`; the affected CPU is
+    /// drawn when the event fires.
+    FaultFreqDip,
+    FaultSpuriousIrq,
+    FaultCpuStall,
     Wakeup {
         token: u64,
         cpu: Option<CpuId>,
@@ -205,6 +221,9 @@ struct CpuState {
     tsc: Tsc,
     apic: Apic,
     busy_until: Cycles,
+    /// Per-CPU stall horizon from single-CPU faults (stalls, dips); the
+    /// machine-wide SMI stall lives in `Machine::stall_until`.
+    stall_until: Cycles,
     op: Option<InFlightOp>,
 }
 
@@ -223,6 +242,7 @@ pub struct Machine {
     op_seq: u64,
     stall_until: Cycles,
     smi_stats: SmiStats,
+    fault_stats: FaultStats,
     ipis_sent: u64,
     device_irqs: u64,
     #[cfg(feature = "trace")]
@@ -247,6 +267,7 @@ impl Machine {
                 tsc: Tsc::new(offset, cfg.tsc_writable),
                 apic: Apic::new(cfg.timer_mode),
                 busy_until: 0,
+                stall_until: 0,
                 op: None,
             });
         }
@@ -254,6 +275,7 @@ impl Machine {
         if let Some(gap) = cfg.smi.next_gap(&mut rng) {
             q.schedule(gap, Ev::SmiEnter);
         }
+        Self::arm_fault_lanes(&cfg.faults, &mut rng, &mut q);
         let timers = TimerSlots::new(cpus.len());
         Machine {
             cfg,
@@ -267,10 +289,27 @@ impl Machine {
             op_seq: 0,
             stall_until: 0,
             smi_stats: SmiStats::default(),
+            fault_stats: FaultStats::default(),
             ipis_sent: 0,
             device_irqs: 0,
             #[cfg(feature = "trace")]
             trace: None,
+        }
+    }
+
+    /// Schedule the first arrival of each enabled recurring fault lane, in
+    /// a fixed order. Disabled lanes draw nothing — the all-disabled plan
+    /// leaves both the RNG stream and the event heap untouched. Called
+    /// with identical state from [`Machine::new`] and [`Machine::reset`].
+    fn arm_fault_lanes(faults: &FaultPlan, rng: &mut DetRng, q: &mut EventQueue<Ev>) {
+        if let Some(gap) = faults.freq_dip.next_gap(rng) {
+            q.schedule(gap, Ev::FaultFreqDip);
+        }
+        if let Some(gap) = faults.spurious_irq.next_gap(rng) {
+            q.schedule(gap, Ev::FaultSpuriousIrq);
+        }
+        if let Some(gap) = faults.cpu_stall.next_gap(rng) {
+            q.schedule(gap, Ev::FaultCpuStall);
         }
     }
 
@@ -295,6 +334,7 @@ impl Machine {
                 tsc: Tsc::new(offset, cfg.tsc_writable),
                 apic: Apic::new(cfg.timer_mode),
                 busy_until: 0,
+                stall_until: 0,
                 op: None,
             });
         }
@@ -302,12 +342,14 @@ impl Machine {
         if let Some(gap) = cfg.smi.next_gap(&mut rng) {
             self.q.schedule(gap, Ev::SmiEnter);
         }
+        Self::arm_fault_lanes(&cfg.faults, &mut rng, &mut self.q);
         self.timers.reset(self.cpus.len());
         self.rng = rng;
         self.gpio = Gpio::new();
         self.op_seq = 0;
         self.stall_until = 0;
         self.smi_stats = SmiStats::default();
+        self.fault_stats = FaultStats::default();
         self.ipis_sent = 0;
         self.device_irqs = 0;
         self.cfg = cfg;
@@ -397,13 +439,30 @@ impl Machine {
     pub fn set_timer_cycles(&mut self, cpu: CpuId, delay: Cycles) -> Cycles {
         let now = self.q.now();
         let actual = self.cpus[cpu].apic.mode().quantize(delay);
-        self.timers.arm(cpu, now + actual);
+        // An injected overshoot fires the one-shot late without telling
+        // software: the returned delay stays the quantized request.
+        let mut overshoot = 0;
+        if FaultPlan::chance(self.cfg.faults.timer_overshoot_ppm, &mut self.rng) {
+            overshoot = self.cfg.faults.timer_overshoot_extra.draw(&mut self.rng);
+            self.fault_stats.timer_overshoots += 1;
+            self.fault_stats.timer_overshoot_cycles += overshoot;
+            #[cfg(feature = "trace")]
+            if let Some(t) = &self.trace {
+                t.emit(Record::Fault {
+                    cpu: cpu as u32,
+                    lane: FaultLane::TimerOvershoot,
+                    now_cycles: now,
+                    magnitude_cycles: overshoot,
+                });
+            }
+        }
+        self.timers.arm(cpu, now + actual + overshoot);
         #[cfg(feature = "trace")]
         if let Some(t) = &self.trace {
             t.emit(Record::TimerArm {
                 cpu: cpu as u32,
                 now_cycles: now,
-                fire_at_cycles: now + actual,
+                fire_at_cycles: now + actual + overshoot,
             });
         }
         actual
@@ -474,7 +533,9 @@ impl Machine {
         );
     }
 
-    /// Send the scheduler kick IPI (§3.4).
+    /// Send the scheduler kick IPI (§3.4). Subject to the fault plan's
+    /// kick lanes: the send can be silently dropped in the interconnect
+    /// or delivered late, both invisible to the sender.
     pub fn send_kick(&mut self, from: CpuId, to: CpuId) {
         #[cfg(feature = "trace")]
         if let Some(t) = &self.trace {
@@ -484,7 +545,45 @@ impl Machine {
                 now_cycles: self.q.now(),
             });
         }
-        self.send_ipi(from, to, VEC_KICK);
+        if FaultPlan::chance(self.cfg.faults.kick_drop_ppm, &mut self.rng) {
+            self.fault_stats.kicks_dropped += 1;
+            #[cfg(feature = "trace")]
+            if let Some(t) = &self.trace {
+                t.emit(Record::Fault {
+                    cpu: to as u32,
+                    lane: FaultLane::KickDrop,
+                    now_cycles: self.q.now(),
+                    magnitude_cycles: 0,
+                });
+            }
+            return;
+        }
+        let mut extra = 0;
+        if FaultPlan::chance(self.cfg.faults.kick_delay_ppm, &mut self.rng) {
+            extra = self.cfg.faults.kick_delay_extra.draw(&mut self.rng);
+            self.fault_stats.kicks_delayed += 1;
+            self.fault_stats.kick_delay_cycles += extra;
+            #[cfg(feature = "trace")]
+            if let Some(t) = &self.trace {
+                t.emit(Record::Fault {
+                    cpu: to as u32,
+                    lane: FaultLane::KickDelay,
+                    now_cycles: self.q.now(),
+                    magnitude_cycles: extra,
+                });
+            }
+        }
+        debug_assert!(from < self.cpus.len() && to < self.cpus.len());
+        self.ipis_sent += 1;
+        let latency = self.cost.ipi_latency.draw(&mut self.rng) + extra;
+        self.q.schedule_in(
+            latency,
+            Ev::Arrive {
+                cpu: to,
+                vector: VEC_KICK,
+                irq: None,
+            },
+        );
     }
 
     /// Raise external device interrupt `irq` (0..=0x3F), steered to `cpu`.
@@ -518,7 +617,10 @@ impl Machine {
             "cpu {cpu} already has an operation in flight"
         );
         let now = self.q.now();
-        let start = now.max(self.cpus[cpu].busy_until).max(self.stall_until);
+        let start = now
+            .max(self.cpus[cpu].busy_until)
+            .max(self.stall_until)
+            .max(self.cpus[cpu].stall_until);
         self.op_seq += 1;
         let seq = self.op_seq;
         let completion = start + cycles;
@@ -569,8 +671,9 @@ impl Machine {
     /// Charge an exact, pre-drawn duration.
     pub fn charge_raw(&mut self, cpu: CpuId, cycles: Cycles) {
         let now = self.q.now();
+        let stall = self.stall_until;
         let c = &mut self.cpus[cpu];
-        c.busy_until = c.busy_until.max(now).max(self.stall_until) + cycles;
+        c.busy_until = c.busy_until.max(now).max(stall).max(c.stall_until) + cycles;
     }
 
     /// End of `cpu`'s current busy window.
@@ -625,6 +728,11 @@ impl Machine {
     /// SMI ground truth so far.
     pub fn smi_stats(&self) -> SmiStats {
         self.smi_stats
+    }
+
+    /// Injected-fault ground truth so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// IPIs sent so far.
@@ -690,6 +798,15 @@ impl Machine {
                 Ev::SmiEnter => {
                     self.handle_smi_enter(t);
                 }
+                Ev::FaultFreqDip => {
+                    self.handle_freq_dip(t);
+                }
+                Ev::FaultSpuriousIrq => {
+                    self.handle_spurious_irq(t);
+                }
+                Ev::FaultCpuStall => {
+                    self.handle_cpu_stall(t);
+                }
                 Ev::Arrive { cpu, vector, irq } => {
                     if let Some(deliver_at) = self.delivery_deferral(cpu, t) {
                         self.q.schedule(deliver_at, Ev::Arrive { cpu, vector, irq });
@@ -741,7 +858,10 @@ impl Machine {
 
     /// If delivery on `cpu` at time `t` must wait, returns when to retry.
     fn delivery_deferral(&self, cpu: CpuId, t: Cycles) -> Option<Cycles> {
-        let horizon = self.cpus[cpu].busy_until.max(self.stall_until);
+        let horizon = self.cpus[cpu]
+            .busy_until
+            .max(self.stall_until)
+            .max(self.cpus[cpu].stall_until);
         if t < horizon {
             Some(horizon)
         } else {
@@ -776,6 +896,115 @@ impl Machine {
         // Arm the next SMI.
         if let Some(gap) = self.cfg.smi.next_gap(&mut self.rng) {
             self.q.schedule(self.stall_until + gap, Ev::SmiEnter);
+        }
+    }
+
+    /// Freeze a single CPU for `d` cycles at time `t`: the per-CPU
+    /// analogue of the SMI freeze — the in-flight operation stretches,
+    /// the busy window extends, deliveries defer — while every other CPU
+    /// keeps running.
+    fn stall_one_cpu(&mut self, cpu: CpuId, t: Cycles, d: Cycles) {
+        let horizon = (t + d).max(self.cpus[cpu].stall_until);
+        self.cpus[cpu].stall_until = horizon;
+        if let Some(op) = self.cpus[cpu].op.take() {
+            self.q.cancel(op.event);
+            let completion = op.start + op.cycles + op.stalled_add + d;
+            let ev = self
+                .q
+                .schedule(completion, Ev::OpComplete { cpu, seq: op.seq });
+            self.cpus[cpu].op = Some(InFlightOp {
+                stalled_add: op.stalled_add + d,
+                event: ev,
+                ..op
+            });
+        }
+        let c = &mut self.cpus[cpu];
+        if c.busy_until > t {
+            c.busy_until += d;
+        }
+    }
+
+    /// A transient frequency dip on one uniformly drawn CPU. A dip of
+    /// wall-length `w` at a core running at `(100 - loss)%` speed costs
+    /// the core `w * loss / 100` cycles of compute, which this models as
+    /// a stall of exactly that aggregate length — equivalent lost work,
+    /// one mechanism.
+    fn handle_freq_dip(&mut self, t: Cycles) {
+        let cpu = self.rng.uniform(0, (self.cpus.len() - 1) as u64) as CpuId;
+        let window = self.cfg.faults.freq_dip_duration.draw(&mut self.rng).max(1);
+        let lost = (window * self.cfg.faults.freq_dip_loss_pct as u64 / 100).max(1);
+        self.fault_stats.freq_dips += 1;
+        self.fault_stats.freq_dip_lost_cycles += lost;
+        #[cfg(feature = "trace")]
+        if let Some(trace) = self.trace.clone() {
+            trace.emit(Record::Fault {
+                cpu: cpu as u32,
+                lane: FaultLane::FreqDip,
+                now_cycles: t,
+                magnitude_cycles: lost,
+            });
+        }
+        self.stall_one_cpu(cpu, t, lost);
+        if let Some(gap) = self.cfg.faults.freq_dip.next_gap(&mut self.rng) {
+            self.q.schedule(t + window + gap, Ev::FaultFreqDip);
+        }
+    }
+
+    /// A spurious device interrupt on one uniformly drawn CPU, delivered
+    /// through the normal device-vector path: the kernel above sees a
+    /// device interrupt nobody asked for and must shrug it off.
+    fn handle_spurious_irq(&mut self, t: Cycles) {
+        let cpu = self.rng.uniform(0, (self.cpus.len() - 1) as u64) as CpuId;
+        let irq = self.cfg.faults.spurious_irq_line & 0x3F;
+        self.fault_stats.spurious_irqs += 1;
+        #[cfg(feature = "trace")]
+        if let Some(trace) = self.trace.clone() {
+            trace.emit(Record::Fault {
+                cpu: cpu as u32,
+                lane: FaultLane::SpuriousIrq,
+                now_cycles: t,
+                magnitude_cycles: 0,
+            });
+        }
+        self.device_irqs += 1;
+        let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
+        self.q.schedule_in(
+            latency,
+            Ev::Arrive {
+                cpu,
+                vector: VEC_DEVICE_BASE + irq,
+                irq: Some(irq),
+            },
+        );
+        if let Some(gap) = self.cfg.faults.spurious_irq.next_gap(&mut self.rng) {
+            self.q.schedule(t + gap, Ev::FaultSpuriousIrq);
+        }
+    }
+
+    /// A bounded stall of one uniformly drawn CPU (firmware or
+    /// memory-controller hiccup); unlike an SMI, the other CPUs run on.
+    fn handle_cpu_stall(&mut self, t: Cycles) {
+        let cpu = self.rng.uniform(0, (self.cpus.len() - 1) as u64) as CpuId;
+        let d = self
+            .cfg
+            .faults
+            .cpu_stall_duration
+            .draw(&mut self.rng)
+            .max(1);
+        self.fault_stats.cpu_stalls += 1;
+        self.fault_stats.cpu_stall_cycles += d;
+        #[cfg(feature = "trace")]
+        if let Some(trace) = self.trace.clone() {
+            trace.emit(Record::Fault {
+                cpu: cpu as u32,
+                lane: FaultLane::CpuStall,
+                now_cycles: t,
+                magnitude_cycles: d,
+            });
+        }
+        self.stall_one_cpu(cpu, t, d);
+        if let Some(gap) = self.cfg.faults.cpu_stall.next_gap(&mut self.rng) {
+            self.q.schedule(t + d + gap, Ev::FaultCpuStall);
         }
     }
 }

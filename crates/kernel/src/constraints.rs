@@ -57,23 +57,27 @@ impl Constraints {
         Constraints::Aperiodic { priority: 1 }
     }
 
-    /// Convenience constructor for a periodic constraint with zero phase.
-    pub fn periodic(period: Nanos, slice: Nanos) -> Self {
-        Constraints::Periodic {
+    /// Builder for a periodic constraint with zero phase. Call
+    /// [`ConstraintsBuilder::build`] (validates, panics on a structurally
+    /// impossible descriptor) or [`ConstraintsBuilder::try_build`] to get
+    /// the [`Constraints`] value.
+    pub fn periodic(period: Nanos, slice: Nanos) -> ConstraintsBuilder {
+        ConstraintsBuilder(Constraints::Periodic {
             phase: 0,
             period,
             slice,
-        }
+        })
     }
 
-    /// Convenience constructor for a sporadic constraint with zero phase.
-    pub fn sporadic(size: Nanos, deadline: Nanos) -> Self {
-        Constraints::Sporadic {
+    /// Builder for a sporadic constraint with zero phase and a post-burst
+    /// aperiodic priority of 1. See [`Constraints::periodic`].
+    pub fn sporadic(size: Nanos, deadline: Nanos) -> ConstraintsBuilder {
+        ConstraintsBuilder(Constraints::Sporadic {
             phase: 0,
             size,
             deadline,
             aperiodic_priority: 1,
-        }
+        })
     }
 
     /// True for periodic or sporadic constraints.
@@ -104,9 +108,12 @@ impl Constraints {
     }
 
     /// Replace the phase φ (used by the phase-correction step of group
-    /// admission, §4.4). No effect on aperiodic constraints.
-    pub fn with_phase(self, new_phase: Nanos) -> Self {
-        match self {
+    /// admission, §4.4). No effect on aperiodic constraints. Returns a
+    /// builder: a new phase can invalidate a sporadic descriptor
+    /// (φ + ω > δ), so the result must be re-validated via
+    /// [`ConstraintsBuilder::build`] / [`ConstraintsBuilder::try_build`].
+    pub fn with_phase(self, new_phase: Nanos) -> ConstraintsBuilder {
+        let c = match self {
             Constraints::Aperiodic { .. } => self,
             Constraints::Periodic { period, slice, .. } => Constraints::Periodic {
                 phase: new_phase,
@@ -124,7 +131,8 @@ impl Constraints {
                 deadline,
                 aperiodic_priority,
             },
-        }
+        };
+        ConstraintsBuilder(c)
     }
 
     /// The phase φ, if the class has one.
@@ -170,6 +178,75 @@ impl Constraints {
     }
 }
 
+/// A constraint descriptor under construction, returned by
+/// [`Constraints::periodic`], [`Constraints::sporadic`], and
+/// [`Constraints::with_phase`].
+///
+/// The builder closes the window in which a structurally impossible
+/// descriptor (σ > τ, φ + ω > δ, zero durations) could circulate unchecked
+/// until admission: [`ConstraintsBuilder::build`] runs
+/// [`Constraints::validate`] eagerly, so every descriptor produced through
+/// the convenience constructors is valid by construction.
+///
+/// ```
+/// use nautix_kernel::Constraints;
+/// let c = Constraints::periodic(100_000, 25_000).phase(500).build();
+/// assert_eq!(c.utilization_ppm(), 250_000);
+/// assert!(Constraints::periodic(100, 101).try_build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "call .build() (or .try_build()) to get the Constraints value"]
+pub struct ConstraintsBuilder(Constraints);
+
+impl ConstraintsBuilder {
+    /// Set the phase φ. No effect on aperiodic constraints.
+    pub fn phase(self, phase: Nanos) -> Self {
+        // `with_phase` on the raw descriptor already preserves the class.
+        self.0.with_phase(phase)
+    }
+
+    /// Set the priority µ a sporadic thread drops to after its burst (or
+    /// an aperiodic thread's priority). No effect on periodic constraints.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        match &mut self.0 {
+            Constraints::Aperiodic { priority: p } => *p = priority,
+            Constraints::Sporadic {
+                aperiodic_priority, ..
+            } => *aperiodic_priority = priority,
+            Constraints::Periodic { .. } => {}
+        }
+        self
+    }
+
+    /// Validate and return the descriptor.
+    ///
+    /// # Panics
+    /// If the descriptor is structurally impossible; use
+    /// [`ConstraintsBuilder::try_build`] where rejection is an expected
+    /// outcome.
+    #[track_caller]
+    pub fn build(self) -> Constraints {
+        match self.try_build() {
+            Ok(c) => c,
+            Err(e) => panic!("invalid constraints {:?}: {:?}", self.0, e),
+        }
+    }
+
+    /// Validate and return the descriptor, or the structural error.
+    pub fn try_build(self) -> Result<Constraints, ConstraintError> {
+        self.0.validate().map(|()| self.0)
+    }
+
+    /// Return the descriptor without validating. For code that must not
+    /// panic and defers to admission control's own `validate()` (for
+    /// example phase correction on an already-admitted descriptor), and
+    /// for tests that need a malformed descriptor on purpose.
+    #[doc(hidden)]
+    pub fn build_unchecked(self) -> Constraints {
+        self.0
+    }
+}
+
 /// Structural errors in a constraint descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstraintError {
@@ -207,13 +284,13 @@ mod tests {
 
     #[test]
     fn utilization_is_slice_over_period() {
-        let c = Constraints::periodic(100_000, 25_000);
+        let c = Constraints::periodic(100_000, 25_000).build();
         assert_eq!(c.utilization_ppm(), 250_000); // 25%
     }
 
     #[test]
     fn sporadic_utilization_is_size_over_deadline() {
-        let c = Constraints::sporadic(10_000, 40_000);
+        let c = Constraints::sporadic(10_000, 40_000).build();
         assert_eq!(c.utilization_ppm(), 250_000);
     }
 
@@ -227,7 +304,7 @@ mod tests {
 
     #[test]
     fn with_phase_only_touches_phase() {
-        let c = Constraints::periodic(100, 50).with_phase(7);
+        let c = Constraints::periodic(100, 50).phase(7).build();
         assert_eq!(
             c,
             Constraints::Periodic {
@@ -236,25 +313,25 @@ mod tests {
                 slice: 50
             }
         );
-        let a = Constraints::default_aperiodic().with_phase(9);
+        let a = Constraints::default_aperiodic().with_phase(9).build();
         assert_eq!(a.phase(), None);
     }
 
     #[test]
     fn validation_catches_degenerate_descriptors() {
         assert_eq!(
-            Constraints::periodic(0, 0).validate(),
+            Constraints::periodic(0, 0).try_build(),
             Err(ConstraintError::ZeroDuration)
         );
         assert_eq!(
-            Constraints::periodic(100, 101).validate(),
+            Constraints::periodic(100, 101).try_build(),
             Err(ConstraintError::SliceExceedsPeriod)
         );
         assert_eq!(
-            Constraints::sporadic(50, 40).validate(),
+            Constraints::sporadic(50, 40).try_build(),
             Err(ConstraintError::SizeExceedsDeadline)
         );
-        assert!(Constraints::periodic(100, 100).validate().is_ok());
+        assert!(Constraints::periodic(100, 100).try_build().is_ok());
         assert!(Constraints::default_aperiodic().validate().is_ok());
     }
 

@@ -56,6 +56,66 @@ pub enum TraceOutcome {
     Forfeited,
 }
 
+/// Which injected fault lane a [`Record::Fault`] came from (the machine
+/// layer's `FaultPlan`), mirrored here like [`TraceClass`] so observers
+/// need no hardware-crate dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLane {
+    /// A kick IPI was silently dropped.
+    KickDrop,
+    /// A kick IPI was delivered late.
+    KickDelay,
+    /// A one-shot timer fired past its quantized deadline.
+    TimerOvershoot,
+    /// A transient frequency dip slowed one CPU.
+    FreqDip,
+    /// A spurious device interrupt was raised.
+    SpuriousIrq,
+    /// One CPU was stalled outright.
+    CpuStall,
+}
+
+impl FaultLane {
+    /// Number of lanes, for per-lane counter arrays.
+    pub const COUNT: usize = 6;
+
+    /// Dense index for counter arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            FaultLane::KickDrop => 0,
+            FaultLane::KickDelay => 1,
+            FaultLane::TimerOvershoot => 2,
+            FaultLane::FreqDip => 3,
+            FaultLane::SpuriousIrq => 4,
+            FaultLane::CpuStall => 5,
+        }
+    }
+
+    /// Short name for summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultLane::KickDrop => "kick-drop",
+            FaultLane::KickDelay => "kick-delay",
+            FaultLane::TimerOvershoot => "timer-overshoot",
+            FaultLane::FreqDip => "freq-dip",
+            FaultLane::SpuriousIrq => "spurious-irq",
+            FaultLane::CpuStall => "cpu-stall",
+        }
+    }
+
+    /// All lanes in [`FaultLane::idx`] order.
+    pub fn all() -> [FaultLane; FaultLane::COUNT] {
+        [
+            FaultLane::KickDrop,
+            FaultLane::KickDelay,
+            FaultLane::TimerOvershoot,
+            FaultLane::FreqDip,
+            FaultLane::SpuriousIrq,
+            FaultLane::CpuStall,
+        ]
+    }
+}
+
 /// Constraint class of an admission verdict, as recorded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceClass {
@@ -259,6 +319,23 @@ pub enum Record {
         size_cycles: Cycles,
         /// Inline budget the scheduler computed for the gap, cycles.
         budget_cycles: Cycles,
+    },
+    /// The machine injected one fault from an enabled `FaultPlan` lane
+    /// (`Machine::send_kick`, `Machine::set_timer_cycles`, or the
+    /// recurring fault pump in `Machine::advance`). The oracle layer uses
+    /// these to attribute environment-caused deadline misses to the lane
+    /// that induced them.
+    Fault {
+        /// Affected CPU (the target, for kick lanes).
+        cpu: TraceCpu,
+        /// Which lane fired.
+        lane: FaultLane,
+        /// True machine time of the injection.
+        now_cycles: Cycles,
+        /// Lane-specific magnitude in cycles: delay/overshoot length,
+        /// stall length, compute lost to a dip; 0 for drops and spurious
+        /// interrupts.
+        magnitude_cycles: Cycles,
     },
 }
 

@@ -34,7 +34,7 @@ fn main() {
                 2 => Action::Call(SysCall::SleepNs(2_000_000)),
                 3 => Action::Call(SysCall::GroupChangeConstraints {
                     group: gid,
-                    constraints: Constraints::periodic(500_000, 200_000),
+                    constraints: Constraints::periodic(500_000, 200_000).build(),
                 }),
                 4 => {
                     assert_eq!(cx.result, SysResult::Admission(Ok(())));

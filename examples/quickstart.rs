@@ -25,9 +25,9 @@ fn main() {
     // Threads start aperiodic and request constraints at run time (§3.1).
     let program = FnProgram::new(|cx, n| {
         if n == 0 {
-            return Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                1_000_000, 250_000,
-            )));
+            return Action::Call(SysCall::ChangeConstraints(
+                Constraints::periodic(1_000_000, 250_000).build(),
+            ));
         }
         if n == 1 {
             assert_eq!(

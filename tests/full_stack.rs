@@ -30,9 +30,9 @@ fn sporadic_burst_end_to_end() {
     let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let log2 = log.clone();
     let prog = FnProgram::new(move |cx, n| match n {
-        0 => Action::Call(SysCall::ChangeConstraints(Constraints::sporadic(
-            50_000, 500_000,
-        ))),
+        0 => Action::Call(SysCall::ChangeConstraints(
+            Constraints::sporadic(50_000, 500_000).build(),
+        )),
         1 => {
             log2.borrow_mut().push(cx.result);
             Action::Compute(65_000) // the burst
@@ -71,7 +71,7 @@ fn two_gangs_share_the_node() {
                     2 => Action::Call(SysCall::SleepNs(2_000_000)),
                     3 => Action::Call(SysCall::GroupChangeConstraints {
                         group: gid,
-                        constraints: Constraints::periodic(period, slice),
+                        constraints: Constraints::periodic(period, slice).build(),
                     }),
                     _ => Action::Compute(80_000),
                 }
@@ -151,9 +151,9 @@ fn full_stack_is_green_under_the_pooled_harness() {
         for cpu in 1..3 {
             let prog = FnProgram::new(move |_cx, n| {
                 if n == 0 {
-                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                        200_000, 50_000,
-                    )))
+                    Action::Call(SysCall::ChangeConstraints(
+                        Constraints::periodic(200_000, 50_000).build(),
+                    ))
                 } else if n < 40 {
                     Action::Compute(30_000)
                 } else {
@@ -171,7 +171,8 @@ fn full_stack_is_green_under_the_pooled_harness() {
     }
 
     let seeds: Vec<u64> = (100..112).collect();
-    let pooled = run_trials_pooled(seeds.clone(), |pool, &seed| {
+    let hc = nautix_rt::HarnessConfig::with_threads(4);
+    let pooled = run_trials_pooled(&hc, seeds.clone(), |pool, &seed| {
         let node = pool.node(small(3, seed));
         let r = trial(node);
         (r, r.1)
@@ -199,9 +200,9 @@ fn seeds_differ_but_each_is_reproducible() {
         for cpu in 1..3 {
             let prog = FnProgram::new(move |_cx, n| {
                 if n == 0 {
-                    Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                        200_000, 50_000,
-                    )))
+                    Action::Call(SysCall::ChangeConstraints(
+                        Constraints::periodic(200_000, 50_000).build(),
+                    ))
                 } else if n < 40 {
                     Action::Compute(30_000)
                 } else {

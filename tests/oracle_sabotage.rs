@@ -31,9 +31,9 @@ fn run_competing_periodics(sabotage: bool) -> (Vec<(&'static str, String)>, u64)
     let spawn_periodic = |node: &mut Node, name: &'static str, period: Nanos, slice: Nanos| {
         let prog = FnProgram::new(move |_cx, n| {
             if n == 0 {
-                Action::Call(SysCall::ChangeConstraints(Constraints::periodic(
-                    period, slice,
-                )))
+                Action::Call(SysCall::ChangeConstraints(
+                    Constraints::periodic(period, slice).build(),
+                ))
             } else {
                 Action::Compute(1_000_000)
             }
