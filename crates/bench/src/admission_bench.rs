@@ -1,0 +1,163 @@
+//! Admission-engine microbenchmark: the incremental utilization ledger
+//! with the memoized hyperperiod simulation against the fresh-recompute
+//! reference engine, on the workload the engine exists for —
+//! re-admission-heavy churn.
+//!
+//! Period-widening degradation (PR 4) and group re-throttling put
+//! *re-admission* on a hot path: the same thread cycles between a small
+//! number of constraint shapes, and every verdict under
+//! [`AdmissionPolicy::HyperperiodSim`] used to replay the full
+//! event-driven feasibility simulation. The incremental engine memoizes
+//! verdicts by canonical task-set signature, so a churn cycle that
+//! alternates between two shapes costs two simulations ever, not one per
+//! verdict. This bench measures exactly that: a widening-churn loop over
+//! a base set of admitted tasks, timed once per engine.
+
+use crate::common::Scale;
+use nautix_des::Nanos;
+use nautix_rt::{AdmissionEngine, AdmissionPolicy, Constraints, CpuLoad, SchedConfig, SimCache};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One measured sweep point.
+#[derive(Debug, Clone)]
+pub struct AdmissionPoint {
+    /// Base tasks admitted before the churn starts.
+    pub tasks: usize,
+    /// Widen → re-admit → restore churn iterations (two verdicts each).
+    pub iters: usize,
+    /// Wall time of the churn loop under the fresh-recompute engine, s.
+    pub fresh_secs: f64,
+    /// Wall time under the incremental engine with the memo installed, s.
+    pub incr_secs: f64,
+    /// `fresh_secs / incr_secs`.
+    pub speedup: f64,
+    /// Memo hits recorded by the incremental ledger.
+    pub hits: u64,
+    /// Simulations actually run by the incremental ledger.
+    pub misses: u64,
+    /// Simulations run by the fresh ledger (all verdicts).
+    pub fresh_sims: u64,
+}
+
+/// The simulation-heavy scheduler configuration both engines run under.
+/// The window cap bounds each feasibility simulation; larger windows mean
+/// more simulated jobs per verdict and a hotter path to memoize.
+fn sim_config(engine: AdmissionEngine, window_cap_ns: Nanos) -> SchedConfig {
+    SchedConfig {
+        policy: AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 2_000,
+            window_cap_ns,
+        },
+        engine,
+        ..SchedConfig::throughput()
+    }
+}
+
+/// The base task set for a point: `tasks` periodic threads at ~5% each,
+/// with co-prime-leaning periods so the hyperperiod fills the window.
+fn base_set(tasks: usize) -> Vec<Constraints> {
+    (0..tasks)
+        .map(|i| {
+            let period = 1_000_000 + (i as u64) * 300_100;
+            Constraints::periodic(period, period / 20).build()
+        })
+        .collect()
+}
+
+/// Run the widening-churn loop against one ledger and return the wall
+/// time plus the verdict sequence (for differential checking).
+fn churn(load: &mut CpuLoad, cfg: &SchedConfig, tasks: usize, iters: usize) -> (f64, Vec<bool>) {
+    for c in base_set(tasks) {
+        load.admit(cfg, &c).expect("base task admission");
+    }
+    // The churning reservation cycles between its admitted shape and the
+    // 25%-widened shape PR 4's degradation would resubmit.
+    let tight = Constraints::periodic(2_000_000, 150_000).build();
+    let wide = Constraints::periodic(2_500_000, 150_000).build();
+    load.admit(cfg, &tight).expect("churn task admission");
+    let mut verdicts = Vec::with_capacity(iters * 2);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        load.release(&tight);
+        verdicts.push(load.admit(cfg, &wide).is_ok());
+        load.release(&wide);
+        verdicts.push(load.admit(cfg, &tight).is_ok());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    for c in base_set(tasks) {
+        load.release(&c);
+    }
+    load.release(&tight);
+    (secs, verdicts)
+}
+
+/// Measure one point: the identical churn under both engines. Panics if
+/// the engines ever disagree on a verdict — the bench doubles as a
+/// coarse differential check.
+pub fn measure_point(tasks: usize, iters: usize, window_cap_ns: Nanos) -> AdmissionPoint {
+    let fresh_cfg = sim_config(AdmissionEngine::Fresh, window_cap_ns);
+    let mut fresh = CpuLoad::new();
+    let (fresh_secs, fresh_verdicts) = churn(&mut fresh, &fresh_cfg, tasks, iters);
+    let fresh_stats = fresh.admission_stats();
+
+    let incr_cfg = sim_config(AdmissionEngine::Incremental, window_cap_ns);
+    let mut incr = CpuLoad::new();
+    incr.install_sim_cache(Rc::new(RefCell::new(SimCache::new())));
+    let (incr_secs, incr_verdicts) = churn(&mut incr, &incr_cfg, tasks, iters);
+    let incr_stats = incr.admission_stats();
+
+    assert_eq!(
+        fresh_verdicts, incr_verdicts,
+        "engines diverged at tasks={tasks}"
+    );
+    AdmissionPoint {
+        tasks,
+        iters,
+        fresh_secs,
+        incr_secs,
+        speedup: if incr_secs > 0.0 {
+            fresh_secs / incr_secs
+        } else {
+            0.0
+        },
+        hits: incr_stats.sim_hits,
+        misses: incr_stats.sim_misses,
+        fresh_sims: fresh_stats.sim_misses,
+    }
+}
+
+/// The full sweep at a scale.
+pub fn run(scale: Scale) -> Vec<AdmissionPoint> {
+    let (task_counts, iters, window): (&[usize], usize, Nanos) = match scale {
+        Scale::Quick => (&[4, 8], 60, 40_000_000),
+        Scale::Paper => (&[4, 8, 12, 16], 400, 120_000_000),
+    };
+    task_counts
+        .iter()
+        .map(|&t| measure_point(t, iters, window))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_the_memo_converges() {
+        let p = measure_point(4, 20, 20_000_000);
+        // Two shapes churn, so the memo needs at most a handful of
+        // simulations (base-set growth included) and serves the rest.
+        assert!(p.hits > 0, "no memo hits on a churn workload");
+        assert!(
+            p.misses < p.fresh_sims,
+            "memoized engine simulated as much as fresh ({} vs {})",
+            p.misses,
+            p.fresh_sims
+        );
+        // Every verdict under fresh runs a simulation: base admissions,
+        // the churn admission, and two per iteration.
+        assert_eq!(p.fresh_sims, 4 + 1 + 2 * 20);
+    }
+}

@@ -1,0 +1,91 @@
+//! Admission-engine microbenchmark.
+//!
+//! Times the widening-churn workload (the hot path created by period
+//! widening and group re-throttling) under the incremental admission
+//! engine with the memoized hyperperiod simulation, against the
+//! fresh-recompute reference. Writes `results/admission.csv` plus
+//! `BENCH_admission.json`; pass `--paper` for the full sweep.
+
+use nautix_bench::admission_bench::{run, AdmissionPoint};
+use nautix_bench::{banner, f, out_dir, write_csv, Scale};
+
+fn json(points: &[AdmissionPoint], overall: f64) -> String {
+    let mut s = String::from("{\n  \"bench\": \"admission\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"tasks\": {}, \"iters\": {}, \"fresh_secs\": {}, \
+             \"incr_secs\": {}, \"speedup\": {}, \"hits\": {}, \"misses\": {}, \
+             \"fresh_sims\": {}}}{}\n",
+            p.tasks,
+            p.iters,
+            f(p.fresh_secs),
+            f(p.incr_secs),
+            f(p.speedup),
+            p.hits,
+            p.misses,
+            p.fresh_sims,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"overall_speedup\": {}\n}}\n",
+        f(overall)
+    ));
+    s
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Admission engine: incremental + memoized sim vs fresh recompute");
+    println!("scale: {scale:?}; widening-churn workload, one CPU ledger\n");
+    let points = run(scale);
+
+    println!("tasks  iters  fresh_s      incr_s       speedup  hits   misses");
+    for p in &points {
+        println!(
+            "{:>5}  {:>5}  {:>11}  {:>11}  {:>7}  {:>5}  {:>6}",
+            p.tasks,
+            p.iters,
+            f(p.fresh_secs),
+            f(p.incr_secs),
+            f(p.speedup),
+            p.hits,
+            p.misses
+        );
+    }
+    let fresh_total: f64 = points.iter().map(|p| p.fresh_secs).sum();
+    let incr_total: f64 = points.iter().map(|p| p.incr_secs).sum();
+    let overall = fresh_total / incr_total.max(1e-12);
+    println!("\noverall speedup: {}x", f(overall));
+
+    write_csv(
+        &out_dir().join("admission.csv"),
+        &[
+            "tasks",
+            "iters",
+            "fresh_secs",
+            "incr_secs",
+            "speedup",
+            "hits",
+            "misses",
+            "fresh_sims",
+        ],
+        points.iter().map(|p| {
+            vec![
+                p.tasks.to_string(),
+                p.iters.to_string(),
+                f(p.fresh_secs),
+                f(p.incr_secs),
+                f(p.speedup),
+                p.hits.to_string(),
+                p.misses.to_string(),
+                p.fresh_sims.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("admission.csv"));
+
+    let bench_path = std::path::Path::new("BENCH_admission.json");
+    std::fs::write(bench_path, json(&points, overall)).expect("write BENCH_admission.json");
+    println!("wrote {bench_path:?}");
+}

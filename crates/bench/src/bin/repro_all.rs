@@ -444,6 +444,13 @@ fn main() {
             degrade.sporadic_demotions, degrade.periodic_widenings, degrade.periodic_demotions,
         );
     }
+    let admission = nautix_rt::admission_global_stats();
+    if admission.total() > 0 {
+        println!(
+            "\nadmission engine: {} sim-memo hits, {} misses, {} rollbacks",
+            admission.sim_hits, admission.sim_misses, admission.rollbacks,
+        );
+    }
     let bench_path = std::path::Path::new("BENCH_repro.json");
     report.write(bench_path);
     println!("wrote {bench_path:?}");

@@ -24,6 +24,7 @@
 //! `repro_all` runs everything in sequence.
 
 pub mod ablations;
+pub mod admission_bench;
 pub mod barrier_removal;
 pub mod common;
 pub mod fault_sweep;

@@ -7,8 +7,9 @@
 
 use nautix_bench::harness::NodePool;
 use nautix_bench::{missrate, Scale};
-use nautix_hw::Platform;
-use nautix_rt::HarnessConfig;
+use nautix_hw::{MachineConfig, Platform};
+use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
+use nautix_rt::{AdmissionPolicy, HarnessConfig, Node, NodeConfig, SchedConfig};
 
 #[test]
 fn pooled_reset_node_matches_fresh_construction() {
@@ -30,6 +31,73 @@ fn pooled_reset_node_matches_fresh_construction() {
              ({platform:?}, {period}, {slice}, {jobs}, {seed})"
         );
     }
+}
+
+/// Node configuration for the widening-churn trial: every admission
+/// verdict runs (or memo-serves) the hyperperiod simulation.
+fn churn_cfg() -> NodeConfig {
+    let mut cfg = NodeConfig::phi();
+    cfg.machine = MachineConfig::phi().with_cpus(2).with_seed(64);
+    cfg.sched = SchedConfig {
+        policy: AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 1_000,
+            window_cap_ns: 20_000_000,
+        },
+        ..SchedConfig::throughput()
+    };
+    cfg
+}
+
+/// One widen → re-admit → (rejected) → demote trial with real compute
+/// between the constraint changes; returns everything a warm memo could
+/// conceivably perturb.
+fn churn_trial(node: &mut Node) -> (Constraints, u64, u64) {
+    let tight = Constraints::periodic(1_000_000, 300_000).build();
+    let wide = Constraints::periodic(1_250_000, 300_000).build();
+    let hog = Constraints::periodic(1_000_000, 990_100).build();
+    let prog = FnProgram::new(move |_cx, n| match n {
+        0 => Action::Call(SysCall::ChangeConstraints(tight)),
+        2 => Action::Call(SysCall::ChangeConstraints(wide)),
+        4 => Action::Call(SysCall::ChangeConstraints(tight)),
+        6 => Action::Call(SysCall::ChangeConstraints(wide)),
+        8 => Action::Call(SysCall::ChangeConstraints(hog)), // rejected
+        10 => Action::Call(SysCall::ChangeConstraints(Constraints::default_aperiodic())),
+        n if n < 12 => Action::Compute(130_000),
+        _ => Action::Exit,
+    });
+    let tid = node.spawn_on(1, "churn", Box::new(prog)).unwrap();
+    node.run_until_quiescent();
+    let st = node.thread_state(tid);
+    (st.constraints, st.stats.missed, st.stats.executed_cycles)
+}
+
+/// The warm sim memo of a pooled node must be invisible in trial results:
+/// the widen → re-admit → demote churn returns byte-identical outcomes on
+/// a reset node, while the admission counters prove the memo actually
+/// served the pooled run (all hits where the fresh run simulated).
+#[test]
+fn warm_sim_memo_is_invisible_in_pooled_trial_results() {
+    let mut fresh_node = Node::new(churn_cfg());
+    let fresh = churn_trial(&mut fresh_node);
+    let fa = fresh_node.admission_stats();
+    assert_eq!(fa.sim_misses, 2, "fresh run simulates both canonical sets");
+    assert_eq!(fa.sim_hits, 3, "re-admissions and rollback hit the memo");
+    assert_eq!(fa.rollbacks, 1, "the over-budget change rolls back");
+
+    // Dirty the pool on a different workload, then run the same trial
+    // twice: the second pass sees a node whose memo is fully warm.
+    let mut pool = NodePool::new();
+    let _ = missrate::measure_point_pooled(&mut pool, Platform::Phi, 100_000, 50_000, 20, 11);
+    let warm = churn_trial(pool.node(churn_cfg()));
+    assert_eq!(warm, fresh, "reset node diverged from fresh node");
+    let node = pool.node(churn_cfg());
+    let pooled = churn_trial(node);
+    let pa = node.admission_stats();
+    assert_eq!(pooled, fresh, "warm memo perturbed a trial result");
+    assert_eq!(pa.sim_misses, 0, "warm memo: nothing left to simulate");
+    assert_eq!(pa.sim_hits, fa.sim_hits + fa.sim_misses);
+    assert_eq!(pa.rollbacks, fa.rollbacks);
+    assert_eq!(node.sim_cache_len(), 2);
 }
 
 #[test]

@@ -23,12 +23,153 @@
 //! charged to the caller by the node), so "the cost of admission control
 //! need not be separately accounted for in its effects on the already
 //! admitted threads."
+//!
+//! Since period-widening degradation (PR 4) put re-admission on a hot
+//! path, the ledger is *incremental*: the periodic utilization sum is
+//! maintained on every admit/release instead of rescanned, and
+//! hyperperiod-simulation verdicts are memoized in a per-node [`SimCache`]
+//! keyed by [`nautix_kernel::task_set_signature`]. The
+//! [`AdmissionEngine::Fresh`] escape hatch (env: `NAUTIX_ADMISSION=fresh`)
+//! recomputes everything from scratch; the differential test suite pins
+//! the two engines verdict- and sum-identical.
 
+use crate::stats::AdmissionStats;
 use nautix_des::Nanos;
-use nautix_kernel::{AdmissionError, Constraints};
+use nautix_kernel::{task_set_signature, AdmissionError, Constraints};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parts-per-million fixed point for utilizations.
 pub const PPM: u64 = 1_000_000;
+
+/// How the ledger computes its verdicts. Both engines are defined to be
+/// verdict- and sum-identical on every request stream (the differential
+/// suite enforces it); `Fresh` exists as an escape hatch and reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEngine {
+    /// Maintained utilization sums + memoized hyperperiod simulation.
+    Incremental,
+    /// Rescan the ledger and re-simulate on every request.
+    Fresh,
+}
+
+/// Process-wide admission-engine tallies, accumulated live from every
+/// ledger (unlike per-[`CpuLoad`] stats, these survive `Node::reset`).
+static G_SIM_HITS: AtomicU64 = AtomicU64::new(0);
+static G_SIM_MISSES: AtomicU64 = AtomicU64::new(0);
+static G_ROLLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative engine counters across every ledger in the process.
+pub fn admission_global_stats() -> AdmissionStats {
+    AdmissionStats {
+        sim_hits: G_SIM_HITS.load(Ordering::Relaxed),
+        sim_misses: G_SIM_MISSES.load(Ordering::Relaxed),
+        rollbacks: G_ROLLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+/// What the most recent hyperperiod-simulation probe on a ledger
+/// concluded, and how: consumed by the trace layer so an armed
+/// `OracleSuite` (trace feature) can re-check cached verdicts against a
+/// fresh simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimProbe {
+    /// Whether the verdict came from the memo cache.
+    pub hit: bool,
+    /// The feasibility verdict itself.
+    pub feasible: bool,
+    /// Canonical signature of the probed set + overhead model.
+    pub sig: u64,
+    /// Overhead model the verdict was computed under.
+    pub overhead_ns: Nanos,
+    /// Window cap the verdict was computed under.
+    pub window_cap_ns: Nanos,
+}
+
+/// Memoized hyperperiod-simulation verdicts, shared by every CPU ledger of
+/// one node (single-threaded interior mutability: a `Node` never crosses
+/// threads). Entries are keyed by canonical signature *and* the canonical
+/// set itself — signature equality alone never decides, so colliding sets
+/// cannot share a verdict. A small move-to-front LRU suffices: re-admission
+/// churn (widening, group re-throttling) cycles among a handful of sets.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    entries: Vec<SimEntry>,
+}
+
+#[derive(Debug)]
+struct SimEntry {
+    sig: u64,
+    set: Vec<(Nanos, Nanos)>,
+    overhead_ns: Nanos,
+    window_cap_ns: Nanos,
+    feasible: bool,
+}
+
+/// Entries kept per node; beyond this the least recently used is evicted.
+const SIM_CACHE_CAP: usize = 64;
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a verdict for the canonical `set` under the given overhead
+    /// model; a hit moves the entry to the front.
+    pub fn lookup(
+        &mut self,
+        sig: u64,
+        set: &[(Nanos, Nanos)],
+        overhead_ns: Nanos,
+        window_cap_ns: Nanos,
+    ) -> Option<bool> {
+        let idx = self.entries.iter().position(|e| {
+            e.sig == sig
+                && e.overhead_ns == overhead_ns
+                && e.window_cap_ns == window_cap_ns
+                && e.set == set
+        })?;
+        let entry = self.entries.remove(idx);
+        let feasible = entry.feasible;
+        self.entries.insert(0, entry);
+        Some(feasible)
+    }
+
+    /// Insert a freshly simulated verdict at the front, evicting the LRU
+    /// entry past capacity.
+    pub fn insert(
+        &mut self,
+        sig: u64,
+        set: Vec<(Nanos, Nanos)>,
+        overhead_ns: Nanos,
+        window_cap_ns: Nanos,
+        feasible: bool,
+    ) {
+        self.entries.insert(
+            0,
+            SimEntry {
+                sig,
+                set,
+                overhead_ns,
+                window_cap_ns,
+                feasible,
+            },
+        );
+        self.entries.truncate(SIM_CACHE_CAP);
+    }
+}
 
 /// Which feasibility test admits real-time threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +287,8 @@ pub struct SchedConfig {
     pub work_stealing: bool,
     /// Graceful degradation under sustained interference (off by default).
     pub degrade: DegradePolicy,
+    /// Incremental (default) or fresh-recompute admission engine.
+    pub engine: AdmissionEngine,
 }
 
 impl Default for SchedConfig {
@@ -164,6 +307,7 @@ impl Default for SchedConfig {
             admission_enabled: true,
             work_stealing: true,
             degrade: DegradePolicy::default(),
+            engine: AdmissionEngine::Incremental,
         }
     }
 }
@@ -195,8 +339,24 @@ impl SchedConfig {
 pub struct CpuLoad {
     /// Admitted periodic threads' `(period, slice)` in ns.
     periodic: Vec<(Nanos, Nanos)>,
+    /// Maintained sum of the admitted periodic utilizations, ppm: the sum
+    /// of each task's individually floored `slice·PPM/period` term, updated
+    /// on every push/remove. Exact (not approximate): `release` removes a
+    /// tuple equal to one that was pushed, whose term recomputes
+    /// identically, so this always equals the from-scratch rescan.
+    periodic_ppm: u64,
     /// Active sporadic utilization, ppm.
     sporadic_ppm: u64,
+    /// Memo cache for hyperperiod-simulation verdicts, installed by the
+    /// owning node (absent on standalone ledgers, which then simulate
+    /// per request like the `Fresh` engine but still count misses).
+    sim_cache: Option<Rc<RefCell<SimCache>>>,
+    /// Engine counters for this ledger's lifetime (reset with the ledger).
+    stats: AdmissionStats,
+    /// The most recent hyperperiod-simulation probe, left for the verdict
+    /// emission site to [`CpuLoad::take_probe`] — and for rollback
+    /// re-admissions to discard, so probes pair with emitted verdicts.
+    last_probe: Option<SimProbe>,
 }
 
 impl CpuLoad {
@@ -205,12 +365,43 @@ impl CpuLoad {
         Self::default()
     }
 
-    /// Total admitted periodic utilization, ppm.
+    /// Install the node's shared simulation memo cache. Re-installed after
+    /// every `Node::reset`: the cache is a pure memo keyed on the full
+    /// simulation input, so entries learned in earlier trials stay valid.
+    pub fn install_sim_cache(&mut self, cache: Rc<RefCell<SimCache>>) {
+        self.sim_cache = Some(cache);
+    }
+
+    /// Engine counters accumulated by this ledger.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Take the probe left by the most recent hyperperiod-simulation
+    /// verdict (None under closed-form policies).
+    pub fn take_probe(&mut self) -> Option<SimProbe> {
+        self.last_probe.take()
+    }
+
+    /// Count a ledger rollback: a failed re-admission or failed team
+    /// transaction restored previously held reservations.
+    pub fn note_rollback(&mut self) {
+        self.stats.rollbacks += 1;
+        G_ROLLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total admitted periodic utilization, ppm — O(1) from the maintained
+    /// sum (identical to [`CpuLoad::periodic_util_ppm_rescan`] by
+    /// construction; the differential suite asserts it at every step).
     pub fn periodic_util_ppm(&self) -> u64 {
-        self.periodic
-            .iter()
-            .map(|&(p, s)| (s as u128 * PPM as u128 / p as u128) as u64)
-            .sum()
+        self.periodic_ppm
+    }
+
+    /// Total admitted periodic utilization recomputed from scratch: the
+    /// reference the `Fresh` engine tests against and differential tests
+    /// compare with the maintained sum.
+    pub fn periodic_util_ppm_rescan(&self) -> u64 {
+        self.periodic.iter().map(|&(p, s)| util_term(p, s)).sum()
     }
 
     /// Active sporadic utilization, ppm.
@@ -239,6 +430,7 @@ impl CpuLoad {
                     self.test_periodic(cfg, period, slice)?;
                 }
                 self.periodic.push((period, slice));
+                self.periodic_ppm += util_term(period, slice);
                 Ok(())
             }
             Constraints::Sporadic {
@@ -262,14 +454,17 @@ impl CpuLoad {
     }
 
     fn test_periodic(
-        &self,
+        &mut self,
         cfg: &SchedConfig,
         period: Nanos,
         slice: Nanos,
     ) -> Result<(), AdmissionError> {
         let budget = cfg.periodic_budget_ppm();
-        let u_new = (slice as u128 * PPM as u128 / period as u128) as u64;
-        let u_total = self.periodic_util_ppm() + u_new;
+        let u_new = util_term(period, slice);
+        let u_total = match cfg.engine {
+            AdmissionEngine::Incremental => self.periodic_ppm + u_new,
+            AdmissionEngine::Fresh => self.periodic_util_ppm_rescan() + u_new,
+        };
         match cfg.policy {
             AdmissionPolicy::EdfBound => {
                 if u_total <= budget {
@@ -298,13 +493,67 @@ impl CpuLoad {
                 if u_total > budget {
                     return Err(AdmissionError::UtilizationExceeded);
                 }
-                if simulate_edf_feasible(&set, overhead_ns, window_cap_ns) {
+                if self.sim_feasible(cfg.engine, &set, overhead_ns, window_cap_ns) {
                     Ok(())
                 } else {
                     Err(AdmissionError::UtilizationExceeded)
                 }
             }
         }
+    }
+
+    /// Hyperperiod-simulation feasibility of `set`, memoized under the
+    /// incremental engine. The simulation input stays in ledger order (the
+    /// verdict is permutation-invariant, so the unsorted set and the
+    /// sorted canonical key yield the same answer); the canonical sorted
+    /// copy exists only as the cache key.
+    fn sim_feasible(
+        &mut self,
+        engine: AdmissionEngine,
+        set: &[(Nanos, Nanos)],
+        overhead_ns: Nanos,
+        window_cap_ns: Nanos,
+    ) -> bool {
+        let mut key: Vec<(Nanos, Nanos)> = set.to_vec();
+        key.sort_unstable();
+        let sig = task_set_signature(&key, overhead_ns, window_cap_ns);
+        let cache = match engine {
+            AdmissionEngine::Incremental => self.sim_cache.clone(),
+            AdmissionEngine::Fresh => None,
+        };
+        if let Some(cache) = &cache {
+            if let Some(feasible) = cache
+                .borrow_mut()
+                .lookup(sig, &key, overhead_ns, window_cap_ns)
+            {
+                self.stats.sim_hits += 1;
+                G_SIM_HITS.fetch_add(1, Ordering::Relaxed);
+                self.last_probe = Some(SimProbe {
+                    hit: true,
+                    feasible,
+                    sig,
+                    overhead_ns,
+                    window_cap_ns,
+                });
+                return feasible;
+            }
+        }
+        let feasible = simulate_edf_feasible(set, overhead_ns, window_cap_ns);
+        if let Some(cache) = &cache {
+            cache
+                .borrow_mut()
+                .insert(sig, key, overhead_ns, window_cap_ns, feasible);
+        }
+        self.stats.sim_misses += 1;
+        G_SIM_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.last_probe = Some(SimProbe {
+            hit: false,
+            feasible,
+            sig,
+            overhead_ns,
+            window_cap_ns,
+        });
+        feasible
     }
 
     /// Release a previously admitted constraint (thread exited or is
@@ -319,6 +568,9 @@ impl CpuLoad {
                     .position(|&(p, s)| p == period && s == slice)
                 {
                     self.periodic.remove(i);
+                    // Exact: the removed tuple's term recomputes to the
+                    // value added when it was pushed.
+                    self.periodic_ppm -= util_term(period, slice);
                 }
             }
             Constraints::Sporadic {
@@ -333,6 +585,11 @@ impl CpuLoad {
             }
         }
     }
+}
+
+/// One periodic task's floored utilization term, ppm.
+fn util_term(period: Nanos, slice: Nanos) -> u64 {
+    (slice as u128 * PPM as u128 / period as u128) as u64
 }
 
 /// Event-driven EDF feasibility simulation over a window: all jobs are
@@ -621,5 +878,97 @@ mod tests {
     #[test]
     fn hyperperiod_of_coprime_periods() {
         assert!(simulate_edf_feasible(&[(3, 1), (7, 2)], 0, 1_000));
+    }
+
+    #[test]
+    fn maintained_sum_tracks_rescan_through_churn() {
+        let c = cfg();
+        let mut load = CpuLoad::new();
+        let a = Constraints::periodic(100_000, 19_000).build();
+        let b = Constraints::periodic(300_000, 70_000).build();
+        let s = Constraints::sporadic(5_000, 100_000).build();
+        for _ in 0..3 {
+            load.admit(&c, &a).unwrap();
+            load.admit(&c, &b).unwrap();
+            load.admit(&c, &s).unwrap();
+            assert_eq!(load.periodic_util_ppm(), load.periodic_util_ppm_rescan());
+            load.release(&a);
+            assert_eq!(load.periodic_util_ppm(), load.periodic_util_ppm_rescan());
+            load.release(&b);
+            load.release(&s);
+            assert_eq!(load.periodic_util_ppm(), 0);
+            assert_eq!(load.periodic_util_ppm_rescan(), 0);
+        }
+        // Releasing a constraint that was never admitted is a no-op for
+        // both the vector and the maintained sum.
+        load.release(&a);
+        assert_eq!(load.periodic_util_ppm(), 0);
+    }
+
+    #[test]
+    fn sim_cache_serves_repeat_probes_and_counts() {
+        let mut c = cfg();
+        c.policy = AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 1_000,
+            window_cap_ns: 1_000_000_000,
+        };
+        let mut load = CpuLoad::new();
+        load.install_sim_cache(Rc::new(RefCell::new(SimCache::new())));
+        let probe = Constraints::periodic(1_000_000, 200_000).build();
+        load.admit(&c, &probe).unwrap();
+        assert_eq!(load.admission_stats().sim_misses, 1);
+        assert_eq!(load.admission_stats().sim_hits, 0);
+        assert!(!load.take_probe().unwrap().hit);
+        // Release and re-admit the identical constraints: same canonical
+        // set, so the verdict must come from the cache.
+        load.release(&probe);
+        load.admit(&c, &probe).unwrap();
+        assert_eq!(load.admission_stats().sim_misses, 1);
+        assert_eq!(load.admission_stats().sim_hits, 1);
+        let p = load.take_probe().unwrap();
+        assert!(p.hit);
+        assert!(p.feasible);
+        // A different set misses again.
+        load.admit(&c, &Constraints::periodic(500_000, 100_000).build())
+            .unwrap();
+        assert_eq!(load.admission_stats().sim_misses, 2);
+    }
+
+    #[test]
+    fn fresh_engine_matches_incremental_verdicts_and_skips_cache() {
+        let mut inc = cfg();
+        inc.policy = AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 9_000,
+            window_cap_ns: 1_000_000_000,
+        };
+        let mut fresh = inc;
+        fresh.engine = AdmissionEngine::Fresh;
+        let cache = Rc::new(RefCell::new(SimCache::new()));
+        let mut li = CpuLoad::new();
+        li.install_sim_cache(cache.clone());
+        let mut lf = CpuLoad::new();
+        lf.install_sim_cache(cache.clone());
+        for req in [
+            Constraints::periodic(10_000, 5_000).build(), // overhead-dominated
+            Constraints::periodic(1_000_000, 500_000).build(),
+            Constraints::periodic(1_000_000, 200_000).build(),
+        ] {
+            assert_eq!(li.admit(&inc, &req), lf.admit(&fresh, &req));
+            assert_eq!(li.periodic_util_ppm(), lf.periodic_util_ppm());
+        }
+        // The fresh ledger never touched the shared cache and recorded
+        // every simulation as a miss.
+        assert_eq!(lf.admission_stats().sim_hits, 0);
+        assert_eq!(cache.borrow().len() as u64, li.admission_stats().sim_misses);
+    }
+
+    #[test]
+    fn rollback_counter_accumulates() {
+        let mut load = CpuLoad::new();
+        assert_eq!(load.admission_stats().rollbacks, 0);
+        load.note_rollback();
+        load.note_rollback();
+        assert_eq!(load.admission_stats().rollbacks, 2);
+        assert_eq!(load.admission_stats().total(), 2);
     }
 }

@@ -9,7 +9,25 @@
 //! the environment variables survive only as the compat shim inside that
 //! constructor.
 
+use crate::admission::AdmissionEngine;
 use nautix_hw::FaultPlan;
+
+/// The `NAUTIX_ADMISSION` escape hatch: `fresh` forces every node built
+/// afterwards onto the fresh-recompute admission engine (the reference the
+/// incremental engine is differentially tested against); `incremental`
+/// forces the default explicitly. Any other value — including unset — means
+/// "no override". Like [`HarnessConfig::from_env`], this reads the
+/// environment on every call so test-scoped overrides are observed.
+pub fn env_admission_engine() -> Option<AdmissionEngine> {
+    match std::env::var("NAUTIX_ADMISSION") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "fresh" => Some(AdmissionEngine::Fresh),
+            "incremental" => Some(AdmissionEngine::Incremental),
+            _ => None,
+        },
+        Err(_) => None,
+    }
+}
 
 /// Fault-injection intensity, the scalar knob of
 /// [`FaultPlan::noisy`]. `0.0` means no injection; the conversion to a
@@ -133,6 +151,19 @@ mod tests {
     fn with_threads_clamps_to_one() {
         assert_eq!(HarnessConfig::with_threads(0).threads, 1);
         assert_eq!(HarnessConfig::with_threads(7).threads, 7);
+    }
+
+    #[test]
+    fn admission_engine_override_parses_known_values_only() {
+        // Scoped override: from_env-style helpers re-read on every call.
+        std::env::set_var("NAUTIX_ADMISSION", "fresh");
+        assert_eq!(env_admission_engine(), Some(AdmissionEngine::Fresh));
+        std::env::set_var("NAUTIX_ADMISSION", "Incremental");
+        assert_eq!(env_admission_engine(), Some(AdmissionEngine::Incremental));
+        std::env::set_var("NAUTIX_ADMISSION", "bogus");
+        assert_eq!(env_admission_engine(), None);
+        std::env::remove_var("NAUTIX_ADMISSION");
+        assert_eq!(env_admission_engine(), None);
     }
 
     #[test]

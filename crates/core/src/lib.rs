@@ -25,8 +25,11 @@ pub mod stats;
 pub mod timeline;
 pub mod timesync;
 
-pub use admission::{AdmissionPolicy, CpuLoad, DegradePolicy, SchedConfig, SchedMode, PPM};
-pub use config::{FaultIntensity, HarnessConfig};
+pub use admission::{
+    admission_global_stats, AdmissionEngine, AdmissionPolicy, CpuLoad, DegradePolicy, SchedConfig,
+    SchedMode, SimCache, SimProbe, PPM,
+};
+pub use config::{env_admission_engine, FaultIntensity, HarnessConfig};
 pub use cyclic::{
     compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask,
 };
@@ -35,8 +38,8 @@ pub use local::{
 };
 pub use node::{GaTiming, Node, NodeBuilder, NodeConfig};
 pub use stats::{
-    dispatch_spreads, CpuSchedStats, DegradeStats, DispatchLog, OverheadBreakdown, OverheadSample,
-    ThreadRtStats,
+    dispatch_spreads, AdmissionStats, CpuSchedStats, DegradeStats, DispatchLog, OverheadBreakdown,
+    OverheadSample, ThreadRtStats,
 };
 pub use timeline::{Span, Timeline};
 pub use timesync::{calibrate, wall_cycles, TimeSync};

@@ -46,6 +46,18 @@ pub fn degrade_global_stats() -> DegradeStats {
     }
 }
 
+/// How a constraint appears in admission trace records: class plus the
+/// `(period, slice)` shape (a sporadic burst maps its deadline window and
+/// size onto the same two fields).
+#[cfg(feature = "trace")]
+fn trace_shape(c: &Constraints) -> (TraceClass, Nanos, Nanos) {
+    match *c {
+        Constraints::Aperiodic { .. } => (TraceClass::Aperiodic, 0, 0),
+        Constraints::Periodic { period, slice, .. } => (TraceClass::Periodic, period, slice),
+        Constraints::Sporadic { size, deadline, .. } => (TraceClass::Sporadic, deadline, size),
+    }
+}
+
 /// Why the local scheduler was invoked (diagnostics; the paper's local
 /// scheduler is invoked "only on a timer interrupt, a kick interrupt from
 /// a different local scheduler, or by a small set of actions the current
@@ -419,7 +431,11 @@ impl LocalScheduler {
     ) -> Result<(), AdmissionError> {
         let old = st.constraints;
         self.load.release(&old);
-        let verdict = match self.load.admit(&self.cfg, &new) {
+        let candidate = self.load.admit(&self.cfg, &new);
+        // The probe (when the policy simulated) belongs to the candidate's
+        // verdict; take it before a rollback re-admission can overwrite it.
+        let _probe = self.load.take_probe();
+        let verdict = match candidate {
             Ok(()) => {
                 st.constraints = new;
                 st.job_active = false;
@@ -438,6 +454,11 @@ impl LocalScheduler {
                 self.load
                     .admit(&self.cfg, &old)
                     .expect("re-admitting previously admitted constraints");
+                // The rollback's own probe pairs with no verdict: drop it.
+                let _ = self.load.take_probe();
+                if old.is_realtime() {
+                    self.load.note_rollback();
+                }
                 Err(e)
             }
         };
@@ -449,7 +470,11 @@ impl LocalScheduler {
                     tid: _tid as u32,
                 });
             }
+            self.emit_probe(_probe);
             self.emit_verdict(_tid, &new, verdict.is_ok());
+            if verdict.is_err() && old.is_realtime() {
+                self.emit_rollback(_tid, &old);
+            }
         }
         verdict
     }
@@ -458,15 +483,44 @@ impl LocalScheduler {
     /// group-admission path, which goes through the ledger directly).
     #[cfg(feature = "trace")]
     pub fn emit_verdict(&self, tid: ThreadId, c: &Constraints, accepted: bool) {
-        let (class, period_ns, slice_ns) = match *c {
-            Constraints::Aperiodic { .. } => (TraceClass::Aperiodic, 0, 0),
-            Constraints::Periodic { period, slice, .. } => (TraceClass::Periodic, period, slice),
-            Constraints::Sporadic { size, deadline, .. } => (TraceClass::Sporadic, deadline, size),
-        };
+        let (class, period_ns, slice_ns) = trace_shape(c);
         self.emit(Record::AdmitVerdict {
             cpu: self.cpu as u32,
             tid: tid as u32,
             accepted,
+            enforced: self.cfg.admission_enabled,
+            class,
+            period_ns,
+            slice_ns,
+        });
+    }
+
+    /// Record the hyperperiod-simulation probe backing the next admission
+    /// verdict on this CPU. No-op when the policy did not simulate (the
+    /// common closed-form case leaves no probe). Must precede the paired
+    /// [`LocalScheduler::emit_verdict`] on the same CPU.
+    #[cfg(feature = "trace")]
+    pub fn emit_probe(&self, probe: Option<crate::admission::SimProbe>) {
+        if let Some(p) = probe {
+            self.emit(Record::SimCacheProbe {
+                cpu: self.cpu as u32,
+                hit: p.hit,
+                feasible: p.feasible,
+                sig: p.sig,
+                overhead_ns: p.overhead_ns,
+                window_cap_ns: p.window_cap_ns,
+            });
+        }
+    }
+
+    /// Record a rollback re-admission: a rejected verdict cleared `tid`'s
+    /// mirror entry, but the ledger restored its previous constraints `c`.
+    #[cfg(feature = "trace")]
+    pub fn emit_rollback(&self, tid: ThreadId, c: &Constraints) {
+        let (class, period_ns, slice_ns) = trace_shape(c);
+        self.emit(Record::AdmitRollback {
+            cpu: self.cpu as u32,
+            tid: tid as u32,
             enforced: self.cfg.admission_enabled,
             class,
             period_ns,
@@ -782,7 +836,9 @@ impl LocalScheduler {
             period: widened,
             slice,
         };
-        match self.load.admit(&self.cfg, &new) {
+        let widened_verdict = self.load.admit(&self.cfg, &new);
+        let _probe = self.load.take_probe();
+        match widened_verdict {
             Ok(()) => {
                 st.constraints = new;
                 st.widen_rounds += 1;
@@ -795,12 +851,15 @@ impl LocalScheduler {
                         cpu: self.cpu as u32,
                         tid: tid as u32,
                     });
+                    self.emit_probe(_probe);
                     self.emit_verdict(tid, &new, true);
                 }
             }
             Err(_) => {
                 // The reservation is already released; finish the demotion
-                // by hand (demote() would double-release).
+                // by hand (demote() would double-release). No verdict is
+                // emitted here, so the widened admit's probe is dropped
+                // with it — probes pair only with emitted verdicts.
                 st.constraints = Constraints::Aperiodic { priority: 1 };
                 st.job_active = false;
                 st.job_started = false;

@@ -34,7 +34,7 @@
 //!   work exists somewhere, keeping the simulation event-driven; the steal
 //!   itself uses power-of-two-random-choices victim selection (§3.4).
 
-use crate::admission::SchedConfig;
+use crate::admission::{SchedConfig, SimCache};
 use crate::local::{InvokeReason, LocalScheduler, SchedThread};
 #[cfg(feature = "trace")]
 use crate::oracle::{OracleConfig, OracleSuite};
@@ -53,10 +53,8 @@ use nautix_kernel::{
 };
 #[cfg(feature = "trace")]
 use nautix_trace::{Record, Sink, TraceHandle};
-#[cfg(feature = "trace")]
 use std::cell::RefCell;
 use std::collections::VecDeque;
-#[cfg(feature = "trace")]
 use std::rc::Rc;
 
 /// Node-wide configuration.
@@ -465,6 +463,11 @@ pub struct Node {
     serial_until: Vec<Cycles>,
     ga_timings: Vec<GaTiming>,
     join_timings: Vec<(ThreadId, Nanos)>,
+    /// The node's shared hyperperiod-simulation memo, installed into every
+    /// CPU's ledger. Owned here so `Node::reset` can re-install it: the
+    /// cache is a pure memo keyed on the full simulation input, so entries
+    /// learned in earlier pooled trials stay valid across resets.
+    sim_cache: Rc<RefCell<SimCache>>,
     steal_poll_armed: Vec<bool>,
     /// Threads blocked in WaitIrq, per irq line (FIFO), indexed by vector.
     irq_waiters: Vec<VecDeque<ThreadId>>,
@@ -491,7 +494,13 @@ impl Node {
 
     /// Boot a node: build the machine, calibrate time, start the per-CPU
     /// schedulers and idle threads.
-    pub fn new(cfg: NodeConfig) -> Self {
+    pub fn new(mut cfg: NodeConfig) -> Self {
+        // The `NAUTIX_ADMISSION` escape hatch outranks the configured
+        // engine, so a whole run can be forced onto the fresh-recompute
+        // reference (or back) without touching call sites.
+        if let Some(engine) = crate::config::env_admission_engine() {
+            cfg.sched.engine = engine;
+        }
         let mut machine = Machine::new(cfg.machine);
         let n = machine.n_cpus();
         let freq = machine.freq();
@@ -506,6 +515,7 @@ impl Node {
             .collect();
         let mut sched = Vec::with_capacity(n);
         let per_cpu_cap = cfg.max_threads;
+        let sim_cache = Rc::new(RefCell::new(SimCache::new()));
         for cpu in 0..n {
             // The idle thread: a real table entry, never queued.
             let idle_tid = threads
@@ -521,13 +531,9 @@ impl Node {
                 })
                 .unwrap_or_else(|_| panic!("thread table too small for idle threads"));
             ts[idle_tid] = SchedThread::new_aperiodic();
-            sched.push(LocalScheduler::new(
-                cpu,
-                idle_tid,
-                cfg.sched,
-                freq,
-                per_cpu_cap,
-            ));
+            let mut ls = LocalScheduler::new(cpu, idle_tid, cfg.sched, freq, per_cpu_cap);
+            ls.load.install_sim_cache(Rc::clone(&sim_cache));
+            sched.push(ls);
         }
         let cm = *machine.cost_model();
         let mut node = Node {
@@ -557,6 +563,7 @@ impl Node {
             serial_until: vec![0; SER_CLASSES * MAX_GROUPS],
             ga_timings: Vec::new(),
             join_timings: Vec::new(),
+            sim_cache,
             steal_poll_armed: vec![false; n],
             irq_waiters: (0..IRQ_LINES).map(|_| VecDeque::new()).collect(),
             zombies: (0..n).map(|_| Vec::new()).collect(),
@@ -591,7 +598,10 @@ impl Node {
     /// boot pokes are re-spawned in the same order, so idle `ThreadId`s
     /// and every subsequent event land exactly as on a fresh node. The
     /// pooled determinism test asserts this byte-for-byte.
-    pub fn reset(&mut self, cfg: NodeConfig) {
+    pub fn reset(&mut self, mut cfg: NodeConfig) {
+        if let Some(engine) = crate::config::env_admission_engine() {
+            cfg.sched.engine = engine;
+        }
         self.machine.reset(cfg.machine);
         let n = self.machine.n_cpus();
         self.freq = self.machine.freq();
@@ -640,6 +650,11 @@ impl Node {
                     per_cpu_cap,
                 ));
             }
+        }
+        // The per-CPU reset rebuilt each ledger from scratch; re-install
+        // the node's memo so pooled trials keep reusing cached verdicts.
+        for s in &mut self.sched {
+            s.load.install_sim_cache(Rc::clone(&self.sim_cache));
         }
         self.groups = GroupRegistry::new();
         self.steering = Steering::new(cfg.laden);
@@ -734,6 +749,22 @@ impl Node {
             d.merge(&s.stats.degrade);
         }
         d
+    }
+
+    /// Admission-engine counters across this node's CPUs: hyperperiod-
+    /// simulation memo hits/misses and ledger rollbacks. All zero under
+    /// closed-form admission policies (no simulation ever runs).
+    pub fn admission_stats(&self) -> crate::stats::AdmissionStats {
+        let mut a = crate::stats::AdmissionStats::default();
+        for s in &self.sched {
+            a.merge(&s.load.admission_stats());
+        }
+        a
+    }
+
+    /// Entries currently held by the node's shared simulation memo.
+    pub fn sim_cache_len(&self) -> usize {
+        self.sim_cache.borrow().len()
     }
 
     /// Thread a trace handle through every emitting layer of this node.
@@ -1616,6 +1647,17 @@ impl Node {
                 }
                 false
             }
+            SysCall::GroupAdmitTeam { group, constraints } => {
+                if self.group_admit_team(cpu, tid, group, constraints) {
+                    true
+                } else {
+                    // The completer ran the whole transaction inline; its
+                    // own schedule may have changed class. Re-invoke
+                    // exactly as ChangeConstraints does.
+                    self.local_invoke(cpu, InvokeReason::ConstraintChange, true);
+                    false
+                }
+            }
             SysCall::WaitIrq(irq) => {
                 assert!((irq as usize) < IRQ_LINES, "irq vector out of range");
                 self.machine.charge(cpu, self.cm.atomic_rmw);
@@ -1830,7 +1872,12 @@ impl Node {
                     let old = self.ts[tid].constraints;
                     let cfg = *self.sched[cpu].config();
                     self.sched[cpu].load.release(&old);
-                    let err = match self.sched[cpu].load.admit(&cfg, &attached) {
+                    let candidate = self.sched[cpu].load.admit(&cfg, &attached);
+                    // The probe (when the policy simulated) belongs to the
+                    // candidate's verdict; take it before a rollback
+                    // re-admission can overwrite it.
+                    let _probe = self.sched[cpu].load.take_probe();
+                    let err = match candidate {
                         Ok(()) => {
                             let ctx = self.ga[tid].as_mut().unwrap();
                             ctx.admitted_here = true;
@@ -1845,11 +1892,31 @@ impl Node {
                                 .load
                                 .admit(&cfg, &old)
                                 .expect("re-admit old constraints");
+                            // The rollback's own probe pairs with no
+                            // emitted verdict: drop it.
+                            let _ = self.sched[cpu].load.take_probe();
+                            if old.is_realtime() {
+                                self.sched[cpu].load.note_rollback();
+                            }
                             admission_error_code(e)
                         }
                     };
                     #[cfg(feature = "trace")]
-                    self.sched[cpu].emit_verdict(tid, &attached, err == 0);
+                    {
+                        if err == 0 && old.is_realtime() {
+                            if let Some(t) = &self.trace {
+                                t.emit(Record::ConstraintsReleased {
+                                    cpu: cpu as u32,
+                                    tid: tid as u32,
+                                });
+                            }
+                        }
+                        self.sched[cpu].emit_probe(_probe);
+                        self.sched[cpu].emit_verdict(tid, &attached, err == 0);
+                        if err != 0 && old.is_realtime() {
+                            self.sched[cpu].emit_rollback(tid, &old);
+                        }
+                    }
                     {
                         let ctx = self.ga[tid].as_mut().unwrap();
                         ctx.my_error = err;
@@ -1889,7 +1956,20 @@ impl Node {
                                 });
                             }
                         } else {
-                            self.sched[cpu].load.release(&self.ts[tid].constraints);
+                            let prev = self.ts[tid].constraints;
+                            self.sched[cpu].load.release(&prev);
+                            // Keep the oracle's admitted-set mirror in step:
+                            // the rolled-back reservation (restored after
+                            // this member's own rejection) is released too.
+                            #[cfg(feature = "trace")]
+                            if prev.is_realtime() {
+                                if let Some(t) = &self.trace {
+                                    t.emit(Record::ConstraintsReleased {
+                                        cpu: cpu as u32,
+                                        tid: tid as u32,
+                                    });
+                                }
+                            }
                         }
                         let fallback = Constraints::default_aperiodic();
                         let cfg = *self.sched[cpu].config();
@@ -2095,6 +2175,213 @@ impl Node {
                 Some(())
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched group admission: one ledger transaction per team
+    // ------------------------------------------------------------------
+
+    /// The `GroupAdmitTeam` rendezvous: members arrive at the group
+    /// barrier; the completer admits or rejects the whole team in one
+    /// ledger transaction ([`Node::admit_team`]'s engine) and wakes the
+    /// others with the shared verdict at their staggered departures.
+    /// Algorithm 1's election, per-member local admission, and error
+    /// reduction collapse into the barrier plus the transaction. Returns
+    /// true if the calling thread blocked.
+    fn group_admit_team(
+        &mut self,
+        cpu: CpuId,
+        tid: ThreadId,
+        gid: GroupId,
+        constraints: Constraints,
+    ) -> bool {
+        let hold = self.machine.draw(self.cm.atomic_rmw_contended);
+        let dur = self.serialize_on(serial_slot(SER_GA_BARRIER, gid), hold);
+        self.machine.charge_raw(cpu, dur);
+        let Ok(group) = self.groups.get_mut(gid) else {
+            self.pending_result[tid] = SysResult::Group(Err(GroupError::NotFound));
+            return false;
+        };
+        let mut rng =
+            nautix_des::DetRng::seed_from(0x7EA0 ^ self.machine.now() ^ (gid.0 as u64) << 32);
+        match group
+            .barrier
+            .arrive(tid, &mut rng, self.cm.barrier_release_stagger)
+        {
+            BarrierOutcome::Wait => {
+                self.block(tid, BlockKind::Barrier, WaitKind::Barrier);
+                true
+            }
+            BarrierOutcome::Release(rs) => {
+                // Completer context: the release order is the team's phase
+                // order; the measured departure stagger is δ (§4.4).
+                let mut members = vec![0usize; rs.len()];
+                for r in &rs {
+                    members[r.order] = r.tid;
+                }
+                let delays_ns: Vec<Nanos> =
+                    rs.iter().map(|r| self.freq.cycles_to_ns(r.delay)).collect();
+                let delta = if self.phase_correction {
+                    estimate_delta(&delays_ns)
+                } else {
+                    0
+                };
+                // The transaction runs serially in completer context: one
+                // local-admission charge per member on this CPU.
+                for _ in 0..members.len() {
+                    self.machine.charge(cpu, self.cm.admission_local);
+                }
+                let anchor = self.wall_ns_busy(cpu);
+                let res = self.admit_team_txn(&members, constraints, anchor, delta);
+                #[cfg(feature = "trace")]
+                if let Some(t) = &self.trace {
+                    t.emit(Record::TeamAdmit {
+                        cpu: cpu as u32,
+                        group: gid.0,
+                        members: members.len() as u32,
+                        accepted: res.is_ok(),
+                    });
+                }
+                // Members share one group-level verdict, like Algorithm 1.
+                let verdict = res.map_err(|_| AdmissionError::GroupMemberRejected);
+                let base = self.release_base(cpu);
+                for r in &rs {
+                    if r.tid == tid {
+                        continue;
+                    }
+                    let cpu_r = self.threads.expect(r.tid).cpu;
+                    self.pending_result[r.tid] = SysResult::Admission(verdict);
+                    self.machine.schedule_wakeup(
+                        base + r.delay,
+                        tok(TK_RELEASE, r.tid as u64),
+                        Some(cpu_r),
+                    );
+                }
+                self.pending_result[tid] = SysResult::Admission(verdict);
+                false
+            }
+        }
+    }
+
+    /// Admit (or reject) an entire team in one ledger transaction — the
+    /// host-context face of the `GroupAdmitTeam` syscall. On success every
+    /// member holds `constraints` phase-corrected by its slot in
+    /// `members`; on failure every ledger is back exactly as it was and
+    /// the first rejection's error is returned. All-or-nothing: a
+    /// partially admitted team is never observable.
+    pub fn admit_team(
+        &mut self,
+        members: &[ThreadId],
+        constraints: Constraints,
+    ) -> Result<(), AdmissionError> {
+        if members.is_empty() {
+            return Ok(());
+        }
+        let anchor = self.wall_ns(self.threads.expect(members[0]).cpu);
+        self.admit_team_txn(members, constraints, anchor, 0)
+    }
+
+    /// The all-or-nothing team transaction shared by [`Node::admit_team`]
+    /// and the `GroupAdmitTeam` syscall. Admits `constraints` for each
+    /// member in slot order on that member's CPU ledger; the first
+    /// rejection restores every already-processed member (and the rejected
+    /// member itself) to its previous reservation. On success each
+    /// member's constraints are phase-corrected by slot, its job state
+    /// cleared, and its schedule anchored at the common instant
+    /// `anchor_ns`.
+    fn admit_team_txn(
+        &mut self,
+        members: &[ThreadId],
+        constraints: Constraints,
+        anchor_ns: Nanos,
+        delta_ns: Nanos,
+    ) -> Result<(), AdmissionError> {
+        let n = members.len().max(1);
+        let mut done: Vec<(ThreadId, Constraints)> = Vec::with_capacity(members.len());
+        let mut failed = None;
+        for &m in members {
+            let mcpu = self.threads.expect(m).cpu;
+            let cfg = *self.sched[mcpu].config();
+            let old = self.ts[m].constraints;
+            self.sched[mcpu].load.release(&old);
+            let candidate = self.sched[mcpu].load.admit(&cfg, &constraints);
+            // The probe belongs to this member's verdict; take it before
+            // any rollback re-admission can overwrite it.
+            let _probe = self.sched[mcpu].load.take_probe();
+            match candidate {
+                Ok(()) => {
+                    #[cfg(feature = "trace")]
+                    {
+                        if old.is_realtime() {
+                            if let Some(t) = &self.trace {
+                                t.emit(Record::ConstraintsReleased {
+                                    cpu: mcpu as u32,
+                                    tid: m as u32,
+                                });
+                            }
+                        }
+                        self.sched[mcpu].emit_probe(_probe);
+                        self.sched[mcpu].emit_verdict(m, &constraints, true);
+                    }
+                    done.push((m, old));
+                }
+                Err(e) => {
+                    self.sched[mcpu]
+                        .load
+                        .admit(&cfg, &old)
+                        .expect("re-admit old constraints");
+                    // The rollback's own probe pairs with no verdict.
+                    let _ = self.sched[mcpu].load.take_probe();
+                    if old.is_realtime() {
+                        self.sched[mcpu].load.note_rollback();
+                    }
+                    #[cfg(feature = "trace")]
+                    {
+                        self.sched[mcpu].emit_probe(_probe);
+                        self.sched[mcpu].emit_verdict(m, &constraints, false);
+                        if old.is_realtime() {
+                            self.sched[mcpu].emit_rollback(m, &old);
+                        }
+                    }
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failed {
+            // Unwind: restore every processed member's previous
+            // reservation, newest first.
+            for &(m, old) in done.iter().rev() {
+                let mcpu = self.threads.expect(m).cpu;
+                let cfg = *self.sched[mcpu].config();
+                self.sched[mcpu].load.release(&constraints);
+                self.sched[mcpu]
+                    .load
+                    .admit(&cfg, &old)
+                    .expect("re-admit old constraints");
+                let _ = self.sched[mcpu].load.take_probe();
+                self.sched[mcpu].load.note_rollback();
+                #[cfg(feature = "trace")]
+                if constraints.is_realtime() || old.is_realtime() {
+                    self.sched[mcpu].emit_rollback(m, &old);
+                }
+            }
+            return Err(e);
+        }
+        // Commit: phase-correct by slot, clear job state, anchor at the
+        // common instant. The ledger keys on (period, slice), which the
+        // correction leaves untouched — only phases move.
+        for (i, &(m, _)) in done.iter().enumerate() {
+            let mcpu = self.threads.expect(m).cpu;
+            let corrected = nautix_groups::correct_constraints(constraints, i, n, delta_ns);
+            let st = &mut self.ts[m];
+            st.constraints = corrected;
+            st.job_active = false;
+            st.job_started = false;
+            st.job_blocked = false;
+            self.sched[mcpu].anchor(st, anchor_ns);
+        }
+        Ok(())
     }
 }
 

@@ -35,7 +35,7 @@
 //! [`OracleMode::Collect`] violations accumulate for inspection — the
 //! sabotage regression test uses this to prove the oracles *would* fire.
 
-use crate::admission::{simulate_edf_feasible, SchedConfig, SchedMode};
+use crate::admission::{simulate_edf_feasible, SchedConfig, SchedMode, SimProbe};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::{CostModel, MachineConfig, TimerMode};
 use nautix_trace::{FaultLane, Observer, Record, TraceClass, TraceOutcome, TraceRing, TraceTid};
@@ -78,6 +78,13 @@ pub struct OracleStats {
     /// admitted a set the overhead-aware simulation calls infeasible
     /// (policy divergence, not a scheduler bug).
     pub divergences: u64,
+    /// Hyperperiod-simulation probes re-checked against a fresh
+    /// simulation of the mirrored admitted set.
+    pub cache_checks: u64,
+    /// Probes whose re-simulation disagreed with the engine's verdict
+    /// (each is also a violation: the memo cache served a stale or
+    /// colliding entry, or the ledger and the trace mirror drifted).
+    pub cache_divergences: u64,
     /// Misses on enforced-admitted threads attributed to modeled hardware
     /// effects outside the admission model (SMIs, injected fault lanes,
     /// timer quantization).
@@ -108,6 +115,8 @@ static G_MISS: AtomicU64 = AtomicU64::new(0);
 static G_TASK: AtomicU64 = AtomicU64::new(0);
 static G_TIMER: AtomicU64 = AtomicU64::new(0);
 static G_DIVERGE: AtomicU64 = AtomicU64::new(0);
+static G_CACHE_CHECKS: AtomicU64 = AtomicU64::new(0);
+static G_CACHE_DIVERGE: AtomicU64 = AtomicU64::new(0);
 static G_ENV_MISS: AtomicU64 = AtomicU64::new(0);
 #[allow(clippy::declare_interior_mutable_const)]
 const ATOMIC_ZERO: AtomicU64 = AtomicU64::new(0);
@@ -132,6 +141,8 @@ pub fn global_stats() -> (u64, OracleStats) {
             task_checks: G_TASK.load(Ordering::Relaxed),
             timer_checks: G_TIMER.load(Ordering::Relaxed),
             divergences: G_DIVERGE.load(Ordering::Relaxed),
+            cache_checks: G_CACHE_CHECKS.load(Ordering::Relaxed),
+            cache_divergences: G_CACHE_DIVERGE.load(Ordering::Relaxed),
             environment_misses: G_ENV_MISS.load(Ordering::Relaxed),
             fault_records,
             env_miss_by_lane,
@@ -231,6 +242,8 @@ struct CpuState {
     admitted: Vec<Admitted>,
     /// Whether the last dispatch on this CPU was an in-job RT thread.
     running_rt: bool,
+    /// A `SimCacheProbe` awaiting its `AdmitVerdict` on this CPU.
+    probe: Option<SimProbe>,
 }
 
 fn set_insert(set: &mut Vec<(TraceTid, Nanos)>, tid: TraceTid, key: Nanos) {
@@ -495,6 +508,54 @@ impl OracleSuite {
         }
     }
 
+    /// Cached-verdict oracle: a [`Record::SimCacheProbe`] preceding a
+    /// periodic admission verdict is re-checked against a *fresh*
+    /// overhead-aware simulation of the mirrored admitted set plus the
+    /// candidate. Divergence means the memo cache served a stale or
+    /// colliding entry — or the ledger and the trace mirror drifted
+    /// apart — a violation either way. Misses (freshly simulated
+    /// verdicts) are re-checked too, which pins the mirror itself.
+    fn check_probe(
+        &mut self,
+        cpu: u32,
+        tid: TraceTid,
+        probe: SimProbe,
+        period_ns: Nanos,
+        slice_ns: Nanos,
+        recent: &TraceRing,
+    ) {
+        self.stats.cache_checks += 1;
+        // The set as the ledger saw it at simulation time: every mirrored
+        // periodic reservation except the requesting thread's own (its old
+        // reservation is released before the candidate is tested), plus
+        // the candidate itself.
+        let set: Vec<(Nanos, Nanos)> = self
+            .cpu(cpu)
+            .admitted
+            .iter()
+            .filter(|a| a.class == TraceClass::Periodic && a.tid != tid)
+            .map(|a| (a.period_ns, a.slice_ns))
+            .chain(std::iter::once((period_ns, slice_ns)))
+            .collect();
+        let fresh = simulate_edf_feasible(&set, probe.overhead_ns, probe.window_cap_ns);
+        if fresh != probe.feasible {
+            self.stats.cache_divergences += 1;
+            self.violate(
+                "admission-cache",
+                format!(
+                    "cpu {cpu} tid {tid}: {src} verdict said feasible={cached} for set \
+                     {set:?} (sig {sig:#x}, {overhead} ns/job overhead), but a fresh \
+                     simulation says feasible={fresh}",
+                    src = if probe.hit { "cached" } else { "simulated" },
+                    cached = probe.feasible,
+                    sig = probe.sig,
+                    overhead = probe.overhead_ns,
+                ),
+                recent,
+            );
+        }
+    }
+
     /// Steal check: work stealing must never migrate an RT reservation.
     fn check_steal(&mut self, thief: u32, victim: u32, tid: TraceTid, recent: &TraceRing) {
         let admitted_rt = self
@@ -521,6 +582,8 @@ impl Drop for OracleSuite {
         G_TASK.fetch_add(self.stats.task_checks, Ordering::Relaxed);
         G_TIMER.fetch_add(self.stats.timer_checks, Ordering::Relaxed);
         G_DIVERGE.fetch_add(self.stats.divergences, Ordering::Relaxed);
+        G_CACHE_CHECKS.fetch_add(self.stats.cache_checks, Ordering::Relaxed);
+        G_CACHE_DIVERGE.fetch_add(self.stats.cache_divergences, Ordering::Relaxed);
         G_ENV_MISS.fetch_add(self.stats.environment_misses, Ordering::Relaxed);
         for i in 0..FaultLane::COUNT {
             G_FAULT_RECORDS[i].fetch_add(self.stats.fault_records[i], Ordering::Relaxed);
@@ -600,9 +663,55 @@ impl Observer for OracleSuite {
                 period_ns,
                 slice_ns,
             } => {
+                // Re-check a preceding simulation probe against the mirror
+                // *before* the verdict mutates it. Any stashed probe is
+                // consumed here: probes pair with the next verdict.
+                if let Some(probe) = self.cpu(cpu).probe.take() {
+                    if class == TraceClass::Periodic {
+                        self.check_probe(cpu, tid, probe, period_ns, slice_ns, recent);
+                    }
+                }
                 let state = self.cpu(cpu);
                 state.admitted.retain(|a| a.tid != tid);
                 if accepted && enforced && class != TraceClass::Aperiodic {
+                    state.admitted.push(Admitted {
+                        tid,
+                        class,
+                        period_ns,
+                        slice_ns,
+                    });
+                }
+            }
+            Record::SimCacheProbe {
+                cpu,
+                hit,
+                feasible,
+                sig,
+                overhead_ns,
+                window_cap_ns,
+            } => {
+                self.cpu(cpu).probe = Some(SimProbe {
+                    hit,
+                    feasible,
+                    sig,
+                    overhead_ns,
+                    window_cap_ns,
+                });
+            }
+            Record::AdmitRollback {
+                cpu,
+                tid,
+                enforced,
+                class,
+                period_ns,
+                slice_ns,
+            } => {
+                // A failed re-admission restored the thread's previous
+                // reservation after its rejected `AdmitVerdict` cleared
+                // the mirror entry: put it back.
+                let state = self.cpu(cpu);
+                state.admitted.retain(|a| a.tid != tid);
+                if enforced && class != TraceClass::Aperiodic {
                     state.admitted.push(Admitted {
                         tid,
                         class,
@@ -644,7 +753,8 @@ impl Observer for OracleSuite {
             | Record::TimerCancel { .. }
             | Record::TimerFire { .. }
             | Record::Kick { .. }
-            | Record::TaskSpawn { .. } => {}
+            | Record::TaskSpawn { .. }
+            | Record::TeamAdmit { .. } => {}
         }
     }
 }
@@ -979,5 +1089,185 @@ mod tests {
         assert_eq!(s.stats().fault_records[FaultLane::CpuStall.idx()], 1);
         assert_eq!(s.stats().env_miss_by_lane[FaultLane::CpuStall.idx()], 1);
         assert_eq!(s.stats().env_misses_lane_attributed(), 1);
+    }
+
+    #[test]
+    fn cache_oracle_accepts_agreeing_probe() {
+        let mut s = OracleSuite::new(cfg());
+        feed(
+            &mut s,
+            &[
+                Record::SimCacheProbe {
+                    cpu: 0,
+                    hit: true,
+                    feasible: true,
+                    sig: 0xabcd,
+                    overhead_ns: 1_000,
+                    window_cap_ns: 1_000_000_000,
+                },
+                Record::AdmitVerdict {
+                    cpu: 0,
+                    tid: 2,
+                    accepted: true,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 1_000_000,
+                    slice_ns: 100_000,
+                },
+            ],
+        );
+        s.assert_clean();
+        assert_eq!(s.stats().cache_checks, 1);
+        assert_eq!(s.stats().cache_divergences, 0);
+    }
+
+    #[test]
+    fn cache_oracle_flags_divergent_cached_verdict() {
+        let mut s = OracleSuite::new(cfg());
+        // The probe claims feasible, but a 10 us period with a 5 us slice
+        // under 9 us/job modeled overhead cannot fit: a fresh simulation
+        // contradicts the cached verdict.
+        feed(
+            &mut s,
+            &[
+                Record::SimCacheProbe {
+                    cpu: 0,
+                    hit: true,
+                    feasible: true,
+                    sig: 0xbeef,
+                    overhead_ns: 9_000,
+                    window_cap_ns: 1_000_000_000,
+                },
+                Record::AdmitVerdict {
+                    cpu: 0,
+                    tid: 2,
+                    accepted: true,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 10_000,
+                    slice_ns: 5_000,
+                },
+            ],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "admission-cache");
+        assert_eq!(s.stats().cache_checks, 1);
+        assert_eq!(s.stats().cache_divergences, 1);
+    }
+
+    #[test]
+    fn cache_recheck_excludes_the_requesting_threads_old_reservation() {
+        // A re-admission releases the thread's old reservation before the
+        // candidate is tested, but a *rejected* verdict never emits
+        // `ConstraintsReleased` — the mirror still holds the old entry.
+        // The re-check must exclude it, or every failed widening would
+        // simulate the old and new reservations as coexisting.
+        let mut s = OracleSuite::new(cfg());
+        feed(
+            &mut s,
+            &[
+                Record::AdmitVerdict {
+                    cpu: 0,
+                    tid: 2,
+                    accepted: true,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 100_000,
+                    slice_ns: 60_000,
+                },
+                // Re-admission attempt at a wider period: simulated alone
+                // (the old 60% entry must not be double-counted).
+                Record::SimCacheProbe {
+                    cpu: 0,
+                    hit: false,
+                    feasible: true,
+                    sig: 0x77,
+                    overhead_ns: 0,
+                    window_cap_ns: 1_000_000_000,
+                },
+                Record::AdmitVerdict {
+                    cpu: 0,
+                    tid: 2,
+                    accepted: false,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 125_000,
+                    slice_ns: 60_000,
+                },
+                Record::AdmitRollback {
+                    cpu: 0,
+                    tid: 2,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 100_000,
+                    slice_ns: 60_000,
+                },
+            ],
+        );
+        s.assert_clean();
+        assert_eq!(s.stats().cache_checks, 1);
+    }
+
+    #[test]
+    fn rollback_restores_the_admitted_mirror() {
+        let mut s = OracleSuite::new(cfg());
+        feed(
+            &mut s,
+            &[
+                Record::AdmitVerdict {
+                    cpu: 1,
+                    tid: 4,
+                    accepted: true,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 1_000_000,
+                    slice_ns: 100_000,
+                },
+                // A failed re-admission: the rejected verdict clears the
+                // mirror entry, the rollback record restores it.
+                Record::AdmitVerdict {
+                    cpu: 1,
+                    tid: 4,
+                    accepted: false,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 500_000,
+                    slice_ns: 400_000,
+                },
+                Record::AdmitRollback {
+                    cpu: 1,
+                    tid: 4,
+                    enforced: true,
+                    class: TraceClass::Periodic,
+                    period_ns: 1_000_000,
+                    slice_ns: 100_000,
+                },
+                // Stealing the thread now must still trip the steal oracle:
+                // the reservation survived the failed re-admission.
+                Record::Steal {
+                    thief: 0,
+                    victim: 1,
+                    tid: 4,
+                },
+            ],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "steal");
+    }
+
+    #[test]
+    fn team_admit_is_context_only() {
+        let mut s = OracleSuite::new(cfg());
+        feed(
+            &mut s,
+            &[Record::TeamAdmit {
+                cpu: 0,
+                group: 3,
+                members: 4,
+                accepted: true,
+            }],
+        );
+        s.assert_clean();
+        assert_eq!(s.stats().records, 1);
     }
 }

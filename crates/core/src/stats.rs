@@ -90,6 +90,35 @@ impl DegradeStats {
     }
 }
 
+/// Incremental-admission-engine counters on one CPU's ledger (see
+/// [`crate::admission::CpuLoad`]). All zero when the `HyperperiodSim`
+/// policy never runs and no re-admission ever fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Hyperperiod-simulation verdicts served from the memo cache.
+    pub sim_hits: u64,
+    /// Hyperperiod simulations actually run (cache misses, or every
+    /// simulation under the `Fresh` engine).
+    pub sim_misses: u64,
+    /// Ledger rollbacks: failed re-admissions (or failed team
+    /// transactions) that restored previously held reservations.
+    pub rollbacks: u64,
+}
+
+impl AdmissionStats {
+    /// Total engine activity of any kind.
+    pub fn total(&self) -> u64 {
+        self.sim_hits + self.sim_misses + self.rollbacks
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &AdmissionStats) {
+        self.sim_hits += other.sim_hits;
+        self.sim_misses += other.sim_misses;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
 /// Per-CPU scheduler counters and samples.
 #[derive(Debug, Default)]
 pub struct CpuSchedStats {

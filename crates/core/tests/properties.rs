@@ -2,10 +2,15 @@
 //! soundness, ledger conservation, phase-correction alignment, EDF
 //! simulation consistency, and calibration bounds.
 
-use nautix_kernel::{AdmissionError, Constraints};
+use nautix_kernel::{task_set_signature, AdmissionError, Constraints};
 use nautix_rt::admission::simulate_edf_feasible;
-use nautix_rt::{compile_cyclic, AdmissionPolicy, CpuLoad, CyclicTask, SchedConfig, PPM};
+use nautix_rt::{
+    compile_cyclic, AdmissionEngine, AdmissionPolicy, CpuLoad, CyclicTask, SchedConfig, SimCache,
+    PPM,
+};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn arb_periodic() -> impl Strategy<Value = Constraints> {
     // Periods 10 µs .. 10 ms (multiples of the 100 ns granularity),
@@ -218,6 +223,149 @@ proptest! {
         }
         prop_assert_eq!(bound.periodic_util_ppm(), sim.periodic_util_ppm());
     }
+}
+
+/// A ledger running the memoized simulation path: incremental engine,
+/// hyperperiod-sim policy, cache installed.
+fn cached_sim_load(cfg: &SchedConfig) -> (SchedConfig, CpuLoad) {
+    let cfg = SchedConfig {
+        policy: AdmissionPolicy::HyperperiodSim {
+            overhead_ns: 0,
+            window_cap_ns: 20_000_000,
+        },
+        engine: AdmissionEngine::Incremental,
+        ..*cfg
+    };
+    let mut load = CpuLoad::new();
+    load.install_sim_cache(Rc::new(RefCell::new(SimCache::new())));
+    (cfg, load)
+}
+
+proptest! {
+    /// The closed-form/simulation agreement holds on the *cached* path
+    /// too: the same request stream replayed through a warm memo (drain,
+    /// then re-admit) keeps returning the closed-form verdicts, and the
+    /// replay is served entirely from the memo.
+    #[test]
+    fn utilization_test_agrees_with_memoized_simulation(
+        cs in prop::collection::vec(arb_periodic(), 1..8),
+    ) {
+        let bound_cfg = SchedConfig::default();
+        let (sim_cfg, mut sim) = cached_sim_load(&bound_cfg);
+        let mut bound = CpuLoad::new();
+        let mut verdicts = Vec::new();
+        for c in &cs {
+            let vb = bound.admit(&bound_cfg, c).is_ok();
+            let vs = sim.admit(&sim_cfg, c).is_ok();
+            prop_assert_eq!(vb, vs, "cached sim diverged from bound on {:?}", c);
+            verdicts.push(vs);
+        }
+        let cold = sim.admission_stats();
+        // Drain and replay: identical verdicts, all from the memo.
+        let admitted: Vec<_> = cs.iter().zip(&verdicts).filter(|(_, &v)| v).collect();
+        for (c, _) in admitted.iter().rev() {
+            sim.release(c);
+        }
+        for (i, c) in cs.iter().enumerate() {
+            prop_assert_eq!(sim.admit(&sim_cfg, c).is_ok(), verdicts[i]);
+        }
+        let warm = sim.admission_stats();
+        prop_assert_eq!(
+            warm.sim_misses, cold.sim_misses,
+            "replaying an identical request stream must not simulate again"
+        );
+        prop_assert_eq!(bound.periodic_util_ppm(), sim.periodic_util_ppm());
+        prop_assert_eq!(sim.periodic_util_ppm(), sim.periodic_util_ppm_rescan());
+    }
+
+    /// Distinct canonical task sets never share a memo entry: their
+    /// signatures differ, and even a cache primed with one set's verdict
+    /// misses on the other (the full canonical set is part of the key, so
+    /// a signature collision alone could never cross-serve a verdict).
+    #[test]
+    fn distinct_canonical_sets_never_share_memo_entries(
+        a in prop::collection::vec(arb_periodic(), 1..6),
+        b in prop::collection::vec(arb_periodic(), 1..6),
+    ) {
+        let canon = |cs: &[Constraints]| {
+            let mut v: Vec<(u64, u64)> = cs
+                .iter()
+                .map(|c| match *c {
+                    Constraints::Periodic { period, slice, .. } => (period, slice),
+                    _ => unreachable!(),
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let (ka, kb) = (canon(&a), canon(&b));
+        let (overhead, window) = (1_000u64, 20_000_000u64);
+        let (sa, sb) = (
+            task_set_signature(&ka, overhead, window),
+            task_set_signature(&kb, overhead, window),
+        );
+        let mut cache = SimCache::new();
+        cache.insert(sa, ka.clone(), overhead, window, true);
+        if ka == kb {
+            prop_assert_eq!(sa, sb, "equal canonical sets must share a signature");
+            prop_assert_eq!(cache.lookup(sb, &kb, overhead, window), Some(true));
+        } else {
+            prop_assert!(sa != sb, "distinct sets {:?} / {:?} collided", ka, kb);
+            prop_assert_eq!(cache.lookup(sb, &kb, overhead, window), None);
+        }
+        // The same set under a different overhead model is a different
+        // verdict: never served across models.
+        prop_assert_eq!(cache.lookup(sa, &ka, overhead + 1, window), None);
+        prop_assert_eq!(cache.lookup(sa, &ka, overhead, window / 2), None);
+    }
+}
+
+/// The §3.2 exact reservation boundaries hold unchanged on the memoized
+/// simulation path: the budget gate still rejects one step past each
+/// line, and serving the repeat admission from the memo cannot loosen it.
+#[test]
+fn reservation_edges_hold_on_the_cached_path() {
+    let base = SchedConfig::default();
+    let (cfg, mut load) = cached_sim_load(&base);
+    assert_eq!(cfg.periodic_budget_ppm(), 790_000);
+
+    // Exactly the 79% budget admits; with it held even the minimum legal
+    // slice is refused; draining and re-admitting (a memo hit) behaves
+    // identically.
+    for pass in 0..2 {
+        let full = Constraints::periodic(1_000_000, 790_000).build();
+        assert!(load.admit(&cfg, &full).is_ok(), "pass {pass}");
+        assert_eq!(
+            load.admit(&cfg, &Constraints::periodic(1_000_000, 500).build()),
+            Err(AdmissionError::UtilizationExceeded),
+            "pass {pass}"
+        );
+        load.release(&full);
+        assert_eq!(load.periodic_util_ppm(), 0);
+    }
+    let s = load.admission_stats();
+    assert!(s.sim_hits > 0, "second pass must be served from the memo");
+
+    // One ppm past the budget is refused by the gate before any
+    // simulation runs — rejected sets never enter the memo.
+    let probes = s.sim_hits + s.sim_misses;
+    assert_eq!(
+        load.admit(&cfg, &Constraints::periodic(1_000_000, 790_001).build()),
+        Err(AdmissionError::UtilizationExceeded)
+    );
+    let after = load.admission_stats();
+    assert_eq!(after.sim_hits + after.sim_misses, probes);
+
+    // The sporadic and aperiodic reserves are untouched by the policy:
+    // exactly 10% admits, one ppm more is refused, aperiodic never fails.
+    assert!(load
+        .admit(&cfg, &Constraints::sporadic(100_000, 1_000_000).build())
+        .is_ok());
+    assert_eq!(
+        load.admit(&cfg, &Constraints::sporadic(500, 1_000_000).build()),
+        Err(AdmissionError::SporadicReservationExceeded)
+    );
+    assert!(load.admit(&cfg, &Constraints::default_aperiodic()).is_ok());
 }
 
 /// The §3.2 default reservations — 99% utilization limit, 10% sporadic,

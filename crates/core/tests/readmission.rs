@@ -7,7 +7,7 @@
 
 use nautix_hw::MachineConfig;
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall, SysResult};
-use nautix_rt::{Node, NodeConfig, SchedConfig};
+use nautix_rt::{AdmissionPolicy, Node, NodeConfig, SchedConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -64,6 +64,84 @@ fn individual_thread_rethrottles_itself() {
         st.constraints,
         Constraints::periodic(1_000_000, 200_000).build()
     );
+}
+
+/// A widen → re-admit → widen → (rejected) → demote churn under the
+/// hyperperiod-simulation policy, with exact memo and rollback counter
+/// assertions — fresh node first, then the same program again on the
+/// *reset* (pooled) node, where the persistent memo serves every verdict.
+#[test]
+fn widening_churn_hits_the_sim_memo_and_rolls_back() {
+    let mk_cfg = || {
+        let mut cfg = NodeConfig::phi();
+        cfg.machine = MachineConfig::phi().with_cpus(2).with_seed(63);
+        cfg.sched = SchedConfig {
+            policy: AdmissionPolicy::HyperperiodSim {
+                overhead_ns: 1_000,
+                window_cap_ns: 20_000_000,
+            },
+            ..SchedConfig::throughput()
+        };
+        cfg
+    };
+    let tight = Constraints::periodic(1_000_000, 300_000).build();
+    let wide = Constraints::periodic(1_250_000, 300_000).build(); // +25%
+    let hog = Constraints::periodic(1_000_000, 990_100).build(); // past 99%
+    let mk_prog = move || {
+        FnProgram::new(move |cx, n| match n {
+            0 => Action::Call(SysCall::ChangeConstraints(tight)),
+            1 => {
+                assert_eq!(cx.result, SysResult::Admission(Ok(())));
+                Action::Call(SysCall::ChangeConstraints(wide))
+            }
+            2 => {
+                assert_eq!(cx.result, SysResult::Admission(Ok(())));
+                Action::Call(SysCall::ChangeConstraints(tight)) // re-admit
+            }
+            3 => {
+                assert_eq!(cx.result, SysResult::Admission(Ok(())));
+                Action::Call(SysCall::ChangeConstraints(wide)) // widen again
+            }
+            4 => {
+                assert_eq!(cx.result, SysResult::Admission(Ok(())));
+                // An over-budget request: rejected, rolled back to `wide`.
+                Action::Call(SysCall::ChangeConstraints(hog))
+            }
+            5 => {
+                assert_eq!(
+                    cx.result,
+                    SysResult::Admission(Err(nautix_rt::AdmissionError::UtilizationExceeded))
+                );
+                // Demote back to best-effort, releasing the reservation.
+                Action::Call(SysCall::ChangeConstraints(Constraints::default_aperiodic()))
+            }
+            _ => Action::Exit,
+        })
+    };
+
+    let mut node = Node::new(mk_cfg());
+    node.spawn_on(1, "churn", Box::new(mk_prog())).unwrap();
+    node.run_until_quiescent();
+    let a = node.admission_stats();
+    // {tight} and {wide} each simulate once; the re-admissions are memo
+    // hits; the over-budget request dies at the utilization gate (no
+    // simulation) and rolls back — and the rollback's own re-admission of
+    // `wide` is itself a memo hit.
+    assert_eq!(a.sim_misses, 2, "two distinct canonical sets");
+    assert_eq!(a.sim_hits, 3, "re-admissions and rollback hit the memo");
+    assert_eq!(a.rollbacks, 1, "one rejected change rolled back");
+    assert_eq!(node.sim_cache_len(), 2);
+
+    // Pooled rerun: reset clears the per-CPU counters but the memo
+    // survives, so the identical trial simulates nothing at all.
+    node.reset(mk_cfg());
+    node.spawn_on(1, "churn", Box::new(mk_prog())).unwrap();
+    node.run_until_quiescent();
+    let b = node.admission_stats();
+    assert_eq!(b.sim_misses, 0, "warm memo: nothing left to simulate");
+    assert_eq!(b.sim_hits, 5, "every verdict served from the memo");
+    assert_eq!(b.rollbacks, 1);
+    assert_eq!(node.sim_cache_len(), 2);
 }
 
 #[test]

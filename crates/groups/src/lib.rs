@@ -18,5 +18,5 @@ pub mod phase;
 pub mod registry;
 
 pub use coord::{Collective, CollectiveOutcome, CollectiveRelease, Decision};
-pub use phase::{correct_constraints, corrected_phase, estimate_delta};
+pub use phase::{correct_constraints, correct_team, corrected_phase, estimate_delta};
 pub use registry::{Group, GroupRegistry, MAX_GROUPS, MAX_GROUP_MEMBERS};

@@ -37,6 +37,17 @@ pub fn correct_constraints(c: Constraints, order: usize, n: usize, delta_ns: Nan
     }
 }
 
+/// Phase-correct a whole team at once: the slot-`i` member of an
+/// `n`-member team receives [`correct_constraints`]`(c, i, n, delta_ns)`.
+/// The batched form of the per-thread correction, used by team admission
+/// (`Node::admit_team` / the `GroupAdmitTeam` syscall), where one
+/// completer corrects every member inside a single ledger transaction.
+pub fn correct_team(c: Constraints, n: usize, delta_ns: Nanos) -> Vec<Constraints> {
+    (0..n)
+        .map(|i| correct_constraints(c, i, n, delta_ns))
+        .collect()
+}
+
 /// Estimate δ from observed departure offsets (nanoseconds after the
 /// completion instant, indexed by release order): the mean per-order
 /// increment, i.e. the slope of a line through the first and last points.
@@ -102,6 +113,27 @@ mod tests {
                 slice: 5_000
             }
         );
+    }
+
+    #[test]
+    fn team_correction_matches_per_member_correction() {
+        let c = Constraints::Periodic {
+            phase: 500,
+            period: 10_000,
+            slice: 5_000,
+        };
+        let team = correct_team(c, 4, 100);
+        assert_eq!(team.len(), 4);
+        for (i, got) in team.iter().enumerate() {
+            assert_eq!(*got, correct_constraints(c, i, 4, 100));
+        }
+        // The corrected first arrivals of a team departing at i·δ align.
+        let arrivals: Vec<u64> = team
+            .iter()
+            .enumerate()
+            .map(|(i, c)| i as u64 * 100 + c.phase().unwrap())
+            .collect();
+        assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -247,6 +247,41 @@ impl ConstraintsBuilder {
     }
 }
 
+/// Canonical signature of a periodic task set under a given overhead
+/// model, for memoizing hyperperiod-simulation verdicts.
+///
+/// `set` must already be in canonical order (sorted `(period, slice)`
+/// pairs): the synchronous critical-instant EDF simulation is invariant
+/// under permutation of the set, and phases do not enter it at all (every
+/// job is released at time zero), so the canonical key deliberately covers
+/// only periods, slices, and the overhead model. FNV-1a over the
+/// little-endian words keeps the hash dependency-free and stable across
+/// platforms. Signature equality is a *filter*, not proof of set equality:
+/// a memo must still compare the canonical sets before reusing a verdict.
+pub fn task_set_signature(set: &[(Nanos, Nanos)], overhead_ns: Nanos, window_cap_ns: Nanos) -> u64 {
+    debug_assert!(
+        set.windows(2).all(|w| w[0] <= w[1]),
+        "signature input must be sorted canonically"
+    );
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(set.len() as u64);
+    for &(period, slice) in set {
+        mix(period);
+        mix(slice);
+    }
+    mix(overhead_ns);
+    mix(window_cap_ns);
+    h
+}
+
 /// Structural errors in a constraint descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstraintError {
@@ -344,6 +379,25 @@ mod tests {
             aperiodic_priority: 0,
         };
         assert_eq!(c.validate(), Err(ConstraintError::SizeExceedsDeadline));
+    }
+
+    #[test]
+    fn signature_distinguishes_sets_and_overhead_models() {
+        let a = task_set_signature(&[(100_000, 25_000)], 0, 1_000_000_000);
+        let b = task_set_signature(&[(100_000, 26_000)], 0, 1_000_000_000);
+        let c = task_set_signature(&[(100_000, 25_000)], 5_000, 1_000_000_000);
+        let d = task_set_signature(&[(100_000, 25_000)], 0, 500_000_000);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Length is mixed in, so a set and its prefix differ.
+        let e = task_set_signature(&[(100_000, 25_000), (200_000, 25_000)], 0, 1_000_000_000);
+        assert_ne!(a, e);
+        // Deterministic.
+        assert_eq!(
+            a,
+            task_set_signature(&[(100_000, 25_000)], 0, 1_000_000_000)
+        );
     }
 
     #[test]

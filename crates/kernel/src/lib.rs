@@ -28,7 +28,9 @@ pub mod task;
 pub mod thread;
 
 pub use alloc::{BuddyAllocator, Zone, ZoneAllocator};
-pub use constraints::{AdmissionError, ConstraintError, Constraints, ConstraintsBuilder, Priority};
+pub use constraints::{
+    task_set_signature, AdmissionError, ConstraintError, Constraints, ConstraintsBuilder, Priority,
+};
 pub use ids::{GroupId, TaskId};
 pub use program::{
     Action, FnProgram, GroupError, IdleLoop, Program, ResumeCx, Script, SysCall, SysResult,

@@ -57,6 +57,17 @@ pub enum SysCall {
         /// The common constraints requested for every member.
         constraints: Constraints,
     },
+    /// Batched group admission: members rendezvous at one barrier and the
+    /// completer admits (or rejects) the entire team in a single ledger
+    /// transaction with all-or-nothing rollback, replacing Algorithm 1's
+    /// election + per-member local admission + error reduction. Result is
+    /// [`SysResult::Admission`] for every member.
+    GroupAdmitTeam {
+        /// The group whose members all make this call.
+        group: GroupId,
+        /// The common constraints requested for every member.
+        constraints: Constraints,
+    },
     /// Create a named thread group; result is [`SysResult::Group`].
     GroupCreate {
         /// Human-readable group name (groups are named, §4.2).

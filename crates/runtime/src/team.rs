@@ -164,8 +164,12 @@ impl Program for Worker {
                 WStep::Admit => match self.cfg.mode {
                     TeamMode::BestEffort => self.step = WStep::StartClock,
                     TeamMode::RealTime { period, slice } => {
+                        // Batched group admission: the whole team is
+                        // admitted (or rejected) in one ledger transaction
+                        // at the rendezvous, instead of per-member local
+                        // admission plus an error reduction.
                         self.step = WStep::AwaitAdmit;
-                        return Action::Call(SysCall::GroupChangeConstraints {
+                        return Action::Call(SysCall::GroupAdmitTeam {
                             group: self.gid,
                             constraints: Constraints::Periodic {
                                 phase: period / 2,

@@ -239,6 +239,56 @@ pub enum Record {
         /// The thread.
         tid: TraceTid,
     },
+    /// The admission engine ran a hyperperiod-simulation probe for the
+    /// verdict that immediately follows as an [`Record::AdmitVerdict`] on
+    /// the same CPU. Emitted only under the `HyperperiodSim` policy; the
+    /// oracle layer re-simulates the mirrored admitted set and flags any
+    /// divergence from a (possibly cached) `feasible` verdict.
+    SimCacheProbe {
+        /// CPU whose ledger probed.
+        cpu: TraceCpu,
+        /// Whether the verdict came from the memo cache.
+        hit: bool,
+        /// The feasibility verdict the probe produced.
+        feasible: bool,
+        /// Canonical task-set signature the memo is keyed by.
+        sig: u64,
+        /// Overhead model the verdict was computed under, ns/job.
+        overhead_ns: Nanos,
+        /// Simulation window cap, ns.
+        window_cap_ns: Nanos,
+    },
+    /// A failed re-admission (or failed team transaction) rolled the
+    /// ledger back: `tid` again holds the recorded constraints, exactly as
+    /// before the attempt. Restores the oracle's admitted mirror, which
+    /// the preceding rejected [`Record::AdmitVerdict`] cleared.
+    AdmitRollback {
+        /// CPU whose ledger rolled back.
+        cpu: TraceCpu,
+        /// The thread whose old reservation was restored.
+        tid: TraceTid,
+        /// Whether admission control was enforcing.
+        enforced: bool,
+        /// Class of the restored constraints.
+        class: TraceClass,
+        /// Period τ (periodic) or deadline δ (sporadic), ns; 0 otherwise.
+        period_ns: Nanos,
+        /// Slice σ (periodic) or burst size (sporadic), ns; 0 otherwise.
+        slice_ns: Nanos,
+    },
+    /// A batched team admission transaction committed or rolled back
+    /// (`Node::admit_team` / the `GroupAdmitTeam` syscall): every member
+    /// was admitted, or none was.
+    TeamAdmit {
+        /// CPU of the member that completed the transaction.
+        cpu: TraceCpu,
+        /// The group id.
+        group: u32,
+        /// Team size the transaction covered.
+        members: u32,
+        /// Whether the whole team was admitted.
+        accepted: bool,
+    },
     /// The node's per-pass timer request, in the scheduler's own terms,
     /// before hardware quantization (`Node::program_timer`).
     TimerReq {
