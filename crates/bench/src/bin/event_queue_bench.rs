@@ -1,0 +1,321 @@
+//! Before/after benchmark for the event-queue backends: binary heap vs
+//! hierarchical timing wheel.
+//!
+//! Two sections, both run on each backend with identical inputs:
+//!
+//! * **Microbenchmarks** of the queue in isolation — timer-shaped
+//!   insert/pop churn, insert-then-cancel (the re-arm storm shape),
+//!   cascade-heavy advancement across level boundaries, and batched
+//!   same-instant drains — written to `results/event_queue.csv`.
+//! * **End-to-end** single-thread miss-rate trials (the Figure 6 workload,
+//!   the hot path of `repro_all`) with the backend pinned via
+//!   `MachineConfig::with_queue`, written to `BENCH_wheel.json` in the
+//!   established report format together with the microbench totals.
+//!
+//! Pass `--quick` for a fast advisory run (CI); the default sizes give
+//! stable numbers for EXPERIMENTS.md.
+
+use nautix_bench::harness::{HarnessStats, NodePool};
+use nautix_bench::{f, out_dir, write_csv, BenchReport};
+use nautix_des::{EventQueue, QueueKind};
+use nautix_hw::{MachineConfig, Platform};
+use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
+use nautix_rt::NodeConfig;
+use std::time::Instant;
+
+/// Deterministic xorshift64* for workload shapes (never the sim's RNG).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 % bound
+    }
+}
+
+/// One microbench measurement.
+struct Micro {
+    workload: &'static str,
+    ops: u64,
+    wall_ns: u64,
+}
+
+impl Micro {
+    fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops as f64
+    }
+    fn mops(&self) -> f64 {
+        self.ops as f64 * 1e3 / self.wall_ns as f64
+    }
+}
+
+fn time<T>(body: impl FnOnce() -> T) -> (T, u64) {
+    let t0 = Instant::now();
+    let out = body();
+    (out, t0.elapsed().as_nanos() as u64)
+}
+
+/// Timer-shaped steady-state churn: a standing backlog with one insert and
+/// one pop per iteration, deltas inside the wheel's lower levels.
+fn micro_insert_pop(kind: QueueKind, iters: u64) -> Micro {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = Rng(0x5EED_0001);
+    for i in 0..1024u64 {
+        q.schedule(1 + rng.next(1 << 14), i);
+    }
+    let (_, wall_ns) = time(|| {
+        let mut acc = 0u64;
+        for i in 0..iters {
+            q.schedule(q.now() + 1 + rng.next(1 << 14), i);
+            let (_, _, p) = q.pop().unwrap();
+            acc = acc.wrapping_add(p);
+        }
+        acc
+    });
+    Micro {
+        workload: "insert_pop",
+        ops: iters * 2,
+        wall_ns,
+    }
+}
+
+/// The re-arm storm shape: schedule then immediately cancel, against a
+/// standing backlog so the cancelled event is interior, not the head.
+fn micro_insert_cancel(kind: QueueKind, iters: u64) -> Micro {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = Rng(0x5EED_0002);
+    for i in 0..1024u64 {
+        q.schedule(1 + rng.next(1 << 20), i);
+    }
+    let (_, wall_ns) = time(|| {
+        for i in 0..iters {
+            let id = q.schedule(q.now() + 1 + rng.next(1 << 20), i);
+            assert!(q.cancel(id));
+        }
+    });
+    Micro {
+        workload: "insert_cancel",
+        ops: iters * 2,
+        wall_ns,
+    }
+}
+
+/// Cascade-heavy: deltas spanning every wheel level up to the horizon, then
+/// a full drain that pays the level-by-level redistribution.
+fn micro_cascade(kind: QueueKind, n: u64) -> Micro {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = Rng(0x5EED_0003);
+    let (_, wall_ns) = time(|| {
+        for i in 0..n {
+            let span = [1u64 << 8, 1 << 16, 1 << 24, 1 << 31][(i % 4) as usize];
+            q.schedule(q.now() + 1 + rng.next(span), i);
+        }
+        let mut acc = 0u64;
+        while let Some((t, _, _)) = q.pop() {
+            acc = acc.wrapping_add(t);
+        }
+        acc
+    });
+    Micro {
+        workload: "cascade",
+        ops: n * 2,
+        wall_ns,
+    }
+}
+
+/// Batched same-instant drains: bursts of 8 events per instant consumed
+/// with `pop_batch`, the Machine pump's access pattern.
+fn micro_pop_batch(kind: QueueKind, instants: u64) -> Micro {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = Rng(0x5EED_0004);
+    let burst = 8u64;
+    let (_, wall_ns) = time(|| {
+        let mut acc = 0u64;
+        for i in 0..instants {
+            let t = q.now() + 1 + rng.next(1 << 12);
+            for j in 0..burst {
+                q.schedule(t, i * burst + j);
+            }
+            q.pop_batch(|_, _, p| acc = acc.wrapping_add(p));
+        }
+        acc
+    });
+    Micro {
+        workload: "pop_batch",
+        ops: instants * burst * 2,
+        wall_ns,
+    }
+}
+
+fn run_micros(kind: QueueKind, scale: u64) -> Vec<Micro> {
+    vec![
+        micro_insert_pop(kind, 1_000_000 * scale),
+        micro_insert_cancel(kind, 1_000_000 * scale),
+        micro_cascade(kind, 500_000 * scale),
+        micro_pop_batch(kind, 125_000 * scale),
+    ]
+}
+
+/// One end-to-end miss-rate trial (the Figure 6 shape) with the queue
+/// backend pinned explicitly, bypassing the `NAUTIX_QUEUE` env hatch.
+fn missrate_trial(
+    pool: &mut NodePool,
+    kind: QueueKind,
+    period_ns: u64,
+    slice_ns: u64,
+    jobs: u64,
+    seed: u64,
+) -> u64 {
+    let mut cfg = NodeConfig::for_machine(
+        MachineConfig::for_platform(Platform::Phi)
+            .with_cpus(2)
+            .with_seed(seed)
+            .with_queue(kind),
+    );
+    cfg.sched.admission_enabled = false;
+    cfg.sched.min_period_ns = 100;
+    cfg.sched.min_slice_ns = 50;
+    cfg.sched.granularity_ns = 1;
+    let node = pool.node(cfg);
+    let prog = FnProgram::new(move |_cx, n| {
+        if n == 0 {
+            Action::Call(SysCall::ChangeConstraints(Constraints::Periodic {
+                phase: period_ns,
+                period: period_ns,
+                slice: slice_ns,
+            }))
+        } else {
+            Action::Compute(100_000)
+        }
+    });
+    node.spawn_on(1, "probe", Box::new(prog)).unwrap();
+    node.run_for_ns(period_ns.saturating_mul(jobs + 20));
+    node.machine.events_processed()
+}
+
+/// Single-thread end-to-end section for one backend: the Figure 6 period
+/// sweep at two slice ratios, pooled like `repro_all` runs it.
+fn end_to_end(kind: QueueKind, jobs: u64) -> HarnessStats {
+    let mut pool = NodePool::new();
+    let mut trial_wall_secs = Vec::new();
+    let mut trial_events = Vec::new();
+    let t0 = Instant::now();
+    for period_us in [1000u64, 100, 50, 20, 10] {
+        for slice_pct in [30u64, 60] {
+            let period_ns = period_us * 1000;
+            let slice_ns = period_ns * slice_pct / 100;
+            let start = Instant::now();
+            let events = missrate_trial(&mut pool, kind, period_ns, slice_ns, jobs, 42);
+            trial_wall_secs.push(start.elapsed().as_secs_f64());
+            trial_events.push(events);
+        }
+    }
+    HarnessStats {
+        trials: trial_wall_secs.len(),
+        threads: 1,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        cpu_secs: trial_wall_secs.iter().sum(),
+        events: trial_events.iter().sum(),
+        trial_wall_secs,
+        trial_events,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, jobs) = if quick { (1, 400) } else { (4, 60_000) };
+    let kinds = [QueueKind::Heap, QueueKind::Wheel];
+
+    println!(
+        "event-queue microbenchmarks ({} scale)",
+        if quick { "quick" } else { "full" }
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut micro_summary: Vec<(QueueKind, Vec<Micro>)> = Vec::new();
+    for kind in kinds {
+        let micros = run_micros(kind, scale);
+        for m in &micros {
+            println!(
+                "  {:>5} {:>13}: {:>7} ns/op ({} Mops/s over {} ops)",
+                kind.label(),
+                m.workload,
+                f(m.ns_per_op()),
+                f(m.mops()),
+                m.ops
+            );
+            rows.push(vec![
+                kind.label().to_string(),
+                m.workload.to_string(),
+                m.ops.to_string(),
+                m.wall_ns.to_string(),
+                f(m.ns_per_op()),
+                f(m.mops()),
+            ]);
+        }
+        micro_summary.push((kind, micros));
+    }
+    let csv = out_dir().join("event_queue.csv");
+    write_csv(
+        &csv,
+        &[
+            "kind",
+            "workload",
+            "ops",
+            "wall_ns",
+            "ns_per_op",
+            "mops_per_sec",
+        ],
+        rows,
+    );
+    println!("wrote {csv:?}");
+
+    println!("\nend-to-end miss-rate trials (single thread, {jobs} jobs/point)");
+    let mut report = BenchReport::new();
+    let mut per_kind: Vec<(QueueKind, f64)> = Vec::new();
+    for kind in kinds {
+        let stats = end_to_end(kind, jobs);
+        println!(
+            "  {:>5}: {} events in {}s -> {} events/s",
+            kind.label(),
+            stats.events,
+            f(stats.wall_secs),
+            f(stats.events_per_sec())
+        );
+        per_kind.push((kind, stats.events_per_sec()));
+        report.add(&format!("missrate_{}", kind.label()), stats);
+    }
+    for (kind, micros) in micro_summary {
+        let ops: u64 = micros.iter().map(|m| m.ops).sum();
+        let wall: u64 = micros.iter().map(|m| m.wall_ns).sum();
+        report.add(
+            &format!("micro_{}", kind.label()),
+            HarnessStats {
+                trials: micros.len(),
+                threads: 1,
+                wall_secs: wall as f64 / 1e9,
+                cpu_secs: wall as f64 / 1e9,
+                events: ops,
+                trial_wall_secs: micros.iter().map(|m| m.wall_ns as f64 / 1e9).collect(),
+                trial_events: micros.iter().map(|m| m.ops).collect(),
+            },
+        );
+    }
+
+    let heap = per_kind[0].1;
+    let wheel = per_kind[1].1;
+    // PR-5 single-thread baseline from CHANGES.md (heap backend, paper-scale
+    // repro_all): the tentpole target is >=2x this.
+    const PR5_BASELINE: f64 = 4_918_532.0;
+    println!(
+        "\nwheel vs heap: {}x; wheel vs PR-5 repro baseline ({} ev/s): {}x",
+        f(wheel / heap),
+        PR5_BASELINE as u64,
+        f(wheel / PR5_BASELINE)
+    );
+
+    let path = std::path::Path::new("BENCH_wheel.json");
+    report.write(path);
+    println!("wrote {path:?}");
+}

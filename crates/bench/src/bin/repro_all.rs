@@ -16,8 +16,10 @@ fn main() {
     let hc = HarnessConfig::from_env();
     println!(
         "scale: {scale:?} (pass --paper for the full configuration); \
-         {} worker threads (set NAUTIX_THREADS to override)\n",
-        hc.threads
+         {} worker threads (set NAUTIX_THREADS to override); \
+         {} event queue (set NAUTIX_QUEUE=heap|wheel to override)\n",
+        hc.threads,
+        nautix_hw::QueueKind::from_env().label()
     );
     #[cfg(feature = "trace")]
     if hc.oracles {
@@ -414,12 +416,14 @@ fn main() {
         let (suites, o) = nautix_rt::oracle::global_stats();
         println!(
             "\noracles: CLEAN over {} node lifetimes — {} records consumed; \
-             checks: {} EDF dispatch, {} timer one-shot, {} inline task, \
-             {} admitted-miss ({} environment-attributed, {} policy divergences)",
+             checks: {} EDF dispatch, {} timer one-shot, {} fire-order, \
+             {} inline task, {} admitted-miss ({} environment-attributed, \
+             {} policy divergences)",
             suites,
             o.records,
             o.edf_checks,
             o.timer_checks,
+            o.fire_order_checks,
             o.task_checks,
             o.miss_checks,
             o.environment_misses,

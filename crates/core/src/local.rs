@@ -566,6 +566,13 @@ impl LocalScheduler {
     ///
     /// `current_runnable` tells the pass whether the current thread can
     /// keep the CPU (false when it blocked or exited).
+    ///
+    /// The machine pump batches same-timestamp events, but the node still
+    /// invokes this pass once per kernel-visible interrupt, never once per
+    /// batch: two same-instant interrupts on one CPU are separated by the
+    /// first pass's busy window, so the second defers past it — collapsing
+    /// them into one pass would erase that deferral and change every
+    /// downstream timestamp. Batching stops at the hardware layer.
     pub fn invoke(
         &mut self,
         now_ns: Nanos,

@@ -970,8 +970,20 @@ impl Node {
         self.machine.raise_irq(cpu, irq);
     }
 
+    /// Event-queue backend driving this node's machine (diagnostics; set
+    /// via `MachineConfig::with_queue` or the `NAUTIX_QUEUE` hatch).
+    pub fn queue_kind(&self) -> nautix_hw::QueueKind {
+        self.machine.config().queue
+    }
+
     /// Process one machine event. Returns false when the machine is
     /// quiescent (no events left).
+    ///
+    /// One call still surfaces exactly one kernel-visible event: the
+    /// machine's batched same-timestamp drain is invisible here apart from
+    /// its speed — interleaving a `step` with any node API between two
+    /// same-instant events behaves as it did when the machine popped one
+    /// event at a time.
     pub fn step(&mut self) -> bool {
         let Some((_, ev)) = self.machine.advance() else {
             return false;

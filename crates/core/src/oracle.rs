@@ -54,7 +54,7 @@ pub enum OracleMode {
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Which oracle family fired: `"edf"`, `"admission"`, `"isolation"`,
-    /// `"steal"`, or `"tickless"`.
+    /// `"steal"`, `"tickless"`, or `"fire-order"`.
     pub oracle: &'static str,
     /// Human-readable account of the contradiction.
     pub message: String,
@@ -74,6 +74,10 @@ pub struct OracleStats {
     pub task_checks: u64,
     /// One-shot timer-request checks.
     pub timer_checks: u64,
+    /// Timer-fire emission-order checks (batch-dispatch boundary guard:
+    /// the machine pump must emit fires in simulation-time order whether
+    /// it pops events one at a time or drains whole instants).
+    pub fire_order_checks: u64,
     /// Misses on enforced-admitted threads where the closed-form test
     /// admitted a set the overhead-aware simulation calls infeasible
     /// (policy divergence, not a scheduler bug).
@@ -114,6 +118,7 @@ static G_EDF: AtomicU64 = AtomicU64::new(0);
 static G_MISS: AtomicU64 = AtomicU64::new(0);
 static G_TASK: AtomicU64 = AtomicU64::new(0);
 static G_TIMER: AtomicU64 = AtomicU64::new(0);
+static G_FIRE_ORDER: AtomicU64 = AtomicU64::new(0);
 static G_DIVERGE: AtomicU64 = AtomicU64::new(0);
 static G_CACHE_CHECKS: AtomicU64 = AtomicU64::new(0);
 static G_CACHE_DIVERGE: AtomicU64 = AtomicU64::new(0);
@@ -140,6 +145,7 @@ pub fn global_stats() -> (u64, OracleStats) {
             miss_checks: G_MISS.load(Ordering::Relaxed),
             task_checks: G_TASK.load(Ordering::Relaxed),
             timer_checks: G_TIMER.load(Ordering::Relaxed),
+            fire_order_checks: G_FIRE_ORDER.load(Ordering::Relaxed),
             divergences: G_DIVERGE.load(Ordering::Relaxed),
             cache_checks: G_CACHE_CHECKS.load(Ordering::Relaxed),
             cache_divergences: G_CACHE_DIVERGE.load(Ordering::Relaxed),
@@ -271,6 +277,9 @@ pub struct OracleSuite {
     /// Most recent injected fault seen in the stream, for attributing
     /// environment misses to the lane that induced them.
     last_fault: Option<FaultLane>,
+    /// True time of the most recent timer fire, for the emission-order
+    /// check across batch-dispatch boundaries.
+    last_fire_cycles: Option<Cycles>,
 }
 
 impl OracleSuite {
@@ -282,6 +291,7 @@ impl OracleSuite {
             violations: Vec::new(),
             stats: OracleStats::default(),
             last_fault: None,
+            last_fire_cycles: None,
         }
     }
 
@@ -556,6 +566,27 @@ impl OracleSuite {
         }
     }
 
+    /// Fire-order check: the machine pump emits `TimerFire` records in
+    /// nondecreasing true-time order. Batched same-timestamp dispatch
+    /// must be invisible in the stream; a fire stepping backwards means
+    /// the pump reordered hardware events across a batch boundary.
+    fn check_fire_order(&mut self, cpu: u32, at_cycles: Cycles, recent: &TraceRing) {
+        self.stats.fire_order_checks += 1;
+        if let Some(last) = self.last_fire_cycles {
+            if at_cycles < last {
+                self.violate(
+                    "fire-order",
+                    format!(
+                        "cpu {cpu} timer fired at {at_cycles} cycles after a fire at \
+                         {last}: the event pump emitted records out of time order"
+                    ),
+                    recent,
+                );
+            }
+        }
+        self.last_fire_cycles = Some(at_cycles);
+    }
+
     /// Steal check: work stealing must never migrate an RT reservation.
     fn check_steal(&mut self, thief: u32, victim: u32, tid: TraceTid, recent: &TraceRing) {
         let admitted_rt = self
@@ -581,6 +612,7 @@ impl Drop for OracleSuite {
         G_MISS.fetch_add(self.stats.miss_checks, Ordering::Relaxed);
         G_TASK.fetch_add(self.stats.task_checks, Ordering::Relaxed);
         G_TIMER.fetch_add(self.stats.timer_checks, Ordering::Relaxed);
+        G_FIRE_ORDER.fetch_add(self.stats.fire_order_checks, Ordering::Relaxed);
         G_DIVERGE.fetch_add(self.stats.divergences, Ordering::Relaxed);
         G_CACHE_CHECKS.fetch_add(self.stats.cache_checks, Ordering::Relaxed);
         G_CACHE_DIVERGE.fetch_add(self.stats.cache_divergences, Ordering::Relaxed);
@@ -747,11 +779,13 @@ impl Observer for OracleSuite {
                 self.stats.fault_records[lane.idx()] += 1;
                 self.last_fault = Some(lane);
             }
+            Record::TimerFire { cpu, at_cycles } => {
+                self.check_fire_order(cpu, at_cycles, recent);
+            }
             // Context-only records: no oracle state.
             Record::Preempt { .. }
             | Record::TimerArm { .. }
             | Record::TimerCancel { .. }
-            | Record::TimerFire { .. }
             | Record::Kick { .. }
             | Record::TaskSpawn { .. }
             | Record::TeamAdmit { .. } => {}

@@ -1,24 +1,32 @@
 //! Cancellable, deterministically ordered event queue.
 //!
-//! The queue is an index-tracked binary min-heap keyed on `(time, sequence)`
-//! where the sequence number is assigned at insertion. Two events scheduled
-//! for the same instant therefore fire in insertion order, which keeps
-//! whole-machine simulations reproducible regardless of hash-map iteration
-//! order or other environmental noise.
+//! [`EventQueue`] is a thin facade over two interchangeable backends
+//! selected by [`QueueKind`]:
 //!
-//! Cancellation is *true removal*: every scheduled event owns a slot that
-//! records its current heap position, kept up to date through sift swaps, so
-//! `cancel` excises the entry in O(log n) with no tombstones left behind.
-//! Compared with the earlier lazy scheme (a `cancelled: HashSet` consulted
-//! on every pop and peek) this keeps the heap at its live size under
-//! re-programming storms, makes `peek_time`/`is_empty` pure `&self` reads,
-//! and removes a hash lookup from the hot pop path.
+//! * [`HeapQueue`] — an index-tracked binary min-heap keyed on
+//!   `(time, sequence)`. O(log n) schedule/cancel/pop. This is the
+//!   *reference* backend: simple enough to audit by eye, and kept alive
+//!   as the differential oracle for the wheel.
+//! * [`WheelQueue`](crate::wheel::WheelQueue) — a hierarchical timing
+//!   wheel (Linux-kernel style) with O(1) schedule and cancel and an
+//!   amortized-O(1) cascade on pop. The default for simulations; see
+//!   `crate::wheel` for the layout and the ordering proof.
+//!
+//! Both backends observe identical semantics, bit for bit: two events
+//! scheduled for the same instant fire in insertion order, cancellation is
+//! *true removal* (no tombstones; `peek_time`/`is_empty` are pure `&self`
+//! reads), and the [`EventId`]s handed out for an identical call sequence
+//! are identical because both share the same LIFO slot free-list scheme.
+//! The differential property test `tests/wheel_vs_heap.rs` churns both
+//! backends through random schedule/cancel/advance/pop traffic and asserts
+//! the streams match, ids included.
 //!
 //! Slots are reused through a free list; an [`EventId`] packs the slot index
 //! with a per-slot generation so a stale id (already fired or already
 //! cancelled) can never alias a later event in the same slot.
 
 use crate::time::Cycles;
+use crate::wheel::WheelQueue;
 
 /// Identifier of a scheduled event, usable to cancel it later.
 ///
@@ -34,16 +42,51 @@ impl EventId {
         self.0
     }
 
-    fn new(slot: u32, gen: u32) -> Self {
+    pub(crate) fn new(slot: u32, gen: u32) -> Self {
         EventId((slot as u64) << 32 | gen as u64)
     }
 
-    fn slot(&self) -> u32 {
+    pub(crate) fn slot(&self) -> u32 {
         (self.0 >> 32) as u32
     }
 
-    fn gen(&self) -> u32 {
+    pub(crate) fn gen(&self) -> u32 {
         self.0 as u32
+    }
+}
+
+/// Which future-event-list implementation an [`EventQueue`] runs on.
+///
+/// The two are observably identical (same pop order, same ids, same
+/// panics); they differ only in cost shape. `Heap` is the reference,
+/// `Wheel` the production default. The `NAUTIX_QUEUE` environment variable
+/// (`heap` / `wheel`) selects the kind for harness-built machines — the
+/// escape hatch CI uses to run every differential smoke under both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// Index-tracked binary min-heap (reference backend).
+    Heap,
+    /// Hierarchical timing wheel (production backend).
+    Wheel,
+}
+
+impl QueueKind {
+    /// Read `NAUTIX_QUEUE` (`heap` / `wheel`); defaults to `Wheel`.
+    pub fn from_env() -> Self {
+        match std::env::var("NAUTIX_QUEUE").as_deref() {
+            Ok("heap") => QueueKind::Heap,
+            Ok("wheel") => QueueKind::Wheel,
+            Ok(other) => panic!("NAUTIX_QUEUE must be `heap` or `wheel`, got `{other}`"),
+            Err(_) => QueueKind::Wheel,
+        }
+    }
+
+    /// Lowercase name, for banners and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Wheel => "wheel",
+        }
     }
 }
 
@@ -72,12 +115,17 @@ impl HeapEntry {
     }
 }
 
-/// A deterministic future-event list.
+/// The reference future-event list: an index-tracked binary min-heap.
 ///
-/// `E` is the event payload type chosen by the simulation layer (the
-/// hardware model uses a fixed enum of machine events).
+/// Cancellation is *true removal*: every scheduled event owns a slot that
+/// records its current heap position, kept up to date through sift swaps, so
+/// `cancel` excises the entry in O(log n) with no tombstones left behind.
+/// Compared with the earlier lazy scheme (a `cancelled: HashSet` consulted
+/// on every pop and peek) this keeps the heap at its live size under
+/// re-programming storms, makes `peek_time`/`is_empty` pure `&self` reads,
+/// and removes a hash lookup from the hot pop path.
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: Vec<HeapEntry>,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
@@ -86,16 +134,16 @@ pub struct EventQueue<E> {
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -117,10 +165,12 @@ impl<E> EventQueue<E> {
     }
 
     /// Return the queue to its power-on state — empty, clock at zero,
-    /// sequence counter restarted — while keeping the backing allocations.
-    /// A cleared queue is indistinguishable from a fresh one (pending ids,
-    /// slot generations, and tie-break order all restart), which is what
-    /// trial pooling relies on for byte-identical reruns.
+    /// sequence counter restarted — while keeping the backing allocations
+    /// (`Vec::clear` preserves capacity, so pooled trials stay
+    /// allocation-free). A cleared queue is indistinguishable from a fresh
+    /// one (pending ids, slot generations, and tie-break order all
+    /// restart), which is what trial pooling relies on for byte-identical
+    /// reruns.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.slots.clear();
@@ -128,6 +178,12 @@ impl<E> EventQueue<E> {
         self.next_seq = 0;
         self.now = 0;
         self.popped = 0;
+    }
+
+    /// Slot-table capacity currently reserved (diagnostics for the pooled
+    /// allocation-free guarantee).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -215,6 +271,23 @@ impl<E> EventQueue<E> {
         Some((entry.time, id, payload))
     }
 
+    /// Drain *every* event at the next pending instant, in insertion
+    /// order, into `sink`. Equivalent to popping while `peek_time` equals
+    /// the head timestamp; returns the number drained (0 when empty).
+    pub fn pop_batch(&mut self, mut sink: impl FnMut(Cycles, EventId, E)) -> usize {
+        let Some((t, id, payload)) = self.pop() else {
+            return 0;
+        };
+        sink(t, id, payload);
+        let mut n = 1;
+        while self.peek_time() == Some(t) {
+            let (_, id, payload) = self.pop().expect("peeked event vanished");
+            sink(t, id, payload);
+            n += 1;
+        }
+        n
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycles> {
         self.heap.first().map(|e| e.time)
@@ -242,6 +315,16 @@ impl<E> EventQueue<E> {
     /// whole-simulation throughput accounting stays honest.
     pub fn note_external_events(&mut self, n: u64) {
         self.popped += n;
+    }
+
+    /// Un-count `n` events: the inverse of
+    /// [`note_external_events`](Self::note_external_events), used by batch
+    /// consumers that drain events eagerly and account for them only when
+    /// actually consumed (a drained event can still be cancelled before its
+    /// handler runs).
+    pub fn forget_events(&mut self, n: u64) {
+        debug_assert!(self.popped >= n, "forgetting more events than popped");
+        self.popped -= n;
     }
 
     /// Number of pending events. With true-removal cancellation this is the
@@ -333,110 +416,287 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// The backend behind an [`EventQueue`].
+#[derive(Debug)]
+enum Imp<E> {
+    Heap(HeapQueue<E>),
+    Wheel(WheelQueue<E>),
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the event payload type chosen by the simulation layer (the
+/// hardware model uses a fixed enum of machine events). The backend is
+/// chosen at construction via [`QueueKind`]; every method dispatches over
+/// a two-variant enum, which the branch predictor resolves for free.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    imp: Imp<E>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $q:ident => $body:expr) => {
+        match &$self.imp {
+            Imp::Heap($q) => $body,
+            Imp::Wheel($q) => $body,
+        }
+    };
+    (mut $self:ident, $q:ident => $body:expr) => {
+        match &mut $self.imp {
+            Imp::Heap($q) => $body,
+            Imp::Wheel($q) => $body,
+        }
+    };
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero on the *reference* heap backend.
+    /// Simulation layers pass an explicit [`QueueKind`] via
+    /// [`with_kind`](Self::with_kind); bare `new()` keeps its historical
+    /// meaning for direct users and differential baselines.
+    pub fn new() -> Self {
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// An empty queue on the chosen backend.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        EventQueue {
+            imp: match kind {
+                QueueKind::Heap => Imp::Heap(HeapQueue::new()),
+                QueueKind::Wheel => Imp::Wheel(WheelQueue::new()),
+            },
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match &self.imp {
+            Imp::Heap(_) => QueueKind::Heap,
+            Imp::Wheel(_) => QueueKind::Wheel,
+        }
+    }
+
+    /// Clear back to the power-on state *as `kind`*: when the kind matches
+    /// the current backend this is [`clear`](Self::clear) (allocations
+    /// kept); a kind switch rebuilds the backend. Machine reset uses this
+    /// so a pooled node honors a changed configuration.
+    pub fn reset(&mut self, kind: QueueKind) {
+        if self.kind() == kind {
+            self.clear();
+        } else {
+            *self = Self::with_kind(kind);
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event (or
+    /// the last [`advance_to`](Self::advance_to) target, whichever is later).
+    pub fn now(&self) -> Cycles {
+        delegate!(self, q => q.now())
+    }
+
+    /// Number of events popped so far (cancelled events excluded).
+    pub fn events_processed(&self) -> u64 {
+        delegate!(self, q => q.events_processed())
+    }
+
+    /// Return the queue to its power-on state, keeping backing allocations;
+    /// see [`HeapQueue::clear`].
+    pub fn clear(&mut self) {
+        delegate!(mut self, q => q.clear())
+    }
+
+    /// Backing-store capacity currently reserved (diagnostics for the
+    /// pooled allocation-free guarantee).
+    pub fn capacity(&self) -> usize {
+        delegate!(self, q => q.capacity())
+    }
+
+    /// Schedule `payload` at absolute time `at`. Panics if `at` is in the
+    /// past.
+    pub fn schedule(&mut self, at: Cycles, payload: E) -> EventId {
+        delegate!(mut self, q => q.schedule(at, payload))
+    }
+
+    /// Schedule `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Cycles, payload: E) -> EventId {
+        delegate!(mut self, q => q.schedule_in(delay, payload))
+    }
+
+    /// Cancel a previously scheduled event; see [`HeapQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        delegate!(mut self, q => q.cancel(id))
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, EventId, E)> {
+        delegate!(mut self, q => q.pop())
+    }
+
+    /// Drain every event at the next pending instant, in insertion order,
+    /// into `sink`; returns the number drained (0 when empty). On the
+    /// wheel this unlinks one whole level-0 slot list — the per-event
+    /// queue traffic the batch dispatch above amortizes away.
+    pub fn pop_batch(&mut self, sink: impl FnMut(Cycles, EventId, E)) -> usize {
+        delegate!(mut self, q => q.pop_batch(sink))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        delegate!(self, q => q.peek_time())
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        delegate!(self, q => q.is_empty())
+    }
+
+    /// Advance the clock to `t` without popping an event. Panics if `t` is
+    /// in the past; must not advance past a pending event.
+    pub fn advance_to(&mut self, t: Cycles) {
+        delegate!(mut self, q => q.advance_to(t))
+    }
+
+    /// Record `n` events processed by an out-of-queue event source.
+    pub fn note_external_events(&mut self, n: u64) {
+        delegate!(mut self, q => q.note_external_events(n))
+    }
+
+    /// Un-count `n` events; see [`HeapQueue::forget_events`].
+    pub fn forget_events(&mut self, n: u64) {
+        delegate!(mut self, q => q.forget_events(n))
+    }
+
+    /// Number of pending events (no tombstones on either backend).
+    pub fn backlog(&self) -> usize {
+        delegate!(self, q => q.backlog())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Run a behavioral check against both backends.
+    fn both(f: impl Fn(EventQueue<&'static str>)) {
+        f(EventQueue::with_kind(QueueKind::Heap));
+        f(EventQueue::with_kind(QueueKind::Wheel));
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, "c");
-        q.schedule(10, "a");
-        q.schedule(20, "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        both(|mut q| {
+            q.schedule(30, "c");
+            q.schedule(10, "a");
+            q.schedule(20, "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+            assert_eq!(order, vec!["a", "b", "c"]);
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(5, 1);
-        q.schedule(5, 2);
-        q.schedule(5, 3);
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        both(|mut q| {
+            q.schedule(5, "1");
+            q.schedule(5, "2");
+            q.schedule(5, "3");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+            assert_eq!(order, vec!["1", "2", "3"]);
+        });
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(7, ());
-        q.schedule(9, ());
-        assert_eq!(q.now(), 0);
-        q.pop();
-        assert_eq!(q.now(), 7);
-        q.pop();
-        assert_eq!(q.now(), 9);
+        both(|mut q| {
+            q.schedule(7, "a");
+            q.schedule(9, "b");
+            assert_eq!(q.now(), 0);
+            q.pop();
+            assert_eq!(q.now(), 7);
+            q.pop();
+            assert_eq!(q.now(), 9);
+        });
     }
 
     #[test]
     fn cancelled_events_do_not_fire() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, "a");
-        q.schedule(2, "b");
-        assert!(q.cancel(a));
-        let (_, _, p) = q.pop().unwrap();
-        assert_eq!(p, "b");
-        assert!(q.pop().is_none());
+        both(|mut q| {
+            let a = q.schedule(1, "a");
+            q.schedule(2, "b");
+            assert!(q.cancel(a));
+            let (_, _, p) = q.pop().unwrap();
+            assert_eq!(p, "b");
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, "first");
-        q.pop();
-        // The id was consumed; cancelling it must report dead and not
-        // poison a future event reusing the same slot.
-        assert!(!q.cancel(a));
-        let b = q.schedule(2, "live");
-        assert_ne!(a, b);
-        assert!(!q.cancel(a));
-        assert_eq!(q.pop().unwrap().2, "live");
+        both(|mut q| {
+            let a = q.schedule(1, "first");
+            q.pop();
+            // The id was consumed; cancelling it must report dead and not
+            // poison a future event reusing the same slot.
+            assert!(!q.cancel(a));
+            let b = q.schedule(2, "live");
+            assert_ne!(a, b);
+            assert!(!q.cancel(a));
+            assert_eq!(q.pop().unwrap().2, "live");
+        });
     }
 
     #[test]
     fn double_cancel_reports_dead() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, ());
-        assert!(q.cancel(a));
-        assert!(!q.cancel(a));
-        assert!(q.is_empty());
+        both(|mut q| {
+            let a = q.schedule(1, "a");
+            assert!(q.cancel(a));
+            assert!(!q.cancel(a));
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn stale_id_does_not_alias_slot_reuse() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, "a");
-        assert!(q.cancel(a));
-        // The slot is reused for a different event; the stale id must not
-        // be able to cancel it.
-        let b = q.schedule(2, "b");
-        assert!(!q.cancel(a));
-        assert_eq!(q.peek_time(), Some(2));
-        assert!(q.cancel(b));
-        assert!(q.is_empty());
+        both(|mut q| {
+            let a = q.schedule(1, "a");
+            assert!(q.cancel(a));
+            // The slot is reused for a different event; the stale id must
+            // not be able to cancel it.
+            let b = q.schedule(2, "b");
+            assert!(!q.cancel(a));
+            assert_eq!(q.peek_time(), Some(2));
+            assert!(q.cancel(b));
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn cancel_removes_immediately() {
-        let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10).map(|t| q.schedule(t, t)).collect();
-        assert_eq!(q.backlog(), 10);
-        for id in &ids {
-            q.cancel(*id);
-        }
-        // True removal: no tombstones linger in the heap.
-        assert_eq!(q.backlog(), 0);
-        assert!(q.is_empty());
+        both(|mut q| {
+            let ids: Vec<_> = (0..10).map(|t| q.schedule(t, "x")).collect();
+            assert_eq!(q.backlog(), 10);
+            for id in &ids {
+                q.cancel(*id);
+            }
+            // True removal: no tombstones linger in either backend.
+            assert_eq!(q.backlog(), 0);
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn peek_skips_cancelled_head() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, ());
-        q.schedule(5, ());
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(5));
+        both(|mut q| {
+            let a = q.schedule(1, "a");
+            q.schedule(5, "b");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(5));
+        });
     }
 
     #[test]
@@ -449,33 +709,48 @@ mod tests {
     }
 
     #[test]
-    fn schedule_in_is_relative_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule(100, "first");
+    #[should_panic]
+    fn wheel_scheduling_in_the_past_panics() {
+        let mut q = EventQueue::with_kind(QueueKind::Wheel);
+        q.schedule(10, ());
         q.pop();
-        q.schedule_in(50, "second");
-        let (t, _, _) = q.pop().unwrap();
-        assert_eq!(t, 150);
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        both(|mut q| {
+            q.schedule(100, "first");
+            q.pop();
+            q.schedule_in(50, "second");
+            let (t, _, _) = q.pop().unwrap();
+            assert_eq!(t, 150);
+        });
     }
 
     #[test]
     fn events_processed_counts_live_only() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(1, ());
-        q.schedule(2, ());
-        q.cancel(a);
-        while q.pop().is_some() {}
-        assert_eq!(q.events_processed(), 1);
+        both(|mut q| {
+            let a = q.schedule(1, "a");
+            q.schedule(2, "b");
+            q.cancel(a);
+            while q.pop().is_some() {}
+            assert_eq!(q.events_processed(), 1);
+        });
     }
 
     #[test]
     fn advance_to_moves_clock_without_pop() {
-        let mut q = EventQueue::<()>::new();
-        q.advance_to(500);
-        assert_eq!(q.now(), 500);
-        assert_eq!(q.events_processed(), 0);
-        q.note_external_events(3);
-        assert_eq!(q.events_processed(), 3);
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut q = EventQueue::<()>::with_kind(kind);
+            q.advance_to(500);
+            assert_eq!(q.now(), 500);
+            assert_eq!(q.events_processed(), 0);
+            q.note_external_events(3);
+            assert_eq!(q.events_processed(), 3);
+            q.forget_events(2);
+            assert_eq!(q.events_processed(), 1);
+        }
     }
 
     #[test]
@@ -488,10 +763,89 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn wheel_advance_to_rejects_the_past() {
+        let mut q = EventQueue::<()>::with_kind(QueueKind::Wheel);
+        q.schedule(10, ());
+        q.pop();
+        q.advance_to(5);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_instant() {
+        both(|mut q| {
+            q.schedule(5, "a");
+            q.schedule(5, "b");
+            q.schedule(9, "c");
+            q.schedule(5, "d");
+            let mut got = Vec::new();
+            let n = q.pop_batch(|t, _, p| got.push((t, p)));
+            assert_eq!(n, 3);
+            assert_eq!(got, vec![(5, "a"), (5, "b"), (5, "d")]);
+            assert_eq!(q.now(), 5);
+            assert_eq!(q.peek_time(), Some(9));
+            got.clear();
+            assert_eq!(q.pop_batch(|t, _, p| got.push((t, p))), 1);
+            assert_eq!(got, vec![(9, "c")]);
+            assert_eq!(q.pop_batch(|_, _, _| {}), 0);
+            assert_eq!(q.events_processed(), 4);
+        });
+    }
+
+    #[test]
+    fn pop_batch_allows_reschedule_at_same_instant() {
+        both(|mut q| {
+            q.schedule(5, "a");
+            let n = q.pop_batch(|_, _, _| {});
+            assert_eq!(n, 1);
+            // A handler may schedule more work at the instant just drained;
+            // it forms the next batch, after everything already drained.
+            q.schedule(5, "late");
+            let mut got = Vec::new();
+            assert_eq!(q.pop_batch(|t, _, p| got.push((t, p))), 1);
+            assert_eq!(got, vec![(5, "late")]);
+        });
+    }
+
+    #[test]
+    fn clear_retains_backing_capacity() {
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut q = EventQueue::with_kind(kind);
+            let ids: Vec<_> = (0..10_000u64).map(|t| q.schedule(t, t)).collect();
+            for id in ids.iter().step_by(3) {
+                q.cancel(*id);
+            }
+            let cap = q.capacity();
+            assert!(cap >= 10_000);
+            q.clear();
+            // The power-on state keeps the slot storage: pooled trials
+            // (Node::reset) must not re-allocate queue memory.
+            assert_eq!(q.capacity(), cap, "{kind:?} clear dropped capacity");
+            assert!(q.is_empty());
+            assert_eq!(q.now(), 0);
+            assert_eq!(q.events_processed(), 0);
+            // And a cleared queue restarts id assignment from scratch.
+            let fresh = EventQueue::with_kind(kind).schedule(7, 0u64);
+            assert_eq!(q.schedule(7, 0u64), fresh);
+        }
+    }
+
+    #[test]
+    fn reset_switches_backend_kind() {
+        let mut q = EventQueue::<u32>::with_kind(QueueKind::Wheel);
+        q.schedule(3, 1);
+        q.reset(QueueKind::Heap);
+        assert_eq!(q.kind(), QueueKind::Heap);
+        assert!(q.is_empty());
+        q.reset(QueueKind::Heap);
+        assert_eq!(q.kind(), QueueKind::Heap);
+    }
+
+    #[test]
     fn interleaved_schedule_cancel_pop_keeps_heap_consistent() {
         // Deterministic stress: a mix of schedules, targeted cancels, and
         // pops, with the internal invariants checked after every step.
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let mut live: Vec<EventId> = Vec::new();
         let mut state = 0x2545_F491_4F6C_DD1Du64;
         let mut next = |bound: u64| {

@@ -17,8 +17,9 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use event::{EventId, EventQueue};
+pub use event::{EventId, EventQueue, QueueKind};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::{Cycles, Freq, Nanos};

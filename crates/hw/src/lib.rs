@@ -33,6 +33,7 @@ pub use cost::{Cost, CostModel};
 pub use fault::{FaultPattern, FaultPlan, FaultStats};
 pub use gpio::{scope, Gpio, GpioSample};
 pub use machine::{CpuId, Machine, MachineConfig, MachineEvent, Platform};
+pub use nautix_des::QueueKind;
 pub use smi::{SmiConfig, SmiPattern, SmiStats};
 pub use timer::TimerSlots;
 pub use tsc::Tsc;

@@ -31,7 +31,7 @@ use crate::gpio::Gpio;
 use crate::smi::{SmiConfig, SmiStats};
 use crate::timer::TimerSlots;
 use crate::tsc::Tsc;
-use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos};
+use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos, QueueKind};
 #[cfg(feature = "trace")]
 use nautix_trace::{FaultLane, Record, TraceHandle};
 
@@ -105,6 +105,9 @@ pub struct MachineConfig {
     /// Fault-lane injection plan beyond SMIs (kick loss/delay, timer
     /// overshoot, frequency dips, spurious interrupts, per-CPU stalls).
     pub faults: FaultPlan,
+    /// Future-event queue backend. Both produce byte-identical runs; the
+    /// wheel is the fast default, the heap the differential reference.
+    pub queue: QueueKind,
     /// Seed for all modeled jitter.
     pub seed: u64,
 }
@@ -132,6 +135,7 @@ impl MachineConfig {
             boot_skew_max: platform.freq().us_to_cycles(1500),
             smi: SmiConfig::disabled(),
             faults: FaultPlan::disabled(),
+            queue: QueueKind::from_env(),
             seed: 0xAA71,
         }
     }
@@ -166,6 +170,13 @@ impl MachineConfig {
         self.faults = faults;
         self
     }
+
+    /// Override the event-queue backend (the `NAUTIX_QUEUE` hatch picks
+    /// the default; benches pin it explicitly for A/B comparisons).
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
 }
 
 /// Events surfaced to the kernel layer.
@@ -183,7 +194,7 @@ pub enum MachineEvent {
     Wakeup { token: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     Arrive {
         cpu: CpuId,
@@ -204,6 +215,17 @@ enum Ev {
         token: u64,
         cpu: Option<CpuId>,
     },
+}
+
+/// One event drained by `pop_batch` into the machine's scratch buffer,
+/// awaiting consumption. `dead` marks entries cancelled after the drain
+/// (the batched analogue of removing a pending event from the queue).
+#[derive(Debug, Clone, Copy)]
+struct BatchEntry {
+    time: Cycles,
+    id: EventId,
+    ev: Ev,
+    dead: bool,
 }
 
 #[derive(Debug)]
@@ -233,7 +255,13 @@ pub struct Machine {
     freq: Freq,
     cost: CostModel,
     q: EventQueue<Ev>,
-    /// One pending one-shot deadline per CPU, kept out of the event heap so
+    /// Same-timestamp dispatch scratch: `advance` drains one whole instant
+    /// here and consumes it across calls, so the queue sees one batched
+    /// drain per timestamp instead of one pop per event. Allocation is
+    /// retained across batches and resets.
+    batch: Vec<BatchEntry>,
+    batch_pos: usize,
+    /// One pending one-shot deadline per CPU, kept out of the event queue so
     /// the scheduler's per-exit re-arm is an O(1) store (see [`TimerSlots`]).
     timers: TimerSlots,
     cpus: Vec<CpuState>,
@@ -271,7 +299,7 @@ impl Machine {
                 op: None,
             });
         }
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::with_kind(cfg.queue);
         if let Some(gap) = cfg.smi.next_gap(&mut rng) {
             q.schedule(gap, Ev::SmiEnter);
         }
@@ -282,6 +310,8 @@ impl Machine {
             freq,
             cost,
             q,
+            batch: Vec::new(),
+            batch_pos: 0,
             timers,
             cpus,
             rng,
@@ -338,7 +368,9 @@ impl Machine {
                 op: None,
             });
         }
-        self.q.clear();
+        self.q.reset(cfg.queue);
+        self.batch.clear();
+        self.batch_pos = 0;
         if let Some(gap) = cfg.smi.next_gap(&mut rng) {
             self.q.schedule(gap, Ev::SmiEnter);
         }
@@ -640,7 +672,7 @@ impl Machine {
     pub fn cancel_op(&mut self, cpu: CpuId) -> Option<(u64, Cycles)> {
         let now = self.q.now();
         let op = self.cpus[cpu].op.take()?;
-        self.q.cancel(op.event);
+        self.cancel_ev(op.event);
         let executed = now
             .saturating_sub(op.start)
             .saturating_sub(op.stalled_add)
@@ -702,7 +734,7 @@ impl Machine {
 
     /// Cancel a wakeup scheduled earlier.
     pub fn cancel_wakeup(&mut self, ev: EventId) {
-        self.q.cancel(ev);
+        self.cancel_ev(ev);
     }
 
     /// The GPIO port.
@@ -750,10 +782,15 @@ impl Machine {
         self.q.events_processed()
     }
 
-    /// Events currently pending in the global heap (diagnostics). Timer
-    /// programmings live in the per-CPU slots and never appear here.
+    /// Events currently pending (diagnostics): the global queue plus any
+    /// live entries drained into the batch scratch but not yet consumed.
+    /// Timer programmings live in the per-CPU slots and never appear here.
     pub fn event_backlog(&self) -> usize {
         self.q.backlog()
+            + self.batch[self.batch_pos..]
+                .iter()
+                .filter(|e| !e.dead)
+                .count()
     }
 
     // ------------------------------------------------------------------
@@ -764,36 +801,59 @@ impl Machine {
     /// sources drain (machine is quiescent).
     ///
     /// Two sources merge here in timestamp order: the global future-event
-    /// heap and the per-CPU timer slots. A timer due no later than the heap
-    /// head fires first — it models hardware raising the interrupt line,
-    /// which precedes any same-instant software-visible event.
+    /// queue and the per-CPU timer slots. A timer due no later than the
+    /// queue head fires first — it models hardware raising the interrupt
+    /// line, which precedes any same-instant software-visible event.
+    ///
+    /// Queue traffic is batched: when the scratch buffer is exhausted, one
+    /// `pop_batch` drains every event at the next instant and subsequent
+    /// calls consume the buffer. The observable stream — event order,
+    /// trace records, counters — is identical to popping one event at a
+    /// time: same-instant events already in the buffer precede events
+    /// scheduled at that instant during their consumption (higher sequence
+    /// numbers), exactly as the heap ordered them, and a timer armed
+    /// mid-batch for the current instant still fires before the remaining
+    /// entries (the unbatched merge fired on `deadline <= head`, equality
+    /// included).
     pub fn advance(&mut self) -> Option<(Cycles, MachineEvent)> {
         loop {
-            if let Some((cpu, deadline)) = self.timers.earliest() {
-                if self.q.peek_time().is_none_or(|qh| deadline <= qh) {
-                    self.timers.disarm(cpu);
-                    self.q.advance_to(deadline);
-                    self.q.note_external_events(1);
-                    #[cfg(feature = "trace")]
-                    if let Some(t) = &self.trace {
-                        t.emit(Record::TimerFire {
-                            cpu: cpu as u32,
-                            at_cycles: deadline,
-                        });
-                    }
-                    let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
-                    self.q.schedule(
-                        deadline + latency,
-                        Ev::Arrive {
-                            cpu,
-                            vector: VEC_TIMER,
-                            irq: None,
-                        },
-                    );
-                    continue;
+            if self.batch_pos >= self.batch.len() {
+                // Refill: fire every timer due no later than the queue
+                // head (each firing may schedule an earlier head), then
+                // drain the next instant wholesale.
+                self.batch.clear();
+                self.batch_pos = 0;
+                while let Some((cpu, deadline)) = self.timers.due_before(self.q.peek_time()) {
+                    self.fire_timer(cpu, deadline);
                 }
+                let batch = &mut self.batch;
+                let n = self.q.pop_batch(|time, id, ev| {
+                    batch.push(BatchEntry {
+                        time,
+                        id,
+                        ev,
+                        dead: false,
+                    })
+                });
+                if n == 0 {
+                    return None;
+                }
+                // Processed-event accounting happens per entry at consume
+                // time below — the same observation points as unbatched
+                // popping, so end-of-run totals and mid-run reads agree.
+                self.q.forget_events(n as u64);
             }
-            let (t, _, ev) = self.q.pop()?;
+            let t = self.batch[self.batch_pos].time;
+            while let Some((cpu, deadline)) = self.timers.due_before(Some(t)) {
+                self.fire_timer(cpu, deadline);
+            }
+            let i = self.batch_pos;
+            self.batch_pos += 1;
+            if self.batch[i].dead {
+                continue;
+            }
+            self.q.note_external_events(1);
+            let ev = self.batch[i].ev;
             match ev {
                 Ev::SmiEnter => {
                     self.handle_smi_enter(t);
@@ -856,6 +916,48 @@ impl Machine {
         }
     }
 
+    /// Fire `cpu`'s one-shot at `deadline`: disarm, advance the clock,
+    /// emit the trace record, and schedule the interrupt arrival after the
+    /// modeled raise latency.
+    fn fire_timer(&mut self, cpu: CpuId, deadline: Cycles) {
+        self.timers.disarm(cpu);
+        self.q.advance_to(deadline);
+        self.q.note_external_events(1);
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            t.emit(Record::TimerFire {
+                cpu: cpu as u32,
+                at_cycles: deadline,
+            });
+        }
+        let latency = self.cost.irq_raise_latency.draw(&mut self.rng);
+        self.q.schedule(
+            deadline + latency,
+            Ev::Arrive {
+                cpu,
+                vector: VEC_TIMER,
+                irq: None,
+            },
+        );
+    }
+
+    /// Cancel a pending event wherever it currently lives: still in the
+    /// queue, or already drained into the batch scratch (where cancelling
+    /// means marking the entry dead so consumption skips it — the batched
+    /// analogue of removing it from the queue before it pops).
+    fn cancel_ev(&mut self, id: EventId) -> bool {
+        if self.q.cancel(id) {
+            return true;
+        }
+        for e in &mut self.batch[self.batch_pos..] {
+            if !e.dead && e.id == id {
+                e.dead = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// If delivery on `cpu` at time `t` must wait, returns when to retry.
     fn delivery_deferral(&self, cpu: CpuId, t: Cycles) -> Option<Cycles> {
         let horizon = self.cpus[cpu]
@@ -877,7 +979,7 @@ impl Machine {
         // Freeze all CPUs: stretch in-flight ops, extend busy windows.
         for cpu in 0..self.cpus.len() {
             if let Some(op) = self.cpus[cpu].op.take() {
-                self.q.cancel(op.event);
+                self.cancel_ev(op.event);
                 let completion = op.start + op.cycles + op.stalled_add + d;
                 let ev = self
                     .q
@@ -907,7 +1009,7 @@ impl Machine {
         let horizon = (t + d).max(self.cpus[cpu].stall_until);
         self.cpus[cpu].stall_until = horizon;
         if let Some(op) = self.cpus[cpu].op.take() {
-            self.q.cancel(op.event);
+            self.cancel_ev(op.event);
             let completion = op.start + op.cycles + op.stalled_add + d;
             let ev = self
                 .q

@@ -109,6 +109,19 @@ impl TimerSlots {
         }
     }
 
+    /// The earliest timer, but only if it is due no later than `head` —
+    /// the timestamp-order merge condition between the timer slots and the
+    /// future-event queue. `head == None` means the queue is empty, so any
+    /// armed timer is due. Equality fires the timer first: hardware raises
+    /// the interrupt line before any same-instant software-visible event.
+    pub fn due_before(&self, head: Option<Cycles>) -> Option<(usize, Cycles)> {
+        let (cpu, deadline) = self.earliest()?;
+        match head {
+            Some(h) if deadline > h => None,
+            _ => Some((cpu, deadline)),
+        }
+    }
+
     /// Total arm operations performed.
     pub fn arms(&self) -> u64 {
         self.arms
@@ -201,6 +214,21 @@ mod tests {
             t.arm(3, 100);
         }
         assert_eq!(a.earliest(), b.earliest());
+    }
+
+    #[test]
+    fn due_before_merges_on_deadline_not_after() {
+        let mut t = TimerSlots::new(2);
+        assert_eq!(t.due_before(None), None);
+        assert_eq!(t.due_before(Some(100)), None);
+        t.arm(1, 50);
+        // Queue empty: any armed timer is due.
+        assert_eq!(t.due_before(None), Some((1, 50)));
+        // Earlier or equal head: due (equality fires the timer first).
+        assert_eq!(t.due_before(Some(80)), Some((1, 50)));
+        assert_eq!(t.due_before(Some(50)), Some((1, 50)));
+        // Head strictly earlier than the deadline: queue event goes first.
+        assert_eq!(t.due_before(Some(49)), None);
     }
 
     #[test]

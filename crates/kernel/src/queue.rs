@@ -7,6 +7,15 @@
 //! deterministic FIFO tie-breaking, and a bounded round-robin queue for
 //! non-real-time threads. Pushing past capacity is an admission-control
 //! failure surfaced to the caller, never a reallocation.
+//!
+//! These run queues deliberately stay heaps even though the simulator's
+//! future-event list moved to a hierarchical timing wheel
+//! (`nautix_des::wheel`): a run queue holds at most `capacity` entries
+//! (tens, set by admission control), where O(log n) with FIFO tie-break
+//! beats a 1K-slot wheel's cache footprint — and EDF keys are deadlines,
+//! not timestamps bounded by a sim clock horizon. The wheel pays off at
+//! the event-queue's scale (hundreds of thousands of timer-shaped
+//! events), not here.
 
 use std::collections::HashMap;
 use std::hash::Hash;
