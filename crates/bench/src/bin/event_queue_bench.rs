@@ -315,6 +315,31 @@ fn main() {
         f(wheel / PR5_BASELINE)
     );
 
+    // Known tradeoff, tracked honestly rather than buried: the wheel wins
+    // its microbenchmarks 2-3x, but at the Figure 6 workload's tiny
+    // standing backlog (a handful of pending events) the per-event
+    // constant factor can drop *below* the heap end-to-end — a 0.76x case
+    // was measured on the fig6-only sweep in PR 6. Flag any run where the
+    // wheel falls under 0.9x heap so the regression stays visible in the
+    // committed report.
+    const WHEEL_ADVISORY_FLOOR: f64 = 0.9;
+    let ratio = wheel / heap;
+    if ratio < WHEEL_ADVISORY_FLOOR {
+        let msg = format!(
+            "ADVISORY: wheel end-to-end throughput is {}x heap (< {WHEEL_ADVISORY_FLOOR}x) \
+             on the tiny-backlog fig6 workload — known QueueKind::Wheel small-backlog \
+             regression, see the QueueKind docs",
+            f(ratio)
+        );
+        println!("{msg}");
+        report.note(msg);
+    } else {
+        println!(
+            "wheel end-to-end within advisory floor ({}x >= {WHEEL_ADVISORY_FLOOR}x heap)",
+            f(ratio)
+        );
+    }
+
     let path = std::path::Path::new("BENCH_wheel.json");
     report.write(path);
     println!("wrote {path:?}");

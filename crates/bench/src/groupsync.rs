@@ -38,8 +38,29 @@ pub fn measure_instrumented(
     phase_correction: bool,
     seed: u64,
 ) -> (SyncSeries, u64) {
+    let machine = MachineConfig::phi().with_cpus(n + 1).with_seed(seed);
+    let (series, events, _) = measure_on(machine, n, invocations, phase_correction);
+    (series, events)
+}
+
+/// [`measure`] on an explicit machine: the group occupies CPUs `1..=n` of
+/// whatever `machine` describes (which must have at least `n + 1` CPUs —
+/// topology, queue backend, and seed all come from the config). Returns
+/// the spread series, the trial's simulated-event count, and the
+/// machine's per-distance IPI counters (same-LLC, same-package,
+/// cross-package) — the gang-dispatch kick traffic the topology
+/// benchmarks report.
+pub fn measure_on(
+    machine: MachineConfig,
+    n: usize,
+    invocations: usize,
+    phase_correction: bool,
+) -> (SyncSeries, u64, [u64; 3]) {
     let mut cfg = NodeConfig::phi();
-    cfg.machine = MachineConfig::phi().with_cpus(n + 1).with_seed(seed);
+    // Idle threads occupy one table entry per CPU; machine-sized groups
+    // on 1024-CPU machines need more than the default 1024 entries.
+    cfg.max_threads = cfg.max_threads.max(machine.n_cpus + n + 64);
+    cfg.machine = machine;
     cfg.dispatch_log_cap = invocations + 64;
     cfg.record_ga_timing = true;
     cfg.phase_correction = phase_correction;
@@ -106,6 +127,7 @@ pub fn measure_instrumented(
             spreads,
         },
         node.machine.events_processed(),
+        node.machine.ipis_by_distance(),
     )
 }
 

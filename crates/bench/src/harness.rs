@@ -210,6 +210,7 @@ where
 #[derive(Debug, Default)]
 pub struct BenchReport {
     sections: Vec<(String, HarnessStats)>,
+    notes: Vec<String>,
 }
 
 impl BenchReport {
@@ -221,6 +222,19 @@ impl BenchReport {
     /// Record one experiment section.
     pub fn add(&mut self, name: &str, stats: HarnessStats) {
         self.sections.push((name.to_string(), stats));
+    }
+
+    /// Attach a free-form advisory note (serialized under `"notes"`; the
+    /// key is omitted entirely when no note was recorded, so note-free
+    /// reports keep their exact shape). Used for tracked caveats — e.g.
+    /// the wheel backend's tiny-backlog regression flag.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.notes.push(msg.into());
+    }
+
+    /// Advisory notes recorded so far.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Totals over all sections: (trials, wall_secs, events).
@@ -248,6 +262,18 @@ impl BenchReport {
                 0.0
             })
         );
+        if !self.notes.is_empty() {
+            s.push_str("  \"notes\": [\n");
+            for (i, n) in self.notes.iter().enumerate() {
+                let _ = write!(s, "    \"{}\"", escape(n));
+                s.push_str(if i + 1 < self.notes.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str("  \"sections\": [\n");
         for (i, (name, st)) in self.sections.iter().enumerate() {
             s.push_str("    {");

@@ -37,6 +37,7 @@ pub mod harness;
 pub mod isolation;
 pub mod missrate;
 pub mod throttle;
+pub mod topology;
 
 pub use common::{banner, f, out_dir, write_csv, Scale};
 pub use harness::{run_trials, BenchReport, HarnessStats, TrialSet};

@@ -1,0 +1,113 @@
+//! Flat-vs-tree determinism: the topology sweep must be byte-identical
+//! across worker-thread counts and pooled-vs-fresh nodes, and an
+//! explicitly flat machine must match the default machine exactly.
+//!
+//! CI runs this binary under both `NAUTIX_THREADS=1` and
+//! `NAUTIX_THREADS=4`; the explicit-config tests below additionally pin
+//! thread counts so the suite is deterministic regardless.
+
+use nautix_bench::harness::NodePool;
+use nautix_bench::{topology, Scale};
+use nautix_hw::{MachineConfig, Topology};
+use nautix_rt::{HarnessConfig, StealPolicy};
+
+fn hc(threads: usize) -> HarnessConfig {
+    let mut hc = HarnessConfig::serial();
+    hc.threads = threads;
+    hc
+}
+
+/// A reduced sweep fanned through the real trial harness: every workload
+/// on small flat and tree machines, one trial per cell, so worker count
+/// genuinely varies which threads (and which warm state) run each cell.
+fn micro_sweep(hc: &HarnessConfig) -> Vec<Vec<topology::TopoPoint>> {
+    let cells = vec![Topology::flat(), Topology::tree(2, 4)];
+    nautix_bench::run_trials(hc, cells, |&topo| {
+        let mut rows = vec![
+            topology::missrate_at_scale(32, topo, 8, 7),
+            topology::groupsync_at_scale(16, topo, 20, 7),
+            topology::irq_fanout(32, topo, true, 15, 7),
+            topology::irq_fanout(32, topo, false, 15, 7),
+        ];
+        for pol in [StealPolicy::LlcFirst, StealPolicy::Uniform] {
+            rows.push(topology::steal_storm(
+                &mut NodePool::new(),
+                32,
+                topo,
+                pol,
+                3,
+                7,
+            ));
+        }
+        let events = rows.iter().map(|p| p.events).sum();
+        (rows, events)
+    })
+    .results
+}
+
+#[test]
+fn tree_sweep_is_identical_across_thread_counts() {
+    // The real parallel path: the full quick-sizing sweep machinery at
+    // micro CPU counts, run serially and on four workers, compared row
+    // for row. (`sweep_with_stats` at its production CPU counts is the
+    // CI smoke run; here the same trial functions go through the same
+    // `run_trials` fan-out at test-sized machines.)
+    let serial = micro_sweep(&hc(1));
+    let parallel = micro_sweep(&hc(4));
+    assert_eq!(serial, parallel, "topology sweep varied with thread count");
+}
+
+#[test]
+fn tree_storm_is_identical_pooled_vs_fresh() {
+    let tree = Topology::tree(2, 4);
+    // Warm the pool on a different cell so reset-in-place is what's
+    // under test, then replay the same trials fresh.
+    let mut pool = NodePool::new();
+    let _ = topology::steal_storm(&mut pool, 16, Topology::flat(), StealPolicy::Uniform, 2, 3);
+    for (n, pol, seed) in [
+        (32usize, StealPolicy::LlcFirst, 7u64),
+        (32, StealPolicy::Uniform, 7),
+        (64, StealPolicy::LlcFirst, 9),
+    ] {
+        let pooled = topology::steal_storm(&mut pool, n, tree, pol, 3, seed);
+        let fresh = topology::steal_storm(&mut NodePool::new(), n, tree, pol, 3, seed);
+        assert_eq!(
+            pooled, fresh,
+            "pooled tree-topology node diverged from fresh at ({n}, {pol:?}, {seed})"
+        );
+    }
+}
+
+#[test]
+fn explicit_flat_matches_the_default_machine() {
+    // `with_topology(flat)` must be indistinguishable from never calling
+    // `with_topology` at all (the env default is flat in this suite).
+    let base = MachineConfig::phi().with_cpus(32).with_seed(7);
+    assert_eq!(
+        base.clone().with_topology(Topology::flat()).topology,
+        base.topology,
+    );
+    let explicit = topology::steal_storm(
+        &mut NodePool::new(),
+        32,
+        Topology::flat(),
+        StealPolicy::LlcFirst,
+        3,
+        7,
+    );
+    let via_default = {
+        let mut pool = NodePool::new();
+        topology::steal_storm(&mut pool, 32, base.topology, StealPolicy::LlcFirst, 3, 7)
+    };
+    assert_eq!(explicit, via_default);
+}
+
+#[test]
+fn quick_sweep_sizing_is_stable() {
+    // The CI smoke run's shape: quick scale is exactly the 1024-CPU
+    // machine under both topologies. Guard the sizing so the smoke job
+    // keeps covering what the acceptance criteria name.
+    assert_eq!(topology::cpu_counts(Scale::Quick), vec![1024]);
+    assert_eq!(topology::cpu_counts(Scale::Paper), vec![256, 512, 1024]);
+    assert_eq!(topology::topologies().len(), 2);
+}

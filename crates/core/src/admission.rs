@@ -250,6 +250,22 @@ impl DegradePolicy {
     }
 }
 
+/// Victim-selection policy for the idle-thread work stealer (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// Power-of-two-choices biased by topology: probe two victims inside
+    /// the thief's LLC first, widening to the package and then the whole
+    /// machine only when the narrower domain has no stealable backlog.
+    /// Under a flat topology there is exactly one domain (the machine),
+    /// making this identical — draw for draw — to the original uniform
+    /// picker. The default.
+    LlcFirst,
+    /// Machine-wide uniform power-of-two-choices regardless of topology
+    /// (the A/B baseline for the locality study; probes and migrations
+    /// still pay their distance-dependent costs).
+    Uniform,
+}
+
 /// Boot-time local-scheduler configuration (§3.2, §5.1).
 #[derive(Debug, Clone, Copy)]
 pub struct SchedConfig {
@@ -285,6 +301,9 @@ pub struct SchedConfig {
     pub admission_enabled: bool,
     /// Enable the idle-thread work stealer (§3.4).
     pub work_stealing: bool,
+    /// Victim-selection policy for the stealer (inert when
+    /// `work_stealing` is false).
+    pub steal: StealPolicy,
     /// Graceful degradation under sustained interference (off by default).
     pub degrade: DegradePolicy,
     /// Incremental (default) or fresh-recompute admission engine.
@@ -306,6 +325,7 @@ impl Default for SchedConfig {
             lazy_margin_ns: 15_000,
             admission_enabled: true,
             work_stealing: true,
+            steal: StealPolicy::LlcFirst,
             degrade: DegradePolicy::default(),
             engine: AdmissionEngine::Incremental,
         }

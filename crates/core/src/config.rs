@@ -8,25 +8,67 @@
 //! [`HarnessConfig::from_env`] exactly once at a binary's entry point —
 //! the environment variables survive only as the compat shim inside that
 //! constructor.
+//!
+//! Every knob parses **strictly**: a malformed value is a hard error at
+//! the entry point, never a silent fall-through to the default. A typo'd
+//! `NAUTIX_TOPOLOGY=2×4` must kill the run, not quietly benchmark the
+//! flat machine.
 
 use crate::admission::AdmissionEngine;
-use nautix_hw::FaultPlan;
+use nautix_hw::{FaultPlan, QueueKind, Topology};
 
 /// The `NAUTIX_ADMISSION` escape hatch: `fresh` forces every node built
 /// afterwards onto the fresh-recompute admission engine (the reference the
 /// incremental engine is differentially tested against); `incremental`
-/// forces the default explicitly. Any other value — including unset — means
-/// "no override". Like [`HarnessConfig::from_env`], this reads the
+/// forces the default explicitly; unset means "no override". Any other
+/// value is a hard error. Like [`HarnessConfig::from_env`], this reads the
 /// environment on every call so test-scoped overrides are observed.
 pub fn env_admission_engine() -> Option<AdmissionEngine> {
     match std::env::var("NAUTIX_ADMISSION") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "fresh" => Some(AdmissionEngine::Fresh),
-            "incremental" => Some(AdmissionEngine::Incremental),
-            _ => None,
-        },
+        Ok(v) => {
+            Some(parse_admission_engine(&v).unwrap_or_else(|e| panic!("NAUTIX_ADMISSION: {e}")))
+        }
         Err(_) => None,
     }
+}
+
+/// Strict parser behind [`env_admission_engine`].
+pub fn parse_admission_engine(s: &str) -> Result<AdmissionEngine, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "fresh" => Ok(AdmissionEngine::Fresh),
+        "incremental" => Ok(AdmissionEngine::Incremental),
+        other => Err(format!("must be `fresh` or `incremental`, got `{other}`")),
+    }
+}
+
+/// Strict worker-count parser behind `NAUTIX_THREADS`.
+pub fn parse_threads(s: &str) -> Result<usize, String> {
+    s.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("must be an integer >= 1, got `{s}`"))
+}
+
+/// Strict boolean parser behind `NAUTIX_ORACLES`.
+pub fn parse_switch(s: &str) -> Result<bool, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "0" | "false" | "no" | "off" | "" => Ok(false),
+        other => Err(format!(
+            "must be one of 1/true/yes/on/0/false/no/off, got `{other}`"
+        )),
+    }
+}
+
+/// Strict intensity parser behind `NAUTIX_FAULTS` (`0` disables).
+pub fn parse_fault_intensity(s: &str) -> Result<FaultIntensity, String> {
+    s.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .map(FaultIntensity)
+        .ok_or_else(|| format!("must be a finite float >= 0, got `{s}`"))
 }
 
 /// Fault-injection intensity, the scalar knob of
@@ -51,8 +93,10 @@ impl FaultIntensity {
 }
 
 /// How a harness run is configured: worker threads for parallel trials,
-/// whether every constructed node arms the online invariant oracles, and
-/// the fault-injection intensity for experiments that opt in.
+/// whether every constructed node arms the online invariant oracles, the
+/// fault-injection intensity for experiments that opt in, and the machine
+/// defaults (event-queue backend, topology shape) the run's nodes get
+/// unless a bench pins them explicitly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HarnessConfig {
     /// Host worker threads for the parallel trial harness.
@@ -64,16 +108,23 @@ pub struct HarnessConfig {
     /// reproduction never applies this implicitly — an enabled intensity
     /// changes results only where a harness passes it into a machine.
     pub faults: FaultIntensity,
+    /// Event-queue backend for machines this run builds (`NAUTIX_QUEUE`).
+    pub queue: QueueKind,
+    /// Topology shape for machines this run builds (`NAUTIX_TOPOLOGY`).
+    pub topology: Topology,
 }
 
 impl HarnessConfig {
-    /// Serial, oracle-free, fault-free: the explicit-configuration
-    /// baseline for tests.
+    /// Serial, oracle-free, fault-free, flat wheel-backed machines: the
+    /// explicit-configuration baseline for tests, independent of the
+    /// process environment.
     pub fn serial() -> Self {
         HarnessConfig {
             threads: 1,
             oracles: false,
             faults: FaultIntensity::OFF,
+            queue: QueueKind::Wheel,
+            topology: Topology::flat(),
         }
     }
 
@@ -90,38 +141,38 @@ impl HarnessConfig {
     /// * `NAUTIX_THREADS` — worker count (≥ 1); defaults to the host's
     ///   available parallelism,
     /// * `NAUTIX_ORACLES` — `1`/`true`/`yes`/`on` arms the oracles,
-    /// * `NAUTIX_FAULTS` — fault intensity as a float (`0` disables).
+    /// * `NAUTIX_FAULTS` — fault intensity as a float (`0` disables),
+    /// * `NAUTIX_QUEUE` — `heap` / `wheel` event-queue backend,
+    /// * `NAUTIX_TOPOLOGY` — `flat` or `<packages>x<llcs>` (e.g. `2x4`).
     ///
-    /// Reads the environment on every call (no caching), so tests that
-    /// scope an override around a run observe it; everything downstream of
-    /// a binary's entry point should take the constructed value instead of
-    /// calling this again.
+    /// A set-but-malformed value for any knob is a **hard error** — the
+    /// run dies at the entry point instead of silently benchmarking the
+    /// default. Reads the environment on every call (no caching), so
+    /// tests that scope an override around a run observe it; everything
+    /// downstream of a binary's entry point should take the constructed
+    /// value instead of calling this again.
     pub fn from_env() -> Self {
-        let threads = std::env::var("NAUTIX_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        let oracles = std::env::var("NAUTIX_ORACLES")
-            .map(|v| {
-                let v = v.trim().to_ascii_lowercase();
-                matches!(v.as_str(), "1" | "true" | "yes" | "on")
-            })
-            .unwrap_or(false);
-        let faults = std::env::var("NAUTIX_FAULTS")
-            .ok()
-            .and_then(|v| v.trim().parse::<f64>().ok())
-            .filter(|x| x.is_finite() && *x > 0.0)
-            .map(FaultIntensity)
-            .unwrap_or(FaultIntensity::OFF);
+        let threads = match std::env::var("NAUTIX_THREADS") {
+            Ok(v) => parse_threads(&v).unwrap_or_else(|e| panic!("NAUTIX_THREADS: {e}")),
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        let oracles = match std::env::var("NAUTIX_ORACLES") {
+            Ok(v) => parse_switch(&v).unwrap_or_else(|e| panic!("NAUTIX_ORACLES: {e}")),
+            Err(_) => false,
+        };
+        let faults = match std::env::var("NAUTIX_FAULTS") {
+            Ok(v) => parse_fault_intensity(&v).unwrap_or_else(|e| panic!("NAUTIX_FAULTS: {e}")),
+            Err(_) => FaultIntensity::OFF,
+        };
         HarnessConfig {
             threads,
             oracles,
             faults,
+            // Both already hard-error on malformed values.
+            queue: QueueKind::from_env(),
+            topology: Topology::from_env(),
         }
     }
 }
@@ -143,6 +194,8 @@ mod tests {
         assert_eq!(c.threads, 1);
         assert!(!c.oracles);
         assert!(!c.faults.enabled());
+        assert_eq!(c.queue, QueueKind::Wheel);
+        assert!(c.topology.is_flat());
         assert_eq!(c.faults.plan(Freq::phi()), FaultPlan::disabled());
         assert_eq!(HarnessConfig::default(), c);
     }
@@ -153,17 +206,46 @@ mod tests {
         assert_eq!(HarnessConfig::with_threads(7).threads, 7);
     }
 
+    // The strict parsers are tested pure — no process-global env mutation,
+    // which would race against other tests in the same binary.
+
     #[test]
-    fn admission_engine_override_parses_known_values_only() {
-        // Scoped override: from_env-style helpers re-read on every call.
-        std::env::set_var("NAUTIX_ADMISSION", "fresh");
-        assert_eq!(env_admission_engine(), Some(AdmissionEngine::Fresh));
-        std::env::set_var("NAUTIX_ADMISSION", "Incremental");
-        assert_eq!(env_admission_engine(), Some(AdmissionEngine::Incremental));
-        std::env::set_var("NAUTIX_ADMISSION", "bogus");
-        assert_eq!(env_admission_engine(), None);
-        std::env::remove_var("NAUTIX_ADMISSION");
-        assert_eq!(env_admission_engine(), None);
+    fn admission_engine_parses_known_values_only() {
+        assert_eq!(parse_admission_engine("fresh"), Ok(AdmissionEngine::Fresh));
+        assert_eq!(
+            parse_admission_engine("Incremental"),
+            Ok(AdmissionEngine::Incremental)
+        );
+        assert!(parse_admission_engine("bogus").is_err());
+        assert!(parse_admission_engine("").is_err());
+    }
+
+    #[test]
+    fn threads_parser_rejects_junk_and_zero() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 16 "), Ok(16));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("four").is_err());
+        assert!(parse_threads("-2").is_err());
+    }
+
+    #[test]
+    fn switch_parser_rejects_junk() {
+        assert_eq!(parse_switch("1"), Ok(true));
+        assert_eq!(parse_switch("On"), Ok(true));
+        assert_eq!(parse_switch("0"), Ok(false));
+        assert_eq!(parse_switch("off"), Ok(false));
+        assert!(parse_switch("enable").is_err());
+        assert!(parse_switch("2").is_err());
+    }
+
+    #[test]
+    fn fault_parser_rejects_junk_and_negatives() {
+        assert_eq!(parse_fault_intensity("0"), Ok(FaultIntensity::OFF));
+        assert_eq!(parse_fault_intensity("0.5"), Ok(FaultIntensity(0.5)));
+        assert!(parse_fault_intensity("-1").is_err());
+        assert!(parse_fault_intensity("NaN").is_err());
+        assert!(parse_fault_intensity("lots").is_err());
     }
 
     #[test]

@@ -27,9 +27,12 @@ pub mod timesync;
 
 pub use admission::{
     admission_global_stats, AdmissionEngine, AdmissionPolicy, CpuLoad, DegradePolicy, SchedConfig,
-    SchedMode, SimCache, SimProbe, PPM,
+    SchedMode, SimCache, SimProbe, StealPolicy, PPM,
 };
-pub use config::{env_admission_engine, FaultIntensity, HarnessConfig};
+pub use config::{
+    env_admission_engine, parse_admission_engine, parse_fault_intensity, parse_switch,
+    parse_threads, FaultIntensity, HarnessConfig,
+};
 pub use cyclic::{
     compile as compile_cyclic, CyclicError, CyclicExecutive, CyclicSchedule, CyclicTask,
 };

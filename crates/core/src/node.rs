@@ -34,7 +34,7 @@
 //!   work exists somewhere, keeping the simulation event-driven; the steal
 //!   itself uses power-of-two-random-choices victim selection (§3.4).
 
-use crate::admission::{SchedConfig, SimCache};
+use crate::admission::{SchedConfig, SimCache, StealPolicy};
 use crate::local::{InvokeReason, LocalScheduler, SchedThread};
 #[cfg(feature = "trace")]
 use crate::oracle::{OracleConfig, OracleSuite};
@@ -45,7 +45,7 @@ use nautix_groups::{
     estimate_delta, CollectiveOutcome, CollectiveRelease, Decision as GDecision, GroupRegistry,
     MAX_GROUPS,
 };
-use nautix_hw::{CostModel, CpuId, Machine, MachineConfig, MachineEvent};
+use nautix_hw::{shifted_victim, CostModel, CpuId, Machine, MachineConfig, MachineEvent, TopoMap};
 use nautix_kernel::{
     Action, AdmissionError, BarrierOutcome, Constraints, GroupError, GroupId, Program, ResumeCx,
     Steering, SysCall, SysResult, TaskQueues, Thread, ThreadId, ThreadState, ThreadTable, WaitKind,
@@ -421,6 +421,19 @@ fn admission_error_code(e: AdmissionError) -> u64 {
     }
 }
 
+/// What one widening stage of a steal attempt concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageOutcome {
+    /// A thread was migrated to the thief.
+    Stole,
+    /// Neither probed victim had a stealable backlog; the thief may widen
+    /// to the next topology domain.
+    NoBacklog,
+    /// A backlogged victim was locked but held only unmigratable (bound)
+    /// threads; the attempt ends without widening.
+    LockedEmpty,
+}
+
 /// The assembled node.
 pub struct Node {
     /// The machine model (public for harness-side ground-truth access).
@@ -445,6 +458,10 @@ pub struct Node {
     /// `&mut self.machine`. The model is fixed per machine; `reset`
     /// refreshes the cache along with everything else.
     cm: CostModel,
+    /// The machine's resolved topology map, cached by value like `cm`
+    /// (`TopoMap` is `Copy`): the steal path classifies thief→victim
+    /// distance on every probe. Refreshed by `reset`.
+    topo: TopoMap,
     threads: ThreadTable,
     ts: Vec<SchedThread>,
     sched: Vec<LocalScheduler>,
@@ -536,6 +553,7 @@ impl Node {
             sched.push(ls);
         }
         let cm = *machine.cost_model();
+        let topo = machine.topology();
         let mut node = Node {
             machine,
             cfg_sched: cfg.sched,
@@ -548,12 +566,13 @@ impl Node {
             timeline: None,
             freq,
             cm,
+            topo,
             threads,
             ts,
             sched,
             sync,
             groups: GroupRegistry::new(),
-            steering: Steering::new(cfg.laden),
+            steering: Steering::with_topology(cfg.laden, topo),
             alloc: ZoneAllocator::knl_scaled(),
             tasks: (0..n).map(|_| TaskQueues::new(256)).collect(),
             ga: (0..cfg.max_threads).map(|_| None).collect(),
@@ -606,6 +625,7 @@ impl Node {
         let n = self.machine.n_cpus();
         self.freq = self.machine.freq();
         self.cm = *self.machine.cost_model();
+        self.topo = self.machine.topology();
         self.sync = if cfg.calib_rounds > 0 {
             timesync::calibrate(&mut self.machine, cfg.calib_rounds)
         } else {
@@ -657,7 +677,7 @@ impl Node {
             s.load.install_sim_cache(Rc::clone(&self.sim_cache));
         }
         self.groups = GroupRegistry::new();
-        self.steering = Steering::new(cfg.laden);
+        self.steering = Steering::with_topology(cfg.laden, self.topo);
         self.alloc = ZoneAllocator::knl_scaled();
         self.tasks.clear();
         self.tasks.extend((0..n).map(|_| TaskQueues::new(256)));
@@ -939,6 +959,13 @@ impl Node {
     /// Pin a device interrupt to a CPU (§3.5).
     pub fn steer_irq(&mut self, irq: u8, cpu: CpuId) {
         self.steering.steer(irq, cpu);
+    }
+
+    /// Pin a device interrupt to the laden CPU topologically nearest its
+    /// consumer, returning the chosen CPU. Under a flat topology every
+    /// laden CPU is equidistant and the lowest-id one is chosen.
+    pub fn steer_irq_near(&mut self, irq: u8, consumer: CpuId) -> CpuId {
+        self.steering.steer_near(irq, consumer)
     }
 
     /// Start recording an execution timeline (at most `cap` spans).
@@ -1426,32 +1453,62 @@ impl Node {
         // 4. Halt until the next interrupt.
     }
 
-    /// Pick a work-steal victim: uniform over the other CPUs, never the
-    /// stealer itself. Drawing from `0..n-1` and shifting the stealer's
-    /// own index out of the image gives every other CPU equal probability
-    /// without rejection sampling (one RNG draw per probe).
-    fn pick_victim(&mut self, cpu: CpuId, n: usize) -> CpuId {
-        debug_assert!(n >= 2);
-        let v = self.machine.rand_uniform(0, (n - 2) as u64) as usize;
-        if v >= cpu {
-            v + 1
-        } else {
-            v
+    /// Pick a work-steal victim in the CPU domain `[lo, hi)`: uniform over
+    /// the other CPUs there, never the stealer itself. Drawing from a span
+    /// of `hi - lo - 1` and shifting the stealer's own index out of the
+    /// image gives every other CPU equal probability without rejection
+    /// sampling (one RNG draw per probe). Over the whole machine this is
+    /// the original flat picker, draw for draw.
+    fn pick_victim_in(&mut self, cpu: CpuId, lo: usize, hi: usize) -> CpuId {
+        let r = self.machine.rand_uniform(0, (hi - lo - 2) as u64);
+        shifted_victim(lo, hi, cpu, |_| r)
+    }
+
+    /// One steal attempt (§3.4). The `LlcFirst` policy probes the thief's
+    /// own LLC domain first and widens to the package and then the whole
+    /// machine only when the narrower domain shows no stealable backlog;
+    /// `Uniform` probes machine-wide directly. Under a flat topology both
+    /// collapse to one machine-wide stage — today's baseline exactly.
+    fn try_steal(&mut self, cpu: CpuId) -> bool {
+        if self.sched.len() < 2 {
+            return false;
+        }
+        match self.cfg_sched.steal {
+            StealPolicy::LlcFirst => {
+                for (lo, hi) in self.topo.steal_stages(cpu) {
+                    // A domain containing only the thief has no victims.
+                    if hi - lo < 2 {
+                        continue;
+                    }
+                    match self.steal_stage(cpu, lo, hi) {
+                        StageOutcome::Stole => return true,
+                        // The probed victim had backlog but nothing
+                        // migratable; widening now would double-charge the
+                        // lock path — retry on the next idle pass instead.
+                        StageOutcome::LockedEmpty => return false,
+                        StageOutcome::NoBacklog => {}
+                    }
+                }
+                false
+            }
+            StealPolicy::Uniform => {
+                self.steal_stage(cpu, 0, self.sched.len()) == StageOutcome::Stole
+            }
         }
     }
 
-    /// One steal attempt: probe two random victims, steal from the longer
-    /// non-RT queue. "Only aperiodic threads can be stolen" (§3.4).
-    fn try_steal(&mut self, cpu: CpuId) -> bool {
-        let n = self.sched.len();
-        if n < 2 {
-            return false;
-        }
-        let v1 = self.pick_victim(cpu, n);
-        let v2 = self.pick_victim(cpu, n);
+    /// Probe two victims in `[lo, hi)` and steal from the longer non-RT
+    /// queue. "Only aperiodic threads can be stolen" (§3.4). Probe and
+    /// lock/migration charges depend on the thief→victim hop distance
+    /// (same-LLC probes are the flat model's shared-line reads).
+    fn steal_stage(&mut self, cpu: CpuId, lo: usize, hi: usize) -> StageOutcome {
+        let v1 = self.pick_victim_in(cpu, lo, hi);
+        let v2 = self.pick_victim_in(cpu, lo, hi);
         // Probing the victims' queue lengths costs shared-line reads.
-        self.machine.charge(cpu, self.cm.atomic_rmw);
-        self.machine.charge(cpu, self.cm.atomic_rmw);
+        let p1 = self.cm.steal_probe_for(self.topo.distance(cpu, v1));
+        let p2 = self.cm.steal_probe_for(self.topo.distance(cpu, v2));
+        self.machine.charge(cpu, p1);
+        self.machine.charge(cpu, p2);
         let victim = if self.sched[v1].nonrt_len() >= self.sched[v2].nonrt_len() {
             v1
         } else {
@@ -1460,17 +1517,18 @@ impl Node {
         // Steal only from backlogged victims: a single queued thread is
         // about to run right there; migrating it would hurt, not help.
         if self.sched[victim].nonrt_len() < 2 {
-            return false;
+            return StageOutcome::NoBacklog;
         }
         // Lock the victim's scheduler only once work was ascertained, and
         // take the first *unbound* queued thread (bound threads never
         // migrate) straight off the victim's ring — no snapshot `Vec`.
-        self.machine.charge(cpu, self.cm.atomic_rmw_contended);
+        let dist = self.topo.distance(cpu, victim);
+        self.machine.charge(cpu, self.cm.steal_lock_for(dist));
         let candidate = self.sched[victim]
             .nonrt_iter()
             .find(|&t| !self.threads.expect(t).bound);
         let Some(tid) = candidate else {
-            return false;
+            return StageOutcome::LockedEmpty;
         };
         #[cfg(feature = "trace")]
         if let Some(t) = &self.trace {
@@ -1486,7 +1544,8 @@ impl Node {
         let st = &mut self.ts[tid];
         self.sched[cpu].enqueue(tid, st, now);
         self.sched[cpu].stats.steals += 1;
-        true
+        self.sched[cpu].stats.steals_by_distance[dist.index()] += 1;
+        StageOutcome::Stole
     }
 
     fn thread_exit(&mut self, tid: ThreadId) {
@@ -2427,7 +2486,7 @@ mod steal_tests {
         for cpu in 0..4 {
             let mut seen = [false; 4];
             for _ in 0..256 {
-                let v = node.pick_victim(cpu, 4);
+                let v = node.pick_victim_in(cpu, 0, 4);
                 assert_ne!(v, cpu, "stealer probed itself");
                 seen[v] = true;
             }

@@ -132,6 +132,10 @@ pub struct CpuSchedStats {
     pub switches: u64,
     /// Threads stolen *by* this CPU's work stealer.
     pub steals: u64,
+    /// Steals broken down by thief→victim hop distance, indexed by
+    /// `Distance::index()` (same-LLC / same-package / cross-package).
+    /// Flat topologies only ever touch slot 0.
+    pub steals_by_distance: [u64; 3],
     /// Overhead samples, recorded when sampling is enabled.
     pub overheads: Vec<OverheadSample>,
     /// Size-tagged tasks executed inline by the scheduler.

@@ -1,0 +1,222 @@
+//! Victim-selection coverage for the topology-aware work stealer.
+//!
+//! Three layers of assurance:
+//!
+//! * the *pure* staged picker (`steal_stages` + `shifted_victim`) is
+//!   pinned against a seeded `DetRng`: the exact LLC-first probe order is
+//!   golden-valued, and under a flat topology the staged picker is proven
+//!   equal — draw for draw — to the original machine-wide
+//!   power-of-two-choices picker;
+//! * a property sweep over seeds, thief positions, and tree shapes checks
+//!   the staged picker never probes outside its stage's domain and never
+//!   probes the thief itself;
+//! * whole-node runs confirm the `LlcFirst` policy keeps steals inside
+//!   the thief's LLC when local backlog exists, that the per-distance
+//!   steal counters are conserved, and that a flat-topology node behaves
+//!   identically under `LlcFirst` and `Uniform` (they are the same
+//!   algorithm there).
+
+use nautix_des::DetRng;
+use nautix_hw::{shifted_victim, MachineConfig, TopoMap, Topology};
+use nautix_kernel::{Action, Script};
+use nautix_rt::{Node, NodeConfig, StealPolicy};
+
+/// The original flat victim picker, verbatim from the pre-topology
+/// scheduler: one uniform draw over `0..n-2`, own index shifted out.
+fn legacy_pick(rng: &mut DetRng, cpu: usize, n: usize) -> usize {
+    let v = rng.uniform(0, (n - 2) as u64) as usize;
+    if v >= cpu {
+        v + 1
+    } else {
+        v
+    }
+}
+
+/// One staged probe pass: for each widening stage with at least one
+/// victim, draw the two power-of-two-choices probes the scheduler would
+/// draw. Returns `(lo, hi, v1, v2)` per stage.
+fn staged_probes(
+    topo: &TopoMap,
+    cpu: usize,
+    rng: &mut DetRng,
+) -> Vec<(usize, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for (lo, hi) in topo.steal_stages(cpu) {
+        if hi - lo < 2 {
+            continue;
+        }
+        let v1 = shifted_victim(lo, hi, cpu, |k| rng.uniform(0, k));
+        let v2 = shifted_victim(lo, hi, cpu, |k| rng.uniform(0, k));
+        out.push((lo, hi, v1, v2));
+    }
+    out
+}
+
+#[test]
+fn flat_staged_picker_equals_legacy_picker_exactly() {
+    // Under flat topology `steal_stages` is one machine-wide stage and
+    // `shifted_victim` must replay the legacy picker draw for draw.
+    for n in [2usize, 3, 5, 8, 64, 256] {
+        let topo = TopoMap::new(Topology::flat(), n);
+        for cpu in 0..n.min(8) {
+            let stages: Vec<_> = topo.steal_stages(cpu).collect();
+            assert_eq!(stages, vec![(0, n)], "flat must be one machine stage");
+            for seed in 0..64u64 {
+                let mut a = DetRng::seed_from(seed);
+                let mut b = DetRng::seed_from(seed);
+                for _ in 0..16 {
+                    let legacy = legacy_pick(&mut a, cpu, n);
+                    let staged = shifted_victim(0, n, cpu, |k| b.uniform(0, k));
+                    assert_eq!(legacy, staged, "seed {seed} cpu {cpu} n {n}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn llc_first_probe_order_is_pinned() {
+    // 2 packages x 2 LLCs over 8 CPUs: LLCs are [0,2), [2,4), [4,6),
+    // [6,8); packages [0,4) and [4,8). Thief on CPU 1 probes its LLC
+    // (only CPU 0 available), then the package, then the machine. The
+    // exact victims from DetRng seed 42 are golden-valued: any change to
+    // draw order, stage order, or the shift rule breaks this test.
+    let topo = TopoMap::new(Topology::tree(2, 2), 8);
+    let mut rng = DetRng::seed_from(42);
+    let probes = staged_probes(&topo, 1, &mut rng);
+    assert_eq!(probes.len(), 3);
+    // Stage domains widen LLC -> package -> machine.
+    assert_eq!(probes[0].0..probes[0].1, 0..2);
+    assert_eq!(probes[1].0..probes[1].1, 0..4);
+    assert_eq!(probes[2].0..probes[2].1, 0..8);
+    // Golden probe picks (verified properties: in-domain, never CPU 1).
+    assert_eq!(
+        probes,
+        golden_probes(),
+        "LLC-first probe order diverged from the pinned DetRng(42) sequence"
+    );
+    for &(lo, hi, v1, v2) in &probes {
+        for v in [v1, v2] {
+            assert!((lo..hi).contains(&v));
+            assert_ne!(v, 1);
+        }
+    }
+}
+
+/// The pinned DetRng(42) probe sequence for `llc_first_probe_order_is_pinned`.
+fn golden_probes() -> Vec<(usize, usize, usize, usize)> {
+    vec![(0, 2, 0, 0), (0, 4, 3, 3), (0, 8, 6, 5)]
+}
+
+#[test]
+fn staged_probes_stay_in_domain_across_seeds_and_shapes() {
+    let shapes = [
+        Topology::flat(),
+        Topology::tree(1, 2),
+        Topology::tree(2, 2),
+        Topology::tree(2, 4),
+        Topology::tree(4, 2),
+    ];
+    for shape in shapes {
+        for n in [4usize, 6, 16, 64, 100] {
+            let topo = TopoMap::new(shape, n);
+            for seed in 0..32u64 {
+                let mut rng = DetRng::seed_from(seed ^ 0xD15E);
+                for cpu in [0, 1, n / 2, n - 1] {
+                    for (lo, hi, v1, v2) in staged_probes(&topo, cpu, &mut rng) {
+                        assert!(lo <= cpu && cpu < hi, "thief outside its own stage");
+                        for v in [v1, v2] {
+                            assert!(
+                                (lo..hi).contains(&v),
+                                "probe {v} outside stage [{lo},{hi}) \
+                                 (shape {:?}, n {n}, cpu {cpu}, seed {seed})",
+                                shape
+                            );
+                            assert_ne!(v, cpu, "thief probed itself");
+                        }
+                    }
+                    // The final stage is always the whole machine.
+                    let last = topo.steal_stages(cpu).last().unwrap();
+                    assert_eq!(last, (0, n));
+                }
+            }
+        }
+    }
+}
+
+/// A node with backlog piled on one CPU, run to quiescence; returns the
+/// total events processed and the per-distance steal counters summed over
+/// all CPUs.
+fn run_steal_storm(machine: MachineConfig, policy: StealPolicy) -> (u64, u64, [u64; 3]) {
+    let mut cfg = NodeConfig::for_machine(machine);
+    cfg.sched.steal = policy;
+    let mut node = Node::new(cfg);
+    for i in 0..12 {
+        node.spawn_unbound(
+            1,
+            &format!("w{i}"),
+            Box::new(Script::new(vec![Action::Compute(50_000_000)])),
+        )
+        .unwrap();
+    }
+    node.run_until_quiescent();
+    let n = node.machine.n_cpus();
+    let mut steals = 0;
+    let mut by_dist = [0u64; 3];
+    for c in 0..n {
+        let st = &node.scheduler(c).stats;
+        steals += st.steals;
+        for (i, d) in st.steals_by_distance.iter().enumerate() {
+            by_dist[i] += d;
+        }
+    }
+    (node.machine.events_processed(), steals, by_dist)
+}
+
+#[test]
+fn llc_first_steals_locally_when_local_backlog_exists() {
+    // Tree topology, backlog on CPU 1: with LlcFirst the thieves in CPU
+    // 1's LLC grab the work through same-LLC steals; distance counters
+    // must conserve the total.
+    let machine = MachineConfig::phi()
+        .with_cpus(8)
+        .with_seed(3)
+        .with_topology(Topology::tree(2, 2));
+    let (_, steals, by_dist) = run_steal_storm(machine, StealPolicy::LlcFirst);
+    assert!(steals > 0, "no steals happened at all");
+    assert_eq!(
+        by_dist.iter().sum::<u64>(),
+        steals,
+        "distance counters must sum to total steals"
+    );
+    assert!(
+        by_dist[0] > 0,
+        "LlcFirst produced no same-LLC steals despite same-LLC backlog"
+    );
+}
+
+#[test]
+fn uniform_policy_also_conserves_distance_counters() {
+    let machine = MachineConfig::phi()
+        .with_cpus(8)
+        .with_seed(3)
+        .with_topology(Topology::tree(2, 2));
+    let (_, steals, by_dist) = run_steal_storm(machine, StealPolicy::Uniform);
+    assert!(steals > 0);
+    assert_eq!(by_dist.iter().sum::<u64>(), steals);
+}
+
+#[test]
+fn flat_node_is_identical_under_both_policies() {
+    // On a flat machine LlcFirst and Uniform are the same algorithm, so
+    // two runs must be byte-identical: same event count, same steal
+    // totals, and every steal classified same-LLC.
+    let machine = || MachineConfig::phi().with_cpus(8).with_seed(3);
+    let (ev_a, steals_a, dist_a) = run_steal_storm(machine(), StealPolicy::LlcFirst);
+    let (ev_b, steals_b, dist_b) = run_steal_storm(machine(), StealPolicy::Uniform);
+    assert_eq!(ev_a, ev_b, "flat LlcFirst diverged from Uniform");
+    assert_eq!(steals_a, steals_b);
+    assert_eq!(dist_a, dist_b);
+    assert!(steals_a > 0);
+    assert_eq!(dist_a[1] + dist_a[2], 0, "flat machine saw a non-local hop");
+}

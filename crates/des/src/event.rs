@@ -7,7 +7,7 @@
 //!   `(time, sequence)`. O(log n) schedule/cancel/pop. This is the
 //!   *reference* backend: simple enough to audit by eye, and kept alive
 //!   as the differential oracle for the wheel.
-//! * [`WheelQueue`](crate::wheel::WheelQueue) — a hierarchical timing
+//! * [`WheelQueue`] — a hierarchical timing
 //!   wheel (Linux-kernel style) with O(1) schedule and cancel and an
 //!   amortized-O(1) cascade on pop. The default for simulations; see
 //!   `crate::wheel` for the layout and the ordering proof.
@@ -62,6 +62,17 @@ impl EventId {
 /// `Wheel` the production default. The `NAUTIX_QUEUE` environment variable
 /// (`heap` / `wheel`) selects the kind for harness-built machines — the
 /// escape hatch CI uses to run every differential smoke under both.
+///
+/// **Known tradeoff (tracked):** the wheel wins every microbenchmark
+/// 2–3x at realistic backlogs, but on *tiny* standing backlogs (a
+/// handful of pending events, the Figure 6 single-probe workload) its
+/// per-advance constant factor — slot scanning between sparse events —
+/// can fall below the heap end-to-end; 0.76x heap was measured on the
+/// fig6-only sweep. `event_queue_bench` flags any end-to-end run where
+/// wheel throughput drops under 0.9x heap and records the measurement as
+/// an advisory note in `BENCH_wheel.json` so the case stays visible.
+/// Workloads with more than a few pending events per instant are faster
+/// on the wheel, which is why it remains the default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueueKind {
     /// Index-tracked binary min-heap (reference backend).

@@ -19,6 +19,7 @@
 //! Every cost is a `(base, jitter)` pair: a deterministic path length plus
 //! bounded uniform variation standing in for cache and pipeline state.
 
+use crate::topology::Distance;
 use nautix_des::{Cycles, DetRng};
 
 /// A modeled cost: fixed base plus uniform jitter in `[0, jitter]` cycles.
@@ -110,6 +111,26 @@ pub struct CostModel {
     pub remote_write: Cost,
     /// One local element computation unit in the BSP benchmark.
     pub local_compute_unit: Cost,
+    /// Kick-IPI delivery latency when source and destination share a
+    /// package but not an LLC (on-die interconnect hop). The same-LLC
+    /// case *is* [`ipi_latency`](Self::ipi_latency) — the paper's flat
+    /// calibration — so flat topologies draw the identical cost.
+    pub ipi_latency_same_package: Cost,
+    /// Kick-IPI delivery latency across packages (socket interconnect).
+    pub ipi_latency_cross_package: Cost,
+    /// One steal-probe read of a victim's queue length when the victim is
+    /// in the same package but a different LLC (the same-LLC probe is
+    /// [`atomic_rmw`](Self::atomic_rmw) — the line may already be shared).
+    pub steal_probe_same_package: Cost,
+    /// A steal-probe read across packages.
+    pub steal_probe_cross_package: Cost,
+    /// Taking a victim's queue lock plus dragging the stolen thread's hot
+    /// state across an LLC boundary within one package (same-LLC is
+    /// [`atomic_rmw_contended`](Self::atomic_rmw_contended)).
+    pub steal_lock_same_package: Cost,
+    /// Lock plus migration cost across packages — the working set refills
+    /// through the interconnect.
+    pub steal_lock_cross_package: Cost,
 }
 
 impl CostModel {
@@ -138,6 +159,15 @@ impl CostModel {
             admission_local: Cost::new(11000, 2000),
             remote_write: Cost::new(520, 160),
             local_compute_unit: Cost::new(42, 8),
+            // KNL's mesh makes tile-to-tile hops cheap but far-quadrant and
+            // (hypothetical multi-package) hops expensive: ~1.6x and ~3x the
+            // same-LLC IPI respectively.
+            ipi_latency_same_package: Cost::new(2400, 600),
+            ipi_latency_cross_package: Cost::new(4500, 1100),
+            steal_probe_same_package: Cost::new(520, 160),
+            steal_probe_cross_package: Cost::new(1100, 300),
+            steal_lock_same_package: Cost::new(5400, 1800),
+            steal_lock_cross_package: Cost::new(8200, 2400),
         }
     }
 
@@ -166,6 +196,14 @@ impl CostModel {
             admission_local: Cost::new(5200, 900),
             remote_write: Cost::new(280, 90),
             local_compute_unit: Cost::new(20, 4),
+            // The R415 is a real dual-socket box: HyperTransport hops cost
+            // roughly 1.5x (on-die) and 3x (cross-socket) the local IPI.
+            ipi_latency_same_package: Cost::new(1400, 350),
+            ipi_latency_cross_package: Cost::new(2600, 700),
+            steal_probe_same_package: Cost::new(260, 80),
+            steal_probe_cross_package: Cost::new(560, 160),
+            steal_lock_same_package: Cost::new(950, 300),
+            steal_lock_cross_package: Cost::new(1500, 450),
         }
     }
 
@@ -180,6 +218,36 @@ impl CostModel {
             + self.ctx_switch.worst()
             + self.timer_program.worst()
             + self.irq_exit.worst()
+    }
+
+    /// Kick-IPI delivery latency for a hop of the given distance. The
+    /// same-LLC arm returns the flat model's `ipi_latency` field itself,
+    /// so a flat topology (where every hop is same-LLC) draws exactly the
+    /// costs — and exactly the RNG sequence — it always has.
+    pub fn ipi_latency_for(&self, d: Distance) -> Cost {
+        match d {
+            Distance::SameLlc => self.ipi_latency,
+            Distance::SamePackage => self.ipi_latency_same_package,
+            Distance::CrossPackage => self.ipi_latency_cross_package,
+        }
+    }
+
+    /// Steal-probe cost (one remote queue-length read) at a distance.
+    pub fn steal_probe_for(&self, d: Distance) -> Cost {
+        match d {
+            Distance::SameLlc => self.atomic_rmw,
+            Distance::SamePackage => self.steal_probe_same_package,
+            Distance::CrossPackage => self.steal_probe_cross_package,
+        }
+    }
+
+    /// Steal lock + migration cost at a distance.
+    pub fn steal_lock_for(&self, d: Distance) -> Cost {
+        match d {
+            Distance::SameLlc => self.atomic_rmw_contended,
+            Distance::SamePackage => self.steal_lock_same_package,
+            Distance::CrossPackage => self.steal_lock_cross_package,
+        }
     }
 
     /// Mean scheduler software overhead of one timer interrupt.
@@ -237,6 +305,41 @@ mod tests {
             per_period < 8800 && per_period > 4400,
             "per-period overhead {per_period} inconsistent with a 4 µs edge"
         );
+    }
+
+    #[test]
+    fn distance_costs_are_monotone_in_hops() {
+        for m in [CostModel::phi(), CostModel::r415()] {
+            for (near, mid, far) in [
+                (
+                    m.ipi_latency_for(Distance::SameLlc),
+                    m.ipi_latency_for(Distance::SamePackage),
+                    m.ipi_latency_for(Distance::CrossPackage),
+                ),
+                (
+                    m.steal_probe_for(Distance::SameLlc),
+                    m.steal_probe_for(Distance::SamePackage),
+                    m.steal_probe_for(Distance::CrossPackage),
+                ),
+                (
+                    m.steal_lock_for(Distance::SameLlc),
+                    m.steal_lock_for(Distance::SamePackage),
+                    m.steal_lock_for(Distance::CrossPackage),
+                ),
+            ] {
+                assert!(near.worst() < mid.worst() && mid.worst() < far.worst());
+            }
+        }
+    }
+
+    #[test]
+    fn same_llc_costs_are_the_flat_fields() {
+        // The byte-identity contract: flat topology resolves every hop to
+        // SameLlc, which must be the *same* Cost object the flat model used.
+        let m = CostModel::phi();
+        assert_eq!(m.ipi_latency_for(Distance::SameLlc), m.ipi_latency);
+        assert_eq!(m.steal_probe_for(Distance::SameLlc), m.atomic_rmw);
+        assert_eq!(m.steal_lock_for(Distance::SameLlc), m.atomic_rmw_contended);
     }
 
     #[test]

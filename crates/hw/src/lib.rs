@@ -26,6 +26,7 @@ pub mod gpio;
 pub mod machine;
 pub mod smi;
 pub mod timer;
+pub mod topology;
 pub mod tsc;
 
 pub use apic::{vector_priority, Apic, TimerMode, VEC_DEVICE_BASE, VEC_KICK, VEC_TIMER};
@@ -36,4 +37,5 @@ pub use machine::{CpuId, Machine, MachineConfig, MachineEvent, Platform};
 pub use nautix_des::QueueKind;
 pub use smi::{SmiConfig, SmiPattern, SmiStats};
 pub use timer::TimerSlots;
+pub use topology::{shifted_victim, Distance, StealStages, TopoMap, Topology};
 pub use tsc::Tsc;

@@ -30,6 +30,7 @@ use crate::fault::{FaultPlan, FaultStats};
 use crate::gpio::Gpio;
 use crate::smi::{SmiConfig, SmiStats};
 use crate::timer::TimerSlots;
+use crate::topology::{Distance, TopoMap, Topology};
 use crate::tsc::Tsc;
 use nautix_des::{Cycles, DetRng, EventId, EventQueue, Freq, Nanos, QueueKind};
 #[cfg(feature = "trace")]
@@ -108,6 +109,10 @@ pub struct MachineConfig {
     /// Future-event queue backend. Both produce byte-identical runs; the
     /// wheel is the fast default, the heap the differential reference.
     pub queue: QueueKind,
+    /// Package → LLC topology shape. Flat (the default) makes every hop
+    /// same-LLC and is byte-identical to the pre-topology model; tree
+    /// shapes make kick-IPI latency and steal costs distance-dependent.
+    pub topology: Topology,
     /// Seed for all modeled jitter.
     pub seed: u64,
 }
@@ -136,6 +141,7 @@ impl MachineConfig {
             smi: SmiConfig::disabled(),
             faults: FaultPlan::disabled(),
             queue: QueueKind::from_env(),
+            topology: Topology::from_env(),
             seed: 0xAA71,
         }
     }
@@ -175,6 +181,13 @@ impl MachineConfig {
     /// the default; benches pin it explicitly for A/B comparisons).
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Override the topology shape (the `NAUTIX_TOPOLOGY` hatch picks the
+    /// default; benches pin it explicitly for flat-vs-tree A/B sweeps).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -254,6 +267,7 @@ pub struct Machine {
     cfg: MachineConfig,
     freq: Freq,
     cost: CostModel,
+    topo: TopoMap,
     q: EventQueue<Ev>,
     /// Same-timestamp dispatch scratch: `advance` drains one whole instant
     /// here and consumes it across calls, so the queue sees one batched
@@ -272,6 +286,10 @@ pub struct Machine {
     smi_stats: SmiStats,
     fault_stats: FaultStats,
     ipis_sent: u64,
+    /// IPIs sent per hop-distance class, indexed by [`Distance::index`]
+    /// (same-LLC / same-package / cross-package). Flat topologies only
+    /// ever touch slot 0.
+    ipis_by_distance: [u64; 3],
     device_irqs: u64,
     #[cfg(feature = "trace")]
     trace: Option<TraceHandle>,
@@ -305,10 +323,12 @@ impl Machine {
         }
         Self::arm_fault_lanes(&cfg.faults, &mut rng, &mut q);
         let timers = TimerSlots::new(cpus.len());
+        let topo = TopoMap::new(cfg.topology, cfg.n_cpus);
         Machine {
             cfg,
             freq,
             cost,
+            topo,
             q,
             batch: Vec::new(),
             batch_pos: 0,
@@ -321,6 +341,7 @@ impl Machine {
             smi_stats: SmiStats::default(),
             fault_stats: FaultStats::default(),
             ipis_sent: 0,
+            ipis_by_distance: [0; 3],
             device_irqs: 0,
             #[cfg(feature = "trace")]
             trace: None,
@@ -376,6 +397,7 @@ impl Machine {
         }
         Self::arm_fault_lanes(&cfg.faults, &mut rng, &mut self.q);
         self.timers.reset(self.cpus.len());
+        self.topo = TopoMap::new(cfg.topology, cfg.n_cpus);
         self.rng = rng;
         self.gpio = Gpio::new();
         self.op_seq = 0;
@@ -383,6 +405,7 @@ impl Machine {
         self.smi_stats = SmiStats::default();
         self.fault_stats = FaultStats::default();
         self.ipis_sent = 0;
+        self.ipis_by_distance = [0; 3];
         self.device_irqs = 0;
         self.cfg = cfg;
         #[cfg(feature = "trace")]
@@ -414,6 +437,11 @@ impl Machine {
     /// The calibrated cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The resolved topology map (shape × CPU count).
+    pub fn topology(&self) -> TopoMap {
+        self.topo
     }
 
     /// Number of CPUs.
@@ -550,11 +578,14 @@ impl Machine {
     }
 
     /// Send an IPI from `from` to `to`. The send itself costs the sender a
-    /// shared-line access; delivery happens after the modeled latency.
+    /// shared-line access; delivery happens after the modeled latency,
+    /// which depends on the hop distance between the two CPUs.
     pub fn send_ipi(&mut self, from: CpuId, to: CpuId, vector: u8) {
         debug_assert!(from < self.cpus.len() && to < self.cpus.len());
         self.ipis_sent += 1;
-        let latency = self.cost.ipi_latency.draw(&mut self.rng);
+        let dist = self.topo.distance(from, to);
+        self.ipis_by_distance[dist.index()] += 1;
+        let latency = self.cost.ipi_latency_for(dist).draw(&mut self.rng);
         self.q.schedule_in(
             latency,
             Ev::Arrive {
@@ -607,7 +638,9 @@ impl Machine {
         }
         debug_assert!(from < self.cpus.len() && to < self.cpus.len());
         self.ipis_sent += 1;
-        let latency = self.cost.ipi_latency.draw(&mut self.rng) + extra;
+        let dist = self.topo.distance(from, to);
+        self.ipis_by_distance[dist.index()] += 1;
+        let latency = self.cost.ipi_latency_for(dist).draw(&mut self.rng) + extra;
         self.q.schedule_in(
             latency,
             Ev::Arrive {
@@ -770,6 +803,21 @@ impl Machine {
     /// IPIs sent so far.
     pub fn ipis_sent(&self) -> u64 {
         self.ipis_sent
+    }
+
+    /// IPIs sent so far, broken down by hop distance — indexed by
+    /// [`Distance::index`] (same-LLC, same-package, cross-package).
+    pub fn ipis_by_distance(&self) -> [u64; 3] {
+        self.ipis_by_distance
+    }
+
+    /// Fraction of IPIs so far that crossed a package boundary.
+    pub fn cross_package_ipi_fraction(&self) -> f64 {
+        if self.ipis_sent == 0 {
+            0.0
+        } else {
+            self.ipis_by_distance[Distance::CrossPackage.index()] as f64 / self.ipis_sent as f64
+        }
     }
 
     /// Device interrupts raised so far.

@@ -8,8 +8,17 @@
 //! a hard real-time thread so that only scheduling vectors (timer, kick)
 //! get through — steering interrupts *away* from RT threads even inside
 //! the laden partition.
+//!
+//! With a tree [`Topology`](nautix_hw::Topology) the partition itself is
+//! split along LLC boundaries: laden CPUs are grouped by LLC domain, new
+//! IRQs hash to a group and round-robin within it, and
+//! [`Steering::nearest_laden`] lets callers pin an IRQ to the laden CPU
+//! closest to its consumer — so device interrupts land near the threads
+//! that service them instead of ping-ponging lines across packages. Under
+//! a flat topology all laden CPUs form one group and the policy reduces
+//! exactly to the original global round-robin.
 
-use nautix_hw::CpuId;
+use nautix_hw::{CpuId, TopoMap};
 use std::collections::HashMap;
 
 /// Processor priority that admits only the scheduling vectors (priority
@@ -22,8 +31,14 @@ pub const TPR_OPEN: u8 = 0;
 #[derive(Debug, Clone)]
 pub struct Steering {
     laden: Vec<CpuId>,
+    topo: Option<TopoMap>,
+    /// Laden CPUs grouped by LLC domain, groups in first-appearance order
+    /// of their members in `laden`. Without topology (or under flat) this
+    /// is a single group equal to `laden`.
+    groups: Vec<Vec<CpuId>>,
+    /// One round-robin cursor per group.
+    rr_next: Vec<usize>,
     assignments: HashMap<u8, CpuId>,
-    rr_next: usize,
 }
 
 impl Steering {
@@ -33,14 +48,57 @@ impl Steering {
     }
 
     /// A custom interrupt-laden partition ("can be changed according to
-    /// how interrupt rich the workload is").
+    /// how interrupt rich the workload is"), topology-blind: one group,
+    /// global round-robin.
     pub fn new(laden: Vec<CpuId>) -> Self {
         assert!(!laden.is_empty(), "someone must take device interrupts");
-        Steering {
+        let mut s = Steering {
             laden,
+            topo: None,
+            groups: Vec::new(),
+            rr_next: Vec::new(),
             assignments: HashMap::new(),
-            rr_next: 0,
+        };
+        s.rebuild_groups();
+        s
+    }
+
+    /// A laden partition split along `topo`'s LLC boundaries. A flat map
+    /// produces one group — identical routing to [`Steering::new`].
+    pub fn with_topology(laden: Vec<CpuId>, topo: TopoMap) -> Self {
+        assert!(!laden.is_empty(), "someone must take device interrupts");
+        let mut s = Steering {
+            laden,
+            topo: Some(topo),
+            groups: Vec::new(),
+            rr_next: Vec::new(),
+            assignments: HashMap::new(),
+        };
+        s.rebuild_groups();
+        s
+    }
+
+    /// Regroup `laden` by LLC (first-appearance order), preserving the
+    /// per-irq assignments but restarting the round-robin cursors.
+    fn rebuild_groups(&mut self) {
+        self.groups.clear();
+        match self.topo {
+            Some(topo) if !topo.shape().is_flat() => {
+                let mut llc_of_group: Vec<usize> = Vec::new();
+                for &cpu in &self.laden {
+                    let llc = topo.llc_of(cpu);
+                    match llc_of_group.iter().position(|&l| l == llc) {
+                        Some(g) => self.groups[g].push(cpu),
+                        None => {
+                            llc_of_group.push(llc);
+                            self.groups.push(vec![cpu]);
+                        }
+                    }
+                }
+            }
+            _ => self.groups.push(self.laden.clone()),
         }
+        self.rr_next = vec![0; self.groups.len()];
     }
 
     /// The interrupt-laden partition.
@@ -48,29 +106,60 @@ impl Steering {
         &self.laden
     }
 
+    /// The LLC-aligned laden groups (one group when flat/topology-blind).
+    pub fn groups(&self) -> &[Vec<CpuId>] {
+        &self.groups
+    }
+
     /// Whether `cpu` is in the interrupt-free partition.
     pub fn is_interrupt_free(&self, cpu: CpuId) -> bool {
         !self.laden.contains(&cpu)
     }
 
-    /// The CPU that services `irq`: sticky per-irq assignment, initially
-    /// distributed round-robin over the laden partition.
+    /// The CPU that services `irq`: sticky per-irq assignment. A new IRQ
+    /// hashes to an LLC-aligned group (spreading lines across domains)
+    /// and round-robins within it; with one group this is the original
+    /// global round-robin.
     pub fn cpu_for_irq(&mut self, irq: u8) -> CpuId {
         if let Some(&c) = self.assignments.get(&irq) {
             return c;
         }
-        let c = self.laden[self.rr_next % self.laden.len()];
-        self.rr_next += 1;
+        let g = irq as usize % self.groups.len();
+        let group = &self.groups[g];
+        let c = group[self.rr_next[g] % group.len()];
+        self.rr_next[g] += 1;
         self.assignments.insert(irq, c);
         c
+    }
+
+    /// The laden CPU topologically closest to `consumer` (ties broken by
+    /// lowest CPU id). Topology-blind steering treats every laden CPU as
+    /// equidistant, so this is the first laden CPU by id.
+    pub fn nearest_laden(&self, consumer: CpuId) -> CpuId {
+        match self.topo {
+            Some(topo) => *self
+                .laden
+                .iter()
+                .min_by_key(|&&c| (topo.distance(consumer, c), c))
+                .unwrap(),
+            None => *self.laden.iter().min().unwrap(),
+        }
     }
 
     /// Pin `irq` to a specific CPU.
     pub fn steer(&mut self, irq: u8, cpu: CpuId) {
         if !self.laden.contains(&cpu) {
             self.laden.push(cpu);
+            self.rebuild_groups();
         }
         self.assignments.insert(irq, cpu);
+    }
+
+    /// Pin `irq` to the laden CPU nearest its consumer and return it.
+    pub fn steer_near(&mut self, irq: u8, consumer: CpuId) -> CpuId {
+        let cpu = self.nearest_laden(consumer);
+        self.assignments.insert(irq, cpu);
+        cpu
     }
 
     /// The TPR the scheduler should program when dispatching a thread:
@@ -87,6 +176,7 @@ impl Steering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nautix_hw::Topology;
 
     #[test]
     fn default_partition_is_cpu0() {
@@ -127,5 +217,54 @@ mod tests {
         let s = Steering::default_partition();
         assert_eq!(s.tpr_for(true), TPR_HARD_RT);
         assert_eq!(s.tpr_for(false), TPR_OPEN);
+    }
+
+    #[test]
+    fn flat_topology_routes_like_topology_blind() {
+        // The byte-identity contract for the default config: a flat
+        // TopoMap must produce the same group structure and the same
+        // irq → cpu sequence as the original global round-robin.
+        let topo = TopoMap::new(Topology::flat(), 16);
+        let mut blind = Steering::new(vec![0, 3, 5]);
+        let mut flat = Steering::with_topology(vec![0, 3, 5], topo);
+        assert_eq!(blind.groups(), flat.groups());
+        for irq in 0..32u8 {
+            assert_eq!(blind.cpu_for_irq(irq), flat.cpu_for_irq(irq));
+        }
+    }
+
+    #[test]
+    fn tree_topology_groups_laden_by_llc() {
+        // 16 CPUs over 2x2: LLCs are [0..4), [4..8), [8..12), [12..16).
+        let topo = TopoMap::new(Topology::tree(2, 2), 16);
+        let mut s = Steering::with_topology(vec![0, 1, 4, 12], topo);
+        assert_eq!(s.groups(), &[vec![0, 1], vec![4], vec![12]]);
+        // New IRQs hash across groups, round-robin within one.
+        assert_eq!(s.cpu_for_irq(0), 0); // 0 % 3 == 0: group 0, first
+        assert_eq!(s.cpu_for_irq(3), 1); // 3 % 3 == 0: group 0, second
+        assert_eq!(s.cpu_for_irq(6), 0); // group 0 wraps
+        assert_eq!(s.cpu_for_irq(1), 4); // group 1
+        assert_eq!(s.cpu_for_irq(2), 12); // group 2
+    }
+
+    #[test]
+    fn nearest_laden_prefers_same_llc_then_package() {
+        let topo = TopoMap::new(Topology::tree(2, 2), 16);
+        let s = Steering::with_topology(vec![0, 6, 13], topo);
+        assert_eq!(s.nearest_laden(1), 0); // same LLC as 0
+        assert_eq!(s.nearest_laden(5), 6); // same LLC as 6
+        assert_eq!(s.nearest_laden(2), 0); // own LLC wins
+        assert_eq!(s.nearest_laden(15), 13); // cross-package avoided
+                                             // Consumer in LLC [8..12): no laden CPU there; 13 shares the
+                                             // package, 0 and 6 do not.
+        assert_eq!(s.nearest_laden(9), 13);
+    }
+
+    #[test]
+    fn steer_near_pins_to_nearest() {
+        let topo = TopoMap::new(Topology::tree(2, 2), 16);
+        let mut s = Steering::with_topology(vec![0, 13], topo);
+        assert_eq!(s.steer_near(7, 14), 13);
+        assert_eq!(s.cpu_for_irq(7), 13); // sticky afterwards
     }
 }
