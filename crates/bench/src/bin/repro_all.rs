@@ -2,18 +2,104 @@
 //! writing all CSVs under `results/` and printing a compact
 //! paper-vs-measured summary at the end. Pass `--paper` for the full
 //! paper-scale sweeps (minutes); the default quick scale finishes fast.
+//!
+//! Two extra modes:
+//!
+//! * `repro_all --replay <file>` re-runs one recorded trial from a
+//!   `.replay` scenario file (see `nautix_bench::scenario`) and prints
+//!   its full stats snapshot and event count, then exits.
+//! * `NAUTIX_STATS_STREAM=<path>` streams live cumulative stats frames
+//!   to `<path>` while the sweeps run; watch them with
+//!   `nautix-top <path>`.
 
 use nautix_bench::throttle::Granularity;
 use nautix_bench::{
     ablations, banner, barrier_removal, f, fig03, fig04, fig05, fig10, groupsync, missrate,
-    out_dir, throttle, write_csv, BenchReport, Scale,
+    out_dir, set_stats_stream, throttle, write_csv, BenchReport, Scale, Scenario,
 };
 use nautix_hw::Platform;
 use nautix_rt::HarnessConfig;
+use nautix_stats::{HubOptions, StatsHub};
+
+/// `--replay <file>`: re-run one recorded trial and print its snapshot.
+/// Exits 0 on a clean replay, 2 on any read/parse/run error (an armed
+/// oracle flagging the replayed trial panics, as it did when recorded —
+/// that is the expected way to reproduce a flagged anomaly).
+fn run_replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("replay: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let sc = Scenario::from_replay_string(&text).unwrap_or_else(|e| {
+        eprintln!("replay: {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("replaying `{}` from {path}", sc.name);
+    match sc.run_fresh() {
+        Ok(out) => {
+            print!("{}", out.snapshot.to_text());
+            println!("headline: {}", out.snapshot.headline());
+            println!("events: {}", out.events);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("replay: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Start the live-stats hub when `NAUTIX_STATS_STREAM` is set and install
+/// its sender as the process stats stream.
+fn start_stats_stream() -> Option<StatsHub> {
+    let path = std::path::PathBuf::from(std::env::var_os("NAUTIX_STATS_STREAM")?);
+    // Oracle tallies are process-global (nodes flush on drop), so they are
+    // overlaid on published frames rather than summed from trial deltas.
+    #[cfg(feature = "trace")]
+    let sampler: Option<nautix_stats::Sampler> =
+        Some(Box::new(|s: &mut nautix_stats::StatsSnapshot| {
+            let (suites, o) = nautix_rt::oracle::global_stats();
+            s.oracle_suites = suites;
+            s.oracle_records = o.records;
+            s.oracle_checks = o.edf_checks
+                + o.miss_checks
+                + o.task_checks
+                + o.timer_checks
+                + o.fire_order_checks
+                + o.cache_checks;
+            s.oracle_env_misses = o.environment_misses;
+            s.oracle_divergences = o.divergences;
+        }));
+    #[cfg(not(feature = "trace"))]
+    let sampler: Option<nautix_stats::Sampler> = None;
+    let opts = HubOptions {
+        stream_path: Some(path.clone()),
+        sampler,
+        ..HubOptions::default()
+    };
+    let hub = StatsHub::start(opts);
+    set_stats_stream(Some(hub.tx()));
+    println!(
+        "streaming live stats to {path:?} (watch with `nautix-top {}`)\n",
+        path.display()
+    );
+    Some(hub)
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        match args.get(i + 1) {
+            Some(path) => run_replay(path),
+            None => {
+                eprintln!("usage: repro_all --replay <file>");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = Scale::from_args();
     let hc = HarnessConfig::from_env();
+    let hub = start_stats_stream();
     println!(
         "scale: {scale:?} (pass --paper for the full configuration); \
          {} worker threads (set NAUTIX_THREADS to override); \
@@ -453,6 +539,17 @@ fn main() {
         println!(
             "\nadmission engine: {} sim-memo hits, {} misses, {} rollbacks",
             admission.sim_hits, admission.sim_misses, admission.rollbacks,
+        );
+    }
+    if let Some(hub) = hub {
+        // Drop the installed sender so the collector can drain and stop.
+        set_stats_stream(None);
+        let live = hub.finish();
+        println!(
+            "\nlive stats: {} trials streamed over {} frames; final {}",
+            live.total.trials,
+            live.series.len(),
+            live.total.headline()
         );
     }
     let bench_path = std::path::Path::new("BENCH_repro.json");

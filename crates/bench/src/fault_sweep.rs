@@ -1,22 +1,22 @@
 //! Fault sweep: deterministic injection under graceful degradation.
 //!
-//! Sweeps the [`FaultPlan::noisy`] intensity knob over an admitted
+//! Sweeps the [`nautix_hw::FaultPlan::noisy`] intensity knob over an admitted
 //! mixed-criticality workload (one periodic probe, one sporadic burst) and
 //! reports, per grid point, the deadline miss rate, the per-lane injection
 //! counts the machine recorded, and the degradation responses the local
 //! schedulers took (sporadic demotion, periodic widening/demotion).
 //!
 //! Intensity 0.0 is always the first column: it runs the identical
-//! workload with a disabled [`FaultPlan`] and must match a fault-free
+//! workload with a disabled [`nautix_hw::FaultPlan`] and must match a fault-free
 //! build byte for byte — the determinism contract the
 //! `fault_determinism` test pins down.
 
 use crate::common::Scale;
 use crate::harness::{run_trials_pooled, HarnessStats, NodePool};
+use crate::scenario::Scenario;
 use nautix_des::Nanos;
-use nautix_hw::{FaultPlan, FaultStats, MachineConfig, Platform};
-use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::{DegradePolicy, DegradeStats, HarnessConfig, Node};
+use nautix_hw::FaultStats;
+use nautix_rt::{DegradeStats, HarnessConfig};
 
 /// One (intensity, period, slice) sample of the sweep.
 ///
@@ -24,7 +24,7 @@ use nautix_rt::{DegradePolicy, DegradeStats, HarnessConfig, Node};
 /// (serial vs. parallel, fresh vs. pooled) for exact equality.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPoint {
-    /// Injection intensity passed to [`FaultPlan::noisy`] (0 = disabled).
+    /// Injection intensity passed to [`nautix_hw::FaultPlan::noisy`] (0 = disabled).
     pub intensity: f64,
     /// Probe period τ in µs.
     pub period_us: u64,
@@ -93,6 +93,11 @@ pub fn measure_point(
 }
 
 /// Measure one grid point, reusing `pool`'s node arenas.
+///
+/// The trial itself is described by [`Scenario::fault_mix`] and executed
+/// through [`Scenario::run_recorded`], so every sweep point is
+/// automatically streamable to the stats hub and replayable from its
+/// scenario text if an armed oracle flags it.
 pub fn measure_point_pooled(
     pool: &mut NodePool,
     intensity: f64,
@@ -101,70 +106,17 @@ pub fn measure_point_pooled(
     jobs: u64,
     seed: u64,
 ) -> FaultPoint {
-    let machine = MachineConfig::for_platform(Platform::Phi)
-        .with_cpus(3)
-        .with_seed(seed);
-    let plan = if intensity > 0.0 {
-        FaultPlan::noisy(machine.platform.freq(), intensity)
-    } else {
-        FaultPlan::disabled()
-    };
-    // React after two back-to-back misses: at these µs-scale periods a
-    // single stall or dip spans multiple arrivals, and the sweep is meant
-    // to exercise the response, not wait out the default threshold.
-    let degrade = DegradePolicy {
-        miss_threshold: 2,
-        ..DegradePolicy::enabled()
-    };
-    let cfg = Node::builder(machine)
-        .fault_plan(plan)
-        .degrade(degrade)
-        .into_config();
-    let node = pool.node(cfg);
-
-    let slice_ns = (period_ns * slice_pct / 100).max(500);
-    // Periodic probe: always-runnable, so every job demands its full
-    // slice and any capacity the faults steal shows up as lateness. One
-    // period of phase keeps job 0 from starting inside the syscall.
-    let probe = FnProgram::new(move |_cx, n| {
-        if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(
-                Constraints::periodic(period_ns, slice_ns)
-                    .phase(period_ns)
-                    .build(),
-            ))
-        } else {
-            Action::Compute(100_000)
-        }
-    });
-    let probe_tid = node.spawn_on(1, "probe", Box::new(probe)).unwrap();
-
-    // Sporadic burst on the other worker CPU: under heavy interference
-    // its overrun is demoted to aperiodic rather than starving EDF.
-    let burst_size = slice_ns;
-    let burst_deadline = period_ns.saturating_mul(4);
-    let burst = FnProgram::new(move |_cx, n| {
-        if n == 0 {
-            Action::Call(SysCall::ChangeConstraints(
-                Constraints::sporadic(burst_size, burst_deadline).build(),
-            ))
-        } else {
-            Action::Compute(100_000)
-        }
-    });
-    node.spawn_on(2, "burst", Box::new(burst)).unwrap();
-
-    node.run_for_ns(period_ns.saturating_mul(jobs + 20));
-    let st = node.thread_state(probe_tid);
+    let sc = Scenario::fault_mix(intensity, period_ns, slice_pct, jobs, seed);
+    let out = sc.run_recorded(pool).expect("fault scenario is runnable");
     FaultPoint {
         intensity,
         period_us: period_ns / 1000,
         slice_pct,
-        jobs: st.stats.met + st.stats.missed,
-        miss_rate: st.stats.miss_rate(),
-        faults: node.machine.fault_stats(),
-        degrade: node.degrade_stats(),
-        events: node.machine.events_processed(),
+        jobs: out.jobs,
+        miss_rate: out.miss_rate,
+        faults: out.faults,
+        degrade: out.degrade,
+        events: out.events,
     }
 }
 

@@ -23,11 +23,48 @@
 //! section into a [`BenchReport`] and emit it as `BENCH_repro.json`.
 
 use nautix_rt::{HarnessConfig, Node, NodeConfig};
+use nautix_stats::{StatsSnapshot, StatsTx};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// The process-wide stats stream, when one is installed.
+///
+/// `repro_all` (and tests) install a [`StatsTx`] here with
+/// [`set_stats_stream`]; trial runners publish per-trial deltas through
+/// [`stream_delta`], and [`run_trials_pooled`] publishes per-shard
+/// heartbeats. With no stream installed every hook is a no-op, so sweeps
+/// pay one relaxed `OnceLock` load + mutex probe per trial.
+fn stats_stream() -> &'static Mutex<Option<StatsTx>> {
+    static STREAM: OnceLock<Mutex<Option<StatsTx>>> = OnceLock::new();
+    STREAM.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or with `None`, remove) the process-wide stats stream.
+///
+/// The returned previous value keeps its hub alive until dropped; callers
+/// that temporarily swap a stream in (tests) should restore it.
+pub fn set_stats_stream(tx: Option<StatsTx>) -> Option<StatsTx> {
+    std::mem::replace(&mut *stats_stream().lock().unwrap(), tx)
+}
+
+/// Publish one trial's delta snapshot to the installed stream, if any.
+/// The hub sums deltas into its running total, so callers must send each
+/// trial exactly once.
+pub fn stream_delta(snap: &StatsSnapshot) {
+    if let Some(tx) = &*stats_stream().lock().unwrap() {
+        tx.delta(*snap);
+    }
+}
+
+/// Publish one worker heartbeat (shard throughput only; never totals).
+fn stream_beat(shard: usize, trials: u64, events: u64, wall_nanos: u64) {
+    if let Some(tx) = &*stats_stream().lock().unwrap() {
+        tx.beat(shard, trials, events, wall_nanos);
+    }
+}
 
 /// A worker-owned cache of one [`Node`] reused across trials.
 ///
@@ -165,8 +202,12 @@ where
     let slots: Vec<Mutex<Option<(R, u64, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 0..nthreads {
-            s.spawn(|| {
+        let slots = &slots;
+        let next = &next;
+        let items = &items;
+        let f = &f;
+        for shard in 0..nthreads {
+            s.spawn(move || {
                 let mut pool = NodePool::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -175,8 +216,9 @@ where
                     }
                     let start = Instant::now();
                     let (result, events) = f(&mut pool, &items[i]);
-                    let wall = start.elapsed().as_secs_f64();
-                    *slots[i].lock().unwrap() = Some((result, events, wall));
+                    let elapsed = start.elapsed();
+                    stream_beat(shard, 1, events, elapsed.as_nanos() as u64);
+                    *slots[i].lock().unwrap() = Some((result, events, elapsed.as_secs_f64()));
                 }
             });
         }

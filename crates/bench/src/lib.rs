@@ -36,8 +36,10 @@ pub mod groupsync;
 pub mod harness;
 pub mod isolation;
 pub mod missrate;
+pub mod scenario;
 pub mod throttle;
 pub mod topology;
 
 pub use common::{banner, f, out_dir, write_csv, Scale};
-pub use harness::{run_trials, BenchReport, HarnessStats, TrialSet};
+pub use harness::{run_trials, set_stats_stream, BenchReport, HarnessStats, TrialSet};
+pub use scenario::{Scenario, TrialOutcome, Workload};

@@ -10,10 +10,10 @@
 
 use crate::common::Scale;
 use crate::harness::{run_trials_pooled, HarnessStats, NodePool};
+use crate::scenario::Scenario;
 use nautix_des::Nanos;
-use nautix_hw::{MachineConfig, Platform};
-use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
-use nautix_rt::{HarnessConfig, NodeConfig};
+use nautix_hw::Platform;
+use nautix_rt::HarnessConfig;
 
 /// One (period, slice) sample of the sweep.
 ///
@@ -72,6 +72,11 @@ pub fn measure_point(
 }
 
 /// Measure one (period, slice) point, reusing `pool`'s node arenas.
+///
+/// The trial itself is described by [`Scenario::missrate`] and executed
+/// through [`Scenario::run_recorded`], so every sweep point is
+/// automatically streamable to the stats hub and replayable from its
+/// scenario text if an armed oracle flags it.
 pub fn measure_point_pooled(
     pool: &mut NodePool,
     platform: Platform,
@@ -80,46 +85,18 @@ pub fn measure_point_pooled(
     jobs: u64,
     seed: u64,
 ) -> MissPoint {
-    let mut cfg = NodeConfig::for_machine(
-        MachineConfig::for_platform(platform)
-            .with_cpus(2)
-            .with_seed(seed),
-    );
-    cfg.sched.admission_enabled = false;
-    cfg.sched.min_period_ns = 100;
-    cfg.sched.min_slice_ns = 50;
-    cfg.sched.granularity_ns = 1;
-    let node = pool.node(cfg);
-    let prog = FnProgram::new(move |_cx, n| {
-        if n == 0 {
-            // One period of phase so the first arrival lands after the
-            // admission call itself has returned (otherwise job 0 starts
-            // inside the syscall and records a spurious startup miss).
-            Action::Call(SysCall::ChangeConstraints(Constraints::Periodic {
-                phase: period_ns,
-                period: period_ns,
-                slice: slice_ns,
-            }))
-        } else {
-            // Always-runnable: burn CPU in chunks so every job demands its
-            // full slice.
-            Action::Compute(100_000)
-        }
-    });
-    let tid = node.spawn_on(1, "probe", Box::new(prog)).unwrap();
-    // Run for the requested number of jobs plus warmup; infeasible
-    // constraints stretch periods slightly, so give slack.
-    node.run_for_ns(period_ns.saturating_mul(jobs + 20));
-    let st = node.thread_state(tid);
-    let mt = st.stats.miss_time_summary();
+    let sc = Scenario::missrate(platform, period_ns, slice_ns, jobs, seed);
+    let out = sc
+        .run_recorded(pool)
+        .expect("missrate scenario is runnable");
     MissPoint {
         period_us: period_ns / 1000,
         slice_pct: slice_ns * 100 / period_ns,
-        miss_rate: st.stats.miss_rate(),
-        miss_mean_ns: mt.mean,
-        miss_std_ns: mt.std_dev,
-        jobs: st.stats.met + st.stats.missed,
-        events: node.machine.events_processed(),
+        miss_rate: out.miss_rate,
+        miss_mean_ns: out.miss_mean_ns,
+        miss_std_ns: out.miss_std_ns,
+        jobs: out.jobs,
+        events: out.events,
     }
 }
 

@@ -1,0 +1,1004 @@
+//! Scenario record/replay: one trial, captured completely.
+//!
+//! A [`Scenario`] is everything that determines a trial's simulated
+//! history: the full machine configuration (platform, CPU count, timer
+//! mode, SMI/fault plans, queue backend, topology, seed), the scheduler
+//! configuration, the node knobs the sweep harnesses touch, the oracle /
+//! sabotage arming flags, and a [`Workload`] descriptor naming the
+//! programs to spawn. Because every trial in this crate is a pure
+//! function of its parameters (the harness contract), a `Scenario` is a
+//! *sufficient* record: replaying it on any host, at any thread count,
+//! pooled or fresh, reproduces the original trial's event count and
+//! stats snapshot byte for byte.
+//!
+//! Scenarios serialize through a strict, versioned, serde-free text codec
+//! ([`Scenario::to_replay_string`] / [`Scenario::from_replay_string`]):
+//! fixed header, one `key value` line per field in a fixed order, `end`
+//! terminator. Parsing never default-fills — unknown versions, missing or
+//! reordered keys, truncated fault plans, and malformed values are all
+//! hard errors, so a stale or corrupted replay file cannot silently
+//! reproduce a *different* trial.
+//!
+//! The sweep harnesses ([`crate::missrate`], [`crate::fault_sweep`]) run
+//! every trial through [`Scenario::run_recorded`], which additionally
+//! (a) streams the trial's delta snapshot to the process stats hub when
+//! one is installed, and (b) if `NAUTIX_REPLAY_DIR` is set and the trial
+//! panics — an armed oracle flagging an invariant violation — writes
+//! `<name>.replay` into that directory before propagating the panic, so a
+//! one-in-a-million anomaly arrives as a one-line repro command.
+
+use crate::harness::{stream_delta, NodePool};
+use nautix_des::{Nanos, QueueKind};
+use nautix_hw::{
+    CpuId, FaultPlan, FaultStats, MachineConfig, Platform, SmiConfig, TimerMode, Topology,
+};
+use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
+use nautix_rt::{
+    AdmissionEngine, AdmissionPolicy, DegradePolicy, DegradeStats, Node, NodeConfig, SchedConfig,
+    SchedMode, StealPolicy,
+};
+use nautix_stats::StatsSnapshot;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Codec version. Bump when fields are added, removed, or reordered; a
+/// parser only ever accepts its own version.
+pub const REPLAY_VERSION: u32 = 1;
+
+/// Header line of the replay codec.
+pub const REPLAY_HEADER: &str = "nautix-replay v1";
+
+/// What the trial runs on the configured node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The Figures 6–9 probe: one always-runnable periodic thread on
+    /// CPU 1 requesting `(period, slice)` with one period of phase,
+    /// running for `jobs + 20` periods.
+    MissRate {
+        /// Period τ in ns.
+        period_ns: Nanos,
+        /// Slice in ns.
+        slice_ns: Nanos,
+        /// Jobs to observe (run length is `period * (jobs + 20)`).
+        jobs: u64,
+    },
+    /// The fault-sweep mix: a periodic probe on CPU 1 (slice =
+    /// `period * pct / 100`, floored at 500 ns) plus a sporadic burst on
+    /// CPU 2 (size = the probe slice, deadline = 4 periods).
+    FaultMix {
+        /// Probe period τ in ns.
+        period_ns: Nanos,
+        /// Probe slice as % of period.
+        slice_pct: u64,
+        /// Jobs to observe.
+        jobs: u64,
+    },
+    /// Two competing periodic threads on CPU 1: `slow` (created first,
+    /// so lower tid) at 5× the period, and `fast` at `(period, slice)`.
+    /// Whenever both jobs are runnable EDF must pick `fast`, so this is
+    /// the workload that makes a FIFO-sabotaged dispatcher visibly
+    /// violate EDF — the oracle-emission smoke runs on it.
+    Competing {
+        /// Fast thread's period in ns (slow runs at 5×).
+        period_ns: Nanos,
+        /// Fast thread's slice in ns (slow gets 5×).
+        slice_ns: Nanos,
+        /// Fast-thread jobs to observe.
+        jobs: u64,
+    },
+}
+
+impl Workload {
+    /// Canonical `tag:field:field:field` encoding.
+    pub fn encode(&self) -> String {
+        match *self {
+            Workload::MissRate {
+                period_ns,
+                slice_ns,
+                jobs,
+            } => format!("missrate:{period_ns}:{slice_ns}:{jobs}"),
+            Workload::FaultMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            } => format!("fault_mix:{period_ns}:{slice_pct}:{jobs}"),
+            Workload::Competing {
+                period_ns,
+                slice_ns,
+                jobs,
+            } => format!("competing:{period_ns}:{slice_ns}:{jobs}"),
+        }
+    }
+
+    /// Strict inverse of [`Workload::encode`].
+    pub fn decode(s: &str) -> Result<Workload, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "workload: expected `<tag>:<period>:<slice>:<jobs>`, got `{s}`"
+            ));
+        }
+        let n = |v: &str, what: &str| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("workload {what}: `{v}` is not a u64"))
+        };
+        match parts[0] {
+            "missrate" => Ok(Workload::MissRate {
+                period_ns: n(parts[1], "period")?,
+                slice_ns: n(parts[2], "slice")?,
+                jobs: n(parts[3], "jobs")?,
+            }),
+            "fault_mix" => Ok(Workload::FaultMix {
+                period_ns: n(parts[1], "period")?,
+                slice_pct: n(parts[2], "slice_pct")?,
+                jobs: n(parts[3], "jobs")?,
+            }),
+            "competing" => Ok(Workload::Competing {
+                period_ns: n(parts[1], "period")?,
+                slice_ns: n(parts[2], "slice")?,
+                jobs: n(parts[3], "jobs")?,
+            }),
+            tag => Err(format!("workload: unknown tag `{tag}`")),
+        }
+    }
+}
+
+/// Everything that determines one trial. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Replay-file stem; restricted to `[A-Za-z0-9._-]`.
+    pub name: String,
+    /// The full machine configuration, seed included.
+    pub machine: MachineConfig,
+    /// The boot-time scheduler configuration.
+    pub sched: SchedConfig,
+    /// CPUs receiving external device interrupts.
+    pub laden: Vec<CpuId>,
+    /// Boot-time TSC calibration rounds.
+    pub calib_rounds: u32,
+    /// System-wide thread bound.
+    pub max_threads: usize,
+    /// Idle work-steal poll interval.
+    pub steal_poll_ns: Nanos,
+    /// §4.4 phase correction during group admission.
+    pub phase_correction: bool,
+    /// Arm the online invariant oracles on the replayed node (requires
+    /// the `trace` feature; replay errors rather than silently skipping).
+    pub oracles: bool,
+    /// Enable the deliberately broken FIFO dispatch on this CPU (the
+    /// oracle-regression sabotage; requires `trace` like `oracles`).
+    pub sabotage_fifo: Option<CpuId>,
+    /// The programs to run.
+    pub workload: Workload,
+}
+
+/// The observable result of one trial: the determinism contract is that a
+/// replayed scenario reproduces this value byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Simulated machine events processed.
+    pub events: u64,
+    /// The node's full stats snapshot (`trials = 1`).
+    pub snapshot: StatsSnapshot,
+    /// Probe jobs completed (met + missed).
+    pub jobs: u64,
+    /// Probe deadline miss rate.
+    pub miss_rate: f64,
+    /// Mean lateness of missing probe jobs, ns.
+    pub miss_mean_ns: f64,
+    /// Standard deviation of probe lateness, ns.
+    pub miss_std_ns: f64,
+    /// Per-lane injection counters from the machine.
+    pub faults: FaultStats,
+    /// Degradation responses across the node's schedulers.
+    pub degrade: DegradeStats,
+}
+
+impl Scenario {
+    /// The Figures 6–9 trial (see [`crate::missrate`]): admission
+    /// disabled so infeasible constraints can be mapped, floors lowered to
+    /// admit µs-scale probes, 2 CPUs. Queue backend and topology come from
+    /// the ambient environment exactly as the sweep's machines do — the
+    /// recorded scenario pins whatever was in effect.
+    pub fn missrate(
+        platform: Platform,
+        period_ns: Nanos,
+        slice_ns: Nanos,
+        jobs: u64,
+        seed: u64,
+    ) -> Scenario {
+        let mut cfg = NodeConfig::for_machine(
+            MachineConfig::for_platform(platform)
+                .with_cpus(2)
+                .with_seed(seed),
+        );
+        cfg.sched.admission_enabled = false;
+        cfg.sched.min_period_ns = 100;
+        cfg.sched.min_slice_ns = 50;
+        cfg.sched.granularity_ns = 1;
+        let name = format!(
+            "missrate_{}_{}_{}_p{}_s{}_j{}_x{}",
+            platform.encode(),
+            cfg.machine.queue.label(),
+            cfg.machine.topology.label(),
+            period_ns,
+            slice_ns,
+            jobs,
+            seed
+        );
+        Scenario::from_node_config(
+            name,
+            cfg,
+            Workload::MissRate {
+                period_ns,
+                slice_ns,
+                jobs,
+            },
+        )
+    }
+
+    /// The fault-sweep trial (see [`crate::fault_sweep`]): a 3-CPU Phi
+    /// with [`FaultPlan::noisy`] at `intensity` (disabled at 0.0) and
+    /// graceful degradation armed with a 2-miss threshold.
+    pub fn fault_mix(
+        intensity: f64,
+        period_ns: Nanos,
+        slice_pct: u64,
+        jobs: u64,
+        seed: u64,
+    ) -> Scenario {
+        let machine = MachineConfig::for_platform(Platform::Phi)
+            .with_cpus(3)
+            .with_seed(seed);
+        let plan = if intensity > 0.0 {
+            FaultPlan::noisy(machine.platform.freq(), intensity)
+        } else {
+            FaultPlan::disabled()
+        };
+        let degrade = DegradePolicy {
+            miss_threshold: 2,
+            ..DegradePolicy::enabled()
+        };
+        let name = format!(
+            "fault_{}_{}_i{}_p{}_pct{}_j{}_x{}",
+            machine.queue.label(),
+            machine.topology.label(),
+            (intensity * 100.0).round() as u64,
+            period_ns,
+            slice_pct,
+            jobs,
+            seed
+        );
+        let cfg = Node::builder(machine)
+            .fault_plan(plan)
+            .degrade(degrade)
+            .into_config();
+        Scenario::from_node_config(
+            name,
+            cfg,
+            Workload::FaultMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            },
+        )
+    }
+
+    /// A competing-periodics trial on a default-configured 2-CPU Phi
+    /// (admission on): the workload of the `oracle_sabotage` regression
+    /// test, packaged as a replayable scenario. With `oracles` armed and
+    /// `sabotage_fifo` set on CPU 1 the EDF oracle flags the first
+    /// deadline-skipping dispatch, so this is the emission smoke's
+    /// force-flagged trial.
+    pub fn competing(period_ns: Nanos, slice_ns: Nanos, jobs: u64, seed: u64) -> Scenario {
+        let cfg = NodeConfig::for_machine(
+            MachineConfig::for_platform(Platform::Phi)
+                .with_cpus(2)
+                .with_seed(seed),
+        );
+        let name = format!(
+            "competing_{}_{}_p{}_s{}_j{}_x{}",
+            cfg.machine.queue.label(),
+            cfg.machine.topology.label(),
+            period_ns,
+            slice_ns,
+            jobs,
+            seed
+        );
+        Scenario::from_node_config(
+            name,
+            cfg,
+            Workload::Competing {
+                period_ns,
+                slice_ns,
+                jobs,
+            },
+        )
+    }
+
+    /// Capture an assembled [`NodeConfig`] (the sweeps' exact construction
+    /// path) into a scenario. The config's recording-only knobs
+    /// (`dispatch_log_cap`, overhead/GA sampling) are not captured — the
+    /// replayable workloads never set them, and they cannot change the
+    /// simulated history.
+    pub fn from_node_config(name: String, cfg: NodeConfig, workload: Workload) -> Scenario {
+        Scenario {
+            name,
+            machine: cfg.machine,
+            sched: cfg.sched,
+            laden: cfg.laden,
+            calib_rounds: cfg.calib_rounds,
+            max_threads: cfg.max_threads,
+            steal_poll_ns: cfg.steal_poll_ns,
+            phase_correction: cfg.phase_correction,
+            oracles: false,
+            sabotage_fifo: None,
+            workload,
+        }
+    }
+
+    /// The [`NodeConfig`] this scenario replays on — the exact inverse of
+    /// [`Scenario::from_node_config`].
+    pub fn node_config(&self) -> NodeConfig {
+        let mut cfg = NodeConfig::for_machine(self.machine.clone());
+        cfg.sched = self.sched;
+        cfg.laden = self.laden.clone();
+        cfg.calib_rounds = self.calib_rounds;
+        cfg.max_threads = self.max_threads;
+        cfg.steal_poll_ns = self.steal_poll_ns;
+        cfg.phase_correction = self.phase_correction;
+        cfg
+    }
+
+    /// Run the trial on a pooled node. Errors (without running) when the
+    /// scenario requires the `trace` feature and this build lacks it.
+    pub fn run_pooled(&self, pool: &mut NodePool) -> Result<TrialOutcome, String> {
+        #[cfg(not(feature = "trace"))]
+        if self.oracles || self.sabotage_fifo.is_some() {
+            return Err(format!(
+                "scenario `{}` arms oracles/sabotage, which needs a build with `--features trace`",
+                self.name
+            ));
+        }
+        let node = pool.node(self.node_config());
+        #[cfg(feature = "trace")]
+        {
+            if self.oracles && node.oracles().is_none() {
+                node.enable_oracles();
+            }
+            if let Some(cpu) = self.sabotage_fifo {
+                node.set_sabotage_fifo(cpu, true);
+            }
+        }
+        match self.workload {
+            Workload::MissRate {
+                period_ns,
+                slice_ns,
+                jobs,
+            } => {
+                let prog = FnProgram::new(move |_cx, n| {
+                    if n == 0 {
+                        // One period of phase so the first arrival lands
+                        // after the admission call itself has returned.
+                        Action::Call(SysCall::ChangeConstraints(Constraints::Periodic {
+                            phase: period_ns,
+                            period: period_ns,
+                            slice: slice_ns,
+                        }))
+                    } else {
+                        // Always-runnable: every job demands its full slice.
+                        Action::Compute(100_000)
+                    }
+                });
+                let tid = node.spawn_on(1, "probe", Box::new(prog)).unwrap();
+                node.run_for_ns(period_ns.saturating_mul(jobs + 20));
+                Ok(outcome(node, tid))
+            }
+            Workload::FaultMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            } => {
+                let slice_ns = (period_ns * slice_pct / 100).max(500);
+                let probe = FnProgram::new(move |_cx, n| {
+                    if n == 0 {
+                        Action::Call(SysCall::ChangeConstraints(
+                            Constraints::periodic(period_ns, slice_ns)
+                                .phase(period_ns)
+                                .build(),
+                        ))
+                    } else {
+                        Action::Compute(100_000)
+                    }
+                });
+                let probe_tid = node.spawn_on(1, "probe", Box::new(probe)).unwrap();
+                let burst_size = slice_ns;
+                let burst_deadline = period_ns.saturating_mul(4);
+                let burst = FnProgram::new(move |_cx, n| {
+                    if n == 0 {
+                        Action::Call(SysCall::ChangeConstraints(
+                            Constraints::sporadic(burst_size, burst_deadline).build(),
+                        ))
+                    } else {
+                        Action::Compute(100_000)
+                    }
+                });
+                node.spawn_on(2, "burst", Box::new(burst)).unwrap();
+                node.run_for_ns(period_ns.saturating_mul(jobs + 20));
+                Ok(outcome(node, probe_tid))
+            }
+            Workload::Competing {
+                period_ns,
+                slice_ns,
+                jobs,
+            } => {
+                let spawn_periodic = |node: &mut Node, name, period: Nanos, slice: Nanos| {
+                    let prog = FnProgram::new(move |_cx, n| {
+                        if n == 0 {
+                            Action::Call(SysCall::ChangeConstraints(
+                                Constraints::periodic(period, slice).build(),
+                            ))
+                        } else {
+                            Action::Compute(1_000_000)
+                        }
+                    });
+                    node.spawn_on(1, name, Box::new(prog)).unwrap()
+                };
+                spawn_periodic(node, "slow", period_ns * 5, slice_ns * 5);
+                let fast = spawn_periodic(node, "fast", period_ns, slice_ns);
+                node.run_for_ns(period_ns.saturating_mul(jobs + 20));
+                Ok(outcome(node, fast))
+            }
+        }
+    }
+
+    /// Run the trial on a fresh (unpooled) node.
+    pub fn run_fresh(&self) -> Result<TrialOutcome, String> {
+        self.run_pooled(&mut NodePool::new())
+    }
+
+    /// [`Scenario::run_pooled`] plus the recording duties the sweep
+    /// harnesses want on every trial: stream the delta snapshot to the
+    /// installed stats hub, and — when `NAUTIX_REPLAY_DIR` is set — catch
+    /// a trial panic (an armed oracle flagging a violation), write this
+    /// scenario to `<dir>/<name>.replay`, and re-raise. Without the env
+    /// var the trial runs unwrapped, so paper-scale sweeps pay nothing.
+    pub fn run_recorded(&self, pool: &mut NodePool) -> Result<TrialOutcome, String> {
+        let result = match replay_dir() {
+            None => self.run_pooled(pool),
+            Some(dir) => match catch_unwind(AssertUnwindSafe(|| self.run_pooled(pool))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let path = dir.join(format!("{}.replay", self.name));
+                    let _ = std::fs::create_dir_all(&dir);
+                    match std::fs::write(&path, self.to_replay_string()) {
+                        Ok(()) => eprintln!(
+                            "nautix: trial `{}` flagged; replay written to {}",
+                            self.name,
+                            path.display()
+                        ),
+                        Err(e) => eprintln!(
+                            "nautix: trial `{}` flagged; FAILED to write replay {}: {e}",
+                            self.name,
+                            path.display()
+                        ),
+                    }
+                    resume_unwind(payload)
+                }
+            },
+        };
+        if let Ok(out) = &result {
+            stream_delta(&out.snapshot);
+        }
+        result
+    }
+
+    /// Canonical text encoding: version header, `key value` lines in
+    /// fixed order, `end`. Two scenarios are equal iff their replay
+    /// strings are byte-identical.
+    pub fn to_replay_string(&self) -> String {
+        let m = &self.machine;
+        let s = &self.sched;
+        let mut t = String::with_capacity(1024);
+        t.push_str(REPLAY_HEADER);
+        t.push('\n');
+        let mut kv = |k: &str, v: String| {
+            t.push_str(k);
+            t.push(' ');
+            t.push_str(&v);
+            t.push('\n');
+        };
+        kv("name", self.name.clone());
+        kv("machine.platform", m.platform.encode().to_string());
+        kv("machine.cpus", m.n_cpus.to_string());
+        kv("machine.timer_mode", m.timer_mode.encode());
+        kv("machine.tsc_writable", onoff(m.tsc_writable));
+        kv("machine.boot_skew_max", m.boot_skew_max.to_string());
+        kv("machine.smi", m.smi.encode());
+        kv("machine.faults", m.faults.encode());
+        kv("machine.queue", m.queue.label().to_string());
+        kv("machine.topology", m.topology.label());
+        kv("machine.seed", m.seed.to_string());
+        kv("sched.util_limit_ppm", s.util_limit_ppm.to_string());
+        kv(
+            "sched.sporadic_reserve_ppm",
+            s.sporadic_reserve_ppm.to_string(),
+        );
+        kv(
+            "sched.aperiodic_reserve_ppm",
+            s.aperiodic_reserve_ppm.to_string(),
+        );
+        kv(
+            "sched.aperiodic_quantum_ns",
+            s.aperiodic_quantum_ns.to_string(),
+        );
+        kv("sched.granularity_ns", s.granularity_ns.to_string());
+        kv("sched.min_period_ns", s.min_period_ns.to_string());
+        kv("sched.min_slice_ns", s.min_slice_ns.to_string());
+        kv("sched.policy", encode_policy(s.policy));
+        kv(
+            "sched.mode",
+            match s.mode {
+                SchedMode::Eager => "eager".into(),
+                SchedMode::Lazy => "lazy".into(),
+            },
+        );
+        kv("sched.lazy_margin_ns", s.lazy_margin_ns.to_string());
+        kv("sched.admission_enabled", onoff(s.admission_enabled));
+        kv("sched.work_stealing", onoff(s.work_stealing));
+        kv(
+            "sched.steal",
+            match s.steal {
+                StealPolicy::LlcFirst => "llc_first".into(),
+                StealPolicy::Uniform => "uniform".into(),
+            },
+        );
+        kv(
+            "sched.degrade",
+            format!(
+                "{}:{}:{}:{}",
+                onoff(s.degrade.enabled),
+                s.degrade.miss_threshold,
+                s.degrade.widen_pct,
+                s.degrade.max_widen
+            ),
+        );
+        kv(
+            "sched.engine",
+            match s.engine {
+                AdmissionEngine::Incremental => "incremental".into(),
+                AdmissionEngine::Fresh => "fresh".into(),
+            },
+        );
+        kv(
+            "node.laden",
+            self.laden
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        kv("node.calib_rounds", self.calib_rounds.to_string());
+        kv("node.max_threads", self.max_threads.to_string());
+        kv("node.steal_poll_ns", self.steal_poll_ns.to_string());
+        kv("node.phase_correction", onoff(self.phase_correction));
+        kv("node.oracles", onoff(self.oracles));
+        kv(
+            "node.sabotage_fifo",
+            match self.sabotage_fifo {
+                None => "none".into(),
+                Some(cpu) => cpu.to_string(),
+            },
+        );
+        kv("workload", self.workload.encode());
+        t.push_str("end\n");
+        t
+    }
+
+    /// Strict parse of [`Scenario::to_replay_string`] output. Errors on a
+    /// wrong version, a missing / reordered key, any malformed value
+    /// (including a truncated fault plan or a bad topology string),
+    /// truncation before `end`, or trailing garbage.
+    pub fn from_replay_string(text: &str) -> Result<Scenario, String> {
+        let mut p = Parser::new(text)?;
+        let name = p.take("name")?.to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        {
+            return Err(format!(
+                "name: `{name}` must be non-empty [A-Za-z0-9._-] (it becomes a file stem)"
+            ));
+        }
+        let platform = Platform::decode(p.take("machine.platform")?)?;
+        let n_cpus: usize = p.num("machine.cpus")?;
+        if n_cpus == 0 {
+            return Err("machine.cpus: must be >= 1".into());
+        }
+        let timer_mode = TimerMode::decode(p.take("machine.timer_mode")?)?;
+        let tsc_writable = parse_onoff(p.take("machine.tsc_writable")?, "machine.tsc_writable")?;
+        let boot_skew_max = p.num("machine.boot_skew_max")?;
+        let smi = SmiConfig::decode(p.take("machine.smi")?)?;
+        let faults = FaultPlan::decode(p.take("machine.faults")?)?;
+        let queue = match p.take("machine.queue")? {
+            "heap" => QueueKind::Heap,
+            "wheel" => QueueKind::Wheel,
+            other => {
+                return Err(format!(
+                    "machine.queue: expected `heap` or `wheel`, got `{other}`"
+                ))
+            }
+        };
+        let topology = Topology::parse(p.take("machine.topology")?)
+            .map_err(|e| format!("machine.topology: {e}"))?;
+        let seed = p.num("machine.seed")?;
+        let machine = MachineConfig {
+            platform,
+            n_cpus,
+            timer_mode,
+            tsc_writable,
+            boot_skew_max,
+            smi,
+            faults,
+            queue,
+            topology,
+            seed,
+        };
+        let sched = SchedConfig {
+            util_limit_ppm: p.num("sched.util_limit_ppm")?,
+            sporadic_reserve_ppm: p.num("sched.sporadic_reserve_ppm")?,
+            aperiodic_reserve_ppm: p.num("sched.aperiodic_reserve_ppm")?,
+            aperiodic_quantum_ns: p.num("sched.aperiodic_quantum_ns")?,
+            granularity_ns: p.num("sched.granularity_ns")?,
+            min_period_ns: p.num("sched.min_period_ns")?,
+            min_slice_ns: p.num("sched.min_slice_ns")?,
+            policy: decode_policy(p.take("sched.policy")?)?,
+            mode: match p.take("sched.mode")? {
+                "eager" => SchedMode::Eager,
+                "lazy" => SchedMode::Lazy,
+                other => {
+                    return Err(format!(
+                        "sched.mode: expected `eager` or `lazy`, got `{other}`"
+                    ))
+                }
+            },
+            lazy_margin_ns: p.num("sched.lazy_margin_ns")?,
+            admission_enabled: parse_onoff(
+                p.take("sched.admission_enabled")?,
+                "sched.admission_enabled",
+            )?,
+            work_stealing: parse_onoff(p.take("sched.work_stealing")?, "sched.work_stealing")?,
+            steal: match p.take("sched.steal")? {
+                "llc_first" => StealPolicy::LlcFirst,
+                "uniform" => StealPolicy::Uniform,
+                other => {
+                    return Err(format!(
+                        "sched.steal: expected `llc_first` or `uniform`, got `{other}`"
+                    ))
+                }
+            },
+            degrade: decode_degrade(p.take("sched.degrade")?)?,
+            engine: match p.take("sched.engine")? {
+                "incremental" => AdmissionEngine::Incremental,
+                "fresh" => AdmissionEngine::Fresh,
+                other => {
+                    return Err(format!(
+                        "sched.engine: expected `incremental` or `fresh`, got `{other}`"
+                    ))
+                }
+            },
+        };
+        let laden_raw = p.take("node.laden")?;
+        let laden = if laden_raw.is_empty() {
+            Vec::new()
+        } else {
+            laden_raw
+                .split(',')
+                .map(|c| {
+                    c.parse::<CpuId>()
+                        .map_err(|_| format!("node.laden: `{c}` is not a CPU index"))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let calib_rounds = p.num("node.calib_rounds")?;
+        let max_threads = p.num("node.max_threads")?;
+        let steal_poll_ns = p.num("node.steal_poll_ns")?;
+        let phase_correction =
+            parse_onoff(p.take("node.phase_correction")?, "node.phase_correction")?;
+        let oracles = parse_onoff(p.take("node.oracles")?, "node.oracles")?;
+        let sabotage_fifo = match p.take("node.sabotage_fifo")? {
+            "none" => None,
+            v => Some(v.parse::<CpuId>().map_err(|_| {
+                format!("node.sabotage_fifo: expected `none` or a CPU index, got `{v}`")
+            })?),
+        };
+        let workload = Workload::decode(p.take("workload")?)?;
+        p.finish()?;
+        Ok(Scenario {
+            name,
+            machine,
+            sched,
+            laden,
+            calib_rounds,
+            max_threads,
+            steal_poll_ns,
+            phase_correction,
+            oracles,
+            sabotage_fifo,
+            workload,
+        })
+    }
+}
+
+/// Collect the trial outcome from a finished node. `tid` is the probe.
+fn outcome(node: &mut Node, tid: nautix_kernel::ThreadId) -> TrialOutcome {
+    let st = node.thread_state(tid);
+    let mt = st.stats.miss_time_summary();
+    let jobs = st.stats.met + st.stats.missed;
+    let miss_rate = st.stats.miss_rate();
+    TrialOutcome {
+        events: node.machine.events_processed(),
+        snapshot: node.stats_snapshot(),
+        jobs,
+        miss_rate,
+        miss_mean_ns: mt.mean,
+        miss_std_ns: mt.std_dev,
+        faults: node.machine.fault_stats(),
+        degrade: node.degrade_stats(),
+    }
+}
+
+/// `NAUTIX_REPLAY_DIR`: where [`Scenario::run_recorded`] writes replay
+/// files for flagged trials. Unset disables emission. Read per call so
+/// test-scoped overrides are observed.
+fn replay_dir() -> Option<PathBuf> {
+    std::env::var_os("NAUTIX_REPLAY_DIR").map(PathBuf::from)
+}
+
+fn onoff(b: bool) -> String {
+    if b { "on" } else { "off" }.into()
+}
+
+fn parse_onoff(s: &str, what: &str) -> Result<bool, String> {
+    match s {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!("{what}: expected `on` or `off`, got `{s}`")),
+    }
+}
+
+fn encode_policy(p: AdmissionPolicy) -> String {
+    match p {
+        AdmissionPolicy::EdfBound => "edf_bound".into(),
+        AdmissionPolicy::RmBound => "rm_bound".into(),
+        AdmissionPolicy::HyperperiodSim {
+            overhead_ns,
+            window_cap_ns,
+        } => format!("hyperperiod_sim:{overhead_ns}:{window_cap_ns}"),
+    }
+}
+
+fn decode_policy(s: &str) -> Result<AdmissionPolicy, String> {
+    match s {
+        "edf_bound" => return Ok(AdmissionPolicy::EdfBound),
+        "rm_bound" => return Ok(AdmissionPolicy::RmBound),
+        _ => {}
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() == 3 && parts[0] == "hyperperiod_sim" {
+        let n = |v: &str, what: &str| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("sched.policy {what}: `{v}` is not a u64"))
+        };
+        return Ok(AdmissionPolicy::HyperperiodSim {
+            overhead_ns: n(parts[1], "overhead")?,
+            window_cap_ns: n(parts[2], "window cap")?,
+        });
+    }
+    Err(format!(
+        "sched.policy: expected `edf_bound`, `rm_bound` or `hyperperiod_sim:<o>:<w>`, got `{s}`"
+    ))
+}
+
+fn decode_degrade(s: &str) -> Result<DegradePolicy, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "sched.degrade: expected `on|off:<threshold>:<widen_pct>:<max_widen>`, got `{s}`"
+        ));
+    }
+    let n = |v: &str, what: &str| -> Result<u32, String> {
+        v.parse()
+            .map_err(|_| format!("sched.degrade {what}: `{v}` is not a u32"))
+    };
+    Ok(DegradePolicy {
+        enabled: parse_onoff(parts[0], "sched.degrade")?,
+        miss_threshold: n(parts[1], "threshold")?,
+        widen_pct: n(parts[2], "widen_pct")?,
+        max_widen: n(parts[3], "max_widen")?,
+    })
+}
+
+/// Ordered `key value` line reader shared by the strict parse path.
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Result<Parser<'a>, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty replay text")?;
+        if header != REPLAY_HEADER {
+            return Err(format!(
+                "unknown replay version: expected `{REPLAY_HEADER}`, got `{header}`"
+            ));
+        }
+        Ok(Parser { lines })
+    }
+
+    /// The value of the next line, which must carry exactly `key`.
+    fn take(&mut self, key: &str) -> Result<&'a str, String> {
+        let (i, line) = self
+            .lines
+            .next()
+            .ok_or_else(|| format!("truncated replay: missing `{key}`"))?;
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("line {}: expected `{key} <value>`, got `{line}`", i + 1))?;
+        if k != key {
+            return Err(format!(
+                "line {}: expected key `{key}`, got `{k}` (keys are ordered)",
+                i + 1
+            ));
+        }
+        Ok(v)
+    }
+
+    /// [`Parser::take`] plus a numeric parse.
+    fn num<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, String> {
+        let v = self.take(key)?;
+        v.parse()
+            .map_err(|_| format!("{key}: `{v}` is not a valid number"))
+    }
+
+    /// Require the `end` line and nothing but blank lines after it.
+    fn finish(mut self) -> Result<(), String> {
+        match self.lines.next() {
+            Some((_, "end")) => {}
+            Some((i, line)) => return Err(format!("line {}: expected `end`, got `{line}`", i + 1)),
+            None => return Err("truncated replay: missing `end`".into()),
+        }
+        if let Some((i, line)) = self.lines.find(|(_, l)| !l.trim().is_empty()) {
+            return Err(format!(
+                "line {}: trailing garbage after `end`: `{line}`",
+                i + 1
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missrate_scenario_round_trips() {
+        let sc = Scenario::missrate(Platform::Phi, 1_000_000, 500_000, 50, 5);
+        let text = sc.to_replay_string();
+        let back = Scenario::from_replay_string(&text).unwrap();
+        assert_eq!(sc, back);
+        assert_eq!(back.to_replay_string(), text, "encoding must be canonical");
+    }
+
+    #[test]
+    fn fault_scenario_round_trips_with_every_lane() {
+        let sc = Scenario::fault_mix(1.0, 100_000, 60, 200, 7);
+        assert!(sc.machine.faults.enabled());
+        assert!(sc.sched.degrade.enabled);
+        let back = Scenario::from_replay_string(&sc.to_replay_string()).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn scenario_matches_direct_construction() {
+        // The refactoring contract: the scenario's NodeConfig is exactly
+        // what the sweeps used to build inline.
+        let sc = Scenario::missrate(Platform::R415, 4_000, 400, 100, 5);
+        let cfg = sc.node_config();
+        assert_eq!(cfg.machine.n_cpus, 2);
+        assert!(!cfg.sched.admission_enabled);
+        assert_eq!(cfg.sched.granularity_ns, 1);
+        assert_eq!(cfg.laden, vec![0]);
+        assert_eq!(cfg.calib_rounds, 16);
+        let sc2 = Scenario::fault_mix(0.0, 1_000_000, 30, 40, 7);
+        assert_eq!(sc2.machine.faults, FaultPlan::disabled());
+        assert_eq!(sc2.sched.degrade.miss_threshold, 2);
+    }
+
+    #[test]
+    fn replay_reproduces_the_trial() {
+        let sc = Scenario::missrate(Platform::Phi, 1_000_000, 500_000, 30, 5);
+        let a = sc.run_fresh().unwrap();
+        let b = Scenario::from_replay_string(&sc.to_replay_string())
+            .unwrap()
+            .run_fresh()
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.jobs >= 20);
+        assert_eq!(a.snapshot.trials, 1);
+        assert_eq!(a.snapshot.events, a.events);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_version_and_truncation() {
+        let t = Scenario::missrate(Platform::Phi, 100_000, 30_000, 10, 1).to_replay_string();
+        let e = Scenario::from_replay_string(&t.replace("v1", "v6")).unwrap_err();
+        assert!(e.contains("unknown replay version"), "{e}");
+        let cut: String = t.lines().take(8).map(|l| format!("{l}\n")).collect();
+        assert!(Scenario::from_replay_string(&cut).is_err());
+        let no_end = t.strip_suffix("end\n").unwrap();
+        let e = Scenario::from_replay_string(no_end).unwrap_err();
+        assert!(e.contains("missing `end`"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_fields_instead_of_defaulting() {
+        let t = Scenario::fault_mix(0.5, 100_000, 60, 50, 11).to_replay_string();
+        // Truncated fault plan: drop the last `;`-field of the plan line.
+        let plan_line = t
+            .lines()
+            .find(|l| l.starts_with("machine.faults "))
+            .unwrap();
+        let truncated_plan = plan_line.rsplit_once(';').unwrap().0;
+        let e = Scenario::from_replay_string(&t.replace(plan_line, truncated_plan)).unwrap_err();
+        assert!(e.contains("fault plan"), "{e}");
+        // Bad topology string.
+        let e = Scenario::from_replay_string(
+            &t.replace("machine.topology flat", "machine.topology 2×4"),
+        )
+        .unwrap_err();
+        assert!(e.contains("machine.topology"), "{e}");
+        // Reordered keys.
+        let swapped = t.replacen("machine.cpus", "machine.seed", 1);
+        assert!(Scenario::from_replay_string(&swapped).is_err());
+        // Trailing garbage.
+        assert!(Scenario::from_replay_string(&format!("{t}extra\n")).is_err());
+    }
+
+    #[test]
+    fn workload_codec_is_strict() {
+        for w in [
+            Workload::MissRate {
+                period_ns: 10_000,
+                slice_ns: 7_000,
+                jobs: 100,
+            },
+            Workload::FaultMix {
+                period_ns: 30_000,
+                slice_pct: 60,
+                jobs: 150,
+            },
+            Workload::Competing {
+                period_ns: 200_000,
+                slice_ns: 20_000,
+                jobs: 40,
+            },
+        ] {
+            assert_eq!(Workload::decode(&w.encode()).unwrap(), w);
+        }
+        assert!(Workload::decode("missrate:10:7").is_err());
+        assert!(Workload::decode("bsp:1:2:3").is_err());
+        assert!(Workload::decode("missrate:a:b:c").is_err());
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn oracle_scenarios_error_without_trace() {
+        let mut sc = Scenario::missrate(Platform::Phi, 1_000_000, 500_000, 10, 5);
+        sc.oracles = true;
+        let e = sc.run_fresh().unwrap_err();
+        assert!(e.contains("trace"), "{e}");
+    }
+}

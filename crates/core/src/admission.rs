@@ -267,7 +267,7 @@ pub enum StealPolicy {
 }
 
 /// Boot-time local-scheduler configuration (§3.2, §5.1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Total admissible utilization, ppm. Default 99%: the remainder
     /// absorbs scheduler invocations and SMIs (the "knob" of §3.6).

@@ -787,6 +787,63 @@ impl Node {
         self.sim_cache.borrow().len()
     }
 
+    /// Everything the evaluation counts about this node, flattened into
+    /// one additive [`nautix_stats::StatsSnapshot`] (`trials = 1`).
+    /// Per-node counters reset with the node, so per-trial snapshots are
+    /// true deltas: harness workers stream them to a
+    /// [`nautix_stats::StatsHub`] and the merged totals are independent of
+    /// worker scheduling. The `oracle_*` fields stay zero here — oracle
+    /// tallies are process-global (they survive `reset`), so the hub
+    /// overlays them via its sampler instead of summing them per trial.
+    pub fn stats_snapshot(&self) -> nautix_stats::StatsSnapshot {
+        let mut s = nautix_stats::StatsSnapshot {
+            trials: 1,
+            events: self.machine.events_processed(),
+            ..nautix_stats::StatsSnapshot::default()
+        };
+        for t in &self.ts {
+            s.arrivals += t.stats.arrivals;
+            s.met += t.stats.met;
+            s.missed += t.stats.missed;
+            s.dispatches += t.stats.dispatches;
+        }
+        for c in &self.sched {
+            s.invocations += c.stats.invocations;
+            s.timer_invocations += c.stats.timer_invocations;
+            s.kick_invocations += c.stats.kick_invocations;
+            s.switches += c.stats.switches;
+            s.steals += c.stats.steals;
+            s.steals_llc += c.stats.steals_by_distance[0];
+            s.steals_pkg += c.stats.steals_by_distance[1];
+            s.steals_xpkg += c.stats.steals_by_distance[2];
+            s.inline_tasks += c.stats.inline_tasks;
+        }
+        let d = self.degrade_stats();
+        s.sporadic_demotions = d.sporadic_demotions;
+        s.periodic_widenings = d.periodic_widenings;
+        s.periodic_demotions = d.periodic_demotions;
+        let a = self.admission_stats();
+        s.sim_hits = a.sim_hits;
+        s.sim_misses = a.sim_misses;
+        s.rollbacks = a.rollbacks;
+        s.ipis = self.machine.ipis_sent();
+        let ipis = self.machine.ipis_by_distance();
+        s.ipis_llc = ipis[0];
+        s.ipis_pkg = ipis[1];
+        s.ipis_xpkg = ipis[2];
+        s.device_irqs = self.machine.device_irqs();
+        s.timer_programmings = self.machine.timer_programmings();
+        s.smis = self.machine.smi_stats().count;
+        let f = self.machine.fault_stats();
+        s.kicks_dropped = f.kicks_dropped;
+        s.kicks_delayed = f.kicks_delayed;
+        s.timer_overshoots = f.timer_overshoots;
+        s.freq_dips = f.freq_dips;
+        s.spurious_irqs = f.spurious_irqs;
+        s.cpu_stalls = f.cpu_stalls;
+        s
+    }
+
     /// Thread a trace handle through every emitting layer of this node.
     #[cfg(feature = "trace")]
     fn install_trace(&mut self, handle: TraceHandle) {

@@ -24,6 +24,7 @@ pub mod cost;
 pub mod fault;
 pub mod gpio;
 pub mod machine;
+pub mod replay;
 pub mod smi;
 pub mod timer;
 pub mod topology;

@@ -88,7 +88,7 @@ impl Platform {
 }
 
 /// Configuration for building a [`Machine`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Which testbed's frequency/cost calibration to use.
     pub platform: Platform,

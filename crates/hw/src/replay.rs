@@ -1,0 +1,295 @@
+//! Replay-codec fragments for hardware configuration types.
+//!
+//! The bench layer's scenario record/replay format serializes a full
+//! `MachineConfig`; the field encodings for the hardware-owned pieces —
+//! [`Cost`], [`FaultPattern`], [`FaultPlan`], [`SmiConfig`],
+//! [`TimerMode`], [`Platform`] — live here, next to the types they
+//! describe, so adding a field to a type and forgetting its codec arm is
+//! a compile error in this file rather than a silent drift in `bench`.
+//!
+//! Codec rules (shared with the scenario format): encodings are canonical
+//! (one spelling per value), colon-separated within a fragment,
+//! semicolon-separated across [`FaultPlan`] fields, and decoding is
+//! strict — wrong arity, unknown tags, or malformed numbers are hard
+//! errors, never default-fills.
+
+use crate::apic::TimerMode;
+use crate::cost::Cost;
+use crate::fault::{FaultPattern, FaultPlan};
+use crate::machine::Platform;
+use crate::smi::{SmiConfig, SmiPattern};
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: `{s}` is not a valid number"))
+}
+
+impl Cost {
+    /// Canonical `base:jitter` encoding.
+    pub fn encode(&self) -> String {
+        format!("{}:{}", self.base, self.jitter)
+    }
+
+    /// Strict inverse of [`Cost::encode`].
+    pub fn decode(s: &str) -> Result<Cost, String> {
+        let (base, jitter) = s
+            .split_once(':')
+            .ok_or_else(|| format!("cost: expected `base:jitter`, got `{s}`"))?;
+        Ok(Cost {
+            base: num(base, "cost base")?,
+            jitter: num(jitter, "cost jitter")?,
+        })
+    }
+}
+
+impl FaultPattern {
+    /// `off` | `periodic:<interval>` | `poisson:<mean>`.
+    pub fn encode(&self) -> String {
+        match *self {
+            FaultPattern::Disabled => "off".into(),
+            FaultPattern::Periodic { interval } => format!("periodic:{interval}"),
+            FaultPattern::Poisson { mean_interval } => format!("poisson:{mean_interval}"),
+        }
+    }
+
+    /// Strict inverse of [`FaultPattern::encode`].
+    pub fn decode(s: &str) -> Result<FaultPattern, String> {
+        match s.split_once(':') {
+            None if s == "off" => Ok(FaultPattern::Disabled),
+            Some(("periodic", v)) => Ok(FaultPattern::Periodic {
+                interval: num(v, "periodic interval")?,
+            }),
+            Some(("poisson", v)) => Ok(FaultPattern::Poisson {
+                mean_interval: num(v, "poisson mean")?,
+            }),
+            _ => Err(format!(
+                "fault pattern: expected `off`, `periodic:<n>` or `poisson:<n>`, got `{s}`"
+            )),
+        }
+    }
+}
+
+impl SmiConfig {
+    /// `off` | `periodic:<interval>:<base>:<jitter>` |
+    /// `poisson:<mean>:<base>:<jitter>` (duration folded in, since a
+    /// disabled injector has no meaningful duration).
+    pub fn encode(&self) -> String {
+        match self.pattern {
+            SmiPattern::Disabled => "off".into(),
+            SmiPattern::Periodic { interval } => {
+                format!(
+                    "periodic:{interval}:{}:{}",
+                    self.duration.base, self.duration.jitter
+                )
+            }
+            SmiPattern::Poisson { mean_interval } => {
+                format!(
+                    "poisson:{mean_interval}:{}:{}",
+                    self.duration.base, self.duration.jitter
+                )
+            }
+        }
+    }
+
+    /// Strict inverse of [`SmiConfig::encode`].
+    pub fn decode(s: &str) -> Result<SmiConfig, String> {
+        if s == "off" {
+            return Ok(SmiConfig::disabled());
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "smi: expected `off` or `<tag>:<n>:<base>:<jitter>`, got `{s}`"
+            ));
+        }
+        let n: u64 = num(parts[1], "smi interval")?;
+        let pattern = match parts[0] {
+            "periodic" => SmiPattern::Periodic { interval: n },
+            "poisson" => SmiPattern::Poisson { mean_interval: n },
+            tag => return Err(format!("smi: unknown pattern tag `{tag}`")),
+        };
+        Ok(SmiConfig {
+            pattern,
+            duration: Cost {
+                base: num(parts[2], "smi duration base")?,
+                jitter: num(parts[3], "smi duration jitter")?,
+            },
+        })
+    }
+}
+
+impl TimerMode {
+    /// `oneshot:<tick_cycles>` | `tsc_deadline`.
+    pub fn encode(&self) -> String {
+        match *self {
+            TimerMode::OneShot { tick_cycles } => format!("oneshot:{tick_cycles}"),
+            TimerMode::TscDeadline => "tsc_deadline".into(),
+        }
+    }
+
+    /// Strict inverse of [`TimerMode::encode`].
+    pub fn decode(s: &str) -> Result<TimerMode, String> {
+        match s.split_once(':') {
+            None if s == "tsc_deadline" => Ok(TimerMode::TscDeadline),
+            Some(("oneshot", v)) => Ok(TimerMode::OneShot {
+                tick_cycles: num(v, "oneshot tick")?,
+            }),
+            _ => Err(format!(
+                "timer mode: expected `oneshot:<tick>` or `tsc_deadline`, got `{s}`"
+            )),
+        }
+    }
+}
+
+impl Platform {
+    /// `phi` | `r415`.
+    pub fn encode(&self) -> &'static str {
+        match self {
+            Platform::Phi => "phi",
+            Platform::R415 => "r415",
+        }
+    }
+
+    /// Strict inverse of [`Platform::encode`].
+    pub fn decode(s: &str) -> Result<Platform, String> {
+        match s {
+            "phi" => Ok(Platform::Phi),
+            "r415" => Ok(Platform::R415),
+            _ => Err(format!("platform: expected `phi` or `r415`, got `{s}`")),
+        }
+    }
+}
+
+/// Field count of the enabled [`FaultPlan`] encoding. Bump alongside any
+/// struct change; the decoder rejects any other arity.
+const FAULT_PLAN_FIELDS: usize = 12;
+
+impl FaultPlan {
+    /// `off` for the inert plan, otherwise all twelve fields in struct
+    /// order, semicolon-separated.
+    pub fn encode(&self) -> String {
+        if *self == FaultPlan::disabled() {
+            return "off".into();
+        }
+        [
+            self.kick_drop_ppm.to_string(),
+            self.kick_delay_ppm.to_string(),
+            self.kick_delay_extra.encode(),
+            self.timer_overshoot_ppm.to_string(),
+            self.timer_overshoot_extra.encode(),
+            self.freq_dip.encode(),
+            self.freq_dip_duration.encode(),
+            self.freq_dip_loss_pct.to_string(),
+            self.spurious_irq.encode(),
+            self.spurious_irq_line.to_string(),
+            self.cpu_stall.encode(),
+            self.cpu_stall_duration.encode(),
+        ]
+        .join(";")
+    }
+
+    /// Strict inverse of [`FaultPlan::encode`]: wrong field count (a
+    /// truncated plan) or any malformed field is an error.
+    pub fn decode(s: &str) -> Result<FaultPlan, String> {
+        if s == "off" {
+            return Ok(FaultPlan::disabled());
+        }
+        let parts: Vec<&str> = s.split(';').collect();
+        if parts.len() != FAULT_PLAN_FIELDS {
+            return Err(format!(
+                "fault plan: expected `off` or {FAULT_PLAN_FIELDS} `;`-separated fields, got {} in `{s}`",
+                parts.len()
+            ));
+        }
+        Ok(FaultPlan {
+            kick_drop_ppm: num(parts[0], "kick_drop_ppm")?,
+            kick_delay_ppm: num(parts[1], "kick_delay_ppm")?,
+            kick_delay_extra: Cost::decode(parts[2])?,
+            timer_overshoot_ppm: num(parts[3], "timer_overshoot_ppm")?,
+            timer_overshoot_extra: Cost::decode(parts[4])?,
+            freq_dip: FaultPattern::decode(parts[5])?,
+            freq_dip_duration: Cost::decode(parts[6])?,
+            freq_dip_loss_pct: num(parts[7], "freq_dip_loss_pct")?,
+            spurious_irq: FaultPattern::decode(parts[8])?,
+            spurious_irq_line: num(parts[9], "spurious_irq_line")?,
+            cpu_stall: FaultPattern::decode(parts[10])?,
+            cpu_stall_duration: Cost::decode(parts[11])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautix_des::Freq;
+
+    #[test]
+    fn cost_and_pattern_round_trip() {
+        for c in [Cost::fixed(0), Cost::new(1500, 400)] {
+            assert_eq!(Cost::decode(&c.encode()).unwrap(), c);
+        }
+        for p in [
+            FaultPattern::Disabled,
+            FaultPattern::Periodic { interval: 9 },
+            FaultPattern::Poisson { mean_interval: 77 },
+        ] {
+            assert_eq!(FaultPattern::decode(&p.encode()).unwrap(), p);
+        }
+        assert!(Cost::decode("12").is_err());
+        assert!(Cost::decode("a:b").is_err());
+        assert!(FaultPattern::decode("sometimes:4").is_err());
+        assert!(FaultPattern::decode("periodic").is_err());
+    }
+
+    #[test]
+    fn smi_and_timer_mode_round_trip() {
+        for c in [
+            SmiConfig::disabled(),
+            SmiConfig::noisy(Freq::phi(), 33_000, 150),
+            SmiConfig {
+                pattern: SmiPattern::Periodic { interval: 500 },
+                duration: Cost::new(10, 3),
+            },
+        ] {
+            assert_eq!(SmiConfig::decode(&c.encode()).unwrap(), c);
+        }
+        for m in [
+            TimerMode::OneShot { tick_cycles: 26 },
+            TimerMode::TscDeadline,
+        ] {
+            assert_eq!(TimerMode::decode(&m.encode()).unwrap(), m);
+        }
+        assert!(SmiConfig::decode("periodic:5").is_err());
+        assert!(SmiConfig::decode("storm:1:2:3").is_err());
+        assert!(TimerMode::decode("oneshot").is_err());
+    }
+
+    #[test]
+    fn fault_plan_round_trips_and_rejects_truncation() {
+        let plans = [
+            FaultPlan::disabled(),
+            FaultPlan::noisy(Freq::phi(), 1.0),
+            FaultPlan {
+                kick_drop_ppm: 5_000,
+                ..FaultPlan::disabled()
+            },
+        ];
+        for p in plans {
+            assert_eq!(FaultPlan::decode(&p.encode()).unwrap(), p);
+        }
+        assert_eq!(FaultPlan::disabled().encode(), "off");
+        let full = FaultPlan::noisy(Freq::phi(), 0.5).encode();
+        let truncated = full.rsplit_once(';').unwrap().0;
+        let e = FaultPlan::decode(truncated).unwrap_err();
+        assert!(e.contains("12"), "truncation must name the arity: {e}");
+        assert!(FaultPlan::decode(&format!("{full};0")).is_err());
+    }
+
+    #[test]
+    fn platform_round_trips() {
+        for p in [Platform::Phi, Platform::R415] {
+            assert_eq!(Platform::decode(p.encode()).unwrap(), p);
+        }
+        assert!(Platform::decode("phi3").is_err());
+    }
+}

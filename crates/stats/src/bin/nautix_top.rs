@@ -1,0 +1,239 @@
+//! `nautix-top`: one-screen terminal view over a nautix stats stream.
+//!
+//! A harness run started with `NAUTIX_STATS_STREAM=<path>` publishes a
+//! [`Frame`] to `<path>` a few times a second (atomic tmp+rename, so a
+//! read never sees a torn frame). This binary tails that file and renders
+//! one screen: overall throughput and miss rate, per-shard progress,
+//! fault-lane injections, degradation responses, steal locality, and
+//! admission/oracle tallies.
+//!
+//! ```text
+//! nautix-top <stream-file> [--once] [--interval-ms N]
+//! ```
+//!
+//! `--once` renders a single frame without clearing the screen (useful in
+//! CI and for piping); otherwise the view refreshes every `--interval-ms`
+//! milliseconds (default 500) until interrupted.
+
+use nautix_stats::Frame;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: nautix-top <stream-file> [--once] [--interval-ms N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms: u64 = 500;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                interval_ms = v.parse().unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            _ => usage(),
+        }
+    }
+    let path = std::path::PathBuf::from(path.unwrap_or_else(|| usage()));
+
+    loop {
+        match Frame::read(&path) {
+            Ok(frame) => {
+                if !once {
+                    // Clear screen + home cursor.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render(&frame));
+            }
+            Err(e) if once => {
+                eprintln!("nautix-top: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                print!("\x1b[2J\x1b[H");
+                println!("nautix-top: waiting for stream at {path:?} ({e})");
+            }
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+fn human(n: u64) -> String {
+    if n >= 10_000_000_000 {
+        format!("{:.1}G", n as f64 / 1e9)
+    } else if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round()) as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Render one frame to a full screen of text. Pure, so it is unit-testable
+/// without a terminal.
+fn render(f: &Frame) -> String {
+    let s = &f.snapshot;
+    let mut out = String::new();
+    let secs = f.elapsed_nanos as f64 / 1e9;
+    out.push_str(&format!(
+        "nautix-top · {:.1}s · {} trials · {} events · {}/s\n",
+        secs,
+        human(s.trials),
+        human(s.events),
+        human(f.events_per_sec() as u64),
+    ));
+    out.push_str(&format!(
+        "jobs: {} arrivals · {} met · {} missed · miss rate {:>8.6}  [{}]\n",
+        human(s.arrivals),
+        human(s.met),
+        human(s.missed),
+        s.miss_rate(),
+        bar(s.miss_rate(), 20),
+    ));
+    out.push('\n');
+
+    out.push_str("shards  trials      events      ev/s\n");
+    for (i, sh) in f.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "  {i:>2}    {:>8}  {:>10}  {:>8}\n",
+            human(sh.trials),
+            human(sh.events),
+            human(sh.events_per_sec() as u64),
+        ));
+    }
+    if f.shards.is_empty() {
+        out.push_str("  (no shard beats yet)\n");
+    }
+    out.push('\n');
+
+    out.push_str(&format!(
+        "sched: {} invocations ({} timer, {} kick) · {} switches · {} dispatches · {} inline\n",
+        human(s.invocations),
+        human(s.timer_invocations),
+        human(s.kick_invocations),
+        human(s.switches),
+        human(s.dispatches),
+        human(s.inline_tasks),
+    ));
+    out.push_str(&format!(
+        "steals: {} total · locality {:.2} (llc {} / pkg {} / xpkg {})\n",
+        human(s.steals),
+        s.steal_locality(),
+        human(s.steals_llc),
+        human(s.steals_pkg),
+        human(s.steals_xpkg),
+    ));
+    out.push_str(&format!(
+        "ipis: {} total (llc {} / pkg {} / xpkg {}) · {} device irqs · {} timer programmings · {} smis\n",
+        human(s.ipis),
+        human(s.ipis_llc),
+        human(s.ipis_pkg),
+        human(s.ipis_xpkg),
+        human(s.device_irqs),
+        human(s.timer_programmings),
+        human(s.smis),
+    ));
+    out.push('\n');
+
+    out.push_str(&format!(
+        "faults: {} total · kick drop {} · kick delay {} · overshoot {} · freq dip {} · spurious {} · stall {}\n",
+        human(s.faults_total()),
+        human(s.kicks_dropped),
+        human(s.kicks_delayed),
+        human(s.timer_overshoots),
+        human(s.freq_dips),
+        human(s.spurious_irqs),
+        human(s.cpu_stalls),
+    ));
+    out.push_str(&format!(
+        "degrade: {} total · sporadic demotions {} · widenings {} · periodic demotions {}\n",
+        human(s.degrade_total()),
+        human(s.sporadic_demotions),
+        human(s.periodic_widenings),
+        human(s.periodic_demotions),
+    ));
+    out.push_str(&format!(
+        "admission: {} sim hits · {} sim misses · {} rollbacks\n",
+        human(s.sim_hits),
+        human(s.sim_misses),
+        human(s.rollbacks),
+    ));
+    out.push_str(&format!(
+        "oracles: {} suites · {} records · {} checks · {} env misses · {} divergences\n",
+        human(s.oracle_suites),
+        human(s.oracle_records),
+        human(s.oracle_checks),
+        human(s.oracle_env_misses),
+        human(s.oracle_divergences),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautix_stats::{ShardStat, StatsSnapshot};
+
+    #[test]
+    fn render_covers_every_section() {
+        let frame = Frame {
+            elapsed_nanos: 2_000_000_000,
+            snapshot: StatsSnapshot {
+                trials: 10,
+                events: 1_000_000,
+                arrivals: 5000,
+                met: 4900,
+                missed: 100,
+                steals: 40,
+                steals_llc: 30,
+                kicks_dropped: 7,
+                periodic_widenings: 3,
+                sim_hits: 12,
+                oracle_suites: 2,
+                ..StatsSnapshot::default()
+            },
+            shards: vec![ShardStat {
+                trials: 10,
+                events: 1_000_000,
+                wall_nanos: 2_000_000_000,
+            }],
+        };
+        let text = render(&frame);
+        for needle in [
+            "nautix-top",
+            "miss rate",
+            "shards",
+            "steals",
+            "locality 0.75",
+            "faults",
+            "degrade",
+            "admission",
+            "oracles",
+            "500.0k/s",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn human_scales() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(45_472_710), "45.5M");
+        assert_eq!(human(12_000_000_000), "12.0G");
+    }
+}
