@@ -14,10 +14,11 @@
 //! lane in isolation, and a degradation-churn case.
 
 use nautix_bench::Scenario;
+use nautix_cluster::PlacementStrategy;
 use nautix_des::QueueKind;
 use nautix_hw::{FaultPattern, FaultPlan, Platform, Topology};
 
-/// The eight corpus scenarios. Quick-sized: the whole corpus replays in
+/// The nine corpus scenarios. Quick-sized: the whole corpus replays in
 /// a few seconds.
 pub fn corpus() -> Vec<Scenario> {
     let mut v = Vec::new();
@@ -86,6 +87,15 @@ pub fn corpus() -> Vec<Scenario> {
     // sustained misses drive repeated periodic widening.
     let mut sc = Scenario::fault_mix(1.0, 30_000, 60, 150, 7);
     sc.name = "widening_churn".into();
+    v.push(sc);
+
+    // 9. Cluster placement under churn: a 3-shard fleet admitting 200
+    // tenant gangs with power-of-two-choices. Pins the cluster codec tag
+    // and the whole placement/departure history (the headline's
+    // `cluster=` triple). Queue and topology are pinned by the cluster
+    // constructor itself (wheel, flat).
+    let mut sc = Scenario::cluster(3, 8, 200, PlacementStrategy::PowerOfTwo, 5);
+    sc.name = "cluster_po2_churn".into();
     v.push(sc);
 
     for sc in &v {

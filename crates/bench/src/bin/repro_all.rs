@@ -49,10 +49,11 @@ fn run_replay(path: &str) -> ! {
     }
 }
 
-/// Start the live-stats hub when `NAUTIX_STATS_STREAM` is set and install
-/// its sender as the process stats stream.
-fn start_stats_stream() -> Option<StatsHub> {
-    let path = std::path::PathBuf::from(std::env::var_os("NAUTIX_STATS_STREAM")?);
+/// Start the live-stats hub when the harness config carries a stream
+/// path (`NAUTIX_STATS_STREAM`) and install its sender as the process
+/// stats stream.
+fn start_stats_stream(hc: &HarnessConfig) -> Option<StatsHub> {
+    let path = hc.stats_stream.clone()?;
     // Oracle tallies are process-global (nodes flush on drop), so they are
     // overlaid on published frames rather than summed from trial deltas.
     #[cfg(feature = "trace")]
@@ -99,7 +100,7 @@ fn main() {
     }
     let scale = Scale::from_args();
     let hc = HarnessConfig::from_env();
-    let hub = start_stats_stream();
+    let hub = start_stats_stream(&hc);
     println!(
         "scale: {scale:?} (pass --paper for the full configuration); \
          {} worker threads (set NAUTIX_THREADS to override); \

@@ -22,7 +22,7 @@
 //! [`HarnessStats`]. Binaries collect one `HarnessStats` per experiment
 //! section into a [`BenchReport`] and emit it as `BENCH_repro.json`.
 
-use nautix_rt::{HarnessConfig, Node, NodeConfig};
+use nautix_rt::HarnessConfig;
 use nautix_stats::{StatsSnapshot, StatsTx};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -66,36 +66,10 @@ fn stream_beat(shard: usize, trials: u64, events: u64, wall_nanos: u64) {
     }
 }
 
-/// A worker-owned cache of one [`Node`] reused across trials.
-///
-/// Paper-scale sweeps run thousands of trials, and each used to pay full
-/// node construction and teardown — hundreds of `Vec`/`Box` allocations per
-/// trial, contending on the global allocator from every worker thread. A
-/// pool instead keeps the previous trial's node and [`Node::reset`]s it in
-/// place for the next configuration, reusing its arenas. Reset is defined
-/// to be byte-identical to fresh construction (see the pooled determinism
-/// test), so pooling is purely a performance choice.
-#[derive(Default)]
-pub struct NodePool {
-    node: Option<Node>,
-}
-
-impl NodePool {
-    /// An empty pool; the first [`NodePool::node`] call constructs.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// A node booted for `cfg`: the pooled arena reset in place when one
-    /// exists, a fresh construction otherwise.
-    pub fn node(&mut self, cfg: NodeConfig) -> &mut Node {
-        match &mut self.node {
-            Some(n) => n.reset(cfg),
-            slot @ None => *slot = Some(Node::new(cfg)),
-        }
-        self.node.as_mut().unwrap()
-    }
-}
+// The worker-owned node cache moved into `nautix_rt` (so the cluster
+// layer's shard fleets can pool without depending on this crate); the
+// re-export keeps every existing `harness::NodePool` path working.
+pub use nautix_rt::NodePool;
 
 /// Worker-thread count of the ambient environment. Compat shim over
 /// [`HarnessConfig::from_env`]; prefer threading a [`HarnessConfig`]

@@ -26,6 +26,7 @@
 pub mod ablations;
 pub mod admission_bench;
 pub mod barrier_removal;
+pub mod cluster_bench;
 pub mod common;
 pub mod fault_sweep;
 pub mod fig03;
@@ -42,4 +43,4 @@ pub mod topology;
 
 pub use common::{banner, f, out_dir, write_csv, Scale};
 pub use harness::{run_trials, set_stats_stream, BenchReport, HarnessStats, TrialSet};
-pub use scenario::{Scenario, TrialOutcome, Workload};
+pub use scenario::{Scenario, TrialOutcome, Workload, REPLAY_HEADER, REPLAY_VERSION};

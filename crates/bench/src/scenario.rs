@@ -28,25 +28,28 @@
 //! one-in-a-million anomaly arrives as a one-line repro command.
 
 use crate::harness::{stream_delta, NodePool};
+use nautix_cluster::{ClusterConfig, ClusterOutcome, Fleet, PlacementStrategy};
 use nautix_des::{Nanos, QueueKind};
 use nautix_hw::{
     CpuId, FaultPlan, FaultStats, MachineConfig, Platform, SmiConfig, TimerMode, Topology,
 };
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
 use nautix_rt::{
-    AdmissionEngine, AdmissionPolicy, DegradePolicy, DegradeStats, Node, NodeConfig, SchedConfig,
-    SchedMode, StealPolicy,
+    AdmissionEngine, AdmissionPolicy, DegradePolicy, DegradeStats, HarnessConfig, Node, NodeConfig,
+    SchedConfig, SchedMode, StealPolicy,
 };
 use nautix_stats::StatsSnapshot;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 /// Codec version. Bump when fields are added, removed, or reordered; a
-/// parser only ever accepts its own version.
-pub const REPLAY_VERSION: u32 = 1;
+/// parser only ever accepts its own version. v2 added the `cluster`
+/// workload tag.
+pub const REPLAY_VERSION: u32 = 2;
 
 /// Header line of the replay codec.
-pub const REPLAY_HEADER: &str = "nautix-replay v1";
+pub const REPLAY_HEADER: &str = "nautix-replay v2";
 
 /// What the trial runs on the configured node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +89,20 @@ pub enum Workload {
         /// Fast-thread jobs to observe.
         jobs: u64,
     },
+    /// A cluster admission run (codec v2): `shards` nodes — each built
+    /// from the scenario's machine/sched configuration, per-shard seeds
+    /// derived from `machine.seed` — processing `tenants` arrivals under
+    /// `strategy`. The cluster-only knobs the scenario does not carry
+    /// (slots per CPU, stream rates) are [`ClusterConfig::new`] defaults,
+    /// which are part of the codec contract.
+    Cluster {
+        /// Fleet size.
+        shards: usize,
+        /// Tenant arrivals to process.
+        tenants: u64,
+        /// Placement strategy.
+        strategy: PlacementStrategy,
+    },
 }
 
 impl Workload {
@@ -107,6 +124,11 @@ impl Workload {
                 slice_ns,
                 jobs,
             } => format!("competing:{period_ns}:{slice_ns}:{jobs}"),
+            Workload::Cluster {
+                shards,
+                tenants,
+                strategy,
+            } => format!("cluster:{shards}:{tenants}:{}", strategy.name()),
         }
     }
 
@@ -137,6 +159,14 @@ impl Workload {
                 period_ns: n(parts[1], "period")?,
                 slice_ns: n(parts[2], "slice")?,
                 jobs: n(parts[3], "jobs")?,
+            }),
+            "cluster" => Ok(Workload::Cluster {
+                shards: n(parts[1], "shards")?
+                    .try_into()
+                    .map_err(|_| "workload shards: does not fit usize".to_string())?,
+                tenants: n(parts[2], "tenants")?,
+                strategy: PlacementStrategy::parse(parts[3])
+                    .map_err(|e| format!("workload strategy: {e}"))?,
             }),
             tag => Err(format!("workload: unknown tag `{tag}`")),
         }
@@ -316,6 +346,63 @@ impl Scenario {
         )
     }
 
+    /// A cluster admission run: `shards` nodes of `cpus` CPUs each
+    /// processing `tenants` arrivals under `strategy` (see
+    /// [`nautix_cluster`]). The machine and scheduler configuration are
+    /// [`ClusterConfig::new`]'s — queue backend and topology pinned, the
+    /// overhead-aware admission policy armed — so a recorded cluster
+    /// scenario never depends on ambient environment knobs.
+    pub fn cluster(
+        shards: usize,
+        cpus: usize,
+        tenants: u64,
+        strategy: PlacementStrategy,
+        seed: u64,
+    ) -> Scenario {
+        let cc = ClusterConfig::new(shards, cpus, tenants, strategy).with_seed(seed);
+        let mut cfg = NodeConfig::for_machine(cc.machine.clone().with_seed(seed));
+        cfg.sched = cc.sched;
+        let name = format!(
+            "cluster_{}x{}_{}_t{}_x{}",
+            shards,
+            cpus,
+            strategy.name(),
+            tenants,
+            seed
+        );
+        Scenario::from_node_config(
+            name,
+            cfg,
+            Workload::Cluster {
+                shards,
+                tenants,
+                strategy,
+            },
+        )
+    }
+
+    /// The [`ClusterConfig`] a [`Workload::Cluster`] scenario replays.
+    ///
+    /// # Panics
+    /// If the workload is not a cluster run.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let Workload::Cluster {
+            shards,
+            tenants,
+            strategy,
+        } = self.workload
+        else {
+            panic!("scenario `{}` is not a cluster workload", self.name);
+        };
+        let mut cc = ClusterConfig::new(shards, self.machine.n_cpus, tenants, strategy)
+            .with_seed(self.machine.seed);
+        // The scenario's machine/sched lines override the constructor's
+        // defaults — the replay file is the source of truth.
+        cc.machine = self.machine.clone();
+        cc.sched = self.sched;
+        cc
+    }
+
     /// Capture an assembled [`NodeConfig`] (the sweeps' exact construction
     /// path) into a scenario. The config's recording-only knobs
     /// (`dispatch_log_cap`, overhead/GA sampling) are not captured — the
@@ -359,6 +446,18 @@ impl Scenario {
                 "scenario `{}` arms oracles/sabotage, which needs a build with `--features trace`",
                 self.name
             ));
+        }
+        if let Workload::Cluster { .. } = self.workload {
+            // Cluster runs own a whole fleet, not the caller's single
+            // node; a thread-local fleet gives them the same cross-trial
+            // arena reuse the node pool gives the other workloads. The
+            // engine guarantees pooled == fresh byte for byte.
+            thread_local! {
+                static FLEET: RefCell<Fleet> = RefCell::new(Fleet::new());
+            }
+            let cfg = self.cluster_config();
+            let out = FLEET.with(|f| nautix_cluster::run(&cfg, &mut f.borrow_mut()));
+            return Ok(cluster_trial(&out));
         }
         let node = pool.node(self.node_config());
         #[cfg(feature = "trace")]
@@ -449,11 +548,18 @@ impl Scenario {
                 node.run_for_ns(period_ns.saturating_mul(jobs + 20));
                 Ok(outcome(node, fast))
             }
+            Workload::Cluster { .. } => unreachable!("handled before node boot"),
         }
     }
 
-    /// Run the trial on a fresh (unpooled) node.
+    /// Run the trial on a fresh (unpooled) node — or, for a cluster
+    /// workload, a fresh fleet.
     pub fn run_fresh(&self) -> Result<TrialOutcome, String> {
+        if let Workload::Cluster { .. } = self.workload {
+            return Ok(cluster_trial(&nautix_cluster::run_fresh(
+                &self.cluster_config(),
+            )));
+        }
         self.run_pooled(&mut NodePool::new())
     }
 
@@ -749,11 +855,28 @@ fn outcome(node: &mut Node, tid: nautix_kernel::ThreadId) -> TrialOutcome {
     }
 }
 
-/// `NAUTIX_REPLAY_DIR`: where [`Scenario::run_recorded`] writes replay
-/// files for flagged trials. Unset disables emission. Read per call so
-/// test-scoped overrides are observed.
+/// A cluster run folded into the shape every replay consumer expects.
+/// The probe-thread fields (jobs, miss stats) have no cluster analogue
+/// and stay zero; the snapshot's `cluster_*` fields carry the outcome.
+fn cluster_trial(out: &ClusterOutcome) -> TrialOutcome {
+    TrialOutcome {
+        events: out.events,
+        snapshot: out.snapshot,
+        jobs: 0,
+        miss_rate: 0.0,
+        miss_mean_ns: 0.0,
+        miss_std_ns: 0.0,
+        faults: FaultStats::default(),
+        degrade: DegradeStats::default(),
+    }
+}
+
+/// Where [`Scenario::run_recorded`] writes replay files for flagged
+/// trials ([`HarnessConfig`]'s `replay_dir`, from `NAUTIX_REPLAY_DIR`).
+/// Unset disables emission. Read per call so test-scoped overrides are
+/// observed.
 fn replay_dir() -> Option<PathBuf> {
-    std::env::var_os("NAUTIX_REPLAY_DIR").map(PathBuf::from)
+    HarnessConfig::from_env().replay_dir
 }
 
 fn onoff(b: bool) -> String {
@@ -934,7 +1057,8 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_version_and_truncation() {
         let t = Scenario::missrate(Platform::Phi, 100_000, 30_000, 10, 1).to_replay_string();
-        let e = Scenario::from_replay_string(&t.replace("v1", "v6")).unwrap_err();
+        let e = Scenario::from_replay_string(&t.replace(REPLAY_HEADER, "nautix-replay v6"))
+            .unwrap_err();
         assert!(e.contains("unknown replay version"), "{e}");
         let cut: String = t.lines().take(8).map(|l| format!("{l}\n")).collect();
         assert!(Scenario::from_replay_string(&cut).is_err());
@@ -988,9 +1112,33 @@ mod tests {
         ] {
             assert_eq!(Workload::decode(&w.encode()).unwrap(), w);
         }
+        for strategy in PlacementStrategy::ALL {
+            let w = Workload::Cluster {
+                shards: 16,
+                tenants: 1_000,
+                strategy,
+            };
+            assert_eq!(Workload::decode(&w.encode()).unwrap(), w);
+        }
         assert!(Workload::decode("missrate:10:7").is_err());
         assert!(Workload::decode("bsp:1:2:3").is_err());
         assert!(Workload::decode("missrate:a:b:c").is_err());
+        assert!(Workload::decode("cluster:4:100:worst_fit").is_err());
+        assert!(Workload::decode("cluster:4:100").is_err());
+    }
+
+    #[test]
+    fn cluster_scenario_round_trips_and_replays() {
+        let sc = Scenario::cluster(3, 8, 150, PlacementStrategy::PowerOfTwo, 21);
+        let text = sc.to_replay_string();
+        let back = Scenario::from_replay_string(&text).unwrap();
+        assert_eq!(sc, back);
+        assert_eq!(back.to_replay_string(), text, "encoding must be canonical");
+        let a = sc.run_fresh().unwrap();
+        let b = back.run_pooled(&mut NodePool::new()).unwrap();
+        assert_eq!(a, b, "pooled fleet replay must match fresh");
+        assert_eq!(a.snapshot.cluster_decisions, 150);
+        assert!(a.snapshot.cluster_placed > 0);
     }
 
     #[cfg(not(feature = "trace"))]

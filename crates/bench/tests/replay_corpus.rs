@@ -1,6 +1,6 @@
 //! Satellite 2: the replay regression corpus.
 //!
-//! Eight hand-picked scenarios live as `.replay` files under
+//! Nine hand-picked scenarios live as `.replay` files under
 //! `tests/replays/`; each has its simulated event count and headline
 //! stats pinned here. Any change to the scheduler, machine model, fault
 //! injection, or the codec that shifts one of these histories fails this
@@ -25,17 +25,17 @@ const PINS: &[(&str, u64, &str)] = &[
     (
         "flat_heap_feasible",
         835,
-        "events=835 jobs=79 met=79 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=161 ipis=0",
+        "events=835 jobs=79 met=79 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=161 ipis=0 cluster=0/0/0",
     ),
     (
         "t2x4_wheel_tight",
         358,
-        "events=358 jobs=79 met=79 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=161 ipis=0",
+        "events=358 jobs=79 met=79 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=161 ipis=0 cluster=0/0/0",
     ),
     (
         "phi_edge_infeasible",
         249,
-        "events=249 jobs=59 met=0 missed=59 miss_rate=1.000000 faults=0 degrade=0 steals=0 switches=121 ipis=0",
+        "events=249 jobs=59 met=0 missed=59 miss_rate=1.000000 faults=0 degrade=0 steals=0 switches=121 ipis=0 cluster=0/0/0",
     ),
     // The kick lanes are per-IPI-send draws and this workload sends no
     // kicks, so faults stays 0 — the pin still fixes the codec fields
@@ -43,27 +43,35 @@ const PINS: &[(&str, u64, &str)] = &[
     (
         "lane_kick",
         1037,
-        "events=1037 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=342 ipis=0",
+        "events=1037 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=342 ipis=0 cluster=0/0/0",
     ),
     (
         "lane_timer_overshoot",
         1038,
-        "events=1038 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=16 degrade=0 steals=0 switches=342 ipis=0",
+        "events=1038 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=16 degrade=0 steals=0 switches=342 ipis=0 cluster=0/0/0",
     ),
     (
         "lane_freq_dip",
         1044,
-        "events=1044 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=7 degrade=0 steals=0 switches=342 ipis=0",
+        "events=1044 jobs=169 met=169 missed=0 miss_rate=0.000000 faults=7 degrade=0 steals=0 switches=342 ipis=0 cluster=0/0/0",
     ),
     (
         "lane_spurious_stall",
         1081,
-        "events=1081 jobs=168 met=167 missed=1 miss_rate=0.005952 faults=23 degrade=0 steals=0 switches=340 ipis=0",
+        "events=1081 jobs=168 met=167 missed=1 miss_rate=0.005952 faults=23 degrade=0 steals=0 switches=340 ipis=0 cluster=0/0/0",
     ),
     (
         "widening_churn",
         659,
-        "events=659 jobs=132 met=128 missed=4 miss_rate=0.030303 faults=20 degrade=1 steals=0 switches=268 ipis=0",
+        "events=659 jobs=132 met=128 missed=4 miss_rate=0.030303 faults=20 degrade=1 steals=0 switches=268 ipis=0 cluster=0/0/0",
+    ),
+    // The cluster engine measures admission, not dispatch: its event
+    // count is legitimately zero and the `cluster=` triple carries the
+    // whole placement/departure history.
+    (
+        "cluster_po2_churn",
+        0,
+        "events=0 jobs=0 met=0 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=0 ipis=0 cluster=200/164/36",
     ),
 ];
 

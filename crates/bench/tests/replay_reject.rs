@@ -30,7 +30,7 @@ fn with_line(text: &str, key: &str, replacement: &str) -> String {
 
 #[test]
 fn unknown_version_is_rejected() {
-    let t = valid().replace("nautix-replay v1", "nautix-replay v2");
+    let t = valid().replace(nautix_bench::REPLAY_HEADER, "nautix-replay v1");
     let e = Scenario::from_replay_string(&t).unwrap_err();
     assert!(e.contains("unknown replay version"), "{e}");
     let e = Scenario::from_replay_string("garbage header\nname x\n").unwrap_err();

@@ -17,24 +17,34 @@ use proptest::TestRng;
 /// surface, not just the two sweep presets.
 fn arb_scenario(seed: u64) -> Scenario {
     let mut rng = TestRng::seed_from(seed);
-    let mut sc = if rng.below(2) == 0 {
-        let platform = if rng.below(2) == 0 {
-            Platform::Phi
-        } else {
-            Platform::R415
-        };
-        let period_ns = 10_000 + rng.below(1_000_000);
-        let slice_ns = (period_ns * (10 + rng.below(80)) / 100).max(50);
-        Scenario::missrate(platform, period_ns, slice_ns, 10 + rng.below(200), seed)
-    } else {
-        let intensity = rng.below(5) as f64 / 4.0;
-        Scenario::fault_mix(
-            intensity,
-            30_000 + rng.below(500_000),
-            20 + rng.below(60),
-            10 + rng.below(200),
+    let mut sc = match rng.below(3) {
+        0 => {
+            let platform = if rng.below(2) == 0 {
+                Platform::Phi
+            } else {
+                Platform::R415
+            };
+            let period_ns = 10_000 + rng.below(1_000_000);
+            let slice_ns = (period_ns * (10 + rng.below(80)) / 100).max(50);
+            Scenario::missrate(platform, period_ns, slice_ns, 10 + rng.below(200), seed)
+        }
+        1 => {
+            let intensity = rng.below(5) as f64 / 4.0;
+            Scenario::fault_mix(
+                intensity,
+                30_000 + rng.below(500_000),
+                20 + rng.below(60),
+                10 + rng.below(200),
+                seed,
+            )
+        }
+        _ => Scenario::cluster(
+            1 + rng.below(16) as usize,
+            1 + rng.below(16) as usize,
+            rng.below(100_000),
+            nautix_cluster::PlacementStrategy::ALL[rng.below(4) as usize],
             seed,
-        )
+        ),
     };
     sc.name = format!("arb_{seed:016x}");
     let m = &mut sc.machine;
@@ -133,12 +143,13 @@ proptest! {
     }
 }
 
-/// The two quick trials the replay-reproduction tests rerun; small enough
+/// The quick trials the replay-reproduction tests rerun; small enough
 /// that each runs in milliseconds.
 fn quick_trials() -> Vec<Scenario> {
     vec![
         Scenario::missrate(Platform::Phi, 1_000_000, 500_000, 40, 5),
         Scenario::fault_mix(0.5, 100_000, 60, 60, 11),
+        Scenario::cluster(2, 4, 80, nautix_cluster::PlacementStrategy::BestFit, 13),
     ]
 }
 

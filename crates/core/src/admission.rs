@@ -169,6 +169,15 @@ impl SimCache {
         );
         self.entries.truncate(SIM_CACHE_CAP);
     }
+
+    /// Drop every cached verdict (hit/miss counters live in the per-CPU
+    /// ledgers, not here, and are untouched). Owners that need a run to
+    /// be a pure function of its configuration — the cluster engine's
+    /// shard boot — clear the memo instead of relying on reset, which
+    /// deliberately preserves it for cross-trial reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 /// Which feasibility test admits real-time threads.

@@ -16,6 +16,7 @@
 
 use crate::admission::AdmissionEngine;
 use nautix_hw::{FaultPlan, QueueKind, Topology};
+use std::path::PathBuf;
 
 /// The `NAUTIX_ADMISSION` escape hatch: `fresh` forces every node built
 /// afterwards onto the fresh-recompute admission engine (the reference the
@@ -23,13 +24,29 @@ use nautix_hw::{FaultPlan, QueueKind, Topology};
 /// forces the default explicitly; unset means "no override". Any other
 /// value is a hard error. Like [`HarnessConfig::from_env`], this reads the
 /// environment on every call so test-scoped overrides are observed.
+///
+/// Compat shim over [`HarnessConfig::from_env`]'s `admission` field; prefer
+/// threading a constructed config through explicitly.
 pub fn env_admission_engine() -> Option<AdmissionEngine> {
+    env_admission()
+}
+
+/// The raw `NAUTIX_ADMISSION` read behind [`HarnessConfig::from_env`].
+fn env_admission() -> Option<AdmissionEngine> {
     match std::env::var("NAUTIX_ADMISSION") {
         Ok(v) => {
             Some(parse_admission_engine(&v).unwrap_or_else(|e| panic!("NAUTIX_ADMISSION: {e}")))
         }
         Err(_) => None,
     }
+}
+
+/// A set-but-empty path variable is almost certainly a broken shell
+/// expansion; die loudly instead of writing into the current directory.
+fn env_path(var: &str) -> Option<PathBuf> {
+    let v = std::env::var_os(var)?;
+    assert!(!v.is_empty(), "{var}: set but empty");
+    Some(PathBuf::from(v))
 }
 
 /// Strict parser behind [`env_admission_engine`].
@@ -94,10 +111,12 @@ impl FaultIntensity {
 
 /// How a harness run is configured: worker threads for parallel trials,
 /// whether every constructed node arms the online invariant oracles, the
-/// fault-injection intensity for experiments that opt in, and the machine
+/// fault-injection intensity for experiments that opt in, the machine
 /// defaults (event-queue backend, topology shape) the run's nodes get
-/// unless a bench pins them explicitly.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// unless a bench pins them explicitly, and the observability hooks
+/// (admission-engine override, replay-emission directory, stats-stream
+/// path) that used to be scattered raw `std::env` reads.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessConfig {
     /// Host worker threads for the parallel trial harness.
     pub threads: usize,
@@ -112,6 +131,15 @@ pub struct HarnessConfig {
     pub queue: QueueKind,
     /// Topology shape for machines this run builds (`NAUTIX_TOPOLOGY`).
     pub topology: Topology,
+    /// Admission-engine override applied to every node this run builds
+    /// (`NAUTIX_ADMISSION`); `None` keeps each node's configured engine.
+    pub admission: Option<AdmissionEngine>,
+    /// Where armed-oracle anomalies emit `.replay` files
+    /// (`NAUTIX_REPLAY_DIR`); `None` disables emission.
+    pub replay_dir: Option<PathBuf>,
+    /// Where the live stats hub publishes frames (`NAUTIX_STATS_STREAM`);
+    /// `None` disables streaming.
+    pub stats_stream: Option<PathBuf>,
 }
 
 impl HarnessConfig {
@@ -125,6 +153,9 @@ impl HarnessConfig {
             faults: FaultIntensity::OFF,
             queue: QueueKind::Wheel,
             topology: Topology::flat(),
+            admission: None,
+            replay_dir: None,
+            stats_stream: None,
         }
     }
 
@@ -143,7 +174,10 @@ impl HarnessConfig {
     /// * `NAUTIX_ORACLES` — `1`/`true`/`yes`/`on` arms the oracles,
     /// * `NAUTIX_FAULTS` — fault intensity as a float (`0` disables),
     /// * `NAUTIX_QUEUE` — `heap` / `wheel` event-queue backend,
-    /// * `NAUTIX_TOPOLOGY` — `flat` or `<packages>x<llcs>` (e.g. `2x4`).
+    /// * `NAUTIX_TOPOLOGY` — `flat` or `<packages>x<llcs>` (e.g. `2x4`),
+    /// * `NAUTIX_ADMISSION` — `fresh` / `incremental` engine override,
+    /// * `NAUTIX_REPLAY_DIR` — directory for anomaly `.replay` emission,
+    /// * `NAUTIX_STATS_STREAM` — file path for live stats frames.
     ///
     /// A set-but-malformed value for any knob is a **hard error** — the
     /// run dies at the entry point instead of silently benchmarking the
@@ -173,6 +207,9 @@ impl HarnessConfig {
             // Both already hard-error on malformed values.
             queue: QueueKind::from_env(),
             topology: Topology::from_env(),
+            admission: env_admission(),
+            replay_dir: env_path("NAUTIX_REPLAY_DIR"),
+            stats_stream: env_path("NAUTIX_STATS_STREAM"),
         }
     }
 }
@@ -196,6 +233,9 @@ mod tests {
         assert!(!c.faults.enabled());
         assert_eq!(c.queue, QueueKind::Wheel);
         assert!(c.topology.is_flat());
+        assert_eq!(c.admission, None);
+        assert_eq!(c.replay_dir, None);
+        assert_eq!(c.stats_stream, None);
         assert_eq!(c.faults.plan(Freq::phi()), FaultPlan::disabled());
         assert_eq!(HarnessConfig::default(), c);
     }

@@ -21,6 +21,8 @@ pub mod local;
 pub mod node;
 #[cfg(feature = "trace")]
 pub mod oracle;
+pub mod pool;
+pub mod request;
 pub mod stats;
 pub mod timeline;
 pub mod timesync;
@@ -40,6 +42,8 @@ pub use local::{
     degrade_global_stats, Decision, InvokeReason, JobOutcome, LocalScheduler, SchedThread,
 };
 pub use node::{GaTiming, Node, NodeBuilder, NodeConfig};
+pub use pool::NodePool;
+pub use request::{AdmissionOutcome, AdmissionRequest, AdmissionTarget};
 pub use stats::{
     dispatch_spreads, AdmissionStats, CpuSchedStats, DegradeStats, DispatchLog, OverheadBreakdown,
     OverheadSample, ThreadRtStats,

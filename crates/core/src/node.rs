@@ -38,6 +38,7 @@ use crate::admission::{SchedConfig, SimCache, StealPolicy};
 use crate::local::{InvokeReason, LocalScheduler, SchedThread};
 #[cfg(feature = "trace")]
 use crate::oracle::{OracleConfig, OracleSuite};
+use crate::request::{AdmissionOutcome, AdmissionRequest, AdmissionTarget};
 use crate::stats::DispatchLog;
 use crate::timesync::{self, TimeSync};
 use nautix_des::{Cycles, Freq, Nanos};
@@ -515,7 +516,8 @@ impl Node {
         // The `NAUTIX_ADMISSION` escape hatch outranks the configured
         // engine, so a whole run can be forced onto the fresh-recompute
         // reference (or back) without touching call sites.
-        if let Some(engine) = crate::config::env_admission_engine() {
+        let env = crate::config::HarnessConfig::from_env();
+        if let Some(engine) = env.admission {
             cfg.sched.engine = engine;
         }
         let mut machine = Machine::new(cfg.machine);
@@ -594,7 +596,7 @@ impl Node {
             oracles: None,
         };
         #[cfg(feature = "trace")]
-        if crate::config::HarnessConfig::from_env().oracles {
+        if env.oracles {
             node.enable_oracles();
         }
         // Kick every CPU once at boot so each local scheduler runs its
@@ -618,7 +620,8 @@ impl Node {
     /// and every subsequent event land exactly as on a fresh node. The
     /// pooled determinism test asserts this byte-for-byte.
     pub fn reset(&mut self, mut cfg: NodeConfig) {
-        if let Some(engine) = crate::config::env_admission_engine() {
+        let env = crate::config::HarnessConfig::from_env();
+        if let Some(engine) = env.admission {
             cfg.sched.engine = engine;
         }
         self.machine.reset(cfg.machine);
@@ -714,7 +717,7 @@ impl Node {
             // start every trial with a fresh sink and fresh oracle state.
             self.trace = None;
             self.oracles = None;
-            if crate::config::HarnessConfig::from_env().oracles {
+            if env.oracles {
                 self.enable_oracles();
             }
         }
@@ -785,6 +788,15 @@ impl Node {
     /// Entries currently held by the node's shared simulation memo.
     pub fn sim_cache_len(&self) -> usize {
         self.sim_cache.borrow().len()
+    }
+
+    /// Empty the shared simulation memo. [`Node::reset`] deliberately
+    /// preserves the memo so pooled trials keep reusing verdicts; callers
+    /// whose runs must be pure functions of their configuration (the
+    /// cluster engine boots shards from a pool, then mutates them) clear
+    /// it explicitly instead.
+    pub fn clear_sim_cache(&mut self) {
+        self.sim_cache.borrow_mut().clear();
     }
 
     /// Everything the evaluation counts about this node, flattened into
@@ -1703,10 +1715,7 @@ impl Node {
             SysCall::ChangeConstraints(c) => {
                 self.machine.charge(cpu, self.cm.admission_local);
                 let now = self.wall_ns(cpu);
-                let res = {
-                    let st = &mut self.ts[tid];
-                    self.sched[cpu].change_constraints(tid, st, c, now, true)
-                };
+                let res = self.change_constraints_now(tid, c, now);
                 self.pending_result[tid] = SysResult::Admission(res);
                 self.local_invoke(cpu, InvokeReason::ConstraintChange, true);
                 false
@@ -2311,7 +2320,7 @@ impl Node {
 
     /// The `GroupAdmitTeam` rendezvous: members arrive at the group
     /// barrier; the completer admits or rejects the whole team in one
-    /// ledger transaction ([`Node::admit_team`]'s engine) and wakes the
+    /// ledger transaction ([`Node::admit`]'s team engine) and wakes the
     /// others with the shared verdict at their staggered departures.
     /// Algorithm 1's election, per-member local admission, and error
     /// reduction collapse into the barrier plus the transaction. Returns
@@ -2391,26 +2400,83 @@ impl Node {
         }
     }
 
+    /// The unified typed admission entry point: submit an
+    /// [`AdmissionRequest`] (built in the `ConstraintsBuilder` style) and
+    /// get an [`AdmissionOutcome`] back.
+    ///
+    /// * A [`AdmissionTarget::Thread`] target is the host-context face of
+    ///   the `ChangeConstraints` syscall: release the old reservation,
+    ///   admit the new one, roll back on rejection.
+    /// * A [`AdmissionTarget::Team`] target is one all-or-nothing ledger
+    ///   transaction over every member (the `GroupAdmitTeam` engine): on
+    ///   success each member holds the constraints phase-corrected by its
+    ///   slot and anchored at one common instant; on failure every ledger
+    ///   is back exactly as it was and the outcome carries the first
+    ///   rejection. A partially admitted team is never observable.
+    ///
+    /// The schedule anchors at the target CPU's current wall clock unless
+    /// the request pins an explicit [`AdmissionRequest::anchor_at`].
+    pub fn admit(&mut self, req: AdmissionRequest) -> AdmissionOutcome {
+        let members = req.members();
+        let constraints = req.requested();
+        let res = match req.target() {
+            AdmissionTarget::Thread(tid) => {
+                let tid = *tid;
+                let now = req
+                    .anchor()
+                    .unwrap_or_else(|| self.wall_ns(self.threads.expect(tid).cpu));
+                self.change_constraints_now(tid, constraints, now)
+            }
+            AdmissionTarget::Team(team) => {
+                if team.is_empty() {
+                    Ok(())
+                } else {
+                    let anchor = req
+                        .anchor()
+                        .unwrap_or_else(|| self.wall_ns(self.threads.expect(team[0]).cpu));
+                    self.admit_team_txn(team, constraints, anchor, req.delta_ns())
+                }
+            }
+        };
+        match res {
+            Ok(()) => AdmissionOutcome::Admitted { members },
+            Err(error) => AdmissionOutcome::Rejected { members, error },
+        }
+    }
+
+    /// Single-thread admission against the thread's current CPU ledger,
+    /// shared by [`Node::admit`] and the `ChangeConstraints` syscall.
+    fn change_constraints_now(
+        &mut self,
+        tid: ThreadId,
+        constraints: Constraints,
+        now: Nanos,
+    ) -> Result<(), AdmissionError> {
+        let cpu = self.threads.expect(tid).cpu;
+        let st = &mut self.ts[tid];
+        self.sched[cpu].change_constraints(tid, st, constraints, now, true)
+    }
+
     /// Admit (or reject) an entire team in one ledger transaction — the
     /// host-context face of the `GroupAdmitTeam` syscall. On success every
     /// member holds `constraints` phase-corrected by its slot in
     /// `members`; on failure every ledger is back exactly as it was and
     /// the first rejection's error is returned. All-or-nothing: a
     /// partially admitted team is never observable.
+    #[deprecated(note = "use `Node::admit` with `AdmissionRequest::team`")]
     pub fn admit_team(
         &mut self,
         members: &[ThreadId],
         constraints: Constraints,
     ) -> Result<(), AdmissionError> {
-        if members.is_empty() {
-            return Ok(());
-        }
-        let anchor = self.wall_ns(self.threads.expect(members[0]).cpu);
-        self.admit_team_txn(members, constraints, anchor, 0)
+        self.admit(AdmissionRequest::team(members.to_vec()).constraints(constraints))
+            .into_result()
+            .map(|_| ())
     }
 
-    /// The all-or-nothing team transaction shared by [`Node::admit_team`]
-    /// and the `GroupAdmitTeam` syscall. Admits `constraints` for each
+    /// The all-or-nothing team transaction shared by [`Node::admit`]
+    /// (team targets) and the `GroupAdmitTeam` syscall. Admits
+    /// `constraints` for each
     /// member in slot order on that member's CPU ledger; the first
     /// rejection restores every already-processed member (and the rejected
     /// member itself) to its previous reservation. On success each

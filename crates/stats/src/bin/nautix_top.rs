@@ -173,6 +173,18 @@ fn render(f: &Frame) -> String {
         human(s.sim_misses),
         human(s.rollbacks),
     ));
+    if s.cluster_decisions > 0 {
+        let secs = (f.elapsed_nanos as f64 / 1e9).max(1e-9);
+        out.push_str(&format!(
+            "cluster: {} decisions ({}/s) · {} placed · {} rejected · {} departures · {} probes\n",
+            human(s.cluster_decisions),
+            human((s.cluster_decisions as f64 / secs) as u64),
+            human(s.cluster_placed),
+            human(s.cluster_rejected),
+            human(s.cluster_departures),
+            human(s.cluster_probes),
+        ));
+    }
     out.push_str(&format!(
         "oracles: {} suites · {} records · {} checks · {} env misses · {} divergences\n",
         human(s.oracle_suites),
@@ -205,6 +217,9 @@ mod tests {
                 periodic_widenings: 3,
                 sim_hits: 12,
                 oracle_suites: 2,
+                cluster_decisions: 150_000,
+                cluster_placed: 120_000,
+                cluster_rejected: 30_000,
                 ..StatsSnapshot::default()
             },
             shards: vec![ShardStat {
@@ -225,9 +240,20 @@ mod tests {
             "admission",
             "oracles",
             "500.0k/s",
+            "cluster: 150.0k decisions (75.0k/s)",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn cluster_line_is_omitted_for_node_only_runs() {
+        let frame = Frame {
+            elapsed_nanos: 1,
+            snapshot: StatsSnapshot::default(),
+            shards: vec![],
+        };
+        assert!(!render(&frame).contains("cluster:"));
     }
 
     #[test]

@@ -20,10 +20,10 @@
 
 /// Codec version. Bump when fields are added, removed, or reordered; a
 /// parser only ever accepts its own version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Header line of the snapshot codec.
-pub const SNAPSHOT_HEADER: &str = "nautix-stats v1";
+pub const SNAPSHOT_HEADER: &str = "nautix-stats v2";
 
 macro_rules! snapshot_fields {
     ($( $(#[$doc:meta])* $name:ident ),* $(,)?) => {
@@ -138,6 +138,16 @@ snapshot_fields! {
     /// Admitted misses where the closed-form test and the overhead-aware
     /// simulation disagree (policy divergences, not scheduler bugs).
     oracle_divergences,
+    /// Cluster placement decisions taken (tenant arrivals processed).
+    cluster_decisions,
+    /// Tenants placed (whole gang admitted on some shard).
+    cluster_placed,
+    /// Tenants rejected by every candidate shard.
+    cluster_rejected,
+    /// Per-shard admission attempts made while placing (probes).
+    cluster_probes,
+    /// Tenants that departed (residency expired, reservation released).
+    cluster_departures,
 }
 
 impl StatsSnapshot {
@@ -182,7 +192,7 @@ impl StatsSnapshot {
     pub fn headline(&self) -> String {
         format!(
             "events={} jobs={} met={} missed={} miss_rate={:.6} faults={} \
-             degrade={} steals={} switches={} ipis={}",
+             degrade={} steals={} switches={} ipis={} cluster={}/{}/{}",
             self.events,
             self.met + self.missed,
             self.met,
@@ -193,6 +203,9 @@ impl StatsSnapshot {
             self.steals,
             self.switches,
             self.ipis,
+            self.cluster_decisions,
+            self.cluster_placed,
+            self.cluster_rejected,
         )
     }
 
@@ -317,7 +330,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_version() {
-        let t = sample(0).to_text().replace("v1", "v9");
+        let t = sample(0)
+            .to_text()
+            .replace(SNAPSHOT_HEADER, "nautix-stats v9");
         let e = StatsSnapshot::from_text(&t).unwrap_err();
         assert!(e.contains("unknown snapshot version"), "{e}");
     }
