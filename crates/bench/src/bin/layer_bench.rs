@@ -1,0 +1,108 @@
+//! Layered bandwidth-control sweep: RT probe + background hog at every
+//! (RT utilization, background guarantee) grid cell, layered vs
+//! unlayered (see `nautix_bench::layers`). Writes `results/layers.csv`
+//! and `BENCH_layers.json`; pass `--paper` for the long-horizon sweep.
+
+use nautix_bench::{banner, f, layers, out_dir, write_csv, BenchReport, Scale};
+use nautix_rt::HarnessConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Layered scheduling: per-layer bandwidth control vs plain EDF");
+    let hc = HarnessConfig::from_env();
+    let (points, stats) = layers::sweep(&hc, scale, 23);
+
+    println!(
+        "rt_pct,bg_guarantee_ppm,bg_share_layered,bg_share_unlayered,\
+         rt_miss_layered,rt_miss_unlayered,throttles,replenishes"
+    );
+    for p in &points {
+        println!(
+            "{},{},{},{},{},{},{},{}",
+            p.rt_pct,
+            p.bg_guarantee_ppm,
+            f(p.bg_share_layered),
+            f(p.bg_share_unlayered),
+            f(p.rt_miss_layered),
+            f(p.rt_miss_unlayered),
+            p.throttles,
+            p.replenishes
+        );
+    }
+    write_csv(
+        &out_dir().join("layers.csv"),
+        &[
+            "rt_pct",
+            "bg_guarantee_ppm",
+            "bg_share_layered",
+            "bg_share_unlayered",
+            "rt_miss_layered",
+            "rt_miss_unlayered",
+            "throttles",
+            "replenishes",
+        ],
+        points.iter().map(|p| {
+            vec![
+                p.rt_pct.to_string(),
+                p.bg_guarantee_ppm.to_string(),
+                f(p.bg_share_layered),
+                f(p.bg_share_unlayered),
+                f(p.rt_miss_layered),
+                f(p.rt_miss_unlayered),
+                p.throttles.to_string(),
+                p.replenishes.to_string(),
+            ]
+        }),
+    );
+    println!("wrote {:?}", out_dir().join("layers.csv"));
+
+    let mut report = BenchReport::new();
+    println!(
+        "layer_sweep: {} trials on {} threads, {:.2}s wall, {:.0} events/s",
+        stats.trials,
+        stats.threads,
+        stats.wall_secs,
+        stats.events_per_sec()
+    );
+    report.add("layer_sweep", stats);
+
+    // The two headline claims, as advisory notes in the report.
+    for p in &points {
+        let cap = p.bg_guarantee_ppm as f64 / 1e6 + layers::SHARE_SLACK;
+        let line = format!(
+            "rt {}% bg {} ppm: hog share {} layered vs {} unlayered; probe miss {} vs {}; \
+             {} throttles",
+            p.rt_pct,
+            p.bg_guarantee_ppm,
+            f(p.bg_share_layered),
+            f(p.bg_share_unlayered),
+            f(p.rt_miss_layered),
+            f(p.rt_miss_unlayered),
+            p.throttles
+        );
+        println!("{line}");
+        report.note(line);
+        if p.bg_share_layered > cap {
+            report.note(format!(
+                "ADVISORY: background exceeded its guarantee at rt {}% bg {} ppm \
+                 (share {}, cap {})",
+                p.rt_pct,
+                p.bg_guarantee_ppm,
+                f(p.bg_share_layered),
+                f(cap)
+            ));
+        }
+        if p.rt_miss_layered != p.rt_miss_unlayered {
+            report.note(format!(
+                "ADVISORY: layering changed the RT miss rate at rt {}% bg {} ppm \
+                 ({} vs {})",
+                p.rt_pct,
+                p.bg_guarantee_ppm,
+                f(p.rt_miss_layered),
+                f(p.rt_miss_unlayered)
+            ));
+        }
+    }
+    report.write(std::path::Path::new("BENCH_layers.json"));
+    println!("wrote BENCH_layers.json");
+}

@@ -18,7 +18,7 @@ use nautix_cluster::PlacementStrategy;
 use nautix_des::QueueKind;
 use nautix_hw::{FaultPattern, FaultPlan, Platform, Topology};
 
-/// The nine corpus scenarios. Quick-sized: the whole corpus replays in
+/// The ten corpus scenarios. Quick-sized: the whole corpus replays in
 /// a few seconds.
 pub fn corpus() -> Vec<Scenario> {
     let mut v = Vec::new();
@@ -96,6 +96,13 @@ pub fn corpus() -> Vec<Scenario> {
     // constructor itself (wheel, flat).
     let mut sc = Scenario::cluster(3, 8, 200, PlacementStrategy::PowerOfTwo, 5);
     sc.name = "cluster_po2_churn".into();
+    v.push(sc);
+
+    // 10. Layer starvation: the three-layer table throttles an
+    // always-runnable background hog under RT saturation, pinning codec
+    // v3's `sched.layers` line and the throttle/replenish history.
+    let mut sc = Scenario::layer_starve(1_000_000, 70, 100, 5);
+    sc.name = "layer_starve_bg".into();
     v.push(sc);
 
     for sc in &v {

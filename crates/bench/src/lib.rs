@@ -36,6 +36,7 @@ pub mod fig10;
 pub mod groupsync;
 pub mod harness;
 pub mod isolation;
+pub mod layers;
 pub mod missrate;
 pub mod scenario;
 pub mod throttle;

@@ -35,8 +35,8 @@ use nautix_hw::{
 };
 use nautix_kernel::{Action, Constraints, FnProgram, SysCall};
 use nautix_rt::{
-    AdmissionEngine, AdmissionPolicy, DegradePolicy, DegradeStats, HarnessConfig, Node, NodeConfig,
-    SchedConfig, SchedMode, StealPolicy,
+    AdmissionEngine, AdmissionPolicy, DegradePolicy, DegradeStats, HarnessConfig, LayerSpec,
+    LayerTable, Node, NodeConfig, SchedConfig, SchedMode, StealPolicy,
 };
 use nautix_stats::StatsSnapshot;
 use std::cell::RefCell;
@@ -45,11 +45,12 @@ use std::path::PathBuf;
 
 /// Codec version. Bump when fields are added, removed, or reordered; a
 /// parser only ever accepts its own version. v2 added the `cluster`
-/// workload tag.
-pub const REPLAY_VERSION: u32 = 2;
+/// workload tag; v3 added the `sched.layers` table, the
+/// `node.sabotage_layer` arming flag, and the `layer_mix` workload tag.
+pub const REPLAY_VERSION: u32 = 3;
 
 /// Header line of the replay codec.
-pub const REPLAY_HEADER: &str = "nautix-replay v2";
+pub const REPLAY_HEADER: &str = "nautix-replay v3";
 
 /// What the trial runs on the configured node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,19 @@ pub enum Workload {
         /// Placement strategy.
         strategy: PlacementStrategy,
     },
+    /// The layer-starvation mix (codec v3): a periodic RT probe on CPU 1
+    /// (slice = `period * slice_pct / 100`, floored at 500 ns) plus an
+    /// always-runnable aperiodic hog on the same CPU. Under a three-layer
+    /// table the hog's background layer drains its bucket every window
+    /// and throttles — the layer-isolation oracle's primary subject.
+    LayerMix {
+        /// Probe period τ in ns.
+        period_ns: Nanos,
+        /// Probe slice as % of period.
+        slice_pct: u64,
+        /// Jobs to observe.
+        jobs: u64,
+    },
 }
 
 impl Workload {
@@ -129,6 +143,11 @@ impl Workload {
                 tenants,
                 strategy,
             } => format!("cluster:{shards}:{tenants}:{}", strategy.name()),
+            Workload::LayerMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            } => format!("layer_mix:{period_ns}:{slice_pct}:{jobs}"),
         }
     }
 
@@ -168,6 +187,11 @@ impl Workload {
                 strategy: PlacementStrategy::parse(parts[3])
                     .map_err(|e| format!("workload strategy: {e}"))?,
             }),
+            "layer_mix" => Ok(Workload::LayerMix {
+                period_ns: n(parts[1], "period")?,
+                slice_pct: n(parts[2], "slice_pct")?,
+                jobs: n(parts[3], "jobs")?,
+            }),
             tag => Err(format!("workload: unknown tag `{tag}`")),
         }
     }
@@ -198,6 +222,9 @@ pub struct Scenario {
     /// Enable the deliberately broken FIFO dispatch on this CPU (the
     /// oracle-regression sabotage; requires `trace` like `oracles`).
     pub sabotage_fifo: Option<CpuId>,
+    /// Enable the deliberately over-generous layer-bucket refill on this
+    /// CPU (the layer-isolation-oracle sabotage; requires `trace`).
+    pub sabotage_layer: Option<CpuId>,
     /// The programs to run.
     pub workload: Workload,
 }
@@ -381,6 +408,54 @@ impl Scenario {
         )
     }
 
+    /// The layer-starvation trial: a 2-CPU Phi with the canonical
+    /// three-layer table (RT 75%, batch 10%, background 10%, 10 ms
+    /// windows) running [`Workload::LayerMix`]. The RT probe saturates
+    /// its layer while the aperiodic hog's background layer throttles
+    /// every window — the pinned corpus scenario for PR-10's bandwidth
+    /// control, and the armed workload of the layer-oracle sabotage test.
+    pub fn layer_starve(period_ns: Nanos, slice_pct: u64, jobs: u64, seed: u64) -> Scenario {
+        let mut cfg = NodeConfig::for_machine(
+            MachineConfig::for_platform(Platform::Phi)
+                .with_cpus(2)
+                .with_seed(seed),
+        );
+        cfg.sched.layers = LayerTable::three_way(
+            LayerSpec {
+                guarantee_ppm: 750_000,
+                burst_ppm: 0,
+            },
+            LayerSpec {
+                guarantee_ppm: 100_000,
+                burst_ppm: 0,
+            },
+            LayerSpec {
+                guarantee_ppm: 100_000,
+                burst_ppm: 0,
+            },
+            10_000_000,
+        )
+        .expect("three-way layer table is valid");
+        let name = format!(
+            "layer_{}_{}_p{}_pct{}_j{}_x{}",
+            cfg.machine.queue.label(),
+            cfg.machine.topology.label(),
+            period_ns,
+            slice_pct,
+            jobs,
+            seed
+        );
+        Scenario::from_node_config(
+            name,
+            cfg,
+            Workload::LayerMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            },
+        )
+    }
+
     /// The [`ClusterConfig`] a [`Workload::Cluster`] scenario replays.
     ///
     /// # Panics
@@ -420,6 +495,7 @@ impl Scenario {
             phase_correction: cfg.phase_correction,
             oracles: false,
             sabotage_fifo: None,
+            sabotage_layer: None,
             workload,
         }
     }
@@ -441,7 +517,7 @@ impl Scenario {
     /// scenario requires the `trace` feature and this build lacks it.
     pub fn run_pooled(&self, pool: &mut NodePool) -> Result<TrialOutcome, String> {
         #[cfg(not(feature = "trace"))]
-        if self.oracles || self.sabotage_fifo.is_some() {
+        if self.oracles || self.sabotage_fifo.is_some() || self.sabotage_layer.is_some() {
             return Err(format!(
                 "scenario `{}` arms oracles/sabotage, which needs a build with `--features trace`",
                 self.name
@@ -467,6 +543,9 @@ impl Scenario {
             }
             if let Some(cpu) = self.sabotage_fifo {
                 node.set_sabotage_fifo(cpu, true);
+            }
+            if let Some(cpu) = self.sabotage_layer {
+                node.set_sabotage_layer(cpu, true);
             }
         }
         match self.workload {
@@ -549,6 +628,31 @@ impl Scenario {
                 Ok(outcome(node, fast))
             }
             Workload::Cluster { .. } => unreachable!("handled before node boot"),
+            Workload::LayerMix {
+                period_ns,
+                slice_pct,
+                jobs,
+            } => {
+                let slice_ns = (period_ns * slice_pct / 100).max(500);
+                let probe = FnProgram::new(move |_cx, n| {
+                    if n == 0 {
+                        Action::Call(SysCall::ChangeConstraints(
+                            Constraints::periodic(period_ns, slice_ns)
+                                .phase(period_ns)
+                                .build(),
+                        ))
+                    } else {
+                        Action::Compute(100_000)
+                    }
+                });
+                let probe_tid = node.spawn_on(1, "probe", Box::new(probe)).unwrap();
+                // An always-runnable aperiodic hog: its whole demand lands
+                // in the background layer, which drains every window.
+                let hog = FnProgram::new(move |_cx, _n| Action::Compute(100_000));
+                node.spawn_on(1, "hog", Box::new(hog)).unwrap();
+                node.run_for_ns(period_ns.saturating_mul(jobs + 20));
+                Ok(outcome(node, probe_tid))
+            }
         }
     }
 
@@ -676,6 +780,7 @@ impl Scenario {
                 AdmissionEngine::Fresh => "fresh".into(),
             },
         );
+        kv("sched.layers", s.layers.encode());
         kv(
             "node.laden",
             self.laden
@@ -692,6 +797,13 @@ impl Scenario {
         kv(
             "node.sabotage_fifo",
             match self.sabotage_fifo {
+                None => "none".into(),
+                Some(cpu) => cpu.to_string(),
+            },
+        );
+        kv(
+            "node.sabotage_layer",
+            match self.sabotage_layer {
                 None => "none".into(),
                 Some(cpu) => cpu.to_string(),
             },
@@ -794,6 +906,8 @@ impl Scenario {
                     ))
                 }
             },
+            layers: LayerTable::decode(p.take("sched.layers")?)
+                .map_err(|e| format!("sched.layers: {e}"))?,
         };
         let laden_raw = p.take("node.laden")?;
         let laden = if laden_raw.is_empty() {
@@ -819,6 +933,12 @@ impl Scenario {
                 format!("node.sabotage_fifo: expected `none` or a CPU index, got `{v}`")
             })?),
         };
+        let sabotage_layer = match p.take("node.sabotage_layer")? {
+            "none" => None,
+            v => Some(v.parse::<CpuId>().map_err(|_| {
+                format!("node.sabotage_layer: expected `none` or a CPU index, got `{v}`")
+            })?),
+        };
         let workload = Workload::decode(p.take("workload")?)?;
         p.finish()?;
         Ok(Scenario {
@@ -832,6 +952,7 @@ impl Scenario {
             phase_correction,
             oracles,
             sabotage_fifo,
+            sabotage_layer,
             workload,
         })
     }
@@ -1125,6 +1246,33 @@ mod tests {
         assert!(Workload::decode("missrate:a:b:c").is_err());
         assert!(Workload::decode("cluster:4:100:worst_fit").is_err());
         assert!(Workload::decode("cluster:4:100").is_err());
+        let w = Workload::LayerMix {
+            period_ns: 1_000_000,
+            slice_pct: 70,
+            jobs: 50,
+        };
+        assert_eq!(Workload::decode(&w.encode()).unwrap(), w);
+        assert!(Workload::decode("layer_mix:1:2").is_err());
+        assert!(Workload::decode("layer_mix:1:2:x").is_err());
+    }
+
+    #[test]
+    fn layer_scenario_round_trips_and_replays() {
+        let sc = Scenario::layer_starve(1_000_000, 70, 30, 9);
+        assert_eq!(sc.sched.layers.count(), 3);
+        let text = sc.to_replay_string();
+        assert!(text.contains("sched.layers 750000:0,100000:0,100000:0;10000000;0,1,2"));
+        let back = Scenario::from_replay_string(&text).unwrap();
+        assert_eq!(sc, back);
+        assert_eq!(back.to_replay_string(), text, "encoding must be canonical");
+        let a = sc.run_fresh().unwrap();
+        let b = back.run_pooled(&mut NodePool::new()).unwrap();
+        assert_eq!(a, b, "pooled replay must match fresh");
+        assert!(
+            a.snapshot.layer_throttles > 0,
+            "the hog's background layer must throttle"
+        );
+        assert!(a.snapshot.layer_replenishes > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Satellite 2: the replay regression corpus.
 //!
-//! Nine hand-picked scenarios live as `.replay` files under
+//! Ten hand-picked scenarios live as `.replay` files under
 //! `tests/replays/`; each has its simulated event count and headline
 //! stats pinned here. Any change to the scheduler, machine model, fault
 //! injection, or the codec that shifts one of these histories fails this
@@ -72,6 +72,13 @@ const PINS: &[(&str, u64, &str)] = &[
         "cluster_po2_churn",
         0,
         "events=0 jobs=0 met=0 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=0 ipis=0 cluster=200/164/36",
+    ),
+    // Layered bandwidth control (codec v3): the background hog's layer
+    // throttles every replenish window while the RT probe stays clean.
+    (
+        "layer_starve_bg",
+        1778,
+        "events=1778 jobs=119 met=119 missed=0 miss_rate=0.000000 faults=0 degrade=0 steals=0 switches=264 ipis=0 cluster=0/0/0",
     ),
 ];
 

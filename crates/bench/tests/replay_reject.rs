@@ -100,6 +100,82 @@ fn bad_enums_and_numbers_are_rejected() {
 }
 
 #[test]
+fn malformed_layer_lines_are_rejected() {
+    // Codec v3 surface: every structural or validation defect in the
+    // `sched.layers` table, the `node.sabotage_layer` arming flag, and
+    // the `layer_mix` workload must be a parse error, never a default.
+    let fixtures = [
+        valid(),
+        Scenario::layer_starve(1_000_000, 70, 30, 9).to_replay_string(),
+    ];
+    let cases: &[(&str, &str)] = &[
+        // Structure: wrong number of `;`-sections.
+        ("sched.layers", "sched.layers "),
+        ("sched.layers", "sched.layers 750000:0"),
+        ("sched.layers", "sched.layers 750000:0;10000000"),
+        ("sched.layers", "sched.layers 750000:0;10000000;0,0,0;extra"),
+        // Specs: missing colon, junk numbers, stray separators.
+        ("sched.layers", "sched.layers 750000;10000000;0,0,0"),
+        ("sched.layers", "sched.layers a:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 750000:b;10000000;0,0,0"),
+        ("sched.layers", "sched.layers -1:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 99999999999:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 0.75:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 0x100:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 750000: 0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 750000:0:0;10000000;0,0,0"),
+        ("sched.layers", "sched.layers 750000:0,;10000000;0,0,0"),
+        (
+            "sched.layers",
+            "sched.layers 750000:0,,100000:0;10000000;0,0,0",
+        ),
+        // Replenish window: junk, zero, negative.
+        ("sched.layers", "sched.layers 750000:0;ten;0,0,0"),
+        ("sched.layers", "sched.layers 750000:0;0;0,0,0"),
+        ("sched.layers", "sched.layers 750000:0;-5;0,0,0"),
+        // Class map: wrong arity, junk, out-of-range indices.
+        ("sched.layers", "sched.layers 750000:0;10000000;0,0"),
+        ("sched.layers", "sched.layers 750000:0;10000000;0,0,0,0"),
+        ("sched.layers", "sched.layers 750000:0;10000000;0,0,x"),
+        ("sched.layers", "sched.layers 1000000:0;10000000;0,0,1"),
+        ("sched.layers", "sched.layers 750000:0;10000000;255,0,0"),
+        ("sched.layers", "sched.layers 750000:0;10000000;256,0,0"),
+        // Table validation: too many layers, overcommitted guarantees.
+        (
+            "sched.layers",
+            "sched.layers 200000:0,200000:0,200000:0,200000:0,200000:0;10000000;0,0,0",
+        ),
+        (
+            "sched.layers",
+            "sched.layers 600000:0,600000:0;10000000;0,0,1",
+        ),
+        // Sabotage arming flag: anything but `none` or a CPU index.
+        ("node.sabotage_layer", "node.sabotage_layer maybe"),
+        ("node.sabotage_layer", "node.sabotage_layer -1"),
+        ("node.sabotage_layer", "node.sabotage_layer 1.5"),
+        ("node.sabotage_layer", "node.sabotage_layer "),
+        ("node.sabotage_layer", "node.sabotage_layer on"),
+        // The layer_mix workload tag: wrong arity, junk numbers.
+        ("workload", "workload layer_mix:1:2"),
+        ("workload", "workload layer_mix:1:2:3:4"),
+        ("workload", "workload layer_mix:a:2:3"),
+        ("workload", "workload layer_mix:1:b:3"),
+        ("workload", "workload layer_mix:1:2:c"),
+    ];
+    for fixture in &fixtures {
+        for (key, bad) in cases {
+            let t = with_line(fixture, key, bad);
+            assert!(
+                Scenario::from_replay_string(&t).is_err(),
+                "`{bad}` must not parse"
+            );
+        }
+    }
+    // And the well-formed three-layer fixture itself still parses.
+    assert!(Scenario::from_replay_string(&fixtures[1]).is_ok());
+}
+
+#[test]
 fn structural_defects_are_rejected() {
     let t = valid();
     // Missing `end`.

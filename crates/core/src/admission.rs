@@ -43,6 +43,259 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Parts-per-million fixed point for utilizations.
 pub const PPM: u64 = 1_000_000;
 
+/// Maximum number of scheduling layers a node can be configured with.
+/// Small and fixed so per-CPU token-bucket state lives in flat arrays on
+/// the dispatch hot path (zero-alloc) and [`SchedConfig`] stays `Copy`.
+pub const MAX_LAYERS: usize = 4;
+
+/// One layer's bandwidth contract, in ppm of one CPU per replenish window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Utilization guaranteed to this layer. Admission rejects RT requests
+    /// that would push the layer's admitted sum past this, and dispatch
+    /// refills the layer's token bucket from it every window.
+    pub guarantee_ppm: u32,
+    /// Extra bucket headroom above the guarantee: spendable within a
+    /// window (soaking up transient overruns) but never admitted against.
+    pub burst_ppm: u32,
+}
+
+impl LayerSpec {
+    /// Guarantee plus burst, ppm.
+    pub fn total_ppm(&self) -> u64 {
+        self.guarantee_ppm as u64 + self.burst_ppm as u64
+    }
+
+    /// Whether the layer may consume a whole CPU per window. An exempt
+    /// layer is never throttled and arms no bucket timers — this is what
+    /// keeps the default single-layer table byte-identical to the
+    /// unlayered scheduler.
+    pub fn exempt(&self) -> bool {
+        self.total_ppm() >= PPM
+    }
+}
+
+/// Unused [`LayerTable`] spec slots hold this fixed filler so tables built
+/// through any constructor compare equal field-for-field.
+const LAYER_FILLER: LayerSpec = LayerSpec {
+    guarantee_ppm: 0,
+    burst_ppm: 0,
+};
+
+/// A rejected layer-table construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerConfigError {
+    /// Zero layers, or more than [`MAX_LAYERS`].
+    BadCount,
+    /// The guarantees sum past one full CPU (1_000_000 ppm).
+    GuaranteeOvercommit,
+    /// A class maps to a layer index at or beyond the spec count.
+    BadMapping,
+    /// A zero-length replenish window.
+    BadReplenish,
+}
+
+impl std::fmt::Display for LayerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerConfigError::BadCount => {
+                write!(f, "layer count must be 1..={MAX_LAYERS}")
+            }
+            LayerConfigError::GuaranteeOvercommit => {
+                write!(f, "layer guarantees sum past {PPM} ppm")
+            }
+            LayerConfigError::BadMapping => write!(f, "class maps to a nonexistent layer"),
+            LayerConfigError::BadReplenish => write!(f, "replenish window must be > 0 ns"),
+        }
+    }
+}
+
+/// The boot-time layer table: up to [`MAX_LAYERS`] bandwidth contracts
+/// plus a thread-class→layer mapping (a layer's id is its index). Part of
+/// [`SchedConfig`], so fixed-size and `Copy`. Only buildable through the
+/// validating constructors; the default is a single exempt layer holding
+/// the whole machine, which the scheduler special-cases to the exact
+/// unlayered dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTable {
+    specs: [LayerSpec; MAX_LAYERS],
+    count: u8,
+    /// Token buckets refill at multiples of this machine-time boundary
+    /// (wall ns), making replenish deterministic at any host thread count.
+    pub replenish_ns: Nanos,
+    map_periodic: u8,
+    map_sporadic: u8,
+    map_aperiodic: u8,
+}
+
+impl Default for LayerTable {
+    fn default() -> Self {
+        LayerTable::single(PPM as u32, 0, 10_000_000).expect("default layer table is valid")
+    }
+}
+
+impl LayerTable {
+    /// Validate and build a table. `map` assigns the periodic, sporadic,
+    /// and aperiodic classes (in that order) to layer indices.
+    pub fn build(
+        specs: &[LayerSpec],
+        replenish_ns: Nanos,
+        map: [u8; 3],
+    ) -> Result<Self, LayerConfigError> {
+        if specs.is_empty() || specs.len() > MAX_LAYERS {
+            return Err(LayerConfigError::BadCount);
+        }
+        let sum: u64 = specs.iter().map(|s| s.guarantee_ppm as u64).sum();
+        if sum > PPM {
+            return Err(LayerConfigError::GuaranteeOvercommit);
+        }
+        if map.iter().any(|&m| m as usize >= specs.len()) {
+            return Err(LayerConfigError::BadMapping);
+        }
+        if replenish_ns == 0 {
+            return Err(LayerConfigError::BadReplenish);
+        }
+        let mut table = [LAYER_FILLER; MAX_LAYERS];
+        table[..specs.len()].copy_from_slice(specs);
+        Ok(LayerTable {
+            specs: table,
+            count: specs.len() as u8,
+            replenish_ns,
+            map_periodic: map[0],
+            map_sporadic: map[1],
+            map_aperiodic: map[2],
+        })
+    }
+
+    /// A one-layer table holding every class.
+    pub fn single(
+        guarantee_ppm: u32,
+        burst_ppm: u32,
+        replenish_ns: Nanos,
+    ) -> Result<Self, LayerConfigError> {
+        LayerTable::build(
+            &[LayerSpec {
+                guarantee_ppm,
+                burst_ppm,
+            }],
+            replenish_ns,
+            [0, 0, 0],
+        )
+    }
+
+    /// The canonical three-layer shape: periodic → `rt` (layer 0),
+    /// sporadic → `batch` (layer 1), aperiodic → `bg` (layer 2).
+    pub fn three_way(
+        rt: LayerSpec,
+        batch: LayerSpec,
+        bg: LayerSpec,
+        replenish_ns: Nanos,
+    ) -> Result<Self, LayerConfigError> {
+        LayerTable::build(&[rt, batch, bg], replenish_ns, [0, 1, 2])
+    }
+
+    /// Number of configured layers.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The spec of layer `layer` (must be `< count()`).
+    pub fn spec(&self, layer: usize) -> LayerSpec {
+        debug_assert!(layer < self.count());
+        self.specs[layer]
+    }
+
+    /// Layer the periodic class maps to.
+    pub fn map_periodic(&self) -> usize {
+        self.map_periodic as usize
+    }
+
+    /// Layer the sporadic class maps to.
+    pub fn map_sporadic(&self) -> usize {
+        self.map_sporadic as usize
+    }
+
+    /// Layer the aperiodic class maps to.
+    pub fn map_aperiodic(&self) -> usize {
+        self.map_aperiodic as usize
+    }
+
+    /// Layer a constraint's class maps to.
+    pub fn layer_of(&self, c: &Constraints) -> usize {
+        match c {
+            Constraints::Periodic { .. } => self.map_periodic(),
+            Constraints::Sporadic { .. } => self.map_sporadic(),
+            Constraints::Aperiodic { .. } => self.map_aperiodic(),
+        }
+    }
+
+    /// Per-window, per-CPU bucket capacity of `layer` in wall ns
+    /// (guarantee + burst share of the replenish window).
+    pub fn cap_ns(&self, layer: usize) -> Nanos {
+        (self.replenish_ns as u128 * self.spec(layer).total_ppm() as u128 / PPM as u128) as Nanos
+    }
+
+    /// Canonical text form,
+    /// `<g0>:<b0>[,<g1>:<b1>...];<replenish_ns>;<mp>,<ms>,<ma>` — shared
+    /// by the replay codec (`sched.layers`) and the `NAUTIX_LAYERS`
+    /// harness variable. [`LayerTable::decode`] round-trips it exactly.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for l in 0..self.count() {
+            if l > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{}",
+                self.specs[l].guarantee_ppm, self.specs[l].burst_ppm
+            ));
+        }
+        out.push_str(&format!(
+            ";{};{},{},{}",
+            self.replenish_ns, self.map_periodic, self.map_sporadic, self.map_aperiodic
+        ));
+        out
+    }
+
+    /// Strict parse of the canonical text form; every structural or
+    /// validation failure is an error (no defaults, no salvage).
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = text.split(';').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "layer table `{text}`: want `<g:b>[,...];<replenish_ns>;<mp>,<ms>,<ma>`"
+            ));
+        }
+        let mut specs = Vec::new();
+        for spec in parts[0].split(',') {
+            let (g, b) = spec.split_once(':').ok_or_else(|| {
+                format!("layer spec `{spec}`: want `<guarantee_ppm>:<burst_ppm>`")
+            })?;
+            specs.push(LayerSpec {
+                guarantee_ppm: g
+                    .parse()
+                    .map_err(|e| format!("layer guarantee `{g}`: {e}"))?,
+                burst_ppm: b.parse().map_err(|e| format!("layer burst `{b}`: {e}"))?,
+            });
+        }
+        let replenish_ns: Nanos = parts[1]
+            .parse()
+            .map_err(|e| format!("layer replenish `{}`: {e}", parts[1]))?;
+        let map: Vec<&str> = parts[2].split(',').collect();
+        if map.len() != 3 {
+            return Err(format!("layer map `{}`: want `<mp>,<ms>,<ma>`", parts[2]));
+        }
+        let mut idx = [0u8; 3];
+        for (slot, m) in idx.iter_mut().zip(&map) {
+            *slot = m
+                .parse()
+                .map_err(|e| format!("layer map index `{m}`: {e}"))?;
+        }
+        LayerTable::build(&specs, replenish_ns, idx)
+            .map_err(|e| format!("layer table `{text}`: {e}"))
+    }
+}
+
 /// How the ledger computes its verdicts. Both engines are defined to be
 /// verdict- and sum-identical on every request stream (the differential
 /// suite enforces it); `Fresh` exists as an escape hatch and reference.
@@ -317,6 +570,9 @@ pub struct SchedConfig {
     pub degrade: DegradePolicy,
     /// Incremental (default) or fresh-recompute admission engine.
     pub engine: AdmissionEngine,
+    /// Per-layer bandwidth contracts and class mapping. The default is a
+    /// single exempt layer — byte-identical to the unlayered scheduler.
+    pub layers: LayerTable,
 }
 
 impl Default for SchedConfig {
@@ -337,6 +593,7 @@ impl Default for SchedConfig {
             steal: StealPolicy::LlcFirst,
             degrade: DegradePolicy::default(),
             engine: AdmissionEngine::Incremental,
+            layers: LayerTable::default(),
         }
     }
 }
@@ -438,6 +695,41 @@ impl CpuLoad {
         self.sporadic_ppm
     }
 
+    /// Admitted RT utilization charged to `layer`, ppm: the per-layer view
+    /// of the ledger. Derived from the maintained class sums through the
+    /// boot-time class→layer map rather than stored per layer, so it can
+    /// never drift from the class ledger and `release` (which has no
+    /// config in scope) stays exact. Aperiodic threads carry no admitted
+    /// utilization; their layer is charged only at dispatch time.
+    pub fn layer_util_ppm(&self, layers: &LayerTable, layer: usize) -> u64 {
+        let mut sum = 0;
+        if layers.map_periodic() == layer {
+            sum += self.periodic_ppm;
+        }
+        if layers.map_sporadic() == layer {
+            sum += self.sporadic_ppm;
+        }
+        sum
+    }
+
+    /// The layer-guarantee admission gate: would adding `u_new` ppm of
+    /// class `c` overcommit the guarantee of the layer `c` maps to?
+    /// Checked against the *guarantee* alone — burst is transient window
+    /// headroom, never admitted against.
+    fn test_layer(
+        &self,
+        cfg: &SchedConfig,
+        c: &Constraints,
+        u_new: u64,
+    ) -> Result<(), AdmissionError> {
+        let layer = cfg.layers.layer_of(c);
+        let guarantee = cfg.layers.spec(layer).guarantee_ppm as u64;
+        if self.layer_util_ppm(&cfg.layers, layer) + u_new > guarantee {
+            return Err(AdmissionError::LayerOvercommit);
+        }
+        Ok(())
+    }
+
     /// Number of admitted periodic threads.
     pub fn periodic_count(&self) -> usize {
         self.periodic.len()
@@ -457,6 +749,7 @@ impl CpuLoad {
                 }
                 if cfg.admission_enabled {
                     self.test_periodic(cfg, period, slice)?;
+                    self.test_layer(cfg, c, util_term(period, slice))?;
                 }
                 self.periodic.push((period, slice));
                 self.periodic_ppm += util_term(period, slice);
@@ -473,8 +766,11 @@ impl CpuLoad {
                     return Err(AdmissionError::TooFine);
                 }
                 let u = (size as u128 * PPM as u128 / window as u128) as u64;
-                if cfg.admission_enabled && self.sporadic_ppm + u > cfg.sporadic_reserve_ppm {
-                    return Err(AdmissionError::SporadicReservationExceeded);
+                if cfg.admission_enabled {
+                    if self.sporadic_ppm + u > cfg.sporadic_reserve_ppm {
+                        return Err(AdmissionError::SporadicReservationExceeded);
+                    }
+                    self.test_layer(cfg, c, u)?;
                 }
                 self.sporadic_ppm += u;
                 Ok(())
@@ -999,5 +1295,214 @@ mod tests {
         load.note_rollback();
         assert_eq!(load.admission_stats().rollbacks, 2);
         assert_eq!(load.admission_stats().total(), 2);
+    }
+
+    fn spec(g: u32, b: u32) -> LayerSpec {
+        LayerSpec {
+            guarantee_ppm: g,
+            burst_ppm: b,
+        }
+    }
+
+    /// RT 60% + burst, batch 25%, background 10%: the canonical shape the
+    /// layer tests and the bench sweep use.
+    fn three_layer() -> LayerTable {
+        LayerTable::three_way(
+            spec(600_000, 50_000),
+            spec(250_000, 0),
+            spec(100_000, 0),
+            10_000_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layer_table_build_validation() {
+        assert_eq!(
+            LayerTable::build(&[], 1_000, [0, 0, 0]),
+            Err(LayerConfigError::BadCount)
+        );
+        assert_eq!(
+            LayerTable::build(&[spec(1, 0); MAX_LAYERS + 1], 1_000, [0, 0, 0]),
+            Err(LayerConfigError::BadCount)
+        );
+        // Guarantees summing to exactly 1_000_000 build; one ppm more is
+        // rejected at construction.
+        assert!(LayerTable::build(&[spec(600_000, 0), spec(400_000, 0)], 1_000, [0, 1, 1]).is_ok());
+        assert_eq!(
+            LayerTable::build(&[spec(600_000, 0), spec(400_001, 0)], 1_000, [0, 1, 1]),
+            Err(LayerConfigError::GuaranteeOvercommit)
+        );
+        // Burst does not count against the guarantee sum.
+        assert!(LayerTable::build(
+            &[spec(600_000, 999_999), spec(400_000, 0)],
+            1_000,
+            [0, 1, 1]
+        )
+        .is_ok());
+        assert_eq!(
+            LayerTable::build(&[spec(500_000, 0)], 1_000, [0, 1, 0]),
+            Err(LayerConfigError::BadMapping)
+        );
+        assert_eq!(
+            LayerTable::build(&[spec(500_000, 0)], 0, [0, 0, 0]),
+            Err(LayerConfigError::BadReplenish)
+        );
+    }
+
+    #[test]
+    fn default_layer_table_is_one_exempt_layer() {
+        let t = LayerTable::default();
+        assert_eq!(t.count(), 1);
+        assert!(t.spec(0).exempt());
+        assert_eq!(t.cap_ns(0), t.replenish_ns);
+        assert_eq!(t, LayerTable::single(PPM as u32, 0, 10_000_000).unwrap());
+        assert_eq!(t.encode(), "1000000:0;10000000;0,0,0");
+        // A semantically identical table at a different replenish window
+        // compares unequal: the scheduler keys its skip-everything fast
+        // path on exact default equality.
+        assert_ne!(t, LayerTable::single(PPM as u32, 0, 5_000_000).unwrap());
+    }
+
+    #[test]
+    fn layer_codec_round_trips_and_rejects() {
+        for t in [
+            LayerTable::default(),
+            three_layer(),
+            LayerTable::single(1_000_000, 0, 777).unwrap(),
+            LayerTable::build(&[spec(0, 0), spec(900_000, 100_000)], 123_456, [1, 1, 0]).unwrap(),
+        ] {
+            assert_eq!(LayerTable::decode(&t.encode()).unwrap(), t);
+        }
+        for bad in [
+            "",
+            "1000000:0;10000000",
+            "1000000:0;10000000;0,0,0;extra",
+            "1000000;10000000;0,0,0",
+            "x:0;10000000;0,0,0",
+            "1000000:y;10000000;0,0,0",
+            "1000000:0;zzz;10000000;0,0,0",
+            "1000000:0;0;0,0,0",
+            "1000000:0;10000000;0,0",
+            "1000000:0;10000000;0,0,1",
+            "600000:0,400001:0;10000000;0,1,1",
+        ] {
+            assert!(LayerTable::decode(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn layer_of_follows_the_class_map() {
+        let t = three_layer();
+        assert_eq!(
+            t.layer_of(&Constraints::periodic(100_000, 10_000).build()),
+            0
+        );
+        assert_eq!(
+            t.layer_of(&Constraints::sporadic(5_000, 100_000).build()),
+            1
+        );
+        assert_eq!(t.layer_of(&Constraints::default_aperiodic()), 2);
+        assert_eq!(t.cap_ns(0), 6_500_000);
+        assert_eq!(t.cap_ns(2), 1_000_000);
+    }
+
+    #[test]
+    fn layer_overcommit_rejects_past_the_guarantee() {
+        let mut c = cfg();
+        c.layers = three_layer();
+        let mut load = CpuLoad::new();
+        // Four periodic threads at 15% fill the 60% RT guarantee exactly,
+        // and a fifth would still fit the 79% periodic budget (75%) — so
+        // only the layer gate can be the refusal.
+        for _ in 0..4 {
+            load.admit(&c, &Constraints::periodic(100_000, 15_000).build())
+                .unwrap();
+        }
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(100_000, 15_000).build()),
+            Err(AdmissionError::LayerOvercommit)
+        );
+        // Burst headroom is not admittable: even a 1% add is refused.
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(100_000, 1_000).build()),
+            Err(AdmissionError::LayerOvercommit)
+        );
+        // Releasing returns layer headroom.
+        load.release(&Constraints::periodic(100_000, 15_000).build());
+        load.admit(&c, &Constraints::periodic(100_000, 15_000).build())
+            .unwrap();
+        assert_eq!(load.layer_util_ppm(&c.layers, 0), 600_000);
+    }
+
+    #[test]
+    fn sporadic_charges_its_own_layer() {
+        let mut c = cfg();
+        // Batch guarantee below the 10% sporadic reserve: the layer gate
+        // binds first.
+        c.layers = LayerTable::three_way(
+            spec(600_000, 0),
+            spec(40_000, 0),
+            spec(100_000, 0),
+            10_000_000,
+        )
+        .unwrap();
+        let mut load = CpuLoad::new();
+        load.admit(&c, &Constraints::sporadic(4_000, 100_000).build())
+            .unwrap();
+        assert_eq!(
+            load.admit(&c, &Constraints::sporadic(4_000, 100_000).build()),
+            Err(AdmissionError::LayerOvercommit)
+        );
+        assert_eq!(load.layer_util_ppm(&c.layers, 1), 40_000);
+        // Sporadic load never counts against the RT layer.
+        assert_eq!(load.layer_util_ppm(&c.layers, 0), 0);
+    }
+
+    #[test]
+    fn zero_ppm_layer_rejects_all_its_rt() {
+        let mut c = cfg();
+        c.layers =
+            LayerTable::build(&[spec(0, 0), spec(900_000, 0)], 10_000_000, [0, 1, 1]).unwrap();
+        let mut load = CpuLoad::new();
+        assert_eq!(
+            load.admit(&c, &Constraints::periodic(100_000, 1_000).build()),
+            Err(AdmissionError::LayerOvercommit)
+        );
+        // Aperiodic threads carry no admitted utilization: always in.
+        load.admit(&c, &Constraints::default_aperiodic()).unwrap();
+    }
+
+    #[test]
+    fn full_ppm_layer_never_binds() {
+        // A custom single full-bandwidth layer must produce verdicts
+        // identical to the default table: the existing budget checks are
+        // strictly tighter than a 100% guarantee.
+        let mut layered = cfg();
+        layered.layers = LayerTable::single(PPM as u32, 0, 2_000_000).unwrap();
+        let plain = cfg();
+        let mut ll = CpuLoad::new();
+        let mut lp = CpuLoad::new();
+        for req in [
+            Constraints::periodic(100_000, 19_000).build(),
+            Constraints::periodic(100_000, 70_000).build(),
+            Constraints::periodic(100_000, 19_000).build(),
+            Constraints::sporadic(5_000, 100_000).build(),
+            Constraints::sporadic(9_000, 100_000).build(),
+        ] {
+            assert_eq!(ll.admit(&layered, &req), lp.admit(&plain, &req));
+        }
+    }
+
+    #[test]
+    fn layer_checks_are_skipped_when_admission_is_disabled() {
+        let mut c = cfg();
+        c.admission_enabled = false;
+        c.layers = three_layer();
+        let mut load = CpuLoad::new();
+        // 95% into a 60% layer: the Figures 6-9 infeasible-region sweeps
+        // must stay admissible with admission disabled.
+        load.admit(&c, &Constraints::periodic(10_000, 9_500).build())
+            .unwrap();
     }
 }

@@ -14,7 +14,7 @@
 //! `NAUTIX_TOPOLOGY=2×4` must kill the run, not quietly benchmark the
 //! flat machine.
 
-use crate::admission::AdmissionEngine;
+use crate::admission::{AdmissionEngine, LayerTable};
 use nautix_hw::{FaultPlan, QueueKind, Topology};
 use std::path::PathBuf;
 
@@ -78,6 +78,17 @@ pub fn parse_switch(s: &str) -> Result<bool, String> {
     }
 }
 
+/// Strict layer-table parser behind `NAUTIX_LAYERS`: the canonical
+/// [`LayerTable`] text form,
+/// `<g0>:<b0>[,<g1>:<b1>...];<replenish_ns>;<mp>,<ms>,<ma>` (ppm
+/// guarantees/bursts, a wall-ns replenish window, and the
+/// periodic/sporadic/aperiodic class→layer map). Validation failures
+/// (guarantees summing past 1_000_000, dangling map indices, a zero
+/// window) are errors, same as syntax.
+pub fn parse_layers(s: &str) -> Result<LayerTable, String> {
+    LayerTable::decode(s.trim())
+}
+
 /// Strict intensity parser behind `NAUTIX_FAULTS` (`0` disables).
 pub fn parse_fault_intensity(s: &str) -> Result<FaultIntensity, String> {
     s.trim()
@@ -134,6 +145,9 @@ pub struct HarnessConfig {
     /// Admission-engine override applied to every node this run builds
     /// (`NAUTIX_ADMISSION`); `None` keeps each node's configured engine.
     pub admission: Option<AdmissionEngine>,
+    /// Layer-table override applied to every node this run builds
+    /// (`NAUTIX_LAYERS`); `None` keeps each node's configured table.
+    pub layers: Option<LayerTable>,
     /// Where armed-oracle anomalies emit `.replay` files
     /// (`NAUTIX_REPLAY_DIR`); `None` disables emission.
     pub replay_dir: Option<PathBuf>,
@@ -154,6 +168,7 @@ impl HarnessConfig {
             queue: QueueKind::Wheel,
             topology: Topology::flat(),
             admission: None,
+            layers: None,
             replay_dir: None,
             stats_stream: None,
         }
@@ -176,6 +191,8 @@ impl HarnessConfig {
     /// * `NAUTIX_QUEUE` — `heap` / `wheel` event-queue backend,
     /// * `NAUTIX_TOPOLOGY` — `flat` or `<packages>x<llcs>` (e.g. `2x4`),
     /// * `NAUTIX_ADMISSION` — `fresh` / `incremental` engine override,
+    /// * `NAUTIX_LAYERS` — layer-table override in the canonical
+    ///   `<g:b>[,...];<replenish_ns>;<mp>,<ms>,<ma>` form,
     /// * `NAUTIX_REPLAY_DIR` — directory for anomaly `.replay` emission,
     /// * `NAUTIX_STATS_STREAM` — file path for live stats frames.
     ///
@@ -200,6 +217,10 @@ impl HarnessConfig {
             Ok(v) => parse_fault_intensity(&v).unwrap_or_else(|e| panic!("NAUTIX_FAULTS: {e}")),
             Err(_) => FaultIntensity::OFF,
         };
+        let layers = match std::env::var("NAUTIX_LAYERS") {
+            Ok(v) => Some(parse_layers(&v).unwrap_or_else(|e| panic!("NAUTIX_LAYERS: {e}"))),
+            Err(_) => None,
+        };
         HarnessConfig {
             threads,
             oracles,
@@ -208,6 +229,7 @@ impl HarnessConfig {
             queue: QueueKind::from_env(),
             topology: Topology::from_env(),
             admission: env_admission(),
+            layers,
             replay_dir: env_path("NAUTIX_REPLAY_DIR"),
             stats_stream: env_path("NAUTIX_STATS_STREAM"),
         }
@@ -234,6 +256,7 @@ mod tests {
         assert_eq!(c.queue, QueueKind::Wheel);
         assert!(c.topology.is_flat());
         assert_eq!(c.admission, None);
+        assert_eq!(c.layers, None);
         assert_eq!(c.replay_dir, None);
         assert_eq!(c.stats_stream, None);
         assert_eq!(c.faults.plan(Freq::phi()), FaultPlan::disabled());
@@ -286,6 +309,23 @@ mod tests {
         assert!(parse_fault_intensity("-1").is_err());
         assert!(parse_fault_intensity("NaN").is_err());
         assert!(parse_fault_intensity("lots").is_err());
+    }
+
+    #[test]
+    fn layers_parser_is_strict() {
+        assert_eq!(
+            parse_layers(" 1000000:0;10000000;0,0,0 "),
+            Ok(LayerTable::default())
+        );
+        let t = parse_layers("600000:50000,250000:0,100000:0;10000000;0,1,2").unwrap();
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.map_aperiodic(), 2);
+        // Syntax and validation failures are both hard errors.
+        assert!(parse_layers("").is_err());
+        assert!(parse_layers("1000000:0").is_err());
+        assert!(parse_layers("600000:0,400001:0;10000000;0,1,1").is_err());
+        assert!(parse_layers("500000:0;10000000;0,0,3").is_err());
+        assert!(parse_layers("500000:0;0;0,0,0").is_err());
     }
 
     #[test]

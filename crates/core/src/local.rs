@@ -20,7 +20,7 @@
 //! programs the hardware. That separation keeps the scheduler unit-testable
 //! exactly as a kernel's scheduler core would be.
 
-use crate::admission::{CpuLoad, SchedConfig, SchedMode};
+use crate::admission::{CpuLoad, LayerTable, SchedConfig, SchedMode, MAX_LAYERS};
 use crate::stats::{CpuSchedStats, DegradeStats, DispatchLog, ThreadRtStats};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::CpuId;
@@ -28,6 +28,10 @@ use nautix_kernel::{AdmissionError, Constraints, FixedHeap, RrQueue, ThreadId};
 #[cfg(feature = "trace")]
 use nautix_trace::{Record, TraceClass, TraceHandle, TraceOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `current_layer` value while the idle thread (or nothing yet) holds the
+/// CPU: idle wall time is charged to no layer's bucket.
+const LAYER_IDLE: u8 = u8::MAX;
 
 // Process-wide degradation tally across every node and trial, for the
 // `repro_all` harness summary. Purely observational: nothing reads these
@@ -215,6 +219,30 @@ pub struct LocalScheduler {
     pub stats: CpuSchedStats,
     /// Jobs completed on this invocation (for harnesses).
     pub last_outcome: Option<JobOutcome>,
+    /// Whether layer accounting runs at all. False for the exact default
+    /// [`LayerTable`], which keeps the unlayered hot path byte-identical:
+    /// no bucket arithmetic, no extra timers, no layer records.
+    layers_active: bool,
+    /// Remaining wall-time tokens per layer for the current replenish
+    /// window. Signed: the final span before a throttle may overdraw by up
+    /// to the timer quantization.
+    layer_buckets: [i64; MAX_LAYERS],
+    /// Honest wall time charged per layer since the last replenish. Kept
+    /// independent of the buckets so a corrupted refill (sabotage) still
+    /// reports true consumption for the oracle to catch.
+    layer_spent: [u64; MAX_LAYERS],
+    /// Whether a `LayerThrottle` was already recorded this window.
+    layer_throttle_mark: [bool; MAX_LAYERS],
+    /// Replenish window index (`now_ns / replenish_ns`) last refilled.
+    layer_epoch: u64,
+    /// Wall clock of the previous scheduling pass (span charging).
+    last_invoke_ns: Nanos,
+    /// Layer of the thread dispatched by the previous pass, or
+    /// [`LAYER_IDLE`]; the span until the next pass is charged to it.
+    current_layer: u8,
+    /// Whether the last selection skipped a throttled-layer thread (arms
+    /// the window-boundary wake-up timer).
+    throttle_skipped: bool,
     #[cfg(feature = "trace")]
     trace: Option<TraceHandle>,
     /// Deliberately broken dispatch for oracle regression tests: pick the
@@ -222,11 +250,27 @@ pub struct LocalScheduler {
     /// earliest deadline. Never set outside tests.
     #[cfg(feature = "trace")]
     sabotage_fifo: bool,
+    /// Deliberately broken replenish for layer-oracle regression tests:
+    /// refill every bucket to four times its cap. Never set outside tests.
+    #[cfg(feature = "trace")]
+    sabotage_layer: bool,
+}
+
+/// Initial bucket fill: every configured layer starts window 0 with a full
+/// cap of tokens.
+fn boot_buckets(layers: &LayerTable) -> [i64; MAX_LAYERS] {
+    let mut buckets = [0i64; MAX_LAYERS];
+    for (l, b) in buckets.iter_mut().enumerate().take(layers.count()) {
+        *b = layers.cap_ns(l) as i64;
+    }
+    buckets
 }
 
 impl LocalScheduler {
     /// A scheduler for `cpu` whose idle thread is `idle`.
     pub fn new(cpu: CpuId, idle: ThreadId, cfg: SchedConfig, freq: Freq, capacity: usize) -> Self {
+        let layers_active = cfg.layers != LayerTable::default();
+        let layer_buckets = boot_buckets(&cfg.layers);
         LocalScheduler {
             cpu,
             cfg,
@@ -239,10 +283,20 @@ impl LocalScheduler {
             idle,
             stats: CpuSchedStats::default(),
             last_outcome: None,
+            layers_active,
+            layer_buckets,
+            layer_spent: [0; MAX_LAYERS],
+            layer_throttle_mark: [false; MAX_LAYERS],
+            layer_epoch: 0,
+            last_invoke_ns: 0,
+            current_layer: LAYER_IDLE,
+            throttle_skipped: false,
             #[cfg(feature = "trace")]
             trace: None,
             #[cfg(feature = "trace")]
             sabotage_fifo: false,
+            #[cfg(feature = "trace")]
+            sabotage_layer: false,
         }
     }
 
@@ -263,6 +317,15 @@ impl LocalScheduler {
     #[cfg(feature = "trace")]
     pub fn set_sabotage_fifo(&mut self, on: bool) {
         self.sabotage_fifo = on;
+    }
+
+    /// Enable the deliberately broken over-replenish (regression tests for
+    /// the layer-isolation oracle only): each refill grants four caps of
+    /// tokens, letting a layer overdraw its bandwidth while the honest
+    /// spent counter still tells the truth.
+    #[cfg(feature = "trace")]
+    pub fn set_sabotage_layer(&mut self, on: bool) {
+        self.sabotage_layer = on;
     }
 
     #[cfg(feature = "trace")]
@@ -411,10 +474,19 @@ impl LocalScheduler {
         self.idle = idle;
         self.stats = CpuSchedStats::default();
         self.last_outcome = None;
+        self.layers_active = self.cfg.layers != LayerTable::default();
+        self.layer_buckets = boot_buckets(&self.cfg.layers);
+        self.layer_spent = [0; MAX_LAYERS];
+        self.layer_throttle_mark = [false; MAX_LAYERS];
+        self.layer_epoch = 0;
+        self.last_invoke_ns = 0;
+        self.current_layer = LAYER_IDLE;
+        self.throttle_skipped = false;
         #[cfg(feature = "trace")]
         {
             self.trace = None;
             self.sabotage_fifo = false;
+            self.sabotage_layer = false;
         }
     }
 
@@ -590,6 +662,16 @@ impl LocalScheduler {
 
         let prev = self.current;
 
+        // 0. Layer bandwidth accounting: replenish buckets at deterministic
+        // machine-time boundaries, then charge the wall span since the
+        // previous pass to the layer that was dispatched then. Skipped
+        // entirely (and byte-identically) on the default single-layer
+        // config.
+        if self.layers_active {
+            self.throttle_skipped = false;
+            self.layer_account(now_ns);
+        }
+
         // 1. Handle the current thread's state.
         if prev != self.idle {
             let st = &mut threads[prev];
@@ -666,6 +748,16 @@ impl LocalScheduler {
             }
         }
         self.current = next;
+        if self.layers_active {
+            // The span until the next pass is charged to this layer; the
+            // class is read at dispatch time, so a later demotion cannot
+            // desynchronize the charge from the trace mirror.
+            self.current_layer = if next == self.idle {
+                LAYER_IDLE
+            } else {
+                self.cfg.layers.layer_of(&threads[next].constraints) as u8
+            };
+        }
 
         // 4. Choose the next timer.
         let (timer_exec_cycles, timer_wall_ns) = self.next_timer(now_ns, threads, next);
@@ -693,6 +785,11 @@ impl LocalScheduler {
                 is_rt: in_job_rt,
                 is_idle: next == self.idle,
                 switched,
+                layer: if next == self.idle {
+                    nautix_trace::TRACE_LAYER_IDLE
+                } else {
+                    self.cfg.layers.layer_of(&st.constraints) as u32
+                },
             });
         }
         Decision {
@@ -930,8 +1027,133 @@ impl LocalScheduler {
         self.nonrt.remove(tid);
     }
 
+    /// Replenish the layer buckets when a window boundary has passed, then
+    /// charge the wall span since the previous pass. Called only when
+    /// `layers_active`.
+    fn layer_account(&mut self, now_ns: Nanos) {
+        let layers = self.cfg.layers;
+        let epoch = now_ns / layers.replenish_ns;
+        if epoch > self.layer_epoch {
+            // One refill per pass even if several windows elapsed: the
+            // flushed `spent` covers everything charged since the previous
+            // refill, which is what the oracle's bandwidth bound checks.
+            for l in 0..layers.count() {
+                #[cfg(feature = "trace")]
+                self.emit(Record::LayerReplenish {
+                    cpu: self.cpu as u32,
+                    layer: l as u32,
+                    spent_ns: self.layer_spent[l],
+                    cap_ns: layers.cap_ns(l),
+                });
+                #[allow(unused_mut)]
+                let mut cap = layers.cap_ns(l) as i64;
+                #[cfg(feature = "trace")]
+                if self.sabotage_layer {
+                    cap *= 4;
+                }
+                self.layer_buckets[l] = cap;
+                self.layer_spent[l] = 0;
+                self.layer_throttle_mark[l] = false;
+                self.stats.layer_replenishes += 1;
+            }
+            self.layer_epoch = epoch;
+        }
+        let span = now_ns.saturating_sub(self.last_invoke_ns);
+        self.last_invoke_ns = now_ns;
+        if span == 0 || self.current_layer == LAYER_IDLE {
+            return;
+        }
+        let l = self.current_layer as usize;
+        self.layer_spent[l] += span;
+        if !layers.spec(l).exempt() {
+            self.layer_buckets[l] -= span as i64;
+            if self.layer_buckets[l] <= 0 && !self.layer_throttle_mark[l] {
+                self.layer_throttle_mark[l] = true;
+                self.stats.layer_throttles += 1;
+                #[cfg(feature = "trace")]
+                self.emit(Record::LayerThrottle {
+                    cpu: self.cpu as u32,
+                    layer: l as u32,
+                    now_ns,
+                });
+            }
+        }
+    }
+
+    /// Which layers are currently throttled (finite guarantee, exhausted
+    /// bucket). Exempt layers (guarantee + burst covering the whole CPU)
+    /// never throttle.
+    fn throttled_mask(&self) -> [bool; MAX_LAYERS] {
+        let mut mask = [false; MAX_LAYERS];
+        for (l, m) in mask.iter_mut().enumerate().take(self.cfg.layers.count()) {
+            *m = !self.cfg.layers.spec(l).exempt() && self.layer_buckets[l] <= 0;
+        }
+        mask
+    }
+
+    /// The layer the thread's current class maps to.
+    fn layer_of_thread(&self, st: &SchedThread) -> usize {
+        self.cfg.layers.layer_of(&st.constraints)
+    }
+
+    /// Selection with one or more layers throttled: the same EDF (or lazy)
+    /// order restricted to eligible layers, background yielding to batch
+    /// yielding to RT by construction — a throttled layer's threads are
+    /// simply invisible until the next replenish. Runs a deterministic
+    /// `(deadline, tid)` min-scan instead of the heap peek; this path is
+    /// never reached on the default config.
+    fn select_throttled(
+        &mut self,
+        now_ns: Nanos,
+        threads: &[SchedThread],
+        throttled: &[bool; MAX_LAYERS],
+    ) -> ThreadId {
+        let mut skipped = false;
+        let mut best: Option<(Nanos, ThreadId)> = None;
+        for (deadline, tid) in self.rt_run.iter() {
+            if throttled[self.layer_of_thread(&threads[tid])] {
+                skipped = true;
+                continue;
+            }
+            if self.cfg.mode == SchedMode::Lazy {
+                let st = &threads[tid];
+                let remaining_ns =
+                    self.freq.cycles_to_ns(st.remaining_cycles) + 1 + self.cfg.lazy_margin_ns;
+                let latest_start = st.deadline_ns.saturating_sub(remaining_ns);
+                if !st.job_started && now_ns < latest_start {
+                    continue;
+                }
+            }
+            match best {
+                Some((d, t)) if (d, t) <= (deadline, tid) => {}
+                _ => best = Some((deadline, tid)),
+            }
+        }
+        let mut pick = best.map(|(_, tid)| tid);
+        if pick.is_none() {
+            for tid in self.nonrt.iter().map(|(_, t)| t) {
+                if throttled[self.layer_of_thread(&threads[tid])] {
+                    skipped = true;
+                    continue;
+                }
+                pick = Some(tid);
+                break;
+            }
+        }
+        if skipped {
+            self.throttle_skipped = true;
+        }
+        pick.unwrap_or(self.idle)
+    }
+
     /// EDF selection with eagerness (or the lazy variant).
     fn select(&mut self, now_ns: Nanos, threads: &[SchedThread]) -> ThreadId {
+        if self.layers_active {
+            let throttled = self.throttled_mask();
+            if throttled.iter().any(|&t| t) {
+                return self.select_throttled(now_ns, threads, &throttled);
+            }
+        }
         match self.cfg.mode {
             SchedMode::Eager => {
                 #[cfg(feature = "trace")]
@@ -1019,6 +1241,24 @@ impl LocalScheduler {
         if let Some((deadline, _)) = self.rt_run.peek() {
             if next == self.idle || !threads[next].is_rt() {
                 consider_wall(deadline.max(now_ns + 1));
+            }
+        }
+        if self.layers_active {
+            let layers = &self.cfg.layers;
+            // A finite-layer thread must be re-evaluated no later than its
+            // bucket exhaustion, bounding the overdraft to one timer
+            // quantum.
+            if next != self.idle {
+                let l = layers.layer_of(&threads[next].constraints);
+                if !layers.spec(l).exempt() {
+                    consider_wall(now_ns + self.layer_buckets[l].max(1) as u64);
+                }
+            }
+            // A skipped (throttled) thread becomes eligible again at the
+            // next replenish boundary; without this wake-up an otherwise
+            // idle CPU would sleep through it.
+            if self.throttle_skipped {
+                consider_wall((now_ns / layers.replenish_ns + 1) * layers.replenish_ns);
             }
         }
         (exec, wall)

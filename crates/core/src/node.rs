@@ -149,6 +149,8 @@ pub struct NodeBuilder {
     oracles_default: bool,
     #[cfg(feature = "trace")]
     sabotage_fifo: Vec<CpuId>,
+    #[cfg(feature = "trace")]
+    sabotage_layer: Vec<CpuId>,
 }
 
 impl NodeBuilder {
@@ -163,6 +165,8 @@ impl NodeBuilder {
             oracles_default: false,
             #[cfg(feature = "trace")]
             sabotage_fifo: Vec::new(),
+            #[cfg(feature = "trace")]
+            sabotage_layer: Vec::new(),
         }
     }
 
@@ -261,6 +265,14 @@ impl NodeBuilder {
         self
     }
 
+    /// Enable the deliberately over-generous layer-bucket refill on `cpu`
+    /// (layer-isolation-oracle regression tests only).
+    #[cfg(feature = "trace")]
+    pub fn sabotage_layer(mut self, cpu: CpuId) -> Self {
+        self.sabotage_layer.push(cpu);
+        self
+    }
+
     /// The accumulated [`NodeConfig`] (for harnesses that reset pooled
     /// nodes with the same configuration).
     pub fn config(&self) -> &NodeConfig {
@@ -286,6 +298,9 @@ impl NodeBuilder {
             }
             for cpu in self.sabotage_fifo {
                 node.set_sabotage_fifo(cpu, true);
+            }
+            for cpu in self.sabotage_layer {
+                node.set_sabotage_layer(cpu, true);
             }
         }
         if self.timeline_cap > 0 {
@@ -419,6 +434,7 @@ fn admission_error_code(e: AdmissionError) -> u64 {
         AdmissionError::SporadicReservationExceeded => 4,
         AdmissionError::CapacityExceeded => 5,
         AdmissionError::GroupMemberRejected => 6,
+        AdmissionError::LayerOvercommit => 7,
     }
 }
 
@@ -519,6 +535,11 @@ impl Node {
         let env = crate::config::HarnessConfig::from_env();
         if let Some(engine) = env.admission {
             cfg.sched.engine = engine;
+        }
+        // `NAUTIX_LAYERS` likewise replaces the boot-time layer table for
+        // the whole run (quick-start bandwidth experiments need no code).
+        if let Some(layers) = env.layers {
+            cfg.sched.layers = layers;
         }
         let mut machine = Machine::new(cfg.machine);
         let n = machine.n_cpus();
@@ -623,6 +644,9 @@ impl Node {
         let env = crate::config::HarnessConfig::from_env();
         if let Some(engine) = env.admission {
             cfg.sched.engine = engine;
+        }
+        if let Some(layers) = env.layers {
+            cfg.sched.layers = layers;
         }
         self.machine.reset(cfg.machine);
         let n = self.machine.n_cpus();
@@ -829,6 +853,8 @@ impl Node {
             s.steals_pkg += c.stats.steals_by_distance[1];
             s.steals_xpkg += c.stats.steals_by_distance[2];
             s.inline_tasks += c.stats.inline_tasks;
+            s.layer_throttles += c.stats.layer_throttles;
+            s.layer_replenishes += c.stats.layer_replenishes;
         }
         let d = self.degrade_stats();
         s.sporadic_demotions = d.sporadic_demotions;
@@ -875,6 +901,14 @@ impl Node {
     #[cfg(feature = "trace")]
     pub fn set_sabotage_fifo(&mut self, cpu: CpuId, on: bool) {
         self.sched[cpu].set_sabotage_fifo(on);
+    }
+
+    /// Enable the deliberately over-generous layer-bucket refill on `cpu`
+    /// (layer-isolation-oracle regression tests only). Prefer
+    /// `NodeBuilder::sabotage_layer(cpu)` at construction time.
+    #[cfg(feature = "trace")]
+    pub fn set_sabotage_layer(&mut self, cpu: CpuId, on: bool) {
+        self.sched[cpu].set_sabotage_layer(on);
     }
 
     // ------------------------------------------------------------------

@@ -27,6 +27,13 @@
 //!   arrival, and a dispatched in-job RT thread always carries a
 //!   slice-end request (§3.3). Checked in the scheduler's own wall-clock
 //!   domain, before hardware quantization.
+//! * **Layer isolation** — on a layered config, no layer consumes more
+//!   wall time than its bandwidth cap over any replenish window (within
+//!   timer-quantization slack), a throttled layer's threads never
+//!   dispatch until the next replenish, and every `LayerReplenish`
+//!   record's reported consumption matches the wall spans the dispatch
+//!   stream itself implies — so a scheduler that over-replenishes its
+//!   buckets cannot hide behind its own counters.
 //!
 //! The suite is an [`Observer`]: it sees every record online, in emission
 //! order, with the ring available for post-mortem context. In
@@ -35,10 +42,14 @@
 //! [`OracleMode::Collect`] violations accumulate for inspection — the
 //! sabotage regression test uses this to prove the oracles *would* fire.
 
-use crate::admission::{simulate_edf_feasible, SchedConfig, SchedMode, SimProbe};
+use crate::admission::{
+    simulate_edf_feasible, LayerTable, SchedConfig, SchedMode, SimProbe, MAX_LAYERS,
+};
 use nautix_des::{Cycles, Freq, Nanos};
 use nautix_hw::{CostModel, MachineConfig, TimerMode};
-use nautix_trace::{FaultLane, Observer, Record, TraceClass, TraceOutcome, TraceRing, TraceTid};
+use nautix_trace::{
+    FaultLane, Observer, Record, TraceClass, TraceOutcome, TraceRing, TraceTid, TRACE_LAYER_IDLE,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the suite reacts to a violation.
@@ -54,7 +65,7 @@ pub enum OracleMode {
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Which oracle family fired: `"edf"`, `"admission"`, `"isolation"`,
-    /// `"steal"`, `"tickless"`, or `"fire-order"`.
+    /// `"steal"`, `"tickless"`, `"fire-order"`, or `"layer"`.
     pub oracle: &'static str,
     /// Human-readable account of the contradiction.
     pub message: String,
@@ -93,6 +104,10 @@ pub struct OracleStats {
     /// effects outside the admission model (SMIs, injected fault lanes,
     /// timer quantization).
     pub environment_misses: u64,
+    /// Layer-isolation checks: dispatch-eligibility checks against the
+    /// throttled mirror plus per-window bandwidth/honesty checks at each
+    /// `LayerReplenish`. Zero on unlayered configs.
+    pub layer_checks: u64,
     /// Fault-injection records seen, per lane ([`FaultLane::idx`] order).
     pub fault_records: [u64; FaultLane::COUNT],
     /// Environment-attributed misses broken down by the fault lane whose
@@ -123,6 +138,7 @@ static G_DIVERGE: AtomicU64 = AtomicU64::new(0);
 static G_CACHE_CHECKS: AtomicU64 = AtomicU64::new(0);
 static G_CACHE_DIVERGE: AtomicU64 = AtomicU64::new(0);
 static G_ENV_MISS: AtomicU64 = AtomicU64::new(0);
+static G_LAYER: AtomicU64 = AtomicU64::new(0);
 #[allow(clippy::declare_interior_mutable_const)]
 const ATOMIC_ZERO: AtomicU64 = AtomicU64::new(0);
 static G_FAULT_RECORDS: [AtomicU64; FaultLane::COUNT] = [ATOMIC_ZERO; FaultLane::COUNT];
@@ -150,6 +166,7 @@ pub fn global_stats() -> (u64, OracleStats) {
             cache_checks: G_CACHE_CHECKS.load(Ordering::Relaxed),
             cache_divergences: G_CACHE_DIVERGE.load(Ordering::Relaxed),
             environment_misses: G_ENV_MISS.load(Ordering::Relaxed),
+            layer_checks: G_LAYER.load(Ordering::Relaxed),
             fault_records,
             env_miss_by_lane,
         },
@@ -176,6 +193,14 @@ pub struct OracleConfig {
     /// each task is charged, so a strict comparison would false-positive
     /// on backlog jitter.
     pub task_slop_ns: Nanos,
+    /// The layer bandwidth contracts the layer-isolation family checks
+    /// against (the scheduler's own table).
+    pub layers: LayerTable,
+    /// Slack on the per-window bandwidth bound: the final span before a
+    /// throttle may overdraw the bucket by one timer quantum plus the
+    /// kernel path's busy window, and a window-straddling span is charged
+    /// whole to the window it ends in.
+    pub layer_slack_ns: Nanos,
     /// Whether the environment upholds the admission model at all: false
     /// when SMIs or any `FaultPlan` lane are injected, or when the timer
     /// is quantized (coarse one-shot ticks) — hardware effects the paper
@@ -208,6 +233,10 @@ impl OracleConfig {
                 freq.cycles_to_ns(tick_cycles) <= sched.granularity_ns
             }
         };
+        let tick_ns = match mc.timer_mode {
+            TimerMode::TscDeadline => 0,
+            TimerMode::OneShot { tick_cycles } => freq.cycles_to_ns(tick_cycles),
+        };
         OracleConfig {
             mode: OracleMode::Panic,
             sched_mode: sched.mode,
@@ -215,6 +244,8 @@ impl OracleConfig {
             overhead_ns: freq.cycles_to_ns(2 * pass_cycles),
             window_cap_ns: 1_000_000_000,
             task_slop_ns: 100_000,
+            layers: sched.layers,
+            layer_slack_ns: freq.cycles_to_ns(2 * pass_cycles) + tick_ns + 500_000,
             admission_guarantee: !mc.smi.enabled() && !mc.faults.enabled() && tick_ok,
         }
     }
@@ -250,6 +281,50 @@ struct CpuState {
     running_rt: bool,
     /// A `SimCacheProbe` awaiting its `AdmitVerdict` on this CPU.
     probe: Option<SimProbe>,
+    /// The last dispatch on this CPU: `(layer, wall ns)`. The span until
+    /// the next dispatch is charged to that layer, mirroring the
+    /// scheduler's own span accounting exactly ([`TRACE_LAYER_IDLE`]
+    /// spans are charged to nothing).
+    last_dispatch: Option<(u32, Nanos)>,
+    /// Mirrored per-layer wall-time consumption since the last replenish,
+    /// re-derived purely from the dispatch stream.
+    layer_spent: [u64; MAX_LAYERS],
+    /// Layers throttled by a `LayerThrottle` with no replenish since.
+    layer_throttled: [bool; MAX_LAYERS],
+    /// Last accepted RT class per thread (from `AdmitVerdict`), for
+    /// mapping queued threads to their layer on layered configs.
+    rt_class: Vec<(TraceTid, TraceClass)>,
+}
+
+impl CpuState {
+    fn set_class(&mut self, tid: TraceTid, class: TraceClass) {
+        if class == TraceClass::Aperiodic {
+            self.rt_class.retain(|(t, _)| *t != tid);
+        } else {
+            match self.rt_class.iter_mut().find(|(t, _)| *t == tid) {
+                Some(slot) => slot.1 = class,
+                None => self.rt_class.push((tid, class)),
+            }
+        }
+    }
+
+    /// Earliest-deadline queued RT thread the scheduler is actually
+    /// allowed to run: threads whose layer is throttled are excluded,
+    /// mirroring dispatch's own layer skip. On an unlayered config
+    /// nothing is ever throttled and this is exactly [`set_min`].
+    fn min_dispatchable(&self, layers: &LayerTable) -> Option<(TraceTid, Nanos)> {
+        self.queued_rt
+            .iter()
+            .copied()
+            .filter(|&(tid, _)| {
+                let layer = match self.rt_class.iter().find(|(t, _)| *t == tid) {
+                    Some((_, TraceClass::Sporadic)) => layers.map_sporadic(),
+                    _ => layers.map_periodic(),
+                };
+                !self.layer_throttled[layer]
+            })
+            .min_by_key(|&(_, k)| k)
+    }
 }
 
 fn set_insert(set: &mut Vec<(TraceTid, Nanos)>, tid: TraceTid, key: Nanos) {
@@ -267,7 +342,7 @@ fn set_min(set: &[(TraceTid, Nanos)]) -> Option<(TraceTid, Nanos)> {
     set.iter().copied().min_by_key(|&(_, k)| k)
 }
 
-/// The four oracle families plus the steal check, as one stream observer.
+/// The five oracle families plus the steal check, as one stream observer.
 #[derive(Debug)]
 pub struct OracleSuite {
     cfg: OracleConfig,
@@ -358,7 +433,8 @@ impl OracleSuite {
             return;
         }
         self.stats.edf_checks += 1;
-        let queued = set_min(&self.cpu(cpu).queued_rt);
+        let layers = self.cfg.layers;
+        let queued = self.cpu(cpu).min_dispatchable(&layers);
         if is_rt {
             if let Some((qtid, qdl)) = queued {
                 if qdl < deadline_ns {
@@ -443,8 +519,9 @@ impl OracleSuite {
         self.stats.task_checks += 1;
         let size_ns = self.cfg.freq.cycles_to_ns(size_cycles);
         let slop = self.cfg.task_slop_ns;
+        let layers = self.cfg.layers;
         let state = self.cpu(cpu);
-        if state.running_rt || !state.queued_rt.is_empty() {
+        if state.running_rt || state.min_dispatchable(&layers).is_some() {
             let msg = format!(
                 "cpu {cpu} executed a size-tagged task ({size_ns} ns) at {now_ns} ns \
                  while an RT thread was {} (queued_rt: {:?})",
@@ -587,6 +664,128 @@ impl OracleSuite {
         self.last_fire_cycles = Some(at_cycles);
     }
 
+    /// Layer oracle, dispatch side: charge the elapsed span to the layer
+    /// the previous dispatch stamped, then reject a dispatch in a layer
+    /// that is still throttled (no replenish since its `LayerThrottle`).
+    fn check_layer_dispatch(
+        &mut self,
+        cpu: u32,
+        tid: TraceTid,
+        now_ns: Nanos,
+        layer: u32,
+        recent: &TraceRing,
+    ) {
+        let state = self.cpu(cpu);
+        if let Some((prev_layer, prev_ns)) = state.last_dispatch {
+            if prev_layer != TRACE_LAYER_IDLE && (prev_layer as usize) < MAX_LAYERS {
+                state.layer_spent[prev_layer as usize] += now_ns.saturating_sub(prev_ns);
+            }
+        }
+        state.last_dispatch = Some((layer, now_ns));
+        if layer == TRACE_LAYER_IDLE {
+            return;
+        }
+        self.stats.layer_checks += 1;
+        if (layer as usize) >= self.cfg.layers.count() {
+            self.violate(
+                "layer",
+                format!("cpu {cpu} dispatched tid {tid} stamped with unconfigured layer {layer}"),
+                recent,
+            );
+            return;
+        }
+        if self.cpu(cpu).layer_throttled[layer as usize] {
+            self.violate(
+                "layer",
+                format!(
+                    "cpu {cpu} dispatched tid {tid} at {now_ns} ns in layer {layer}, which \
+                     is throttled until the next replenish"
+                ),
+                recent,
+            );
+        }
+    }
+
+    /// Layer oracle, replenish side: the record's reported consumption
+    /// must equal what the dispatch stream implies (a scheduler cannot
+    /// launder an over-replenish through its own counters), a finite
+    /// layer must stay within its bandwidth cap over the window, and the
+    /// cap itself must match the configured contract.
+    fn check_layer_replenish(
+        &mut self,
+        cpu: u32,
+        layer: u32,
+        spent_ns: Nanos,
+        cap_ns: Nanos,
+        recent: &TraceRing,
+    ) {
+        self.stats.layer_checks += 1;
+        let l = layer as usize;
+        if l >= self.cfg.layers.count() {
+            self.violate(
+                "layer",
+                format!("cpu {cpu} replenished unconfigured layer {layer}"),
+                recent,
+            );
+            return;
+        }
+        let mirrored = self.cpu(cpu).layer_spent[l];
+        if spent_ns != mirrored {
+            self.violate(
+                "layer",
+                format!(
+                    "cpu {cpu} layer {layer} replenish reports {spent_ns} ns consumed, but \
+                     the dispatch stream implies {mirrored} ns"
+                ),
+                recent,
+            );
+        }
+        let derived = self.cfg.layers.cap_ns(l);
+        if cap_ns != derived {
+            self.violate(
+                "layer",
+                format!(
+                    "cpu {cpu} layer {layer} replenish carries cap {cap_ns} ns; the \
+                     configured contract derives {derived} ns"
+                ),
+                recent,
+            );
+        }
+        if !self.cfg.layers.spec(l).exempt() && spent_ns > derived + self.cfg.layer_slack_ns {
+            self.violate(
+                "layer",
+                format!(
+                    "cpu {cpu} layer {layer} consumed {spent_ns} ns in one replenish \
+                     window, over its {derived} ns bandwidth cap (+{slack} ns slack)",
+                    slack = self.cfg.layer_slack_ns,
+                ),
+                recent,
+            );
+        }
+        let state = self.cpu(cpu);
+        state.layer_spent[l] = 0;
+        state.layer_throttled[l] = false;
+    }
+
+    /// Layer oracle, throttle side: only a configured, finite layer can
+    /// legitimately exhaust its bucket.
+    fn check_layer_throttle(&mut self, cpu: u32, layer: u32, now_ns: Nanos, recent: &TraceRing) {
+        self.stats.layer_checks += 1;
+        let l = layer as usize;
+        if l >= self.cfg.layers.count() || self.cfg.layers.spec(l).exempt() {
+            self.violate(
+                "layer",
+                format!(
+                    "cpu {cpu} throttled layer {layer} at {now_ns} ns, which is \
+                     unconfigured or exempt and can never exhaust a bucket"
+                ),
+                recent,
+            );
+            return;
+        }
+        self.cpu(cpu).layer_throttled[l] = true;
+    }
+
     /// Steal check: work stealing must never migrate an RT reservation.
     fn check_steal(&mut self, thief: u32, victim: u32, tid: TraceTid, recent: &TraceRing) {
         let admitted_rt = self
@@ -617,6 +816,7 @@ impl Drop for OracleSuite {
         G_CACHE_CHECKS.fetch_add(self.stats.cache_checks, Ordering::Relaxed);
         G_CACHE_DIVERGE.fetch_add(self.stats.cache_divergences, Ordering::Relaxed);
         G_ENV_MISS.fetch_add(self.stats.environment_misses, Ordering::Relaxed);
+        G_LAYER.fetch_add(self.stats.layer_checks, Ordering::Relaxed);
         for i in 0..FaultLane::COUNT {
             G_FAULT_RECORDS[i].fetch_add(self.stats.fault_records[i], Ordering::Relaxed);
             G_ENV_BY_LANE[i].fetch_add(self.stats.env_miss_by_lane[i], Ordering::Relaxed);
@@ -668,11 +868,13 @@ impl Observer for OracleSuite {
                 deadline_ns,
                 is_rt,
                 is_idle,
+                layer,
                 ..
             } => {
                 let state = self.cpu(cpu);
                 set_remove(&mut state.queued_rt, tid);
                 state.running_rt = is_rt && !is_idle;
+                self.check_layer_dispatch(cpu, tid, now_ns, layer, recent);
                 self.check_dispatch(cpu, tid, now_ns, deadline_ns, is_rt, recent);
             }
             Record::JobComplete {
@@ -705,6 +907,9 @@ impl Observer for OracleSuite {
                 }
                 let state = self.cpu(cpu);
                 state.admitted.retain(|a| a.tid != tid);
+                if accepted {
+                    state.set_class(tid, class);
+                }
                 if accepted && enforced && class != TraceClass::Aperiodic {
                     state.admitted.push(Admitted {
                         tid,
@@ -743,6 +948,7 @@ impl Observer for OracleSuite {
                 // the mirror entry: put it back.
                 let state = self.cpu(cpu);
                 state.admitted.retain(|a| a.tid != tid);
+                state.set_class(tid, class);
                 if enforced && class != TraceClass::Aperiodic {
                     state.admitted.push(Admitted {
                         tid,
@@ -753,7 +959,9 @@ impl Observer for OracleSuite {
                 }
             }
             Record::ConstraintsReleased { cpu, tid } => {
-                self.cpu(cpu).admitted.retain(|a| a.tid != tid);
+                let state = self.cpu(cpu);
+                state.admitted.retain(|a| a.tid != tid);
+                state.rt_class.retain(|(t, _)| *t != tid);
             }
             Record::TimerReq {
                 cpu,
@@ -781,6 +989,17 @@ impl Observer for OracleSuite {
             }
             Record::TimerFire { cpu, at_cycles } => {
                 self.check_fire_order(cpu, at_cycles, recent);
+            }
+            Record::LayerThrottle { cpu, layer, now_ns } => {
+                self.check_layer_throttle(cpu, layer, now_ns, recent);
+            }
+            Record::LayerReplenish {
+                cpu,
+                layer,
+                spent_ns,
+                cap_ns,
+            } => {
+                self.check_layer_replenish(cpu, layer, spent_ns, cap_ns, recent);
             }
             // Context-only records: no oracle state.
             Record::Preempt { .. }
@@ -839,6 +1058,7 @@ mod tests {
                     is_rt: true,
                     is_idle: false,
                     switched: true,
+                    layer: 0,
                 },
             ],
         );
@@ -870,6 +1090,7 @@ mod tests {
                     is_rt: true,
                     is_idle: false,
                     switched: true,
+                    layer: 0,
                 },
             ],
         );
@@ -896,6 +1117,7 @@ mod tests {
                     is_rt: false,
                     is_idle: false,
                     switched: true,
+                    layer: 0,
                 },
             ],
         );
@@ -1287,6 +1509,216 @@ mod tests {
         );
         assert_eq!(s.violations().len(), 1);
         assert_eq!(s.violations()[0].oracle, "steal");
+    }
+
+    fn layered_cfg() -> OracleConfig {
+        use crate::admission::LayerSpec;
+        let sched = SchedConfig {
+            layers: LayerTable::three_way(
+                LayerSpec {
+                    guarantee_ppm: 600_000,
+                    burst_ppm: 50_000,
+                },
+                LayerSpec {
+                    guarantee_ppm: 250_000,
+                    burst_ppm: 0,
+                },
+                LayerSpec {
+                    guarantee_ppm: 100_000,
+                    burst_ppm: 0,
+                },
+                10_000_000,
+            )
+            .unwrap(),
+            ..SchedConfig::default()
+        };
+        OracleConfig::for_node(
+            Freq::phi(),
+            &sched,
+            &CostModel::phi(),
+            &MachineConfig::phi(),
+        )
+        .collecting()
+    }
+
+    /// A non-RT dispatch in layer 2 (background, 1 ms cap per 10 ms
+    /// window at 100_000 ppm).
+    fn bg_dispatch(tid: TraceTid, now_ns: Nanos) -> Record {
+        Record::Dispatch {
+            cpu: 0,
+            tid,
+            now_ns,
+            deadline_ns: Nanos::MAX,
+            is_rt: false,
+            is_idle: false,
+            switched: true,
+            layer: 2,
+        }
+    }
+
+    fn idle_dispatch(now_ns: Nanos) -> Record {
+        Record::Dispatch {
+            cpu: 0,
+            tid: 0,
+            now_ns,
+            deadline_ns: Nanos::MAX,
+            is_rt: false,
+            is_idle: true,
+            switched: true,
+            layer: TRACE_LAYER_IDLE,
+        }
+    }
+
+    #[test]
+    fn layer_oracle_accepts_in_budget_window() {
+        let mut s = OracleSuite::new(layered_cfg());
+        // 800 us of background execution in a 1 ms-cap window.
+        feed(
+            &mut s,
+            &[
+                bg_dispatch(7, 0),
+                idle_dispatch(800_000),
+                Record::LayerReplenish {
+                    cpu: 0,
+                    layer: 2,
+                    spent_ns: 800_000,
+                    cap_ns: 1_000_000,
+                },
+            ],
+        );
+        s.assert_clean();
+        assert_eq!(s.stats().layer_checks, 2);
+    }
+
+    #[test]
+    fn layer_oracle_flags_overspent_window() {
+        let mut s = OracleSuite::new(layered_cfg());
+        // 9 ms of background execution against a 1 ms cap: far past any
+        // quantization slack. The replenish reports it honestly (as the
+        // sabotaged over-replenish does) and must still be caught.
+        feed(
+            &mut s,
+            &[
+                bg_dispatch(7, 0),
+                idle_dispatch(9_000_000),
+                Record::LayerReplenish {
+                    cpu: 0,
+                    layer: 2,
+                    spent_ns: 9_000_000,
+                    cap_ns: 1_000_000,
+                },
+            ],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "layer");
+    }
+
+    #[test]
+    fn layer_oracle_flags_dishonest_spent_report() {
+        let mut s = OracleSuite::new(layered_cfg());
+        // The dispatch stream implies 5 ms of consumption but the
+        // replenish claims 500 us: the mirror contradicts the counter.
+        feed(
+            &mut s,
+            &[
+                bg_dispatch(7, 0),
+                idle_dispatch(5_000_000),
+                Record::LayerReplenish {
+                    cpu: 0,
+                    layer: 2,
+                    spent_ns: 500_000,
+                    cap_ns: 1_000_000,
+                },
+            ],
+        );
+        assert!(!s.violations().is_empty());
+        assert!(s.violations().iter().all(|v| v.oracle == "layer"));
+    }
+
+    #[test]
+    fn layer_oracle_flags_wrong_cap() {
+        let mut s = OracleSuite::new(layered_cfg());
+        feed(
+            &mut s,
+            &[Record::LayerReplenish {
+                cpu: 0,
+                layer: 2,
+                spent_ns: 0,
+                cap_ns: 4_000_000, // contract derives 1 ms
+            }],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "layer");
+    }
+
+    #[test]
+    fn layer_oracle_flags_throttled_dispatch() {
+        let mut s = OracleSuite::new(layered_cfg());
+        feed(
+            &mut s,
+            &[
+                Record::LayerThrottle {
+                    cpu: 0,
+                    layer: 2,
+                    now_ns: 1_000_000,
+                },
+                bg_dispatch(7, 1_100_000),
+            ],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "layer");
+    }
+
+    #[test]
+    fn layer_replenish_clears_the_throttle() {
+        let mut s = OracleSuite::new(layered_cfg());
+        feed(
+            &mut s,
+            &[
+                Record::LayerThrottle {
+                    cpu: 0,
+                    layer: 2,
+                    now_ns: 1_000_000,
+                },
+                Record::LayerReplenish {
+                    cpu: 0,
+                    layer: 2,
+                    spent_ns: 0,
+                    cap_ns: 1_000_000,
+                },
+                bg_dispatch(7, 10_100_000),
+            ],
+        );
+        s.assert_clean();
+    }
+
+    #[test]
+    fn layer_oracle_flags_exempt_or_unconfigured_throttle() {
+        // Layer 3 is unconfigured in the 3-way table.
+        let mut s = OracleSuite::new(layered_cfg());
+        feed(
+            &mut s,
+            &[Record::LayerThrottle {
+                cpu: 0,
+                layer: 3,
+                now_ns: 1_000,
+            }],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "layer");
+        // The default table's single layer is exempt: it can never
+        // legitimately throttle either.
+        let mut s = OracleSuite::new(cfg());
+        feed(
+            &mut s,
+            &[Record::LayerThrottle {
+                cpu: 0,
+                layer: 0,
+                now_ns: 1_000,
+            }],
+        );
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].oracle, "layer");
     }
 
     #[test]

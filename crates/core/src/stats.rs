@@ -140,6 +140,13 @@ pub struct CpuSchedStats {
     pub overheads: Vec<OverheadSample>,
     /// Size-tagged tasks executed inline by the scheduler.
     pub inline_tasks: u64,
+    /// Layer throttle events: a layer's token bucket went empty and its
+    /// threads became ineligible until the next replenish. Always zero on
+    /// the default single-layer config.
+    pub layer_throttles: u64,
+    /// Layer bucket refills at replenish-window boundaries (one per
+    /// configured layer per refill pass).
+    pub layer_replenishes: u64,
     /// Degraded-mode activations (all zero unless the policy is enabled).
     pub degrade: DegradeStats,
 }

@@ -311,6 +311,9 @@ pub enum AdmissionError {
     CapacityExceeded,
     /// Group admission: some member CPU rejected its thread.
     GroupMemberRejected,
+    /// Admitting would exceed the guaranteed utilization of the layer the
+    /// request's class maps to (layered bandwidth control).
+    LayerOvercommit,
 }
 
 #[cfg(test)]

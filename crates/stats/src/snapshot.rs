@@ -20,10 +20,10 @@
 
 /// Codec version. Bump when fields are added, removed, or reordered; a
 /// parser only ever accepts its own version.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Header line of the snapshot codec.
-pub const SNAPSHOT_HEADER: &str = "nautix-stats v2";
+pub const SNAPSHOT_HEADER: &str = "nautix-stats v3";
 
 macro_rules! snapshot_fields {
     ($( $(#[$doc:meta])* $name:ident ),* $(,)?) => {
@@ -148,6 +148,11 @@ snapshot_fields! {
     cluster_probes,
     /// Tenants that departed (residency expired, reservation released).
     cluster_departures,
+    /// Layer token buckets that went empty, throttling the layer until the
+    /// next replenish (always zero on the default single-layer config).
+    layer_throttles,
+    /// Layer bucket refills at replenish-window boundaries.
+    layer_replenishes,
 }
 
 impl StatsSnapshot {

@@ -116,6 +116,10 @@ impl FaultLane {
     }
 }
 
+/// `layer` value on a [`Record::Dispatch`] of the idle thread: idle time
+/// is charged to no layer.
+pub const TRACE_LAYER_IDLE: u32 = u32::MAX;
+
 /// Constraint class of an admission verdict, as recorded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceClass {
@@ -150,6 +154,10 @@ pub enum Record {
         is_idle: bool,
         /// Whether this differs from the previously running thread.
         switched: bool,
+        /// Scheduling layer the chosen thread's class maps to (its wall
+        /// time until the next pass is charged here), or
+        /// [`TRACE_LAYER_IDLE`] for the idle thread.
+        layer: u32,
     },
     /// A runnable current thread was displaced by the pass's selection.
     Preempt {
@@ -369,6 +377,33 @@ pub enum Record {
         size_cycles: Cycles,
         /// Inline budget the scheduler computed for the gap, cycles.
         budget_cycles: Cycles,
+    },
+    /// A layer's token bucket went non-positive during span charging: its
+    /// threads are ineligible for dispatch on this CPU until the next
+    /// replenish boundary (`LocalScheduler::invoke`, layer accounting).
+    /// Emitted once per layer per window.
+    LayerThrottle {
+        /// CPU whose bucket ran dry.
+        cpu: TraceCpu,
+        /// The exhausted layer.
+        layer: u32,
+        /// Wall-clock estimate when exhaustion was detected.
+        now_ns: Nanos,
+    },
+    /// A replenish boundary refilled a layer's token bucket to capacity.
+    /// `spent_ns` is the independently accumulated honest consumption of
+    /// the closing window — the layer-isolation oracle re-derives it from
+    /// the dispatch stream and checks it against `cap_ns`, so a sabotaged
+    /// bucket cannot hide overspend.
+    LayerReplenish {
+        /// CPU whose bucket refilled.
+        cpu: TraceCpu,
+        /// The refilled layer.
+        layer: u32,
+        /// Wall ns the layer consumed in the closing window.
+        spent_ns: Nanos,
+        /// Bucket capacity per window on this CPU, wall ns.
+        cap_ns: Nanos,
     },
     /// The machine injected one fault from an enabled `FaultPlan` lane
     /// (`Machine::send_kick`, `Machine::set_timer_cycles`, or the
